@@ -1,0 +1,272 @@
+(* Benchmark harness.
+
+   Two jobs, as the reproduction requires:
+
+   1. REGENERATE every table and figure of the paper's evaluation
+      (Tables I-IV as row-for-row text tables, Figures 1-2 as stage
+      diagrams), so `dune exec bench/main.exe` re-derives the paper's
+      evaluation from scratch.
+
+   2. MICROBENCHMARK (Bechamel) the pipeline stage behind each table and
+      figure, one Test.make per artifact, plus ablation benches for the
+      design decisions DESIGN.md calls out (MAXMISO vs the exponential
+      SingleCut, pruning on/off, unrolling on/off).
+
+   Pass --tables-only or --bench-only to run half the job. *)
+
+open Bechamel
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Hw = Jitise_hwgen
+module Cad = Jitise_cad
+module Core = Jitise_core
+
+let db = Pp.Database.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (small and fast; the full sweep happens in the      *)
+(* table-regeneration half)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sor = Option.get (W.Registry.find "sor")
+let sor_compiled = lazy (W.Workload.compile sor)
+
+let sor_profiled =
+  lazy
+    (let r = Lazy.force sor_compiled in
+     let out = W.Workload.run r { label = "bench"; n = 20 } in
+     (r.F.Compiler.modul, out))
+
+let sor_report =
+  lazy
+    (let m, out = Lazy.force sor_profiled in
+     Core.Asip_sp.run db m out.Vm.Machine.profile
+       ~total_cycles:out.Vm.Machine.native_cycles)
+
+let sor_project =
+  lazy
+    (let m, _ = Lazy.force sor_profiled in
+     let r = Lazy.force sor_report in
+     let s = List.hd r.Core.Asip_sp.selection in
+     let c = s.Ise.Select.candidate in
+     let f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+     let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
+     (dfg, c, Hw.Project.create db dfg c))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel tests: one per table/figure + ablations                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Table I columns come from compilation, profiled VM execution,
+   coverage and kernel analysis: bench the compile+run+analyze path. *)
+let bench_table1 =
+  Test.make ~name:"table1/characterize-sor"
+    (Staged.stage (fun () ->
+         let r = W.Workload.compile sor in
+         let o1 = W.Workload.run r { label = "a"; n = 4 } in
+         let o2 = W.Workload.run r { label = "b"; n = 8 } in
+         let cov =
+           Jitise_analysis.Coverage.classify r.F.Compiler.modul
+             [ o1.Vm.Machine.profile; o2.Vm.Machine.profile ]
+         in
+         let k =
+           Jitise_analysis.Kernel.compute r.F.Compiler.modul
+             o1.Vm.Machine.profile
+         in
+         Sys.opaque_identity (cov, k)))
+
+(* Table II's dominant live cost is the candidate search (the CAD times
+   are simulated): bench prune + MAXMISO + estimate + select. *)
+let bench_table2 =
+  Test.make ~name:"table2/candidate-search-sor"
+    (Staged.stage (fun () ->
+         let m, out = Lazy.force sor_profiled in
+         let pruning = Ise.Prune.apply Ise.Prune.at_50p_s3l m out.Vm.Machine.profile in
+         let cands =
+           List.concat_map
+             (fun (fname, label) ->
+               match Ir.Irmod.find_func m fname with
+               | None -> []
+               | Some f ->
+                   let dfg = Ir.Dfg.of_block f (Ir.Func.block f label) in
+                   Ise.Maxmiso.of_block dfg ~func:fname)
+             pruning.Ise.Prune.blocks
+         in
+         Sys.opaque_identity
+           (Ise.Select.select db m out.Vm.Machine.profile cands)))
+
+(* Table III is the per-candidate CAD flow: bench one full simulated
+   implementation (VHDL + netlists + all six stages). *)
+let bench_table3 =
+  Test.make ~name:"table3/cad-flow-one-candidate"
+    (Staged.stage (fun () ->
+         let dfg, c, _ = Lazy.force sor_project in
+         let p = Hw.Project.create db dfg c in
+         Sys.opaque_identity (Cad.Flow.implement db p)))
+
+(* Table IV is the cache/CAD-speedup extrapolation grid. *)
+let bench_table4 =
+  Test.make ~name:"table4/cache-grid-sor"
+    (Staged.stage (fun () ->
+         let r = Lazy.force sor_report in
+         let m, out = Lazy.force sor_profiled in
+         let o1 = out.Vm.Machine.profile in
+         ignore m;
+         let costs = Core.Asip_sp.candidate_costs r in
+         ignore o1;
+         Sys.opaque_identity
+           (List.map
+              (fun hit ->
+                Jitise_analysis.Cache_model.residual_overhead ~hit_rate:hit
+                  ~cad_speedup:0.3 costs)
+              [ 0.0; 0.3; 0.6; 0.9 ])))
+
+(* Figures 1/2 are the flow structure itself: bench the end-to-end JIT
+   path (figure 1) and the three-phase specialization (figure 2). *)
+let bench_figure1 =
+  Test.make ~name:"figure1/jit-ise-end-to-end"
+    (Staged.stage (fun () ->
+         let r = Lazy.force sor_compiled in
+         let out = W.Workload.run r { label = "f1"; n = 4 } in
+         let report =
+           Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+             ~total_cycles:out.Vm.Machine.native_cycles
+         in
+         let adapted =
+           Core.Adapt.apply r.F.Compiler.modul report.Core.Asip_sp.selection
+         in
+         Sys.opaque_identity
+           (Vm.Machine.run adapted.Core.Adapt.modul ~entry:"main"
+              ~cis:adapted.Core.Adapt.registry ~args:[ Ir.Eval.VInt 4L ])))
+
+let bench_figure2 =
+  Test.make ~name:"figure2/asip-specialization"
+    (Staged.stage (fun () ->
+         let m, out = Lazy.force sor_profiled in
+         Sys.opaque_identity
+           (Core.Asip_sp.run db m out.Vm.Machine.profile
+              ~total_cycles:out.Vm.Machine.native_cycles)))
+
+(* Ablations -------------------------------------------------------- *)
+
+let hot_dfg =
+  lazy
+    (let m, out = Lazy.force sor_profiled in
+     match Vm.Profile.block_costs out.Vm.Machine.profile m with
+     | ((fname, label), _) :: _ ->
+         let f = Option.get (Ir.Irmod.find_func m fname) in
+         Ir.Dfg.of_block f (Ir.Func.block f label)
+     | [] -> assert false)
+
+let bench_ablation_maxmiso =
+  Test.make ~name:"ablation/ise-maxmiso-linear"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ise.Maxmiso.of_block (Lazy.force hot_dfg) ~func:"sweep")))
+
+let bench_ablation_singlecut =
+  Test.make ~name:"ablation/ise-singlecut-exponential"
+    (Staged.stage (fun () ->
+         let config =
+           {
+             Ise.Singlecut.default_config with
+             Ise.Singlecut.step_budget = 20_000;
+             max_nodes = 64;
+           }
+         in
+         Sys.opaque_identity
+           (Ise.Singlecut.of_block ~config db (Lazy.force hot_dfg) ~func:"sweep")))
+
+let bench_ablation_prune_on =
+  Test.make ~name:"ablation/search-with-50pS3L"
+    (Staged.stage (fun () ->
+         let m, out = Lazy.force sor_profiled in
+         let sel = Ise.Prune.apply Ise.Prune.at_50p_s3l m out.Vm.Machine.profile in
+         Sys.opaque_identity sel))
+
+let bench_ablation_prune_off =
+  Test.make ~name:"ablation/search-unpruned"
+    (Staged.stage (fun () ->
+         let m, _ = Lazy.force sor_profiled in
+         Sys.opaque_identity (Ise.Maxmiso.of_module m)))
+
+let bench_ablation_unroll_on =
+  Test.make ~name:"ablation/compile-unroll4"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (W.Workload.compile ~optimize:true sor)))
+
+let bench_ablation_unroll_off =
+  Test.make ~name:"ablation/compile-O0"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (W.Workload.compile ~optimize:false sor)))
+
+let all_tests =
+  Test.make_grouped ~name:"jitise"
+    [
+      bench_table1; bench_table2; bench_table3; bench_table4;
+      bench_figure1; bench_figure2; bench_ablation_maxmiso;
+      bench_ablation_singlecut; bench_ablation_prune_on;
+      bench_ablation_prune_off; bench_ablation_unroll_on;
+      bench_ablation_unroll_off;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_benchmarks () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  print_endline "\n=== Bechamel microbenchmarks (monotonic clock) ===";
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.3f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Printf.printf "  %-42s %s/run\n" name pretty
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table regeneration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_tables () =
+  prerr_endline "[bench] running the full experiment sweep...";
+  let results = Core.Experiment.run_all ~verbose:true db in
+  print_endline "=== Table I: application characterization ===";
+  print_string (Core.Tables.render_table1 (Core.Tables.table1 results));
+  print_endline "\n=== Table II: ASIP-SP runtime overheads ===";
+  print_string (Core.Tables.render_table2 (Core.Tables.table2 results));
+  print_endline "\n=== Table III: constant CAD overheads ===";
+  print_string (Core.Tables.render_table3 (Core.Tables.table3 results));
+  print_endline "\n=== Table IV: break-even with caching / faster CAD ===";
+  print_string (Core.Tables.render_table4 (Core.Tables.table4 results));
+  print_endline "";
+  print_string (Core.Diagrams.figure1 ());
+  print_endline "";
+  print_string (Core.Diagrams.figure2 ())
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let tables = not (List.mem "--bench-only" argv) in
+  let benches = not (List.mem "--tables-only" argv) in
+  if tables then regenerate_tables ();
+  if benches then run_benchmarks ()

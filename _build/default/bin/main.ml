@@ -1,0 +1,264 @@
+(** The [jitise] command-line tool.
+
+    Subcommands regenerate every table and figure of the paper's
+    evaluation ([table1] .. [table4], [figure1], [figure2], [all]),
+    inspect workloads ([list], [inspect]), and expose the compiler and
+    VM for ad-hoc MiniC programs ([compile], [run], [specialize]). *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Core = Jitise_core
+module U = Jitise_util
+
+open Cmdliner
+
+let db = lazy (Pp.Database.create ())
+
+(* Results are reused across tables within one `all` invocation. *)
+let results = lazy (Core.Experiment.run_all ~verbose:true (Lazy.force db))
+
+let run_table1 () =
+  print_string
+    (Core.Tables.render_table1 (Core.Tables.table1 (Lazy.force results)))
+
+let run_table2 () =
+  print_string
+    (Core.Tables.render_table2 (Core.Tables.table2 (Lazy.force results)))
+
+let run_table3 () =
+  print_string (Core.Tables.render_table3 (Core.Tables.table3 (Lazy.force results)))
+
+let run_table4 () =
+  print_string (Core.Tables.render_table4 (Core.Tables.table4 (Lazy.force results)))
+
+let run_figure1 () = print_string (Core.Diagrams.figure1 ())
+let run_figure2 () = print_string (Core.Diagrams.figure2 ())
+
+let run_all () =
+  print_endline "=== Table I ===";
+  run_table1 ();
+  print_endline "\n=== Table II ===";
+  run_table2 ();
+  print_endline "\n=== Table III ===";
+  run_table3 ();
+  print_endline "\n=== Table IV ===";
+  run_table4 ();
+  print_endline "\n=== Figure 1 ===";
+  run_figure1 ();
+  print_endline "\n=== Figure 2 ===";
+  run_figure2 ()
+
+let run_list () =
+  List.iter
+    (fun (w : W.Workload.t) ->
+      Printf.printf "%-12s %-10s %s\n" w.W.Workload.name
+        (W.Workload.domain_to_string w.W.Workload.domain)
+        w.W.Workload.description)
+    W.Registry.all
+
+let load_workload name =
+  match W.Registry.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %s (try `jitise list`)\n" name;
+      exit 1
+
+let run_inspect name =
+  let w = load_workload name in
+  let r = W.Workload.compile w in
+  print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
+
+let run_specialize name =
+  let w = load_workload name in
+  let db = Lazy.force db in
+  let r = Core.Experiment.run_app db w in
+  let rep = r.Core.Experiment.report in
+  Printf.printf "%s: %d candidate(s) selected, ASIP ratio %.2fx (max %.2fx)\n"
+    name
+    (List.length rep.Core.Asip_sp.selection)
+    rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio
+    rep.Core.Asip_sp.asip_ratio_max.Ise.Speedup.ratio;
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      let cand = c.Core.Asip_sp.scored.Ise.Select.candidate in
+      let est = c.Core.Asip_sp.scored.Ise.Select.estimate in
+      Printf.printf
+        "  %s  %s/bb%d  %d instrs, %d inputs, sw %d cyc -> hw %d cyc, %s CAD\n"
+        cand.Ise.Candidate.signature cand.Ise.Candidate.func
+        cand.Ise.Candidate.block cand.Ise.Candidate.size
+        cand.Ise.Candidate.num_inputs est.Pp.Estimator.sw_cycles
+        est.Pp.Estimator.hw_cycles
+        (U.Duration.to_min_sec c.Core.Asip_sp.total_seconds))
+    rep.Core.Asip_sp.candidates;
+  Printf.printf "total ASIP-SP overhead: %s (const %s, map %s, par %s)\n"
+    (U.Duration.to_min_sec rep.Core.Asip_sp.sum_seconds)
+    (U.Duration.to_min_sec rep.Core.Asip_sp.const_seconds)
+    (U.Duration.to_min_sec rep.Core.Asip_sp.map_seconds)
+    (U.Duration.to_min_sec rep.Core.Asip_sp.par_seconds);
+  Printf.printf "break-even: %s\n"
+    (match r.Core.Experiment.break_even with
+    | Jitise_analysis.Breakeven.Never -> "never"
+    | Jitise_analysis.Breakeven.After s -> U.Duration.to_dhms s)
+
+let run_timeline name =
+  let w = load_workload name in
+  let db = Lazy.force db in
+  let r = Core.Experiment.run_app db w in
+  let t = Core.Jit_manager.timeline r.Core.Experiment.report in
+  Format.printf "%a" Core.Jit_manager.pp_timeline t;
+  Printf.printf
+    "\nspeedup %.2fx; specialization %s; reconfiguration %.1f ms\n"
+    t.Core.Jit_manager.speedup
+    (U.Duration.to_min_sec t.Core.Jit_manager.specialization_seconds)
+    (1000.0 *. t.Core.Jit_manager.reconfiguration_seconds)
+
+let run_ablation name =
+  let w = load_workload name in
+  let db = Lazy.force db in
+  let r = W.Workload.compile w in
+  let d = List.hd w.W.Workload.datasets in
+  let out = W.Workload.run r d in
+  let filters =
+    [
+      Ise.Prune.of_name "@25pS1L"; Ise.Prune.of_name "@50pS3L";
+      Ise.Prune.of_name "@75pS5L"; Ise.Prune.of_name "@90pS8L";
+      Ise.Prune.none;
+    ]
+  in
+  let t =
+    U.Texttable.create
+      ~headers:[ "filter"; "search[ms]"; "blk"; "ins"; "can"; "ratio"; "sum" ]
+  in
+  List.iter
+    (fun prune ->
+      let rep =
+        Core.Asip_sp.run ~prune db r.Jitise_frontend.Compiler.modul
+          out.Vm.Machine.profile ~total_cycles:out.Vm.Machine.native_cycles
+      in
+      U.Texttable.add_row t
+        [
+          Ise.Prune.name prune;
+          Printf.sprintf "%.2f" (1000.0 *. rep.Core.Asip_sp.search_wall_seconds);
+          string_of_int rep.Core.Asip_sp.searched_blocks;
+          string_of_int rep.Core.Asip_sp.searched_instrs;
+          string_of_int (List.length rep.Core.Asip_sp.selection);
+          Printf.sprintf "%.2f" rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio;
+          U.Duration.to_min_sec rep.Core.Asip_sp.sum_seconds;
+        ])
+    filters;
+  Printf.printf "pruning-filter ablation for %s (train dataset):\n" name;
+  U.Texttable.print t
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_compile path no_opt =
+  let src = read_file path in
+  match
+    F.Compiler.compile ~optimize:(not no_opt) ~module_name:path
+      [ (path, src) ]
+  with
+  | r ->
+      Printf.printf "; %d blocks, %d instructions, compiled in %.3f s\n"
+        r.F.Compiler.stats.F.Compiler.blocks r.F.Compiler.stats.F.Compiler.instrs
+        r.F.Compiler.stats.F.Compiler.compile_seconds;
+      print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
+  | exception F.Compiler.Error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+
+let run_run path n =
+  let src = read_file path in
+  match F.Compiler.compile ~module_name:path [ (path, src) ] with
+  | exception F.Compiler.Error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+  | r -> (
+      match
+        Vm.Machine.run r.F.Compiler.modul ~entry:"main"
+          ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
+      with
+      | exception Vm.Machine.Fault m ->
+          Printf.eprintf "runtime fault: %s\n" m;
+          exit 1
+      | out ->
+          (match out.Vm.Machine.ret with
+          | Some v -> Format.printf "result: %a@." Ir.Eval.pp_value v
+          | None -> print_endline "result: (void)");
+          Printf.printf "native: %.0f cycles (%.4f s at 300 MHz), VM: %.0f cycles (ratio %.3f)\n"
+            out.Vm.Machine.native_cycles
+            (Vm.Machine.seconds_of_cycles out.Vm.Machine.native_cycles)
+            out.Vm.Machine.vm_cycles
+            (out.Vm.Machine.vm_cycles /. out.Vm.Machine.native_cycles))
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let unit_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let cmds =
+  [
+    unit_cmd "table1" "Reproduce Table I (application characterization)"
+      run_table1;
+    unit_cmd "table2" "Reproduce Table II (ASIP-SP runtime overheads)"
+      run_table2;
+    unit_cmd "table3" "Reproduce Table III (constant CAD overheads)" run_table3;
+    unit_cmd "table4" "Reproduce Table IV (cache / faster-CAD break-even)"
+      run_table4;
+    unit_cmd "figure1" "Render Figure 1 (tool-flow overview)" run_figure1;
+    unit_cmd "figure2" "Render Figure 2 (ASIP specialization process)"
+      run_figure2;
+    unit_cmd "all" "Reproduce every table and figure" run_all;
+    unit_cmd "list" "List the benchmark workloads" run_list;
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"Dump a workload's optimized bitcode")
+      Term.(const run_inspect $ workload_arg);
+    Cmd.v
+      (Cmd.info "specialize"
+         ~doc:"Run the ASIP specialization process on a workload")
+      Term.(const run_specialize $ workload_arg);
+    Cmd.v
+      (Cmd.info "timeline"
+         ~doc:
+           "Simulate the concurrent JIT-customization timeline of a \
+            workload")
+      Term.(const run_timeline $ workload_arg);
+    Cmd.v
+      (Cmd.info "ablation"
+         ~doc:"Sweep pruning filters over a workload (search time vs speedup)")
+      Term.(const run_ablation $ workload_arg);
+    Cmd.v
+      (Cmd.info "compile" ~doc:"Compile a MiniC file and print its bitcode")
+      Term.(
+        const run_compile $ path_arg
+        $ Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable -O3 pipeline"));
+    Cmd.v
+      (Cmd.info "run" ~doc:"Compile and execute a MiniC file's main(n)")
+      Term.(
+        const run_run $ path_arg
+        $ Arg.(
+            value & opt int 10
+            & info [ "n" ] ~docv:"N" ~doc:"Argument passed to main"));
+  ]
+
+let () =
+  let info =
+    Cmd.info "jitise" ~version:"1.0.0"
+      ~doc:"Just-in-time instruction set extension: feasibility study tooling"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

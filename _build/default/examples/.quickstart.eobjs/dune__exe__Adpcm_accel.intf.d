@@ -1,0 +1,1 @@
+examples/adpcm_accel.mli:

@@ -1,0 +1,1 @@
+examples/cache_study.ml: Array Jitise_analysis Jitise_core Jitise_frontend Jitise_pivpav Jitise_util Jitise_vm Jitise_workloads List Printf Sys

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Int64 Jitise_frontend Jitise_hwgen Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm List Option Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 Jitise_core Jitise_frontend Jitise_ir Jitise_ise Jitise_pivpav Jitise_util Jitise_vm List Printf String

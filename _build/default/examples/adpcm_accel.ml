@@ -1,0 +1,135 @@
+(* Walk the complete Figure-1 tool flow for the adpcm workload, with
+   every intermediate artifact on display: profile, pruning, candidates,
+   generated VHDL, CAD stage times, partial reconfiguration into the
+   Woolcano UDI slots, binary adaptation, and the break-even analysis.
+
+     dune exec examples/adpcm_accel.exe *)
+
+module F = Jitise_frontend
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Hw = Jitise_hwgen
+module Cad = Jitise_cad
+module Wool = Jitise_woolcano
+module An = Jitise_analysis
+module Core = Jitise_core
+module U = Jitise_util
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  let w = Option.get (W.Registry.find "adpcm") in
+  let db = Pp.Database.create () in
+
+  section "compilation to bitcode";
+  let r = W.Workload.compile w in
+  Printf.printf "%s: %d LOC -> %d blocks, %d IR instructions\n"
+    w.W.Workload.name r.F.Compiler.stats.F.Compiler.loc
+    r.F.Compiler.stats.F.Compiler.blocks r.F.Compiler.stats.F.Compiler.instrs;
+
+  section "profiled execution on the VM";
+  let modul = r.F.Compiler.modul in
+  let d = { (List.hd w.W.Workload.datasets) with W.Workload.n = 8000 } in
+  let out = W.Workload.run r d in
+  Printf.printf "VM %.3f s vs native %.3f s (ratio %.3f)\n"
+    (Vm.Machine.seconds_of_cycles out.Vm.Machine.vm_cycles)
+    (Vm.Machine.seconds_of_cycles out.Vm.Machine.native_cycles)
+    (out.Vm.Machine.vm_cycles /. out.Vm.Machine.native_cycles);
+  let hot = Vm.Profile.block_costs out.Vm.Machine.profile modul in
+  Printf.printf "hottest blocks:\n";
+  List.iteri
+    (fun i ((fname, label), cycles) ->
+      if i < 5 then
+        Printf.printf "  %s/bb%d: %.2e cycles\n" fname label
+          (Int64.to_float cycles))
+    hot;
+
+  section "candidate search (@50pS3L + MAXMISO + PivPav estimation)";
+  let report =
+    Core.Asip_sp.run db modul out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  Printf.printf "pruned to %d blocks / %d instructions in %.2f ms\n"
+    report.Core.Asip_sp.searched_blocks report.Core.Asip_sp.searched_instrs
+    (1000.0 *. report.Core.Asip_sp.search_wall_seconds);
+  Printf.printf "%d candidates selected\n"
+    (List.length report.Core.Asip_sp.selection);
+
+  section "generated VHDL (first candidate)";
+  (match report.Core.Asip_sp.selection with
+  | s :: _ ->
+      let c = s.Ise.Select.candidate in
+      let f = Option.get (Ir.Irmod.find_func modul c.Ise.Candidate.func) in
+      let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
+      let vhdl = Hw.Vhdl.generate dfg c in
+      let lines = String.split_on_char '\n' vhdl.Hw.Vhdl.source in
+      List.iteri (fun i l -> if i < 14 then Printf.printf "  %s\n" l) lines;
+      Printf.printf "  ... (%d lines total)\n" vhdl.Hw.Vhdl.lines
+  | [] -> print_endline "  (no candidates)");
+
+  section "FPGA CAD tool flow (simulated Xilinx ISE 12.2 EAPR)";
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      if not c.Core.Asip_sp.cache_hit then begin
+        Printf.printf "  %s:"
+          c.Core.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature;
+        List.iter
+          (fun (s : Cad.Flow.stage_report) ->
+            Printf.printf " %s=%.1fs" (Cad.Flow.stage_name s.Cad.Flow.stage)
+              s.Cad.Flow.seconds)
+          c.Core.Asip_sp.run.Cad.Flow.stages;
+        print_newline ()
+      end)
+    report.Core.Asip_sp.candidates;
+  Printf.printf "total overhead: %s (const %s, map %s, par %s)\n"
+    (U.Duration.to_min_sec report.Core.Asip_sp.sum_seconds)
+    (U.Duration.to_min_sec report.Core.Asip_sp.const_seconds)
+    (U.Duration.to_min_sec report.Core.Asip_sp.map_seconds)
+    (U.Duration.to_min_sec report.Core.Asip_sp.par_seconds);
+
+  section "partial reconfiguration into Woolcano UDI slots";
+  let asip = Wool.Asip.create () in
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      let slot, loaded = Wool.Asip.load asip c.Core.Asip_sp.run.Cad.Flow.bitstream in
+      Printf.printf "  %s -> slot %d%s\n"
+        c.Core.Asip_sp.run.Cad.Flow.bitstream.Cad.Bitstream.signature slot
+        (if loaded then "" else " (already resident)"))
+    report.Core.Asip_sp.candidates;
+  Printf.printf "reconfiguration time: %.1f ms over the ICAP\n"
+    (1000.0 *. asip.Wool.Asip.reconfig_seconds);
+
+  section "binary adaptation and verification";
+  let adapted = Core.Adapt.apply modul report.Core.Asip_sp.selection in
+  let out2 =
+    Vm.Machine.run adapted.Core.Adapt.modul ~entry:"main"
+      ~cis:adapted.Core.Adapt.registry
+      ~args:[ Ir.Eval.VInt (Int64.of_int d.W.Workload.n) ]
+  in
+  Printf.printf "original %s, adapted %s -> %s\n"
+    (match out.Vm.Machine.ret with Some (Ir.Eval.VInt v) -> Int64.to_string v | _ -> "?")
+    (match out2.Vm.Machine.ret with Some (Ir.Eval.VInt v) -> Int64.to_string v | _ -> "?")
+    (if out.Vm.Machine.ret = out2.Vm.Machine.ret then "IDENTICAL" else "MISMATCH");
+  Printf.printf "application speedup: %.2fx\n"
+    (out.Vm.Machine.native_cycles /. out2.Vm.Machine.native_cycles);
+
+  section "break-even analysis";
+  let outcomes = W.Workload.run_all r w in
+  let coverage =
+    An.Coverage.classify modul
+      (List.map (fun (_, o) -> o.Vm.Machine.profile) outcomes)
+  in
+  let be =
+    An.Breakeven.compute modul out.Vm.Machine.profile coverage
+      report.Core.Asip_sp.selection
+      ~overhead_seconds:report.Core.Asip_sp.sum_seconds
+  in
+  (match be with
+  | An.Breakeven.After t ->
+      Printf.printf "the ASIP-SP overhead amortizes after %s (d:h:m:s)\n"
+        (U.Duration.to_dhms t)
+  | An.Breakeven.Never ->
+      print_endline "the savings never amortize the overhead")

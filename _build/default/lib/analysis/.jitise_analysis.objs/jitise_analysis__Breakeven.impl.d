@@ -1,0 +1,1 @@
+lib/analysis/breakeven.ml: Coverage Format Int64 Jitise_ir Jitise_ise Jitise_util Jitise_vm List

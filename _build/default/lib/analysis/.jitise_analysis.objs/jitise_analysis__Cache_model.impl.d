@@ -1,0 +1,1 @@
+lib/analysis/cache_model.ml: Array Breakeven Float Fun Hashtbl Jitise_util List

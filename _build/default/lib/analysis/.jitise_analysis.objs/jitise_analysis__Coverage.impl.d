@@ -1,0 +1,1 @@
+lib/analysis/coverage.ml: Jitise_ir Jitise_vm List

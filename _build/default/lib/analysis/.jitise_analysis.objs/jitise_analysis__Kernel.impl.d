@@ -1,0 +1,1 @@
+lib/analysis/kernel.ml: Int64 Jitise_ir Jitise_vm List

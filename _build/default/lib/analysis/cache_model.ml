@@ -1,0 +1,90 @@
+(** Bitstream-cache and faster-CAD extrapolation (Section VI, Table IV).
+
+    Two mitigations for the ASIP-SP overhead:
+
+    - {e partial-reconfiguration bitstream caching}: candidates are
+      keyed by structural signature; a cache hit removes the *entire*
+      generation time of that candidate from the overhead.  A hit rate
+      of [h] is simulated by pre-populating the cache with a random
+      [h]-fraction of the required bitstreams (the paper's protocol);
+    - {e faster CAD tools}: all remaining CAD time scales by
+      [1 - speedup].
+
+    Break-even times are then recomputed with the {!Breakeven} model,
+    which is why the rows of Table IV do not scale linearly. *)
+
+type candidate_cost = {
+  signature : string;       (** bitstream cache key *)
+  generation_seconds : float;  (** full per-candidate ASIP-SP time *)
+}
+
+(** Overhead that remains with a cache populated at [hit_rate] and a
+    CAD flow accelerated by [cad_speedup], for one application's
+    candidate set.  Random cache population is averaged over [trials]
+    draws (deterministic in [seed]). *)
+let residual_overhead ?(trials = 32) ?(seed = 0x5EED) ~hit_rate ~cad_speedup
+    (costs : candidate_cost list) : float =
+  if hit_rate < 0.0 || hit_rate > 1.0 then
+    invalid_arg "Cache_model.residual_overhead: hit_rate out of range";
+  if cad_speedup < 0.0 || cad_speedup >= 1.0 then
+    invalid_arg "Cache_model.residual_overhead: cad_speedup out of range";
+  let n = List.length costs in
+  if n = 0 then 0.0
+  else begin
+    (* Deduplicate by signature first: identical data paths share one
+       bitstream, so the duplicates are hits even with an empty cache. *)
+    let seen = Hashtbl.create 16 in
+    let unique, duplicate_saved =
+      List.fold_left
+        (fun (uniq, saved) c ->
+          if Hashtbl.mem seen c.signature then (uniq, saved +. c.generation_seconds)
+          else begin
+            Hashtbl.replace seen c.signature ();
+            (c :: uniq, saved)
+          end)
+        ([], 0.0) costs
+    in
+    ignore duplicate_saved;
+    let unique = Array.of_list (List.rev unique) in
+    let nu = Array.length unique in
+    let hits = int_of_float (Float.round (hit_rate *. float_of_int nu)) in
+    let prng = Jitise_util.Prng.create ~seed in
+    let total_trials = ref 0.0 in
+    for _ = 1 to trials do
+      let order = Array.init nu Fun.id in
+      Jitise_util.Prng.shuffle prng order;
+      let misses = ref 0.0 in
+      for k = hits to nu - 1 do
+        misses := !misses +. unique.(order.(k)).generation_seconds
+      done;
+      total_trials := !total_trials +. !misses
+    done;
+    let avg_miss_time = !total_trials /. float_of_int trials in
+    avg_miss_time *. (1.0 -. cad_speedup)
+  end
+
+type grid_cell = {
+  hit_rate : float;
+  cad_speedup : float;
+  break_even : Breakeven.result;
+}
+
+(** One application's full Table-IV-style grid: break-even time for
+    every (hit rate, CAD speedup) combination. *)
+let grid ?(hit_rates = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ])
+    ?(cad_speedups = [ 0.0; 0.3; 0.6; 0.9 ]) ?trials ?seed
+    ~(split : Breakeven.split) (costs : candidate_cost list) : grid_cell list =
+  List.concat_map
+    (fun hit_rate ->
+      List.map
+        (fun cad_speedup ->
+          let overhead_seconds =
+            residual_overhead ?trials ?seed ~hit_rate ~cad_speedup costs
+          in
+          {
+            hit_rate;
+            cad_speedup;
+            break_even = Breakeven.of_split split ~overhead_seconds;
+          })
+        cad_speedups)
+    hit_rates

@@ -1,0 +1,1 @@
+lib/cad/bitstream.ml: Format

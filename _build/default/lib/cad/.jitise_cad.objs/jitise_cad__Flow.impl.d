@@ -1,0 +1,1 @@
+lib/cad/flow.ml: Bitstream Float Jitise_hwgen Jitise_ir Jitise_pivpav Jitise_util List

@@ -1,0 +1,20 @@
+(** Partial-reconfiguration bitstreams.
+
+    The terminal artifact of the CAD flow: an opaque configuration
+    image, keyed by the candidate's structural signature so the
+    bitstream cache of Section VI-A can reuse it across invocations and
+    even across applications. *)
+
+type t = {
+  signature : string;   (** candidate structural signature (cache key) *)
+  size_bytes : int;
+  frames : int;         (** partial-reconfiguration frames covered *)
+  luts : int;           (** area of the implemented data path *)
+  generation_seconds : float;
+      (** simulated CAD time that produced this bitstream (sum of all
+          stages); what a cache hit saves *)
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d bytes, %d frames, %d LUTs (%.1f s to build)"
+    t.signature t.size_bytes t.frames t.luts t.generation_seconds

@@ -1,0 +1,1 @@
+lib/core/adapt.ml: Array Hashtbl Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm List Option

@@ -1,0 +1,1 @@
+lib/core/asip_sp.ml: Float Hashtbl Jitise_analysis Jitise_cad Jitise_hwgen Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm List Option Unix

@@ -1,0 +1,1 @@
+lib/core/diagrams.ml: Buffer List Printf String

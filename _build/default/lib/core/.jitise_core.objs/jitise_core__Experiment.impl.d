@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Asip_sp Jitise_analysis Jitise_frontend Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm Jitise_workloads List Printf

@@ -1,0 +1,1 @@
+lib/core/jit_manager.ml: Asip_sp Float Format Jitise_cad Jitise_ir Jitise_ise Jitise_pivpav Jitise_util Jitise_vm Jitise_woolcano List Printf

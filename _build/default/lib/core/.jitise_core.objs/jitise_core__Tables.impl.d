@@ -1,0 +1,1 @@
+lib/core/tables.ml: Asip_sp Experiment Float Jitise_analysis Jitise_cad Jitise_frontend Jitise_ir Jitise_ise Jitise_util Jitise_vm Jitise_workloads List Printf

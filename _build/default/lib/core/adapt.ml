@@ -1,0 +1,168 @@
+(** Binary adaptation: rewriting the running application to use the
+    newly generated custom instructions.
+
+    For every implemented candidate, the instructions of its subgraph
+    are removed from the home block and replaced by a single [Ci_call]
+    carrying the candidate's external inputs; the call defines the same
+    register the candidate's root defined, so all downstream uses are
+    untouched.  The companion {!Jitise_vm.Machine.ci_registry} gives the
+    VM the functional semantics (interpreting the extracted subgraph)
+    and the hardware latency of each custom instruction. *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+
+(* Deep copy of a function (blocks and instruction lists are mutable). *)
+let copy_func (f : Ir.Func.t) : Ir.Func.t =
+  {
+    f with
+    Ir.Func.blocks =
+      Array.map
+        (fun (b : Ir.Block.t) -> { b with Ir.Block.instrs = b.Ir.Block.instrs })
+        f.Ir.Func.blocks;
+  }
+
+(** Deep copy of a module; the adapted binary must not alias the
+    original (the paper's VM keeps both during hot swapping). *)
+let copy_module (m : Ir.Irmod.t) : Ir.Irmod.t =
+  {
+    m with
+    Ir.Irmod.funcs = List.map copy_func m.Ir.Irmod.funcs;
+    globals = m.Ir.Irmod.globals;
+  }
+
+(* Build the interpreter closure for one candidate: evaluates the
+   subgraph over the input values, in node order. *)
+let eval_closure (f : Ir.Func.t) (dfg : Ir.Dfg.t) (c : Ise.Candidate.t) =
+  let inputs = Ise.Candidate.external_input_regs dfg c.Ise.Candidate.nodes in
+  let input_pos = List.mapi (fun i r -> (r, i)) inputs in
+  let nodes =
+    List.map (fun n -> dfg.Ir.Dfg.nodes.(n).Ir.Dfg.instr) c.Ise.Candidate.nodes
+  in
+  let inset = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Ir.Instr.t) -> Hashtbl.replace inset i.Ir.Instr.id ())
+    nodes;
+  (* Types of external input registers, for cast semantics. *)
+  let input_tys =
+    List.map
+      (fun r ->
+        match Ir.Func.reg_ty f r with
+        | ty -> (r, ty)
+        | exception Not_found -> (r, Ir.Ty.I32))
+      inputs
+  in
+  let root_id = dfg.Ir.Dfg.nodes.(c.Ise.Candidate.root).Ir.Dfg.instr.Ir.Instr.id in
+  fun (args : Ir.Eval.value array) ->
+    let env : (Ir.Instr.reg, Ir.Eval.value) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (r, pos) ->
+        if pos < Array.length args then Hashtbl.replace env r args.(pos))
+      input_pos;
+    let value_of = function
+      | Ir.Instr.Const cst -> Ir.Eval.of_const cst
+      | Ir.Instr.Reg r -> (
+          match Hashtbl.find_opt env r with
+          | Some v -> v
+          | None -> Ir.Eval.VInt 0L)
+    in
+    let ty_of = function
+      | Ir.Instr.Const cst -> Ir.Instr.const_ty cst
+      | Ir.Instr.Reg r -> (
+          match List.assoc_opt r input_tys with
+          | Some ty -> ty
+          | None -> (
+              match
+                List.find_opt (fun (i : Ir.Instr.t) -> i.Ir.Instr.id = r) nodes
+              with
+              | Some i -> i.Ir.Instr.ty
+              | None -> Ir.Ty.I32))
+    in
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        let result =
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Binop (op, a, b) ->
+              Ir.Eval.eval_binop i.Ir.Instr.ty op (value_of a) (value_of b)
+          | Ir.Instr.Icmp (p, a, b) ->
+              Ir.Eval.eval_icmp p (value_of a) (value_of b)
+          | Ir.Instr.Fcmp (p, a, b) ->
+              Ir.Eval.eval_fcmp p (value_of a) (value_of b)
+          | Ir.Instr.Cast (cast, a) ->
+              Ir.Eval.eval_cast cast ~from_:(ty_of a) ~to_:i.Ir.Instr.ty
+                (value_of a)
+          | Ir.Instr.Select (cc, a, b) ->
+              Ir.Eval.eval_select (value_of cc) (value_of a) (value_of b)
+          | _ ->
+              invalid_arg
+                "Adapt: infeasible instruction inside a custom instruction"
+        in
+        Hashtbl.replace env i.Ir.Instr.id result)
+      nodes;
+    match Hashtbl.find_opt env root_id with
+    | Some v -> v
+    | None -> Ir.Eval.VInt 0L
+
+type t = {
+  modul : Ir.Irmod.t;              (** the adapted binary *)
+  registry : Vm.Machine.ci_registry;  (** CI semantics + latencies *)
+  replaced_instrs : int;           (** instructions moved to hardware *)
+}
+
+(** Rewrite [m] to invoke the selected candidates as custom
+    instructions numbered from 0 in selection order. *)
+let apply (m : Ir.Irmod.t) (selection : Ise.Select.scored list) : t =
+  let adapted = copy_module m in
+  let registry = Vm.Machine.empty_cis () in
+  let replaced = ref 0 in
+  List.iteri
+    (fun ci_id (s : Ise.Select.scored) ->
+      let c = s.Ise.Select.candidate in
+      let f =
+        match Ir.Irmod.find_func adapted c.Ise.Candidate.func with
+        | Some f -> f
+        | None -> invalid_arg "Adapt.apply: candidate names unknown function"
+      in
+      let block = Ir.Func.block f c.Ise.Candidate.block in
+      (* DFG over the *original* module for the closure (original
+         instruction ids are stable across the copy). *)
+      let orig_f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+      let orig_block = Ir.Func.block orig_f c.Ise.Candidate.block in
+      let dfg = Ir.Dfg.of_block orig_f orig_block in
+      let inputs = Ise.Candidate.external_input_regs dfg c.Ise.Candidate.nodes in
+      let node_ids =
+        List.map
+          (fun n -> dfg.Ir.Dfg.nodes.(n).Ir.Dfg.instr.Ir.Instr.id)
+          c.Ise.Candidate.nodes
+      in
+      let root_instr = dfg.Ir.Dfg.nodes.(c.Ise.Candidate.root).Ir.Dfg.instr in
+      let new_instrs =
+        List.filter_map
+          (fun (i : Ir.Instr.t) ->
+            if i.Ir.Instr.id = root_instr.Ir.Instr.id then begin
+              incr replaced;
+              Some
+                {
+                  i with
+                  Ir.Instr.kind =
+                    Ir.Instr.Ci_call
+                      (ci_id, List.map (fun r -> Ir.Instr.Reg r) inputs);
+                }
+            end
+            else if List.mem i.Ir.Instr.id node_ids then begin
+              incr replaced;
+              None
+            end
+            else Some i)
+          block.Ir.Block.instrs
+      in
+      Ir.Block.set_instrs block new_instrs;
+      Hashtbl.replace registry ci_id
+        {
+          Vm.Machine.ci_eval = eval_closure orig_f dfg c;
+          ci_cycles = s.Ise.Select.estimate.Pp.Estimator.hw_cycles;
+        })
+    selection;
+  { modul = adapted; registry; replaced_instrs = !replaced }

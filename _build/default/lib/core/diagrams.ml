@@ -1,0 +1,81 @@
+(** ASCII renderings of the paper's two figures.
+
+    Figures 1 and 2 are conceptual diagrams (tool-flow overview and the
+    ASIP specialization phases); they carry no measured data, so their
+    reproduction is the stage structure itself, rendered from the same
+    stage lists the orchestration code executes. *)
+
+(** The stages of the just-in-time flow (Figure 1, right-hand path). *)
+let toolflow_stages =
+  [
+    ("source code", "application written in MiniC (stand-in for C)");
+    ("bitcode (IR)", "llvm-gcc -O3 equivalent: Jitise_frontend.Compiler");
+    ("virtual machine", "profiled interpretation + JIT: Jitise_vm.Machine");
+    ("ASIP specialization", "Jitise_core.Asip_sp: candidate search -> hw");
+    ("binary adaptation", "Jitise_core.Adapt: rewrite to Ci_call");
+    ("Woolcano execution", "PowerPC 405 + custom instruction units");
+  ]
+
+(** The three phases of the ASIP specialization process (Figure 2). *)
+let asip_sp_phases =
+  [
+    ( "Candidate Search",
+      [
+        "Pruner            (@50pS3L block filter)      Jitise_ise.Prune";
+        "Identification    (MAXMISO ISE algorithm)     Jitise_ise.Maxmiso";
+        "Estimation        (PivPav metrics database)   Jitise_pivpav.Estimator";
+        "Selection         (profitable candidates)     Jitise_ise.Select";
+      ] );
+    ( "Netlist Generation",
+      [
+        "Generate VHDL     (data-path generator)       Jitise_hwgen.Vhdl";
+        "Extract Netlists  (PivPav netlist cache)      Jitise_pivpav.Database";
+        "Create Project    (FPGA CAD project)          Jitise_hwgen.Project";
+      ] );
+    ( "Instruction Implementation",
+      [
+        "Check Syntax      ( 4.22 s avg)               Jitise_cad.Flow";
+        "Synthesis / XST   (10.60 s avg)               Jitise_cad.Flow";
+        "Translate         ( 8.99 s avg)               Jitise_cad.Flow";
+        "Map               (40-456 s, size-dependent)  Jitise_cad.Flow";
+        "Place & Route     (56-728 s, size-dependent)  Jitise_cad.Flow";
+        "Bitstream (EAPR)  (151 s avg, 85% of const)   Jitise_cad.Flow";
+      ] );
+  ]
+
+let box width text =
+  let pad = width - String.length text in
+  let left = pad / 2 in
+  "| " ^ String.make left ' ' ^ text ^ String.make (pad - left) ' ' ^ " |"
+
+let figure1 () =
+  let width =
+    List.fold_left (fun acc (s, _) -> max acc (String.length s)) 0 toolflow_stages
+  in
+  let rule = "+" ^ String.make (width + 2) '-' ^ "+" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Figure 1: just-in-time ISE tool flow\n\n";
+  List.iteri
+    (fun i (stage, impl) ->
+      if i > 0 then
+        Buffer.add_string buf
+          (String.make ((width + 4) / 2) ' ' ^ "|\n"
+          ^ String.make ((width + 4) / 2) ' '
+          ^ "v\n");
+      Buffer.add_string buf (rule ^ "\n");
+      Buffer.add_string buf (box width stage ^ "  <- " ^ impl ^ "\n");
+      Buffer.add_string buf (rule ^ "\n"))
+    toolflow_stages;
+  Buffer.contents buf
+
+let figure2 () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Figure 2: ASIP specialization process\n";
+  List.iteri
+    (fun i (phase, steps) ->
+      Buffer.add_string buf (Printf.sprintf "\nPhase %d: %s\n" (i + 1) phase);
+      List.iter
+        (fun s -> Buffer.add_string buf ("  - " ^ s ^ "\n"))
+        steps)
+    asip_sp_phases;
+  Buffer.contents buf

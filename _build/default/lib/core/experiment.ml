@@ -1,0 +1,68 @@
+(** Per-application experiment execution.
+
+    One [app_result] bundles everything the four tables need for one
+    benchmark: compilation statistics, the per-dataset VM outcomes
+    (profiles + both clocks), the coverage classification, the kernel
+    analysis, the full ASIP-SP report and the break-even result.  The
+    table drivers share these records so each workload is compiled and
+    executed once. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module An = Jitise_analysis
+
+type app_result = {
+  workload : W.Workload.t;
+  compiled : F.Compiler.result;
+  outcomes : (W.Workload.dataset * Vm.Machine.outcome) list;
+      (** in dataset order; the first ("train") run feeds the ASIP-SP *)
+  coverage : An.Coverage.t;
+  kernel : An.Kernel.t;
+  report : Asip_sp.report;
+  split : An.Breakeven.split;
+  break_even : An.Breakeven.result;
+}
+
+(** The train-dataset outcome (first dataset). *)
+let train_outcome r = snd (List.hd r.outcomes)
+
+(** Run the full experiment pipeline for one workload. *)
+let run_app ?prune ?cad_config (db : Pp.Database.t) (w : W.Workload.t) :
+    app_result =
+  let compiled = W.Workload.compile w in
+  let outcomes = W.Workload.run_all compiled w in
+  let modul = compiled.F.Compiler.modul in
+  let profiles = List.map (fun (_, o) -> o.Vm.Machine.profile) outcomes in
+  let coverage = An.Coverage.classify modul profiles in
+  let train = snd (List.hd outcomes) in
+  let kernel = An.Kernel.compute modul train.Vm.Machine.profile in
+  let report =
+    Asip_sp.run ?prune ?cad_config db modul train.Vm.Machine.profile
+      ~total_cycles:train.Vm.Machine.native_cycles
+  in
+  let split =
+    An.Breakeven.split_costs modul train.Vm.Machine.profile coverage
+      report.Asip_sp.selection
+  in
+  let break_even =
+    An.Breakeven.of_split split ~overhead_seconds:report.Asip_sp.sum_seconds
+  in
+  { workload = w; compiled; outcomes; coverage; kernel; report; split; break_even }
+
+(** Run every registered workload.  [verbose] logs progress to stderr
+    (a full sweep interprets ~10^8 simulated instructions). *)
+let run_all ?(verbose = false) ?prune ?cad_config (db : Pp.Database.t) :
+    app_result list =
+  List.map
+    (fun w ->
+      if verbose then
+        Printf.eprintf "[experiment] %s...\n%!" w.W.Workload.name;
+      run_app ?prune ?cad_config db w)
+    W.Registry.all
+
+let is_scientific r = r.workload.W.Workload.domain = W.Workload.Scientific
+let is_embedded r = r.workload.W.Workload.domain = W.Workload.Embedded

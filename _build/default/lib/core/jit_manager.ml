@@ -1,0 +1,125 @@
+(** The online just-in-time customization controller.
+
+    The paper's system performs the ASIP specialization process
+    {e concurrently} with application execution: the program keeps
+    running on the plain CPU while candidates are identified and pushed
+    through the CAD flow; once bitstreams are ready, the ASIP is
+    reconfigured and the binary hot-swapped.  This module simulates
+    that timeline and answers the question behind Table II's last
+    column in dynamic form: given an application that keeps processing
+    input, when does the JIT-customized system overtake a plain-CPU
+    system that started at the same moment?
+
+    Timeline model (all in simulated seconds):
+
+    {v
+      t=0            profiling run completes, ASIP-SP starts
+      0 .. T_sp      app continues at native speed (the CAD tools run
+                     on the host, not the target CPU)
+      T_sp           reconfiguration (ICAP) + hot swap
+      T_sp + dt      app continues at native/ratio speed
+      break even     when cumulative work of the JIT system equals the
+                     plain system's  (equivalently: lost time T_rc is
+                     amortized and the head start overcome)
+    v} *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Cad = Jitise_cad
+module Wool = Jitise_woolcano
+
+type event = {
+  at_seconds : float;   (** simulated time since specialization start *)
+  what : string;
+}
+
+type timeline = {
+  events : event list;           (** chronological *)
+  specialization_seconds : float;  (** full ASIP-SP duration *)
+  reconfiguration_seconds : float;
+  speedup : float;               (** application ratio after adaptation *)
+  overtake_seconds : float option;
+      (** when the JIT system has processed as much input as a
+          plain-CPU system started at the same time; [None] if the
+          speedup is ~1 and it never catches up *)
+}
+
+(** Simulate the concurrent-specialization timeline for a profiled
+    module.  [report] must come from {!Asip_sp.run} on the same
+    profile. *)
+let timeline ?(arch = Wool.Arch.default) (report : Asip_sp.report) : timeline =
+  let events = ref [] in
+  let emit at_seconds fmt =
+    Printf.ksprintf (fun what -> events := { at_seconds; what } :: !events) fmt
+  in
+  emit 0.0 "profiling complete; candidate search starts";
+  emit (report.Asip_sp.search_wall_seconds)
+    "candidate search done: %d candidates selected"
+    (List.length report.Asip_sp.selection);
+  (* CAD runs sequentially per candidate on the host machine. *)
+  let t = ref report.Asip_sp.search_wall_seconds in
+  List.iter
+    (fun (c : Asip_sp.candidate_result) ->
+      if c.Asip_sp.cache_hit then
+        emit !t "%s: bitstream cache hit"
+          c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
+      else begin
+        t := !t +. c.Asip_sp.total_seconds;
+        emit !t "%s: bitstream ready (map %.0f s, par %.0f s, bitgen %.0f s)"
+          c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
+          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Map)
+          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Place_and_route)
+          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Bitgen)
+      end)
+    report.Asip_sp.candidates;
+  let specialization_seconds = !t in
+  (* Reconfigure every bitstream into the UDI slots. *)
+  let asip = Wool.Asip.create ~arch () in
+  List.iter
+    (fun (c : Asip_sp.candidate_result) ->
+      ignore (Wool.Asip.load asip c.Asip_sp.run.Cad.Flow.bitstream))
+    report.Asip_sp.candidates;
+  let reconfiguration_seconds = asip.Wool.Asip.reconfig_seconds in
+  let t_ready = specialization_seconds +. reconfiguration_seconds in
+  emit t_ready "ASIP reconfigured (%d slots, %.1f ms ICAP time); binary hot-swapped"
+    (Wool.Asip.occupancy asip)
+    (1000.0 *. reconfiguration_seconds);
+  let speedup = report.Asip_sp.asip_ratio.Ise.Speedup.ratio in
+  (* Plain system processes work at rate 1.  The JIT system processes at
+     rate 1 until t_ready (specialization happens off-CPU), loses
+     reconfiguration time, then runs at rate [speedup].  It overtakes
+     once speedup * (T - t_ready) = (T - specialization_seconds):
+     i.e. it must win back the reconfiguration stall. *)
+  let overtake_seconds =
+    if speedup <= 1.0 +. 1e-9 then
+      if reconfiguration_seconds <= 0.0 then Some t_ready else None
+    else begin
+      (* work_jit(T) = specialization_seconds + speedup * (T - t_ready)
+         work_plain(T) = T  ->  equal at: *)
+      let t_star =
+        (speedup *. t_ready -. specialization_seconds) /. (speedup -. 1.0)
+      in
+      Some (Float.max t_ready t_star)
+    end
+  in
+  (match overtake_seconds with
+  | Some t_star ->
+      emit t_star "JIT system overtakes the plain-CPU system"
+  | None -> emit t_ready "no net speedup: the plain CPU is never overtaken");
+  {
+    events = List.rev !events;
+    specialization_seconds;
+    reconfiguration_seconds;
+    speedup;
+    overtake_seconds;
+  }
+
+let pp_timeline ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%12s  %s@\n"
+        (Jitise_util.Duration.to_hms e.at_seconds)
+        e.what)
+    t.events

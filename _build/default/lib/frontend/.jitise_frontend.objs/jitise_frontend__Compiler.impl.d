@@ -1,0 +1,1 @@
+lib/frontend/compiler.ml: Jitise_ir Lexer List Lower Mem2reg Opt Parser Printf Typecheck Unix Unroll

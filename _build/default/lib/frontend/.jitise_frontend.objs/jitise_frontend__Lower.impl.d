@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Hashtbl Int64 Jitise_ir List Printf Typecheck

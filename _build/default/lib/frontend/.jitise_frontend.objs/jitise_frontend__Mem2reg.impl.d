@@ -1,0 +1,1 @@
+lib/frontend/mem2reg.ml: Array Hashtbl Int Jitise_ir List Map Option Queue

@@ -1,0 +1,1 @@
+lib/frontend/opt.ml: Array Hashtbl Int64 Jitise_ir List Mem2reg Option

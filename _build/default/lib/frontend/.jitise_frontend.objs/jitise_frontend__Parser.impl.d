@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Int64 Lexer List Option Printf Token

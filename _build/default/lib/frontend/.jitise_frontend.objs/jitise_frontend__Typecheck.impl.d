@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/frontend/unroll.ml: Ast Int64 List Option

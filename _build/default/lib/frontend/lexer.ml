@@ -1,0 +1,195 @@
+(** Hand-written lexer for MiniC.
+
+    Supports decimal and hex integer literals, floating literals with
+    optional exponent, [//] line comments and [/* */] block comments. *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start_line = st.line in
+      advance st;
+      advance st;
+      let rec eat () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            eat ()
+        | None, _ -> error start_line "unterminated block comment"
+      in
+      eat ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let line = st.line in
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    match Int64.of_string_opt text with
+    | Some v -> Token.Int_lit v
+    | None -> error line "bad hex literal %s" text
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let is_float = ref false in
+    (if peek st = Some '.' then begin
+       is_float := true;
+       advance st;
+       while (match peek st with Some c -> is_digit c | None -> false) do
+         advance st
+       done
+     end);
+    (match peek st with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance st;
+        (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | _ -> ());
+    let text = String.sub st.src start (st.pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some v -> Token.Float_lit v
+      | None -> error line "bad float literal %s" text
+    else
+      match Int64.of_string_opt text with
+      | Some v -> Token.Int_lit v
+      | None -> error line "bad integer literal %s" text
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> kw
+  | None -> Token.Ident text
+
+let next_kind st =
+  let two kind = advance st; advance st; kind in
+  let one kind = advance st; kind in
+  match peek st with
+  | None -> Token.Eof
+  | Some c when is_digit c -> lex_number st
+  | Some c when is_ident_start c -> lex_ident st
+  | Some '(' -> one Token.Lparen
+  | Some ')' -> one Token.Rparen
+  | Some '{' -> one Token.Lbrace
+  | Some '}' -> one Token.Rbrace
+  | Some '[' -> one Token.Lbracket
+  | Some ']' -> one Token.Rbracket
+  | Some ';' -> one Token.Semi
+  | Some ',' -> one Token.Comma
+  | Some '+' -> one Token.Plus
+  | Some '-' -> one Token.Minus
+  | Some '*' -> one Token.Star
+  | Some '/' -> one Token.Slash
+  | Some '%' -> one Token.Percent
+  | Some '~' -> one Token.Tilde
+  | Some '^' -> one Token.Caret
+  | Some '&' -> if peek2 st = Some '&' then two Token.Andand else one Token.Amp
+  | Some '|' -> if peek2 st = Some '|' then two Token.Oror else one Token.Pipe
+  | Some '<' ->
+      if peek2 st = Some '<' then two Token.Shl
+      else if peek2 st = Some '=' then two Token.Le
+      else one Token.Lt
+  | Some '>' ->
+      if peek2 st = Some '>' then two Token.Shr
+      else if peek2 st = Some '=' then two Token.Ge
+      else one Token.Gt
+  | Some '=' -> if peek2 st = Some '=' then two Token.Eq else one Token.Assign
+  | Some '!' -> if peek2 st = Some '=' then two Token.Ne else one Token.Bang
+  | Some c -> error st.line "unexpected character %C" c
+
+(** Tokenize a whole source string.  The result always ends with an
+    [Eof] token.  @raise Error on malformed input. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_trivia st;
+    let line = st.line in
+    let kind = next_kind st in
+    let tok = { Token.kind; line } in
+    match kind with
+    | Token.Eof -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  go []
+
+(** Number of non-blank, non-comment-only source lines — the paper's
+    LOC metric for Table I. *)
+let count_loc src =
+  let lines = String.split_on_char '\n' src in
+  let in_block = ref false in
+  let count = ref 0 in
+  List.iter
+    (fun line ->
+      (* Strip block-comment regions conservatively, line by line. *)
+      let buf = Buffer.create (String.length line) in
+      let i = ref 0 in
+      let n = String.length line in
+      while !i < n do
+        if !in_block then begin
+          if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = '/' then begin
+            in_block := false;
+            i := !i + 2
+          end
+          else incr i
+        end
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '*' then begin
+          in_block := true;
+          i := !i + 2
+        end
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '/' then
+          i := n
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i
+        end
+      done;
+      if String.trim (Buffer.contents buf) <> "" then incr count)
+    lines;
+  !count

@@ -1,0 +1,540 @@
+(** Lowering: typed MiniC AST -> IR module.
+
+    Local scalars (and parameters) are lowered to entry-block allocas
+    with explicit loads/stores; the {!Mem2reg} pass then promotes them
+    to SSA registers.  Global arrays become module globals addressed via
+    [gaddr]/[gep].  Short-circuit [&&]/[||] lower to control flow. *)
+
+module Ir = Jitise_ir
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation for global initializers                         *)
+(* ------------------------------------------------------------------ *)
+
+type cvalue = Cint of int64 | Cfloat of float
+
+let rec const_eval (e : Ast.expr) : cvalue =
+  match e.Ast.desc with
+  | Ast.Int_lit v -> Cint v
+  | Ast.Float_lit v -> Cfloat v
+  | Ast.Unop (Ast.Neg, a) -> (
+      match const_eval a with
+      | Cint v -> Cint (Int64.neg v)
+      | Cfloat v -> Cfloat (-.v))
+  | Ast.Binop (op, a, b) -> (
+      let ca = const_eval a and cb = const_eval b in
+      match (op, ca, cb) with
+      | Ast.Add, Cint x, Cint y -> Cint (Int64.add x y)
+      | Ast.Sub, Cint x, Cint y -> Cint (Int64.sub x y)
+      | Ast.Mul, Cint x, Cint y -> Cint (Int64.mul x y)
+      | Ast.Div, Cint x, Cint y when y <> 0L -> Cint (Int64.div x y)
+      | Ast.Add, Cfloat x, Cfloat y -> Cfloat (x +. y)
+      | Ast.Sub, Cfloat x, Cfloat y -> Cfloat (x -. y)
+      | Ast.Mul, Cfloat x, Cfloat y -> Cfloat (x *. y)
+      | Ast.Div, Cfloat x, Cfloat y -> Cfloat (x /. y)
+      | _ -> error e.Ast.line "global initializer is not a constant")
+  | _ -> error e.Ast.line "global initializer is not a constant"
+
+let cvalue_as_int = function Cint v -> v | Cfloat v -> Int64.of_float v
+let cvalue_as_float = function Cint v -> Int64.to_float v | Cfloat v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Lowering context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type slot =
+  | Local of Ir.Instr.reg * Ast.base_ty   (** alloca address *)
+  | Global_scalar of string * Ast.base_ty
+
+type ctx = {
+  env : Typecheck.env;
+  bld : Ir.Builder.t;
+  mutable slots : (string * slot) list;
+  mutable loop_stack : (Ir.Instr.label * Ir.Instr.label) list;
+      (** (continue target, break target) *)
+  mutable terminated : bool;
+      (** current block already has its real terminator *)
+  fret : Ast.base_ty option;
+}
+
+let ir_ty = Ast.ir_ty
+
+let zero_of = function
+  | Ast.Tint -> Ir.Builder.ci32 0
+  | Ast.Tlong -> Ir.Builder.ci64 0L
+  | Ast.Tfloat -> Ir.Builder.cf32 0.0
+  | Ast.Tdouble -> Ir.Builder.cf64 0.0
+
+(* Insert a conversion from [from_ty] to [to_ty] when needed. *)
+let coerce ctx (op, from_ty) to_ty =
+  if from_ty = to_ty then op
+  else
+    let cast c = Ir.Builder.reg (Ir.Builder.cast ctx.bld c (ir_ty to_ty) op) in
+    match (from_ty, to_ty) with
+    | Ast.Tint, Ast.Tlong -> cast Ir.Instr.Sext
+    | Ast.Tlong, Ast.Tint -> cast Ir.Instr.Trunc
+    | (Ast.Tint | Ast.Tlong), (Ast.Tfloat | Ast.Tdouble) ->
+        cast Ir.Instr.Sitofp
+    | (Ast.Tfloat | Ast.Tdouble), (Ast.Tint | Ast.Tlong) ->
+        cast Ir.Instr.Fptosi
+    | Ast.Tfloat, Ast.Tdouble -> cast Ir.Instr.Fpext
+    | Ast.Tdouble, Ast.Tfloat -> cast Ir.Instr.Fptrunc
+    | _ -> assert false
+
+let find_slot ctx line name =
+  match List.assoc_opt name ctx.slots with
+  | Some s -> s
+  | None -> (
+      match Hashtbl.find_opt ctx.env.Typecheck.globals name with
+      | Some ty -> Global_scalar (name, ty)
+      | None -> error line "unknown variable %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let int_binop = function
+  | Ast.Add -> Ir.Instr.Add
+  | Ast.Sub -> Ir.Instr.Sub
+  | Ast.Mul -> Ir.Instr.Mul
+  | Ast.Div -> Ir.Instr.Sdiv
+  | Ast.Mod -> Ir.Instr.Srem
+  | Ast.Band -> Ir.Instr.And
+  | Ast.Bor -> Ir.Instr.Or
+  | Ast.Bxor -> Ir.Instr.Xor
+  | Ast.Shl -> Ir.Instr.Shl
+  | Ast.Shr -> Ir.Instr.Ashr
+  | _ -> assert false
+
+let float_binop = function
+  | Ast.Add -> Ir.Instr.Fadd
+  | Ast.Sub -> Ir.Instr.Fsub
+  | Ast.Mul -> Ir.Instr.Fmul
+  | Ast.Div -> Ir.Instr.Fdiv
+  | _ -> assert false
+
+let icmp_of = function
+  | Ast.Lt -> Ir.Instr.Islt
+  | Ast.Le -> Ir.Instr.Isle
+  | Ast.Gt -> Ir.Instr.Isgt
+  | Ast.Ge -> Ir.Instr.Isge
+  | Ast.Eq -> Ir.Instr.Ieq
+  | Ast.Ne -> Ir.Instr.Ine
+  | _ -> assert false
+
+let fcmp_of = function
+  | Ast.Lt -> Ir.Instr.Folt
+  | Ast.Le -> Ir.Instr.Fole
+  | Ast.Gt -> Ir.Instr.Fogt
+  | Ast.Ge -> Ir.Instr.Foge
+  | Ast.Eq -> Ir.Instr.Foeq
+  | Ast.Ne -> Ir.Instr.Fone
+  | _ -> assert false
+
+let is_cmp = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | _ -> false
+
+(* Lower an array element address. *)
+let rec lower_elem_addr ctx line name idxs =
+  let info =
+    match Hashtbl.find_opt ctx.env.Typecheck.arrays name with
+    | Some info -> info
+    | None -> error line "unknown array %s" name
+  in
+  let base = Ir.Builder.add ctx.bld Ir.Ty.Ptr (Ir.Instr.Gaddr name) in
+  let lower_index idx =
+    let op, ty = lower_expr ctx idx in
+    coerce ctx (op, ty) Ast.Tint
+  in
+  let linear =
+    match (idxs, info.Typecheck.adims) with
+    | [ i ], [ _ ] -> lower_index i
+    | [ i; j ], [ _; ncols ] ->
+        let i' = lower_index i in
+        let j' = lower_index j in
+        let scaled =
+          Ir.Builder.binop ctx.bld Ir.Instr.Mul Ir.Ty.I32 i'
+            (Ir.Builder.ci32 ncols)
+        in
+        Ir.Builder.reg
+          (Ir.Builder.binop ctx.bld Ir.Instr.Add Ir.Ty.I32
+             (Ir.Builder.reg scaled) j')
+    | _ ->
+        error line "array %s used with wrong number of indices" name
+  in
+  (Ir.Builder.reg (Ir.Builder.gep ctx.bld (Ir.Builder.reg base) linear), info)
+
+(* Lower an expression to (operand, base type). *)
+and lower_expr ctx (e : Ast.expr) : Ir.Instr.operand * Ast.base_ty =
+  match e.Ast.desc with
+  | Ast.Int_lit v ->
+      let ty = Typecheck.int_lit_ty v in
+      (Ir.Instr.Const (Ir.Instr.Cint (v, Ast.ir_ty ty)), ty)
+  | Ast.Float_lit v ->
+      (Ir.Instr.Const (Ir.Instr.Cfloat (v, Ir.Ty.F64)), Ast.Tdouble)
+  | Ast.Var name -> (
+      match find_slot ctx e.Ast.line name with
+      | Local (addr, ty) ->
+          let r = Ir.Builder.load ctx.bld (ir_ty ty) (Ir.Builder.reg addr) in
+          (Ir.Builder.reg r, ty)
+      | Global_scalar (g, ty) ->
+          let base = Ir.Builder.add ctx.bld Ir.Ty.Ptr (Ir.Instr.Gaddr g) in
+          let r = Ir.Builder.load ctx.bld (ir_ty ty) (Ir.Builder.reg base) in
+          (Ir.Builder.reg r, ty))
+  | Ast.Index (name, idxs) ->
+      let addr, info = lower_elem_addr ctx e.Ast.line name idxs in
+      let elem = info.Typecheck.elem in
+      let r = Ir.Builder.load ctx.bld (ir_ty elem) addr in
+      (Ir.Builder.reg r, elem)
+  | Ast.Unop (Ast.Neg, a) ->
+      let op, ty = lower_expr ctx a in
+      let r =
+        if Typecheck.is_integer ty then
+          Ir.Builder.binop ctx.bld Ir.Instr.Sub (ir_ty ty) (zero_of ty) op
+        else Ir.Builder.binop ctx.bld Ir.Instr.Fsub (ir_ty ty) (zero_of ty) op
+      in
+      (Ir.Builder.reg r, ty)
+  | Ast.Unop (Ast.Bnot, a) ->
+      let op, ty = lower_expr ctx a in
+      let minus_one =
+        match ty with
+        | Ast.Tint -> Ir.Builder.ci32 (-1)
+        | Ast.Tlong -> Ir.Builder.ci64 (-1L)
+        | _ -> error e.Ast.line "operator ~ requires an integer"
+      in
+      let r = Ir.Builder.binop ctx.bld Ir.Instr.Xor (ir_ty ty) op minus_one in
+      (Ir.Builder.reg r, ty)
+  | Ast.Unop (Ast.Not, a) ->
+      (* !x = (x == 0), producing int 0/1 *)
+      let op, ty = lower_expr ctx a in
+      let c =
+        if Typecheck.is_integer ty then
+          Ir.Builder.icmp ctx.bld Ir.Instr.Ieq op (zero_of ty)
+        else Ir.Builder.fcmp ctx.bld Ir.Instr.Foeq op (zero_of ty)
+      in
+      let r =
+        Ir.Builder.cast ctx.bld Ir.Instr.Zext Ir.Ty.I32 (Ir.Builder.reg c)
+      in
+      (Ir.Builder.reg r, Ast.Tint)
+  | Ast.Binop ((Ast.Land | Ast.Lor), _, _) ->
+      (* Value context: materialize through a temporary slot so the
+         short-circuit control flow stays correct; mem2reg cleans it. *)
+      let tmp = Ir.Builder.alloca ctx.bld Ir.Ty.I32 1 in
+      let ltrue = Ir.Builder.new_block ctx.bld ~name:"sc.true" in
+      let lfalse = Ir.Builder.new_block ctx.bld ~name:"sc.false" in
+      let ljoin = Ir.Builder.new_block ctx.bld ~name:"sc.join" in
+      lower_branch ctx e ltrue.Ir.Block.label lfalse.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld ltrue;
+      Ir.Builder.store ctx.bld (Ir.Builder.ci32 1) (Ir.Builder.reg tmp);
+      Ir.Builder.br ctx.bld ljoin.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld lfalse;
+      Ir.Builder.store ctx.bld (Ir.Builder.ci32 0) (Ir.Builder.reg tmp);
+      Ir.Builder.br ctx.bld ljoin.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld ljoin;
+      let r = Ir.Builder.load ctx.bld Ir.Ty.I32 (Ir.Builder.reg tmp) in
+      (Ir.Builder.reg r, Ast.Tint)
+  | Ast.Binop (op, a, b) when is_cmp op ->
+      let oa, ta = lower_expr ctx a in
+      let ob, tb = lower_expr ctx b in
+      let common = Typecheck.promote ta tb in
+      let oa = coerce ctx (oa, ta) common in
+      let ob = coerce ctx (ob, tb) common in
+      let c =
+        if Typecheck.is_integer common then
+          Ir.Builder.icmp ctx.bld (icmp_of op) oa ob
+        else Ir.Builder.fcmp ctx.bld (fcmp_of op) oa ob
+      in
+      let r =
+        Ir.Builder.cast ctx.bld Ir.Instr.Zext Ir.Ty.I32 (Ir.Builder.reg c)
+      in
+      (Ir.Builder.reg r, Ast.Tint)
+  | Ast.Binop (op, a, b) ->
+      let oa, ta = lower_expr ctx a in
+      let ob, tb = lower_expr ctx b in
+      let common = Typecheck.promote ta tb in
+      let oa = coerce ctx (oa, ta) common in
+      let ob = coerce ctx (ob, tb) common in
+      let r =
+        if Typecheck.is_integer common then
+          Ir.Builder.binop ctx.bld (int_binop op) (ir_ty common) oa ob
+        else Ir.Builder.binop ctx.bld (float_binop op) (ir_ty common) oa ob
+      in
+      (Ir.Builder.reg r, common)
+  | Ast.Call (name, args) ->
+      let s = Typecheck.lookup_func ctx.env e.Ast.line name in
+      let ret_ty =
+        match s.Typecheck.ret with
+        | Some ty -> ty
+        | None -> error e.Ast.line "void function %s used as a value" name
+      in
+      let ops =
+        List.map2
+          (fun arg pty ->
+            let op, ty = lower_expr ctx arg in
+            coerce ctx (op, ty) pty)
+          args s.Typecheck.params
+      in
+      let r = Ir.Builder.call ctx.bld (ir_ty ret_ty) name ops in
+      (Ir.Builder.reg r, ret_ty)
+
+(* Lower a boolean expression directly into a conditional branch. *)
+and lower_branch ctx (e : Ast.expr) ltrue lfalse =
+  match e.Ast.desc with
+  | Ast.Binop (Ast.Land, a, b) ->
+      let mid = Ir.Builder.new_block ctx.bld ~name:"and.rhs" in
+      lower_branch ctx a mid.Ir.Block.label lfalse;
+      Ir.Builder.position_at ctx.bld mid;
+      lower_branch ctx b ltrue lfalse
+  | Ast.Binop (Ast.Lor, a, b) ->
+      let mid = Ir.Builder.new_block ctx.bld ~name:"or.rhs" in
+      lower_branch ctx a ltrue mid.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld mid;
+      lower_branch ctx b ltrue lfalse
+  | Ast.Unop (Ast.Not, a) -> lower_branch ctx a lfalse ltrue
+  | Ast.Binop (op, a, b) when is_cmp op ->
+      let oa, ta = lower_expr ctx a in
+      let ob, tb = lower_expr ctx b in
+      let common = Typecheck.promote ta tb in
+      let oa = coerce ctx (oa, ta) common in
+      let ob = coerce ctx (ob, tb) common in
+      let c =
+        if Typecheck.is_integer common then
+          Ir.Builder.icmp ctx.bld (icmp_of op) oa ob
+        else Ir.Builder.fcmp ctx.bld (fcmp_of op) oa ob
+      in
+      Ir.Builder.cond_br ctx.bld (Ir.Builder.reg c) ltrue lfalse
+  | _ ->
+      let op, ty = lower_expr ctx e in
+      let c =
+        if Typecheck.is_integer ty then
+          Ir.Builder.icmp ctx.bld Ir.Instr.Ine op (zero_of ty)
+        else Ir.Builder.fcmp ctx.bld Ir.Instr.Fone op (zero_of ty)
+      in
+      Ir.Builder.cond_br ctx.bld (Ir.Builder.reg c) ltrue lfalse
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let store_to ctx line lv (op, ty) =
+  match lv with
+  | Ast.Lvar name -> (
+      match find_slot ctx line name with
+      | Local (addr, vty) ->
+          let op = coerce ctx (op, ty) vty in
+          Ir.Builder.store ctx.bld op (Ir.Builder.reg addr)
+      | Global_scalar (g, vty) ->
+          let op = coerce ctx (op, ty) vty in
+          let base = Ir.Builder.add ctx.bld Ir.Ty.Ptr (Ir.Instr.Gaddr g) in
+          Ir.Builder.store ctx.bld op (Ir.Builder.reg base))
+  | Ast.Lindex (name, idxs) ->
+      let addr, info = lower_elem_addr ctx line name idxs in
+      let op = coerce ctx (op, ty) info.Typecheck.elem in
+      Ir.Builder.store ctx.bld op addr
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  if ctx.terminated then begin
+    (* Unreachable code after return/break: park it in a fresh dead
+       block so lowering stays structurally simple. *)
+    let dead = Ir.Builder.new_block ctx.bld ~name:"dead" in
+    Ir.Builder.position_at ctx.bld dead;
+    ctx.terminated <- false
+  end;
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      let addr = Ir.Builder.alloca ctx.bld (ir_ty ty) 1 in
+      ctx.slots <- (name, Local (addr, ty)) :: ctx.slots;
+      let value =
+        match init with
+        | Some e ->
+            let op, ety = lower_expr ctx e in
+            coerce ctx (op, ety) ty
+        | None -> zero_of ty
+      in
+      Ir.Builder.store ctx.bld value (Ir.Builder.reg addr)
+  | Ast.Assign (lv, e) ->
+      let v = lower_expr ctx e in
+      store_to ctx s.Ast.sline lv v
+  | Ast.Expr e -> (
+      match e.Ast.desc with
+      | Ast.Call (name, args) -> (
+          let si = Typecheck.lookup_func ctx.env e.Ast.line name in
+          match si.Typecheck.ret with
+          | None ->
+              let ops =
+                List.map2
+                  (fun arg pty ->
+                    let op, ty = lower_expr ctx arg in
+                    coerce ctx (op, ty) pty)
+                  args si.Typecheck.params
+              in
+              ignore (Ir.Builder.call ctx.bld Ir.Ty.Void name ops)
+          | Some _ -> ignore (lower_expr ctx e))
+      | _ -> ignore (lower_expr ctx e))
+  | Ast.If (cond, then_, else_) ->
+      let bthen = Ir.Builder.new_block ctx.bld ~name:"if.then" in
+      let belse = Ir.Builder.new_block ctx.bld ~name:"if.else" in
+      let bjoin = Ir.Builder.new_block ctx.bld ~name:"if.join" in
+      lower_branch ctx cond bthen.Ir.Block.label belse.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bthen;
+      ctx.terminated <- false;
+      lower_block ctx then_;
+      if not ctx.terminated then Ir.Builder.br ctx.bld bjoin.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld belse;
+      ctx.terminated <- false;
+      lower_block ctx else_;
+      if not ctx.terminated then Ir.Builder.br ctx.bld bjoin.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bjoin;
+      ctx.terminated <- false
+  | Ast.While (cond, body) ->
+      let bcond = Ir.Builder.new_block ctx.bld ~name:"while.cond" in
+      let bbody = Ir.Builder.new_block ctx.bld ~name:"while.body" in
+      let bexit = Ir.Builder.new_block ctx.bld ~name:"while.exit" in
+      Ir.Builder.br ctx.bld bcond.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bcond;
+      lower_branch ctx cond bbody.Ir.Block.label bexit.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bbody;
+      ctx.terminated <- false;
+      ctx.loop_stack <-
+        (bcond.Ir.Block.label, bexit.Ir.Block.label) :: ctx.loop_stack;
+      lower_block ctx body;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if not ctx.terminated then Ir.Builder.br ctx.bld bcond.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bexit;
+      ctx.terminated <- false
+  | Ast.For (init, cond, step, body) ->
+      let saved_slots = ctx.slots in
+      (match init with Some s -> lower_stmt ctx s | None -> ());
+      let bcond = Ir.Builder.new_block ctx.bld ~name:"for.cond" in
+      let bbody = Ir.Builder.new_block ctx.bld ~name:"for.body" in
+      let bstep = Ir.Builder.new_block ctx.bld ~name:"for.step" in
+      let bexit = Ir.Builder.new_block ctx.bld ~name:"for.exit" in
+      Ir.Builder.br ctx.bld bcond.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bcond;
+      (match cond with
+      | Some c -> lower_branch ctx c bbody.Ir.Block.label bexit.Ir.Block.label
+      | None -> Ir.Builder.br ctx.bld bbody.Ir.Block.label);
+      Ir.Builder.position_at ctx.bld bbody;
+      ctx.terminated <- false;
+      ctx.loop_stack <-
+        (bstep.Ir.Block.label, bexit.Ir.Block.label) :: ctx.loop_stack;
+      lower_block ctx body;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if not ctx.terminated then Ir.Builder.br ctx.bld bstep.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bstep;
+      ctx.terminated <- false;
+      (match step with Some s -> lower_stmt ctx s | None -> ());
+      Ir.Builder.br ctx.bld bcond.Ir.Block.label;
+      Ir.Builder.position_at ctx.bld bexit;
+      ctx.terminated <- false;
+      ctx.slots <- saved_slots
+  | Ast.Return e ->
+      (match (e, ctx.fret) with
+      | None, _ -> Ir.Builder.ret ctx.bld None
+      | Some e, Some rty ->
+          let op, ty = lower_expr ctx e in
+          Ir.Builder.ret ctx.bld (Some (coerce ctx (op, ty) rty))
+      | Some _, None -> error s.Ast.sline "return value in void function");
+      ctx.terminated <- true
+  | Ast.Break -> (
+      match ctx.loop_stack with
+      | (_, bexit) :: _ ->
+          Ir.Builder.br ctx.bld bexit;
+          ctx.terminated <- true
+      | [] -> error s.Ast.sline "break outside a loop")
+  | Ast.Continue -> (
+      match ctx.loop_stack with
+      | (bcont, _) :: _ ->
+          Ir.Builder.br ctx.bld bcont;
+          ctx.terminated <- true
+      | [] -> error s.Ast.sline "continue outside a loop")
+
+and lower_block ctx stmts =
+  let saved = ctx.slots in
+  List.iter (lower_stmt ctx) stmts;
+  ctx.slots <- saved
+
+(* ------------------------------------------------------------------ *)
+(* Functions and modules                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func env (f : Ast.func) : Ir.Func.t =
+  let params =
+    List.mapi (fun i p -> (i, ir_ty p.Ast.pty)) f.Ast.fparams
+  in
+  let ret_ty =
+    match f.Ast.fret with Some ty -> ir_ty ty | None -> Ir.Ty.Void
+  in
+  let func = Ir.Func.create ~name:f.Ast.fname ~params ~ret_ty in
+  let bld = Ir.Builder.create func in
+  let entry = Ir.Builder.new_block bld ~name:"entry" in
+  Ir.Builder.position_at bld entry;
+  let ctx =
+    {
+      env;
+      bld;
+      slots = [];
+      loop_stack = [];
+      terminated = false;
+      fret = f.Ast.fret;
+    }
+  in
+  (* Spill parameters to allocas so they are assignable; mem2reg
+     promotes them straight back. *)
+  List.iteri
+    (fun i p ->
+      let addr = Ir.Builder.alloca bld (ir_ty p.Ast.pty) 1 in
+      Ir.Builder.store bld (Ir.Builder.reg i) (Ir.Builder.reg addr);
+      ctx.slots <- (p.Ast.pname, Local (addr, p.Ast.pty)) :: ctx.slots)
+    f.Ast.fparams;
+  lower_block ctx f.Ast.fbody;
+  if not ctx.terminated then begin
+    match f.Ast.fret with
+    | None -> Ir.Builder.ret bld None
+    | Some rty -> Ir.Builder.ret bld (Some (zero_of rty))
+  end;
+  Ir.Builder.finish bld
+
+let lower_global (g : Ast.global) : Ir.Irmod.global =
+  let size = List.fold_left ( * ) 1 (if g.Ast.dims = [] then [ 1 ] else g.Ast.dims) in
+  let is_float_ty =
+    match g.Ast.gty with Ast.Tfloat | Ast.Tdouble -> true | _ -> false
+  in
+  let ginit =
+    match g.Ast.ginit with
+    | None -> Ir.Irmod.Zero
+    | Some (Ast.Scalar_init e) ->
+        let c = const_eval e in
+        if is_float_ty then Ir.Irmod.Floats [| cvalue_as_float c |]
+        else Ir.Irmod.Ints [| cvalue_as_int c |]
+    | Some (Ast.Array_init es) ->
+        let cs = List.map const_eval es in
+        if is_float_ty then begin
+          let a = Array.make size 0.0 in
+          List.iteri (fun i c -> a.(i) <- cvalue_as_float c) cs;
+          Ir.Irmod.Floats a
+        end
+        else begin
+          let a = Array.make size 0L in
+          List.iteri (fun i c -> a.(i) <- cvalue_as_int c) cs;
+          Ir.Irmod.Ints a
+        end
+  in
+  { Ir.Irmod.gname = g.Ast.gname; gty = ir_ty g.Ast.gty; gsize = size; ginit }
+
+(** Lower a checked program to an IR module.  [Typecheck.check_program]
+    must have succeeded on [prog] with the same [env]. *)
+let lower_program env ~module_name (prog : Ast.program) : Ir.Irmod.t =
+  let m = Ir.Irmod.create ~name:module_name in
+  List.iter
+    (function
+      | Ast.Dglobal g -> Ir.Irmod.add_global m (lower_global g)
+      | Ast.Dfunc f -> Ir.Irmod.add_func m (lower_func env f))
+    prog;
+  m

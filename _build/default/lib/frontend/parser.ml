@@ -1,0 +1,405 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar (precedence climbing for expressions):
+    {v
+    program   := (global | func)*
+    global    := ty ident ('[' int ']'){0,2} ('=' init)? ';'
+    func      := (ty | 'void') ident '(' params ')' '{' stmt* '}'
+    stmt      := decl | assign ';' | expr ';' | if | while | for
+               | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+               | '{' stmt* '}'
+    v} *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { toks : Token.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek_kind st = (peek st).Token.kind
+let line st = (peek st).Token.line
+
+let advance st =
+  let t = peek st in
+  if t.Token.kind <> Token.Eof then st.pos <- st.pos + 1;
+  t
+
+let expect st kind =
+  let t = peek st in
+  if t.Token.kind = kind then ignore (advance st)
+  else
+    error t.Token.line "expected %s but found %s" (Token.kind_to_string kind)
+      (Token.kind_to_string t.Token.kind)
+
+let expect_ident st =
+  match peek_kind st with
+  | Token.Ident name ->
+      ignore (advance st);
+      name
+  | k -> error (line st) "expected identifier, found %s" (Token.kind_to_string k)
+
+let base_ty_of_kind = function
+  | Token.Kw_int -> Some Ast.Tint
+  | Token.Kw_long -> Some Ast.Tlong
+  | Token.Kw_float -> Some Ast.Tfloat
+  | Token.Kw_double -> Some Ast.Tdouble
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Binding powers, tighter = higher. *)
+let binop_of_kind = function
+  | Token.Oror -> Some (Ast.Lor, 1)
+  | Token.Andand -> Some (Ast.Land, 2)
+  | Token.Pipe -> Some (Ast.Bor, 3)
+  | Token.Caret -> Some (Ast.Bxor, 4)
+  | Token.Amp -> Some (Ast.Band, 5)
+  | Token.Eq -> Some (Ast.Eq, 6)
+  | Token.Ne -> Some (Ast.Ne, 6)
+  | Token.Lt -> Some (Ast.Lt, 7)
+  | Token.Le -> Some (Ast.Le, 7)
+  | Token.Gt -> Some (Ast.Gt, 7)
+  | Token.Ge -> Some (Ast.Ge, 7)
+  | Token.Shl -> Some (Ast.Shl, 8)
+  | Token.Shr -> Some (Ast.Shr, 8)
+  | Token.Plus -> Some (Ast.Add, 9)
+  | Token.Minus -> Some (Ast.Sub, 9)
+  | Token.Star -> Some (Ast.Mul, 10)
+  | Token.Slash -> Some (Ast.Div, 10)
+  | Token.Percent -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_kind (peek_kind st) with
+    | Some (op, bp) when bp >= min_bp ->
+        let l = line st in
+        ignore (advance st);
+        let rhs = parse_binary st (bp + 1) in
+        lhs := { Ast.desc = Ast.Binop (op, !lhs, rhs); line = l }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let l = line st in
+  match peek_kind st with
+  | Token.Minus ->
+      ignore (advance st);
+      { Ast.desc = Ast.Unop (Ast.Neg, parse_unary st); line = l }
+  | Token.Bang ->
+      ignore (advance st);
+      { Ast.desc = Ast.Unop (Ast.Not, parse_unary st); line = l }
+  | Token.Tilde ->
+      ignore (advance st);
+      { Ast.desc = Ast.Unop (Ast.Bnot, parse_unary st); line = l }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let l = line st in
+  match peek_kind st with
+  | Token.Int_lit v ->
+      ignore (advance st);
+      { Ast.desc = Ast.Int_lit v; line = l }
+  | Token.Float_lit v ->
+      ignore (advance st);
+      { Ast.desc = Ast.Float_lit v; line = l }
+  | Token.Lparen ->
+      ignore (advance st);
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Ident name -> (
+      ignore (advance st);
+      match peek_kind st with
+      | Token.Lparen ->
+          ignore (advance st);
+          let args = parse_args st in
+          { Ast.desc = Ast.Call (name, args); line = l }
+      | Token.Lbracket ->
+          let idxs = parse_indices st in
+          { Ast.desc = Ast.Index (name, idxs); line = l }
+      | _ -> { Ast.desc = Ast.Var name; line = l })
+  | k -> error l "expected expression, found %s" (Token.kind_to_string k)
+
+and parse_args st =
+  if peek_kind st = Token.Rparen then begin
+    ignore (advance st);
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match peek_kind st with
+      | Token.Comma ->
+          ignore (advance st);
+          go (e :: acc)
+      | _ ->
+          expect st Token.Rparen;
+          List.rev (e :: acc)
+    in
+    go []
+
+and parse_indices st =
+  let rec go acc =
+    if peek_kind st = Token.Lbracket then begin
+      ignore (advance st);
+      let e = parse_expr st in
+      expect st Token.Rbracket;
+      go (e :: acc)
+    end
+    else List.rev acc
+  in
+  let idxs = go [] in
+  if List.length idxs > 2 then
+    error (line st) "arrays have at most two dimensions";
+  idxs
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  let l = line st in
+  match peek_kind st with
+  | Token.Kw_int | Token.Kw_long | Token.Kw_float | Token.Kw_double ->
+      let ty = Option.get (base_ty_of_kind (peek_kind st)) in
+      ignore (advance st);
+      let name = expect_ident st in
+      let init =
+        if peek_kind st = Token.Assign then begin
+          ignore (advance st);
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Decl (ty, name, init); sline = l }
+  | Token.Kw_if ->
+      ignore (advance st);
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if peek_kind st = Token.Kw_else then begin
+          ignore (advance st);
+          parse_block_or_stmt st
+        end
+        else []
+      in
+      { Ast.sdesc = Ast.If (cond, then_, else_); sline = l }
+  | Token.Kw_while ->
+      ignore (advance st);
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let body = parse_block_or_stmt st in
+      { Ast.sdesc = Ast.While (cond, body); sline = l }
+  | Token.Kw_for ->
+      ignore (advance st);
+      expect st Token.Lparen;
+      let init =
+        if peek_kind st = Token.Semi then None
+        else Some (parse_simple_stmt st)
+      in
+      expect st Token.Semi;
+      let cond = if peek_kind st = Token.Semi then None else Some (parse_expr st) in
+      expect st Token.Semi;
+      let step =
+        if peek_kind st = Token.Rparen then None
+        else Some (parse_simple_stmt st)
+      in
+      expect st Token.Rparen;
+      let body = parse_block_or_stmt st in
+      { Ast.sdesc = Ast.For (init, cond, step, body); sline = l }
+  | Token.Kw_return ->
+      ignore (advance st);
+      let e = if peek_kind st = Token.Semi then None else Some (parse_expr st) in
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Return e; sline = l }
+  | Token.Kw_break ->
+      ignore (advance st);
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Break; sline = l }
+  | Token.Kw_continue ->
+      ignore (advance st);
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Continue; sline = l }
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st Token.Semi;
+      s
+
+(* assignment or expression statement, without trailing ';' (shared
+   with for-init and for-step). *)
+and parse_simple_stmt st : Ast.stmt =
+  let l = line st in
+  match peek_kind st with
+  | Token.Ident name -> (
+      (* Look ahead to distinguish assignment from expression. *)
+      let saved = st.pos in
+      ignore (advance st);
+      match peek_kind st with
+      | Token.Assign ->
+          ignore (advance st);
+          let e = parse_expr st in
+          { Ast.sdesc = Ast.Assign (Ast.Lvar name, e); sline = l }
+      | Token.Lbracket -> (
+          let idxs = parse_indices st in
+          match peek_kind st with
+          | Token.Assign ->
+              ignore (advance st);
+              let e = parse_expr st in
+              { Ast.sdesc = Ast.Assign (Ast.Lindex (name, idxs), e); sline = l }
+          | _ ->
+              st.pos <- saved;
+              { Ast.sdesc = Ast.Expr (parse_expr st); sline = l })
+      | _ ->
+          st.pos <- saved;
+          { Ast.sdesc = Ast.Expr (parse_expr st); sline = l })
+  | _ -> { Ast.sdesc = Ast.Expr (parse_expr st); sline = l }
+
+and parse_block_or_stmt st =
+  if peek_kind st = Token.Lbrace then begin
+    ignore (advance st);
+    let rec go acc =
+      if peek_kind st = Token.Rbrace then begin
+        ignore (advance st);
+        List.rev acc
+      end
+      else go (parse_stmt st :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_dims st =
+  let rec go acc =
+    if peek_kind st = Token.Lbracket then begin
+      ignore (advance st);
+      (match peek_kind st with
+      | Token.Int_lit v when v > 0L && v < 1_000_000_000L ->
+          ignore (advance st);
+          expect st Token.Rbracket;
+          go (Int64.to_int v :: acc)
+      | k ->
+          error (line st) "expected positive array size, found %s"
+            (Token.kind_to_string k))
+    end
+    else List.rev acc
+  in
+  let dims = go [] in
+  if List.length dims > 2 then error (line st) "arrays have at most two dimensions";
+  dims
+
+let parse_global_init st =
+  if peek_kind st = Token.Assign then begin
+    ignore (advance st);
+    if peek_kind st = Token.Lbrace then begin
+      ignore (advance st);
+      let rec go acc =
+        let e = parse_expr st in
+        match peek_kind st with
+        | Token.Comma ->
+            ignore (advance st);
+            go (e :: acc)
+        | _ ->
+            expect st Token.Rbrace;
+            List.rev (e :: acc)
+      in
+      Some (Ast.Array_init (go []))
+    end
+    else Some (Ast.Scalar_init (parse_expr st))
+  end
+  else None
+
+let parse_params st =
+  expect st Token.Lparen;
+  if peek_kind st = Token.Rparen then begin
+    ignore (advance st);
+    []
+  end
+  else
+    let parse_one () =
+      match base_ty_of_kind (peek_kind st) with
+      | Some pty ->
+          ignore (advance st);
+          let pname = expect_ident st in
+          { Ast.pty; pname }
+      | None ->
+          error (line st) "expected parameter type, found %s"
+            (Token.kind_to_string (peek_kind st))
+    in
+    let rec go acc =
+      let p = parse_one () in
+      match peek_kind st with
+      | Token.Comma ->
+          ignore (advance st);
+          go (p :: acc)
+      | _ ->
+          expect st Token.Rparen;
+          List.rev (p :: acc)
+    in
+    go []
+
+let parse_decl st : Ast.decl =
+  let l = line st in
+  let ret_ty =
+    match peek_kind st with
+    | Token.Kw_void ->
+        ignore (advance st);
+        None
+    | k -> (
+        match base_ty_of_kind k with
+        | Some ty ->
+            ignore (advance st);
+            Some ty
+        | None ->
+            error l "expected declaration, found %s" (Token.kind_to_string k))
+  in
+  let name = expect_ident st in
+  match peek_kind st with
+  | Token.Lparen ->
+      let fparams = parse_params st in
+      expect st Token.Lbrace;
+      let rec go acc =
+        if peek_kind st = Token.Rbrace then begin
+          ignore (advance st);
+          List.rev acc
+        end
+        else go (parse_stmt st :: acc)
+      in
+      Ast.Dfunc
+        { Ast.fname = name; fret = ret_ty; fparams; fbody = go []; fline = l }
+  | _ -> (
+      match ret_ty with
+      | None -> error l "void is only valid as a function return type"
+      | Some gty ->
+          let dims = parse_dims st in
+          let ginit = parse_global_init st in
+          expect st Token.Semi;
+          Ast.Dglobal { Ast.gname = name; gty; dims; ginit; gline = l })
+
+(** Parse a whole program.  @raise Error (or {!Lexer.Error}) on
+    malformed input. *)
+let parse_program src : Ast.program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    if peek_kind st = Token.Eof then List.rev acc
+    else go (parse_decl st :: acc)
+  in
+  go []

@@ -1,0 +1,54 @@
+(** Lexical tokens of MiniC, the C subset the benchmark kernels are
+    written in.  Each token carries the 1-based source line it starts
+    on, used in diagnostics. *)
+
+type kind =
+  | Int_lit of int64
+  | Float_lit of float
+  | Ident of string
+  | Kw_int | Kw_long | Kw_float | Kw_double | Kw_void
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_return
+  | Kw_break | Kw_continue
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma
+  | Assign                     (* = *)
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Andand | Oror | Bang
+  | Eof
+
+type t = { kind : kind; line : int }
+
+let keyword_of_string = function
+  | "int" -> Some Kw_int
+  | "long" -> Some Kw_long
+  | "float" -> Some Kw_float
+  | "double" -> Some Kw_double
+  | "void" -> Some Kw_void
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "for" -> Some Kw_for
+  | "return" -> Some Kw_return
+  | "break" -> Some Kw_break
+  | "continue" -> Some Kw_continue
+  | _ -> None
+
+let kind_to_string = function
+  | Int_lit v -> Printf.sprintf "integer literal %Ld" v
+  | Float_lit v -> Printf.sprintf "float literal %g" v
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Kw_int -> "'int'" | Kw_long -> "'long'" | Kw_float -> "'float'"
+  | Kw_double -> "'double'" | Kw_void -> "'void'" | Kw_if -> "'if'"
+  | Kw_else -> "'else'" | Kw_while -> "'while'" | Kw_for -> "'for'"
+  | Kw_return -> "'return'" | Kw_break -> "'break'"
+  | Kw_continue -> "'continue'"
+  | Lparen -> "'('" | Rparen -> "')'" | Lbrace -> "'{'" | Rbrace -> "'}'"
+  | Lbracket -> "'['" | Rbracket -> "']'" | Semi -> "';'" | Comma -> "','"
+  | Assign -> "'='" | Plus -> "'+'" | Minus -> "'-'" | Star -> "'*'"
+  | Slash -> "'/'" | Percent -> "'%'" | Amp -> "'&'" | Pipe -> "'|'"
+  | Caret -> "'^'" | Tilde -> "'~'" | Shl -> "'<<'" | Shr -> "'>>'"
+  | Lt -> "'<'" | Le -> "'<='" | Gt -> "'>'" | Ge -> "'>='" | Eq -> "'=='"
+  | Ne -> "'!='" | Andand -> "'&&'" | Oror -> "'||'" | Bang -> "'!'"
+  | Eof -> "end of input"

@@ -1,0 +1,236 @@
+(** Type checking and inference for MiniC.
+
+    The checker validates a parsed program and exposes the inference
+    functions the lowering pass reuses, so both stages agree on operand
+    promotion ([int < long < float < double], as in C). *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type array_info = { elem : Ast.base_ty; adims : int list }
+
+type func_sig = { ret : Ast.base_ty option; params : Ast.base_ty list }
+
+type env = {
+  globals : (string, Ast.base_ty) Hashtbl.t;  (** scalars *)
+  arrays : (string, array_info) Hashtbl.t;
+  funcs : (string, func_sig) Hashtbl.t;
+  mutable locals : (string * Ast.base_ty) list;  (** innermost first *)
+}
+
+(** Built-in math intrinsics available to MiniC programs; the VM
+    implements them and the cost model prices them as software libm
+    calls. *)
+let intrinsics : (string * func_sig) list =
+  let d = Ast.Tdouble and i = Ast.Tint in
+  [
+    ("sqrt", { ret = Some d; params = [ d ] });
+    ("sin", { ret = Some d; params = [ d ] });
+    ("cos", { ret = Some d; params = [ d ] });
+    ("atan", { ret = Some d; params = [ d ] });
+    ("exp", { ret = Some d; params = [ d ] });
+    ("log", { ret = Some d; params = [ d ] });
+    ("fabs", { ret = Some d; params = [ d ] });
+    ("floor", { ret = Some d; params = [ d ] });
+    ("pow", { ret = Some d; params = [ d; d ] });
+    ("abs", { ret = Some i; params = [ i ] });
+    ("min", { ret = Some i; params = [ i; i ] });
+    ("max", { ret = Some i; params = [ i; i ] });
+  ]
+
+let is_intrinsic name = List.mem_assoc name intrinsics
+
+let rank = function
+  | Ast.Tint -> 0
+  | Ast.Tlong -> 1
+  | Ast.Tfloat -> 2
+  | Ast.Tdouble -> 3
+
+(** C-style usual arithmetic conversion: the common type of two
+    operands. *)
+let promote a b = if rank a >= rank b then a else b
+
+let is_integer = function Ast.Tint | Ast.Tlong -> true | _ -> false
+
+let lookup_var env line name =
+  match List.assoc_opt name env.locals with
+  | Some ty -> ty
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some ty -> ty
+      | None -> error line "unknown variable %s" name)
+
+let lookup_array env line name =
+  match Hashtbl.find_opt env.arrays name with
+  | Some info -> info
+  | None -> error line "unknown array %s" name
+
+let lookup_func env line name =
+  match List.assoc_opt name intrinsics with
+  | Some s -> s
+  | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | Some s -> s
+      | None -> error line "unknown function %s" name)
+
+(** Does an integer literal fit in a 32-bit [int], or must it be
+    [long]? *)
+let int_lit_ty v =
+  if v >= -2147483648L && v <= 2147483647L then Ast.Tint else Ast.Tlong
+
+(* Infer the type of an expression; checks subexpressions on the way. *)
+let rec infer env (e : Ast.expr) : Ast.base_ty =
+  match e.Ast.desc with
+  | Ast.Int_lit v -> int_lit_ty v
+  | Ast.Float_lit _ -> Ast.Tdouble
+  | Ast.Var name -> lookup_var env e.Ast.line name
+  | Ast.Index (name, idxs) ->
+      let info = lookup_array env e.Ast.line name in
+      if List.length idxs <> List.length info.adims then
+        error e.Ast.line "array %s expects %d indices, got %d" name
+          (List.length info.adims) (List.length idxs);
+      List.iter
+        (fun idx ->
+          if not (is_integer (infer env idx)) then
+            error idx.Ast.line "array index must be an integer")
+        idxs;
+      info.elem
+  | Ast.Unop (op, a) -> (
+      let ta = infer env a in
+      match op with
+      | Ast.Neg -> ta
+      | Ast.Not -> Ast.Tint
+      | Ast.Bnot ->
+          if is_integer ta then ta
+          else error e.Ast.line "operator ~ requires an integer operand")
+  | Ast.Binop (op, a, b) -> (
+      let ta = infer env a and tb = infer env b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> promote ta tb
+      | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+          if is_integer ta && is_integer tb then promote ta tb
+          else error e.Ast.line "bitwise/modulo operators require integers"
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Ast.Tint
+      | Ast.Land | Ast.Lor -> Ast.Tint)
+  | Ast.Call (name, args) ->
+      let s = lookup_func env e.Ast.line name in
+      if List.length args <> List.length s.params then
+        error e.Ast.line "function %s expects %d arguments, got %d" name
+          (List.length s.params) (List.length args);
+      List.iter (fun a -> ignore (infer env a)) args;
+      (match s.ret with
+      | Some ty -> ty
+      | None -> error e.Ast.line "void function %s used as a value" name)
+
+let rec check_stmt env ~in_loop ~ret (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      (match init with Some e -> ignore (infer env e) | None -> ());
+      env.locals <- (name, ty) :: env.locals
+  | Ast.Assign (lv, e) ->
+      ignore (infer env e);
+      (match lv with
+      | Ast.Lvar name -> ignore (lookup_var env s.Ast.sline name)
+      | Ast.Lindex (name, idxs) ->
+          ignore
+            (infer env { Ast.desc = Ast.Index (name, idxs); line = s.Ast.sline }))
+  | Ast.Expr e -> (
+      (* allow void calls as statements *)
+      match e.Ast.desc with
+      | Ast.Call (name, args) ->
+          let si = lookup_func env e.Ast.line name in
+          if List.length args <> List.length si.params then
+            error e.Ast.line "function %s expects %d arguments" name
+              (List.length si.params);
+          List.iter (fun a -> ignore (infer env a)) args
+      | _ -> ignore (infer env e))
+  | Ast.If (c, t, f) ->
+      ignore (infer env c);
+      check_block env ~in_loop ~ret t;
+      check_block env ~in_loop ~ret f
+  | Ast.While (c, body) ->
+      ignore (infer env c);
+      check_block env ~in_loop:true ~ret body
+  | Ast.For (init, cond, step, body) ->
+      let saved = env.locals in
+      (match init with Some s -> check_stmt env ~in_loop ~ret s | None -> ());
+      (match cond with Some c -> ignore (infer env c) | None -> ());
+      (match step with Some s -> check_stmt env ~in_loop:true ~ret s | None -> ());
+      check_block env ~in_loop:true ~ret body;
+      env.locals <- saved
+  | Ast.Return e -> (
+      match (e, ret) with
+      | None, None -> ()
+      | Some e, Some _ -> ignore (infer env e)
+      | Some _, None -> error s.Ast.sline "returning a value from a void function"
+      | None, Some _ -> error s.Ast.sline "missing return value")
+  | Ast.Break | Ast.Continue ->
+      if not in_loop then error s.Ast.sline "break/continue outside a loop"
+
+and check_block env ~in_loop ~ret stmts =
+  let saved = env.locals in
+  List.iter (check_stmt env ~in_loop ~ret) stmts;
+  env.locals <- saved
+
+let build_env (prog : Ast.program) =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      arrays = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      locals = [];
+    }
+  in
+  List.iter
+    (function
+      | Ast.Dglobal g ->
+          if
+            Hashtbl.mem env.globals g.Ast.gname
+            || Hashtbl.mem env.arrays g.Ast.gname
+          then error g.Ast.gline "duplicate global %s" g.Ast.gname;
+          if g.Ast.dims = [] then
+            Hashtbl.replace env.globals g.Ast.gname g.Ast.gty
+          else
+            Hashtbl.replace env.arrays g.Ast.gname
+              { elem = g.Ast.gty; adims = g.Ast.dims }
+      | Ast.Dfunc f ->
+          if Hashtbl.mem env.funcs f.Ast.fname || is_intrinsic f.Ast.fname then
+            error f.Ast.fline "duplicate function %s" f.Ast.fname;
+          Hashtbl.replace env.funcs f.Ast.fname
+            {
+              ret = f.Ast.fret;
+              params = List.map (fun p -> p.Ast.pty) f.Ast.fparams;
+            })
+    prog;
+  env
+
+(** Check a whole program and return its environment for the lowering
+    pass.  @raise Error on ill-typed programs. *)
+let check_program (prog : Ast.program) =
+  let env = build_env prog in
+  List.iter
+    (function
+      | Ast.Dglobal g -> (
+          match g.Ast.ginit with
+          | None -> ()
+          | Some (Ast.Scalar_init e) ->
+              if g.Ast.dims <> [] then
+                error g.Ast.gline "array %s needs a braced initializer"
+                  g.Ast.gname;
+              ignore (infer env e)
+          | Some (Ast.Array_init es) ->
+              if g.Ast.dims = [] then
+                error g.Ast.gline "scalar %s cannot take a braced initializer"
+                  g.Ast.gname;
+              let size = List.fold_left ( * ) 1 g.Ast.dims in
+              if List.length es > size then
+                error g.Ast.gline "too many initializers for %s" g.Ast.gname;
+              List.iter (fun e -> ignore (infer env e)) es)
+      | Ast.Dfunc f ->
+          env.locals <- List.map (fun p -> (p.Ast.pname, p.Ast.pty)) f.Ast.fparams;
+          check_block env ~in_loop:false ~ret:f.Ast.fret f.Ast.fbody;
+          env.locals <- [])
+    prog;
+  env

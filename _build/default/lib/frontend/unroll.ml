@@ -1,0 +1,228 @@
+(** Source-level unrolling of innermost counted loops.
+
+    Part of the -O3 pipeline.  This pass is what gives the bitcode the
+    large basic blocks the paper observes after llvm-gcc -O3 — the
+    pruned blocks it passes to identification average hundreds of
+    instructions — and it directly scales how many MAXMISO candidates a
+    hot block yields.
+
+    A loop is unrolled by [factor] when it has the shape
+
+    {v  for (init; i < bound; i = i + c) body  v}
+
+    with a literal positive step [c], a loop variable [i] that the body
+    never reassigns, a [bound] expression the body does not modify, and
+    a body that is straight-line-safe to replicate (no [break],
+    [continue], [return], or nested loop — only innermost loops are
+    unrolled).  The transformed code is the standard main-loop plus
+    epilogue:
+
+    {v
+      for (init; i + (factor-1)*c < bound; i = i + factor*c) {
+        body[i := i]      body[i := i+c]   ...   body[i := i+(f-1)c]
+      }
+      for (; i < bound; i = i + c) body
+    v} *)
+
+let default_factor = 4
+
+(* Substitute [Var name] by [Var name + delta] in an expression. *)
+let rec shift_expr name delta (e : Ast.expr) : Ast.expr =
+  if delta = 0 then e
+  else
+    let desc =
+      match e.Ast.desc with
+      | Ast.Var v when v = name ->
+          Ast.Binop
+            ( Ast.Add,
+              { e with Ast.desc = Ast.Var v },
+              { e with Ast.desc = Ast.Int_lit (Int64.of_int delta) } )
+      | (Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _) as d -> d
+      | Ast.Index (a, idxs) -> Ast.Index (a, List.map (shift_expr name delta) idxs)
+      | Ast.Unop (op, x) -> Ast.Unop (op, shift_expr name delta x)
+      | Ast.Binop (op, x, y) ->
+          Ast.Binop (op, shift_expr name delta x, shift_expr name delta y)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map (shift_expr name delta) args)
+    in
+    { e with Ast.desc = desc }
+
+let rec shift_stmt name delta (s : Ast.stmt) : Ast.stmt =
+  let sh = shift_expr name delta in
+  let desc =
+    match s.Ast.sdesc with
+    | Ast.Decl (ty, v, init) -> Ast.Decl (ty, v, Option.map sh init)
+    | Ast.Assign (lv, e) ->
+        let lv' =
+          match lv with
+          | Ast.Lvar v -> Ast.Lvar v
+          | Ast.Lindex (a, idxs) -> Ast.Lindex (a, List.map sh idxs)
+        in
+        Ast.Assign (lv', sh e)
+    | Ast.Expr e -> Ast.Expr (sh e)
+    | Ast.If (c, t, f) ->
+        Ast.If (sh c, List.map (shift_stmt name delta) t,
+                List.map (shift_stmt name delta) f)
+    | Ast.While (c, b) -> Ast.While (sh c, List.map (shift_stmt name delta) b)
+    | Ast.For (i, c, st, b) ->
+        Ast.For
+          ( Option.map (shift_stmt name delta) i,
+            Option.map sh c,
+            Option.map (shift_stmt name delta) st,
+            List.map (shift_stmt name delta) b )
+    | (Ast.Return _ | Ast.Break | Ast.Continue) as d -> d
+  in
+  { s with Ast.sdesc = desc }
+
+(* Names assigned (or re-declared) anywhere in a statement list. *)
+let rec assigned_names stmts =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s.Ast.sdesc with
+      | Ast.Decl (_, v, _) -> [ v ]
+      | Ast.Assign (Ast.Lvar v, _) -> [ v ]
+      | Ast.Assign (Ast.Lindex _, _) | Ast.Expr _ -> []
+      | Ast.If (_, t, f) -> assigned_names t @ assigned_names f
+      | Ast.While (_, b) -> assigned_names b
+      | Ast.For (i, _, st, b) ->
+          assigned_names (Option.to_list i)
+          @ assigned_names (Option.to_list st)
+          @ assigned_names b
+      | Ast.Return _ | Ast.Break | Ast.Continue -> [])
+    stmts
+
+let rec vars_of_expr (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> []
+  | Ast.Var v -> [ v ]
+  | Ast.Index (_, idxs) -> List.concat_map vars_of_expr idxs
+  | Ast.Unop (_, x) -> vars_of_expr x
+  | Ast.Binop (_, x, y) -> vars_of_expr x @ vars_of_expr y
+  | Ast.Call (_, args) -> List.concat_map vars_of_expr args
+
+let rec is_replicable stmts =
+  List.for_all
+    (fun (s : Ast.stmt) ->
+      match s.Ast.sdesc with
+      | Ast.Break | Ast.Continue | Ast.Return _ -> false
+      | Ast.While _ | Ast.For _ -> false (* only innermost loops unroll *)
+      | Ast.If (_, t, f) -> is_replicable t && is_replicable f
+      | Ast.Decl _ | Ast.Assign _ | Ast.Expr _ -> true)
+    stmts
+
+(* Match the unrollable for-shape; returns (i, c, bound). *)
+let match_counted_for cond step body =
+  match (cond, step) with
+  | ( Some { Ast.desc = Ast.Binop (Ast.Lt, { Ast.desc = Ast.Var i; _ }, bound); _ },
+      Some
+        {
+          Ast.sdesc =
+            Ast.Assign
+              ( Ast.Lvar i',
+                {
+                  Ast.desc =
+                    Ast.Binop
+                      ( Ast.Add,
+                        { Ast.desc = Ast.Var i''; _ },
+                        { Ast.desc = Ast.Int_lit c; _ } );
+                  _;
+                } );
+          _;
+        } )
+    when i = i' && i = i'' && c > 0L && c < 1024L ->
+      let written = assigned_names body in
+      let bound_vars = vars_of_expr bound in
+      if
+        (not (List.mem i written))
+        && (not (List.exists (fun v -> List.mem v written) bound_vars))
+        && is_replicable body
+      then Some (i, Int64.to_int c, bound)
+      else None
+  | _ -> None
+
+let rec unroll_stmt factor (s : Ast.stmt) : Ast.stmt =
+  match s.Ast.sdesc with
+  | Ast.For (init, cond, step, body) -> (
+      let body = List.map (unroll_stmt factor) body in
+      let init_is_decl =
+        match init with
+        | Some { Ast.sdesc = Ast.Decl _; _ } -> true
+        | _ -> false
+      in
+      match match_counted_for cond step body with
+      | Some (i, c, bound) when factor > 1 && not init_is_decl ->
+          let line = s.Ast.sline in
+          let var = { Ast.desc = Ast.Var i; line } in
+          let lit v = { Ast.desc = Ast.Int_lit (Int64.of_int v); line } in
+          let main_cond =
+            {
+              Ast.desc =
+                Ast.Binop
+                  ( Ast.Lt,
+                    { Ast.desc = Ast.Binop (Ast.Add, var, lit ((factor - 1) * c)); line },
+                    bound );
+              line;
+            }
+          in
+          let main_step =
+            {
+              Ast.sdesc =
+                Ast.Assign
+                  ( Ast.Lvar i,
+                    { Ast.desc = Ast.Binop (Ast.Add, var, lit (factor * c)); line } );
+              sline = line;
+            }
+          in
+          let unrolled_body =
+            List.concat
+              (List.init factor (fun k ->
+                   List.map (shift_stmt i (k * c)) body))
+          in
+          let epilogue =
+            {
+              Ast.sdesc =
+                Ast.For
+                  ( None,
+                    Some
+                      { Ast.desc = Ast.Binop (Ast.Lt, var, bound); line },
+                    step,
+                    body );
+              sline = line;
+            }
+          in
+          (* The main loop keeps the original init; the epilogue reuses
+             the loop variable where the main loop left it.  Both loops
+             are wrapped so the construct stays one statement. *)
+          {
+            s with
+            Ast.sdesc =
+              Ast.If
+                ( { Ast.desc = Ast.Int_lit 1L; line },
+                  [
+                    {
+                      Ast.sdesc = Ast.For (init, Some main_cond, Some main_step, unrolled_body);
+                      sline = line;
+                    };
+                    epilogue;
+                  ],
+                  [] );
+          }
+      | _ -> { s with Ast.sdesc = Ast.For (init, cond, step, body) })
+  | Ast.If (c, t, f) ->
+      {
+        s with
+        Ast.sdesc =
+          Ast.If (c, List.map (unroll_stmt factor) t, List.map (unroll_stmt factor) f);
+      }
+  | Ast.While (c, b) ->
+      { s with Ast.sdesc = Ast.While (c, List.map (unroll_stmt factor) b) }
+  | _ -> s
+
+(** Unroll innermost counted loops throughout a program. *)
+let program ?(factor = default_factor) (prog : Ast.program) : Ast.program =
+  List.map
+    (function
+      | Ast.Dglobal _ as d -> d
+      | Ast.Dfunc f ->
+          Ast.Dfunc
+            { f with Ast.fbody = List.map (unroll_stmt factor) f.Ast.fbody })
+    prog

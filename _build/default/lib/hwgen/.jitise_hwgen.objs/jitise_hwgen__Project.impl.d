@@ -1,0 +1,1 @@
+lib/hwgen/project.ml: Jitise_ir Jitise_ise Jitise_pivpav List Option Vhdl

@@ -1,0 +1,1 @@
+lib/hwgen/vhdl.ml: Array Buffer Hashtbl Int32 Int64 Jitise_ir Jitise_ise Jitise_pivpav List Printf String

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Func Instr Int64 List Ty

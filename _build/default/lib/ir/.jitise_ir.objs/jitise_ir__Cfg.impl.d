@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Block Func Instr List

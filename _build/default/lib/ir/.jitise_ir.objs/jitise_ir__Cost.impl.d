@@ -1,0 +1,1 @@
+lib/ir/cost.ml: Block Instr List

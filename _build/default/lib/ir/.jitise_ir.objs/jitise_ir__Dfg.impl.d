@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Block Fun Func Hashtbl Instr List Ty

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Format Instr Int32 Int64 Printf Ty

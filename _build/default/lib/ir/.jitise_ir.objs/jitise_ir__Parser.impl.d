@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Block Func Instr Int64 Irmod List Option Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Block Format Func Instr Irmod List Ty

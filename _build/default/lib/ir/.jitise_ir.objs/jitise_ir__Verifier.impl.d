@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Block Cfg Format Func Hashtbl Instr Irmod List Printf String Ty

@@ -1,0 +1,59 @@
+(** Control-flow graph queries over a function's block array. *)
+
+type t = {
+  succs : Instr.label list array;
+  preds : Instr.label list array;
+}
+
+(** Build successor and predecessor adjacency from block terminators.
+    Duplicate edges (e.g. both switch cases to one target) are kept
+    single; out-of-range targets are ignored (the verifier reports them
+    separately). *)
+let of_func (f : Func.t) =
+  let n = Func.num_blocks f in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Func.iter_blocks
+    (fun b ->
+      let ss =
+        List.sort_uniq compare (Instr.successors b.Block.term)
+        |> List.filter (fun l -> l >= 0 && l < n)
+      in
+      succs.(b.Block.label) <- ss;
+      List.iter (fun s -> preds.(s) <- b.Block.label :: preds.(s)) ss)
+    f;
+  Array.iteri (fun i ps -> preds.(i) <- List.rev ps) preds;
+  { succs; preds }
+
+let succs t l = t.succs.(l)
+let preds t l = t.preds.(l)
+let num_blocks t = Array.length t.succs
+
+(** Blocks reachable from the entry, as a boolean mask. *)
+let reachable t =
+  let n = num_blocks t in
+  let seen = Array.make n false in
+  let rec go l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter go t.succs.(l)
+    end
+  in
+  if n > 0 then go Func.entry_label;
+  seen
+
+(** Reverse postorder over reachable blocks, starting at the entry.
+    This is the iteration order used by the dominator computation. *)
+let reverse_postorder t =
+  let n = num_blocks t in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter go t.succs.(l);
+      order := l :: !order
+    end
+  in
+  if n > 0 then go Func.entry_label;
+  !order

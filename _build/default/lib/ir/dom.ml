@@ -1,0 +1,87 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements the Cooper-Harvey-Kennedy iterative algorithm.  Used by
+    the mem2reg pass in the frontend optimizer to place phi nodes, which
+    is what puts arithmetic chains into registers and thereby exposes
+    them to the ISE algorithms. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per block; [idom.(entry) = entry];
+          [-1] for unreachable blocks *)
+  rpo_index : int array;  (** position of each block in reverse postorder *)
+  order : Instr.label list;  (** reverse postorder of reachable blocks *)
+}
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.num_blocks cfg in
+  let order = Cfg.reverse_postorder cfg in
+  let rpo_index = Array.make n max_int in
+  List.iteri (fun i l -> rpo_index.(l) <- i) order;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(Func.entry_label) <- Func.entry_label;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> Func.entry_label then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) <> -1) (Cfg.preds cfg b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  { idom; rpo_index; order }
+
+(** [dominates t a b]: does block [a] dominate block [b]?  Every block
+    dominates itself.  Unreachable blocks dominate nothing and are
+    dominated by nothing. *)
+let dominates t a b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else
+    let rec climb x = if x = a then true else if x = t.idom.(x) then false else climb t.idom.(x) in
+    climb b
+
+(** Dominance frontier of every block (Cytron et al. via the CHK
+    formulation): [frontier.(b)] lists the blocks where [b]'s dominance
+    ends. *)
+let frontiers t (cfg : Cfg.t) =
+  let n = Cfg.num_blocks cfg in
+  let frontier = Array.make n [] in
+  for b = 0 to n - 1 do
+    let preds = Cfg.preds cfg b in
+    if List.length preds >= 2 && t.idom.(b) <> -1 then
+      List.iter
+        (fun p ->
+          if t.idom.(p) <> -1 then begin
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b frontier.(!runner)) then
+                frontier.(!runner) <- b :: frontier.(!runner);
+              runner := t.idom.(!runner)
+            done
+          end)
+        preds
+  done;
+  frontier

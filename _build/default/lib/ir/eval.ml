@@ -1,0 +1,175 @@
+(** Operational semantics of scalar IR operations.
+
+    One shared evaluator gives the constant folder and the virtual
+    machine identical arithmetic: integers are carried sign-extended in
+    [int64] and renormalized to their type width after every operation;
+    [F32] results are rounded through 32-bit floats. *)
+
+type value =
+  | VInt of int64   (** any integer type, sign-extended to 64 bits *)
+  | VFloat of float (** F32 or F64; F32 is kept rounded *)
+  | VPtr of int     (** cell address in VM memory *)
+
+exception Division_by_zero
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun m -> raise (Type_error m)) fmt
+
+(* Sign-extend [v] to 64 bits from the width of [ty].  [I1] is the
+   exception: booleans are canonically 0 or 1, never -1. *)
+let normalize (ty : Ty.t) v =
+  let bits = Ty.bits ty in
+  if ty = Ty.I1 then Int64.logand v 1L
+  else if bits >= 64 then v
+  else
+    let shift = 64 - bits in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+(* Zero-extended (unsigned) view of [v] at the width of [ty]. *)
+let umask (ty : Ty.t) v =
+  let bits = Ty.bits ty in
+  if bits >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L)
+
+let round_float (ty : Ty.t) v =
+  if ty = Ty.F32 then Int32.float_of_bits (Int32.bits_of_float v) else v
+
+let of_const = function
+  | Instr.Cint (v, ty) -> VInt (normalize ty v)
+  | Instr.Cfloat (v, ty) -> VFloat (round_float ty v)
+
+let as_int = function
+  | VInt v -> v
+  | VPtr p -> Int64.of_int p
+  | VFloat _ -> type_error "expected an integer value"
+
+let as_float = function
+  | VFloat v -> v
+  | VInt _ | VPtr _ -> type_error "expected a float value"
+
+let as_ptr = function
+  | VPtr p -> p
+  | VInt v -> Int64.to_int v
+  | VFloat _ -> type_error "expected an address"
+
+let is_true = function
+  | VInt v -> v <> 0L
+  | VFloat v -> v <> 0.0
+  | VPtr p -> p <> 0
+
+(* Shift amounts follow hardware practice: masked by the operand
+   width. *)
+let shift_amount ty b =
+  let w = Ty.bits ty in
+  let w = if w <= 0 then 64 else w in
+  Int64.to_int b land (if w >= 64 then 63 else w - 1)
+
+let eval_binop (ty : Ty.t) (op : Instr.binop) (a : value) (b : value) : value =
+  match op with
+  | Instr.Fadd -> VFloat (round_float ty (as_float a +. as_float b))
+  | Instr.Fsub -> VFloat (round_float ty (as_float a -. as_float b))
+  | Instr.Fmul -> VFloat (round_float ty (as_float a *. as_float b))
+  | Instr.Fdiv -> VFloat (round_float ty (as_float a /. as_float b))
+  | _ ->
+      let x = as_int a and y = as_int b in
+      let n v = VInt (normalize ty v) in
+      (match op with
+      | Instr.Add -> n (Int64.add x y)
+      | Instr.Sub -> n (Int64.sub x y)
+      | Instr.Mul -> n (Int64.mul x y)
+      | Instr.Sdiv ->
+          if y = 0L then raise Division_by_zero else n (Int64.div x y)
+      | Instr.Srem ->
+          if y = 0L then raise Division_by_zero else n (Int64.rem x y)
+      | Instr.Udiv ->
+          let y' = umask ty y in
+          if y' = 0L then raise Division_by_zero
+          else n (Int64.unsigned_div (umask ty x) y')
+      | Instr.Urem ->
+          let y' = umask ty y in
+          if y' = 0L then raise Division_by_zero
+          else n (Int64.unsigned_rem (umask ty x) y')
+      | Instr.And -> n (Int64.logand x y)
+      | Instr.Or -> n (Int64.logor x y)
+      | Instr.Xor -> n (Int64.logxor x y)
+      | Instr.Shl -> n (Int64.shift_left x (shift_amount ty y))
+      | Instr.Lshr ->
+          n (Int64.shift_right_logical (umask ty x) (shift_amount ty y))
+      | Instr.Ashr -> n (Int64.shift_right x (shift_amount ty y))
+      | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv -> assert false)
+
+let eval_icmp (p : Instr.icmp_pred) (a : value) (b : value) : value =
+  let x = as_int a and y = as_int b in
+  (* Unsigned predicates compare the raw two's-complement bits, which
+     for sign-extended operands of equal original width is exactly
+     [Int64.unsigned_compare]. *)
+  let u = Int64.unsigned_compare x y in
+  let s = Int64.compare x y in
+  let r =
+    match p with
+    | Instr.Ieq -> s = 0
+    | Instr.Ine -> s <> 0
+    | Instr.Islt -> s < 0
+    | Instr.Isle -> s <= 0
+    | Instr.Isgt -> s > 0
+    | Instr.Isge -> s >= 0
+    | Instr.Iult -> u < 0
+    | Instr.Iule -> u <= 0
+    | Instr.Iugt -> u > 0
+    | Instr.Iuge -> u >= 0
+  in
+  VInt (if r then 1L else 0L)
+
+let eval_fcmp (p : Instr.fcmp_pred) (a : value) (b : value) : value =
+  let x = as_float a and y = as_float b in
+  let ordered = not (Float.is_nan x || Float.is_nan y) in
+  let r =
+    ordered
+    &&
+    match p with
+    | Instr.Foeq -> x = y
+    | Instr.Fone -> x <> y
+    | Instr.Folt -> x < y
+    | Instr.Fole -> x <= y
+    | Instr.Fogt -> x > y
+    | Instr.Foge -> x >= y
+  in
+  VInt (if r then 1L else 0L)
+
+let eval_cast (c : Instr.cast) ~(from_ : Ty.t) ~(to_ : Ty.t) (a : value) : value
+    =
+  match c with
+  | Instr.Trunc | Instr.Sext -> VInt (normalize to_ (as_int a))
+  | Instr.Zext ->
+      (* Recover the unsigned bits at the source width, then renormalize
+         at the destination width. *)
+      VInt (normalize to_ (umask from_ (as_int a)))
+  | Instr.Fptosi ->
+      let f = as_float a in
+      if Float.is_nan f then VInt 0L else VInt (normalize to_ (Int64.of_float f))
+  | Instr.Sitofp -> VFloat (round_float to_ (Int64.to_float (as_int a)))
+  | Instr.Fpext -> VFloat (as_float a)
+  | Instr.Fptrunc -> VFloat (round_float to_ (as_float a))
+  | Instr.Bitcast -> (
+      match (a, to_) with
+      | VInt v, Ty.F32 -> VFloat (Int32.float_of_bits (Int64.to_int32 v))
+      | VInt v, Ty.F64 -> VFloat (Int64.float_of_bits v)
+      | VFloat f, Ty.F64 -> VFloat f
+      | VFloat f, ty when Ty.is_int ty && Ty.bits ty = 32 ->
+          VInt (normalize ty (Int64.of_int32 (Int32.bits_of_float f)))
+      | VFloat f, ty when Ty.is_int ty -> VInt (normalize ty (Int64.bits_of_float f))
+      | v, _ -> v)
+
+let eval_select (c : value) (a : value) (b : value) = if is_true c then a else b
+
+let pp_value ppf = function
+  | VInt v -> Format.fprintf ppf "%Ld" v
+  | VFloat v -> Format.fprintf ppf "%g" v
+  | VPtr p -> Format.fprintf ppf "&%d" p
+
+let equal_value a b =
+  match (a, b) with
+  | VInt x, VInt y -> Int64.equal x y
+  | VFloat x, VFloat y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | VPtr x, VPtr y -> x = y
+  | _ -> false

@@ -1,0 +1,530 @@
+(** Parser for the textual IR form emitted by {!Printer}.
+
+    [Printer] and this module round-trip: for any well-formed module
+    [m], [parse (Printer.module_to_string m)] is structurally equal to
+    [m].  The format exists so that bitcode can be dumped, diffed,
+    hand-edited in tests, and reloaded — the same role .ll files play
+    for LLVM. *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { lines : string array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.lines then Some st.lines.(st.pos) else None
+
+let next st =
+  match peek st with
+  | Some l ->
+      st.pos <- st.pos + 1;
+      Some l
+  | None -> None
+
+let lineno st = st.pos
+
+(* ------------------------------------------------------------------ *)
+(* Small string utilities                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip s = String.trim s
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> strip (String.sub s 0 i)
+  | None -> strip s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let split_once ch s =
+  match String.index_opt s ch with
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+(* split a comma-separated argument list, trimming each piece; no nested
+   commas appear inside operands in this format except within [...] phi
+   entries, which the phi parser handles itself *)
+let split_commas s =
+  if strip s = "" then []
+  else List.map strip (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Operand parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ty ln s =
+  match Ty.of_string (strip s) with
+  | Some ty -> ty
+  | None -> error ln "unknown type %S" s
+
+(* %12 | 42:i32 | 0x1.8p1:f64 *)
+let parse_operand ln s : Instr.operand =
+  let s = strip s in
+  if s = "" then error ln "empty operand";
+  if s.[0] = '%' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r -> Instr.Reg r
+    | None -> error ln "bad register %S" s
+  else
+    match split_once ':' s with
+    | Some (v, tys) -> (
+        let ty = parse_ty ln tys in
+        if Ty.is_float ty then
+          match float_of_string_opt v with
+          | Some f -> Instr.Const (Instr.Cfloat (f, ty))
+          | None -> error ln "bad float constant %S" v
+        else
+          match Int64.of_string_opt v with
+          | Some i -> Instr.Const (Instr.Cint (i, ty))
+          | None -> error ln "bad integer constant %S" v)
+    | None -> error ln "constant %S needs a :type suffix" s
+
+let parse_label ln s =
+  let s = strip s in
+  if starts_with ~prefix:"bb" s then
+    match int_of_string_opt (after ~prefix:"bb" s) with
+    | Some l -> l
+    | None -> error ln "bad label %S" s
+  else error ln "expected bbN, found %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Instruction parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* "add i32 %0, 17:i32" etc. — the part after "%id = ". *)
+let parse_rhs ln (rhs : string) : Ty.t * Instr.kind =
+  let word, rest =
+    match split_once ' ' rhs with
+    | Some (w, r) -> (w, strip r)
+    | None -> (rhs, "")
+  in
+  let two_operands ln s =
+    match split_commas s with
+    | [ a; b ] -> (parse_operand ln a, parse_operand ln b)
+    | _ -> error ln "expected two operands in %S" s
+  in
+  match word with
+  | "icmp" | "fcmp" -> (
+      match split_once ' ' rest with
+      | Some (pred, ops) ->
+          let a, b = two_operands ln ops in
+          if word = "icmp" then
+            match Instr.icmp_of_name pred with
+            | Some p -> (Ty.I1, Instr.Icmp (p, a, b))
+            | None -> error ln "unknown icmp predicate %S" pred
+          else (
+            match Instr.fcmp_of_name pred with
+            | Some p -> (Ty.I1, Instr.Fcmp (p, a, b))
+            | None -> error ln "unknown fcmp predicate %S" pred)
+      | None -> error ln "truncated comparison %S" rhs)
+  | "select" -> (
+      match split_once ' ' rest with
+      | Some (tys, ops) -> (
+          let ty = parse_ty ln tys in
+          match split_commas ops with
+          | [ c; a; b ] ->
+              (ty, Instr.Select (parse_operand ln c, parse_operand ln a, parse_operand ln b))
+          | _ -> error ln "select needs three operands")
+      | None -> error ln "truncated select")
+  | "alloca" -> (
+      match split_commas rest with
+      | [ tys; n ] -> (
+          match int_of_string_opt n with
+          | Some count -> (Ty.Ptr, Instr.Alloca (parse_ty ln tys, count))
+          | None -> error ln "bad alloca size %S" n)
+      | _ -> error ln "alloca needs a type and size")
+  | "load" -> (
+      match split_once ' ' rest with
+      | Some (tys, addr) -> (parse_ty ln tys, Instr.Load (parse_operand ln addr))
+      | None -> error ln "truncated load")
+  | "store" ->
+      let v, addr = two_operands ln rest in
+      (Ty.Void, Instr.Store (v, addr))
+  | "gep" ->
+      let base, idx = two_operands ln rest in
+      (Ty.Ptr, Instr.Gep (base, idx))
+  | "gaddr" ->
+      let g = strip rest in
+      if starts_with ~prefix:"@" g then (Ty.Ptr, Instr.Gaddr (after ~prefix:"@" g))
+      else error ln "gaddr expects @name"
+  | "call" -> (
+      (* call TY @name(args) *)
+      match split_once ' ' rest with
+      | Some (tys, callexpr) -> (
+          let ty = parse_ty ln tys in
+          match split_once '(' (strip callexpr) with
+          | Some (namepart, argspart) ->
+              let name = strip namepart in
+              if not (starts_with ~prefix:"@" name) then
+                error ln "call expects @name";
+              let args_str =
+                match split_once ')' argspart with
+                | Some (a, _) -> a
+                | None -> error ln "unterminated call argument list"
+              in
+              let args = List.map (parse_operand ln) (split_commas args_str) in
+              (ty, Instr.Call (after ~prefix:"@" name, args))
+          | None -> error ln "call needs an argument list")
+      | None -> error ln "truncated call")
+  | "phi" -> (
+      (* phi TY [bb0: %1], [bb2: 3:i32] *)
+      match split_once ' ' rest with
+      | Some (tys, entries) ->
+          let ty = parse_ty ln tys in
+          let entries = strip entries in
+          let incoming = ref [] in
+          let i = ref 0 in
+          let n = String.length entries in
+          while !i < n do
+            match String.index_from_opt entries !i '[' with
+            | None -> i := n
+            | Some op_start -> (
+                match String.index_from_opt entries op_start ']' with
+                | None -> error ln "unterminated phi entry"
+                | Some op_end ->
+                    let inner =
+                      String.sub entries (op_start + 1) (op_end - op_start - 1)
+                    in
+                    (match split_once ':' inner with
+                    | Some (l, v) ->
+                        incoming :=
+                          (parse_label ln l, parse_operand ln v) :: !incoming
+                    | None -> error ln "phi entry %S needs bbN: operand" inner);
+                    i := op_end + 1)
+          done;
+          (ty, Instr.Phi (List.rev !incoming))
+      | None -> error ln "truncated phi")
+  | "ci" -> (
+      (* ci 3 (%1, %2) — the result type is not printed; default I32.
+         The printer only emits ci for adapted binaries, whose types are
+         re-checked by the verifier on load. *)
+      match split_once ' ' rest with
+      | Some (id, argspart) -> (
+          match int_of_string_opt (strip id) with
+          | Some ci -> (
+              match split_once '(' argspart with
+              | Some (_, inner) ->
+                  let args_str =
+                    match split_once ')' inner with
+                    | Some (a, _) -> a
+                    | None -> error ln "unterminated ci arguments"
+                  in
+                  ( Ty.I32,
+                    Instr.Ci_call
+                      (ci, List.map (parse_operand ln) (split_commas args_str)) )
+              | None -> error ln "ci needs an argument list")
+          | None -> error ln "bad ci id")
+      | None -> error ln "truncated ci")
+  | op -> (
+      (* binop: "add i32 a, b"; cast: "trunc %5 to i8" *)
+      match Instr.binop_of_name op with
+      | Some binop -> (
+          match split_once ' ' rest with
+          | Some (tys, ops) ->
+              let a, b = two_operands ln ops in
+              (parse_ty ln tys, Instr.Binop (binop, a, b))
+          | None -> error ln "truncated %s" op)
+      | None -> (
+          match Instr.cast_of_name op with
+          | Some cast -> (
+              (* "<operand> to <ty>" *)
+              match split_once ' ' rest with
+              | Some (opnd, totys) ->
+                  let totys = strip totys in
+                  if starts_with ~prefix:"to " totys then
+                    ( parse_ty ln (after ~prefix:"to " totys),
+                      Instr.Cast (cast, parse_operand ln opnd) )
+                  else error ln "cast expects 'to TYPE'"
+              | None -> error ln "truncated cast")
+          | None -> error ln "unknown instruction %S" op))
+
+let parse_terminator ln (s : string) : Instr.terminator =
+  if s = "ret void" then Instr.Ret None
+  else if starts_with ~prefix:"ret " s then
+    Instr.Ret (Some (parse_operand ln (after ~prefix:"ret " s)))
+  else if starts_with ~prefix:"br " s then
+    Instr.Br (parse_label ln (after ~prefix:"br " s))
+  else if starts_with ~prefix:"condbr " s then (
+    match split_commas (after ~prefix:"condbr " s) with
+    | [ c; a; b ] ->
+        Instr.Cond_br (parse_operand ln c, parse_label ln a, parse_label ln b)
+    | _ -> error ln "condbr needs cond, bbA, bbB")
+  else if starts_with ~prefix:"switch " s then (
+    (* switch %5, bb0 [1: bb1, 2: bb2] *)
+    let body = after ~prefix:"switch " s in
+    match split_once '[' body with
+    | Some (head, casespart) -> (
+        let cases_str =
+          match split_once ']' casespart with
+          | Some (c, _) -> c
+          | None -> error ln "unterminated switch cases"
+        in
+        match split_commas head with
+        | [ scrut; default ] ->
+            let cases =
+              List.filter_map
+                (fun entry ->
+                  if strip entry = "" then None
+                  else
+                    match split_once ':' entry with
+                    | Some (v, l) -> (
+                        match Int64.of_string_opt (strip v) with
+                        | Some v -> Some (v, parse_label ln l)
+                        | None -> error ln "bad switch case value %S" v)
+                    | None -> error ln "bad switch case %S" entry)
+                (split_commas cases_str)
+            in
+            Instr.Switch (parse_operand ln scrut, parse_label ln default, cases)
+        | _ -> error ln "switch needs scrutinee and default")
+    | None -> error ln "switch needs a case list")
+  else error ln "unknown terminator %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Blocks, functions, globals                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_terminator_line s =
+  starts_with ~prefix:"ret" s
+  || starts_with ~prefix:"br " s
+  || starts_with ~prefix:"condbr " s
+  || starts_with ~prefix:"switch " s
+
+let parse_block st header : Block.t * int (* max reg id seen *) =
+  let ln = lineno st in
+  (* "bb3:" with an optional trailing comment holding the name *)
+  let label_part, name =
+    match split_once ';' header with
+    | Some (l, n) -> (strip l, strip n)
+    | None -> (strip header, "")
+  in
+  let label =
+    match split_once ':' label_part with
+    | Some (l, _) -> parse_label ln l
+    | None -> error ln "block header %S needs a colon" label_part
+  in
+  let instrs = ref [] in
+  let max_reg = ref 0 in
+  let see_reg r = if r > !max_reg then max_reg := r in
+  let term = ref None in
+  let finished = ref false in
+  while not !finished do
+    match peek st with
+    | None -> error (lineno st) "unterminated block bb%d" label
+    | Some raw ->
+        let s = strip raw in
+        if s = "" then ignore (next st)
+        else if is_terminator_line s then begin
+          ignore (next st);
+          term := Some (parse_terminator (lineno st) s);
+          finished := true
+        end
+        else if starts_with ~prefix:"%" s then begin
+          ignore (next st);
+          match split_once '=' s with
+          | Some (lhs, rhs) -> (
+              let lhs = strip lhs in
+              match int_of_string_opt (String.sub lhs 1 (String.length lhs - 1)) with
+              | Some id ->
+                  see_reg id;
+                  let ty, kind = parse_rhs (lineno st) (strip_comment (strip rhs)) in
+                  instrs := { Instr.id; ty; kind } :: !instrs
+              | None -> error (lineno st) "bad result register %S" lhs)
+          | None -> error (lineno st) "instruction %S has no '='" s
+        end
+        else if starts_with ~prefix:"store " s || starts_with ~prefix:"call " s
+        then begin
+          (* void instructions have no result register; allocate one at
+             finalize time (void ids are never referenced). *)
+          ignore (next st);
+          let ty, kind = parse_rhs (lineno st) s in
+          instrs := { Instr.id = -1; ty; kind } :: !instrs
+        end
+        else error (lineno st) "unexpected line in block: %S" s
+  done;
+  let term = Option.get !term in
+  let block = Block.create ~label ~name ~term in
+  Block.set_instrs block (List.rev !instrs);
+  (block, !max_reg)
+
+let parse_func st header : Func.t =
+  let ln = lineno st in
+  (* func TY @name(%0: ty, %1: ty) { *)
+  let body = strip (after ~prefix:"func " header) in
+  match split_once ' ' body with
+  | None -> error ln "malformed function header"
+  | Some (tys, rest) -> (
+      let ret_ty = parse_ty ln tys in
+      match split_once '(' rest with
+      | None -> error ln "function header needs a parameter list"
+      | Some (namepart, params_part) ->
+          let name = strip namepart in
+          if not (starts_with ~prefix:"@" name) then
+            error ln "function name must start with @";
+          let params_str =
+            match split_once ')' params_part with
+            | Some (p, _) -> p
+            | None -> error ln "unterminated parameter list"
+          in
+          let params =
+            List.map
+              (fun p ->
+                match split_once ':' p with
+                | Some (r, tys) -> (
+                    let r = strip r in
+                    match
+                      int_of_string_opt (String.sub r 1 (String.length r - 1))
+                    with
+                    | Some id -> (id, parse_ty ln tys)
+                    | None -> error ln "bad parameter register %S" r)
+                | None -> error ln "parameter %S needs a type" p)
+              (split_commas params_str)
+          in
+          let f =
+            Func.create ~name:(after ~prefix:"@" name) ~params ~ret_ty
+          in
+          let blocks = ref [] in
+          let max_reg = ref (List.length params) in
+          let finished = ref false in
+          while not !finished do
+            match next st with
+            | None -> error (lineno st) "unterminated function @%s" f.Func.name
+            | Some raw ->
+                let s = strip raw in
+                if s = "}" then finished := true
+                else if s = "" then ()
+                else if starts_with ~prefix:"bb" s then begin
+                  let block, mr = parse_block st s in
+                  if mr > !max_reg then max_reg := mr;
+                  blocks := block :: !blocks
+                end
+                else error (lineno st) "expected a block header, found %S" s
+          done;
+          (* Assign fresh ids to void instructions. *)
+          let next_id = ref (!max_reg + 1) in
+          let blocks =
+            List.rev_map
+              (fun (b : Block.t) ->
+                Block.set_instrs b
+                  (List.map
+                     (fun (i : Instr.t) ->
+                       if i.Instr.id = -1 then begin
+                         let id = !next_id in
+                         incr next_id;
+                         { i with Instr.id = id }
+                       end
+                       else i)
+                     b.Block.instrs);
+                b)
+              !blocks
+          in
+          f.Func.blocks <- Array.of_list blocks;
+          f.Func.next_reg <- !next_id;
+          (* blocks must be stored in label order *)
+          Array.sort
+            (fun (a : Block.t) b -> compare a.Block.label b.Block.label)
+            f.Func.blocks;
+          f)
+
+let parse_global ln s : Irmod.global =
+  (* global @name : ty[size] = zero | ints {..} | floats {..} *)
+  let body = strip (after ~prefix:"global " s) in
+  match split_once ':' body with
+  | None -> error ln "global %S needs a type" s
+  | Some (namepart, rest) -> (
+      let name = strip namepart in
+      if not (starts_with ~prefix:"@" name) then error ln "global name must start with @";
+      match split_once '=' rest with
+      | None -> error ln "global %S needs an initializer" s
+      | Some (typart, initpart) -> (
+          let typart = strip typart in
+          match split_once '[' typart with
+          | None -> error ln "global type %S needs a [size]" typart
+          | Some (tys, sizepart) ->
+              let gty = parse_ty ln tys in
+              let gsize =
+                match split_once ']' sizepart with
+                | Some (n, _) -> (
+                    match int_of_string_opt (strip n) with
+                    | Some v -> v
+                    | None -> error ln "bad global size %S" n)
+                | None -> error ln "unterminated global size"
+              in
+              let initpart = strip initpart in
+              let ginit =
+                if initpart = "zero" then Irmod.Zero
+                else
+                  let values () =
+                    match split_once '{' initpart with
+                    | Some (_, inner) -> (
+                        match split_once '}' inner with
+                        | Some (vals, _) -> split_commas vals
+                        | None -> error ln "unterminated initializer")
+                    | None -> error ln "initializer needs braces"
+                  in
+                  if starts_with ~prefix:"ints" initpart then
+                    Irmod.Ints
+                      (Array.of_list
+                         (List.map
+                            (fun v ->
+                              match Int64.of_string_opt v with
+                              | Some i -> i
+                              | None -> error ln "bad int initializer %S" v)
+                            (values ())))
+                  else if starts_with ~prefix:"floats" initpart then
+                    Irmod.Floats
+                      (Array.of_list
+                         (List.map
+                            (fun v ->
+                              match float_of_string_opt v with
+                              | Some f -> f
+                              | None -> error ln "bad float initializer %S" v)
+                            (values ())))
+                  else error ln "unknown initializer %S" initpart
+              in
+              {
+                Irmod.gname = after ~prefix:"@" name;
+                gty;
+                gsize;
+                ginit;
+              }))
+
+(** Parse a module in {!Printer} format.
+    @raise Error with a line number on malformed input. *)
+let parse_module (text : string) : Irmod.t =
+  let st = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
+  let name = ref "parsed" in
+  let m = ref None in
+  let ensure_module () =
+    match !m with
+    | Some modul -> modul
+    | None ->
+        let modul = Irmod.create ~name:!name in
+        m := Some modul;
+        modul
+  in
+  let finished = ref false in
+  while not !finished do
+    match next st with
+    | None -> finished := true
+    | Some raw ->
+        let s = strip raw in
+        if s = "" then ()
+        else if starts_with ~prefix:"module " s then begin
+          name := strip (after ~prefix:"module " s);
+          match !m with
+          | None -> ignore (ensure_module ())
+          | Some _ -> error (lineno st) "duplicate module header"
+        end
+        else if starts_with ~prefix:"global " s then
+          Irmod.add_global (ensure_module ()) (parse_global (lineno st) s)
+        else if starts_with ~prefix:"func " s then
+          Irmod.add_func (ensure_module ()) (parse_func st s)
+        else error (lineno st) "unexpected top-level line %S" s
+  done;
+  ensure_module ()

@@ -1,0 +1,1 @@
+lib/ise/candidate.ml: Array Buffer Format Hashtbl Jitise_ir Jitise_util List Printf String

@@ -1,0 +1,1 @@
+lib/ise/maxmiso.ml: Array Candidate Hashtbl Jitise_ir List Queue

@@ -1,0 +1,1 @@
+lib/ise/prune.ml: Int64 Jitise_ir Jitise_vm List Printf Scanf

@@ -1,0 +1,1 @@
+lib/ise/select.ml: Candidate Int64 Jitise_ir Jitise_pivpav Jitise_vm List Split

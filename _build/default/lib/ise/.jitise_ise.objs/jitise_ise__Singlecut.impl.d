@@ -1,0 +1,1 @@
+lib/ise/singlecut.ml: Array Candidate Hashtbl Jitise_ir Jitise_pivpav List

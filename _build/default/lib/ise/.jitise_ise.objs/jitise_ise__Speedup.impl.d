@@ -1,0 +1,1 @@
+lib/ise/speedup.ml: Float Format List Select

@@ -1,0 +1,1 @@
+lib/ise/split.ml: Array Candidate Hashtbl Jitise_ir List

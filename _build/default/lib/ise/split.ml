@@ -1,0 +1,130 @@
+(** Input-constrained MISO decomposition.
+
+    Architectures with hard limits on register-file read ports cannot
+    encode candidates with many inputs.  Instead of rejecting a large
+    MAXMISO outright, this pass decomposes it into sub-MISOs that each
+    respect the input bound: the cone is traversed bottom-up and every
+    node is greedily merged with its in-cone operand subtrees as long as
+    the merged input count stays within [max_inputs]; operand subtrees
+    that do not fit are emitted as candidates of their own and count as
+    one input to their consumer.
+
+    Woolcano itself tolerates wide candidates through multi-word APU
+    operand transfer (see {!Jitise_pivpav.Estimator.transfer_cycles}),
+    so the default flow does not split — the pass exists for the
+    port-constrained ablation and for users targeting stricter
+    interfaces. *)
+
+module Ir = Jitise_ir
+
+(* For each node of the cone (in instruction order, which is
+   topological), compute the greedy group assignment. *)
+let decompose (dfg : Ir.Dfg.t) ~max_inputs (candidate : Candidate.t) :
+    Candidate.t list =
+  let nodes = candidate.Candidate.nodes in
+  if candidate.Candidate.num_inputs <= max_inputs then [ candidate ]
+  else begin
+    let inset = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace inset n ()) nodes;
+    (* group id of each cone node; groups are represented by their root
+       node id *)
+    let group_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    (* external register inputs of each group *)
+    let inputs_of : (int, (Ir.Instr.reg, unit) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    (* members of each group *)
+    let members_of : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let reg_inputs n =
+      (* register operands of node n that are not produced inside the
+         cone: either block-external or produced by another group *)
+      List.filter_map
+        (function
+          | Ir.Instr.Const _ -> None
+          | Ir.Instr.Reg r -> Some r)
+        (Ir.Instr.operands dfg.Ir.Dfg.nodes.(n).Ir.Dfg.instr.Ir.Instr.kind)
+    in
+    List.iter
+      (fun n ->
+        (* start a fresh group holding n and its direct external reads *)
+        let inputs = Hashtbl.create 4 in
+        let members = ref [ n ] in
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt dfg.Ir.Dfg.by_reg r with
+            | Some p when Hashtbl.mem inset p -> ()
+            | _ -> Hashtbl.replace inputs r ())
+          (reg_inputs n);
+        (* classify in-cone operand subtrees: every subtree root's
+           output initially counts as one input of n's group (pre-
+           charged, so the bound is invariant); a successful merge
+           swaps that output for the subtree's own inputs *)
+        let in_cone_preds =
+          List.filter (fun p -> Hashtbl.mem inset p)
+            dfg.Ir.Dfg.nodes.(n).Ir.Dfg.preds
+        in
+        let absorbable =
+          List.filter
+            (fun p ->
+              let pgroup = Hashtbl.find group_of p in
+              let proot_node = dfg.Ir.Dfg.nodes.(pgroup) in
+              (not proot_node.Ir.Dfg.external_uses)
+              && proot_node.Ir.Dfg.succs = [ n ])
+            in_cone_preds
+        in
+        List.iter
+          (fun p ->
+            let pgroup = Hashtbl.find group_of p in
+            Hashtbl.replace inputs
+              dfg.Ir.Dfg.nodes.(pgroup).Ir.Dfg.instr.Ir.Instr.id ())
+          in_cone_preds;
+        List.iter
+          (fun p ->
+            let pgroup = Hashtbl.find group_of p in
+            let proot_out = dfg.Ir.Dfg.nodes.(pgroup).Ir.Dfg.instr.Ir.Instr.id in
+            (* skip if this subtree was already merged via another
+               operand edge *)
+            if Hashtbl.mem inputs_of pgroup && Hashtbl.mem inputs proot_out
+            then begin
+              let pinputs = Hashtbl.find inputs_of pgroup in
+              let merged = Hashtbl.copy inputs in
+              Hashtbl.remove merged proot_out;
+              Hashtbl.iter (fun r () -> Hashtbl.replace merged r ()) pinputs;
+              if Hashtbl.length merged <= max_inputs then begin
+                (* merge pgroup into n's group *)
+                Hashtbl.reset inputs;
+                Hashtbl.iter (fun r () -> Hashtbl.replace inputs r ()) merged;
+                let pmembers = Hashtbl.find members_of pgroup in
+                members := pmembers @ !members;
+                List.iter (fun m -> Hashtbl.replace group_of m n) pmembers;
+                Hashtbl.remove inputs_of pgroup;
+                Hashtbl.remove members_of pgroup
+              end
+            end)
+          absorbable;
+        Hashtbl.replace group_of n n;
+        Hashtbl.replace inputs_of n inputs;
+        Hashtbl.replace members_of n !members)
+      nodes;
+    (* materialize groups as candidates, instruction order preserved *)
+    Hashtbl.fold (fun root members acc -> (root, members) :: acc) members_of []
+    |> List.sort compare
+    |> List.map (fun (_, members) ->
+           Candidate.make dfg ~func:candidate.Candidate.func members)
+  end
+
+(** Decompose every candidate of a list under [max_inputs]; candidates
+    already within the bound pass through unchanged.  [min_size] drops
+    fragments smaller than the given size (default 2), and fragments
+    that still exceed the bound (a single instruction can have more
+    register operands than the architecture offers read ports) are
+    dropped as unimplementable. *)
+let constrain ?(min_size = 2) (dfg_of : Candidate.t -> Ir.Dfg.t) ~max_inputs
+    candidates =
+  List.concat_map
+    (fun c ->
+      decompose (dfg_of c) ~max_inputs c
+      |> List.filter (fun c ->
+             c.Candidate.size >= min_size
+             && c.Candidate.num_inputs <= max_inputs))
+    candidates

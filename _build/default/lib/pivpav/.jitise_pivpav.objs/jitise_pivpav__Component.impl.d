@@ -1,0 +1,1 @@
+lib/pivpav/component.ml: Format Jitise_ir Printf

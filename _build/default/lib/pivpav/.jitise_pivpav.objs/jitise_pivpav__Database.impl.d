@@ -1,0 +1,1 @@
+lib/pivpav/database.ml: Buffer Component Hashtbl Jitise_ir Jitise_util Lazy List Metrics Option Printf String

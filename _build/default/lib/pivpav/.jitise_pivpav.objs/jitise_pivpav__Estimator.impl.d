@@ -1,0 +1,1 @@
+lib/pivpav/estimator.ml: Array Database Hashtbl Jitise_ir List Metrics Option

@@ -1,0 +1,1 @@
+lib/pivpav/metrics.ml: Format List

@@ -1,0 +1,1 @@
+lib/util/duration.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/util/texttable.ml: Array Buffer List Printf String

@@ -1,0 +1,87 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let mean_arr a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stdev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let logs =
+        List.map
+          (fun x ->
+            if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+            else log x)
+          xs
+      in
+      exp (mean logs)
+
+let sorted xs = List.sort compare xs
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list (sorted xs) in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+      let a = Array.of_list (sorted xs) in
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let weighted_mean wxs =
+  let wsum = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 wxs in
+  if wsum = 0.0 then 0.0
+  else List.fold_left (fun acc (w, x) -> acc +. (w *. x)) 0.0 wxs /. wsum
+
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize = function
+  | [] -> { n = 0; mean = 0.0; stdev = 0.0; min = 0.0; max = 0.0; median = 0.0 }
+  | xs ->
+      {
+        n = List.length xs;
+        mean = mean xs;
+        stdev = stdev xs;
+        min = minimum xs;
+        max = maximum xs;
+        median = median xs;
+      }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
+    s.mean s.stdev s.min s.median s.max

@@ -1,0 +1,1 @@
+lib/vm/jit_model.ml: Jitise_ir

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Float Hashtbl Int64 Jit_model Jitise_ir List Memory Option Printf Profile

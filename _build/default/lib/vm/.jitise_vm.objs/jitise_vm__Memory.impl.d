@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Array Hashtbl Int64 Jitise_ir List Printf

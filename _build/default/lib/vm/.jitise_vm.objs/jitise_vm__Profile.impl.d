@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Hashtbl Int64 Jitise_ir List Option

@@ -1,0 +1,342 @@
+(** The bitcode virtual machine.
+
+    An SSA interpreter with cycle accounting.  One run simultaneously
+    accumulates two clocks:
+
+    - [native_cycles]: the cost of the program under static compilation
+      (the paper's "Native" column), from {!Jitise_ir.Cost};
+    - [vm_cycles]: the cost under the VM's JIT execution model
+      ({!Jit_model}), the paper's "VM" column.
+
+    The machine also records the block-frequency {!Profile} and executes
+    custom-instruction calls ([Ci_call]) through a registry that charges
+    the hardware latency of the reconfigurable functional unit instead
+    of the software cycles — which is how adapted binaries are timed on
+    the Woolcano model. *)
+
+module Ir = Jitise_ir
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Custom instruction registry                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ci_impl = {
+  ci_eval : Ir.Eval.value array -> Ir.Eval.value;
+      (** functional semantics of the custom instruction *)
+  ci_cycles : int;
+      (** CPU cycles one invocation takes on the custom functional
+          unit, including the instruction-interface overhead *)
+}
+
+type ci_registry = (int, ci_impl) Hashtbl.t
+
+let empty_cis () : ci_registry = Hashtbl.create 8
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let intrinsic name (args : Ir.Eval.value array) : Ir.Eval.value =
+  let f1 op =
+    if Array.length args <> 1 then fault "intrinsic %s: arity" name
+    else Ir.Eval.VFloat (op (Ir.Eval.as_float args.(0)))
+  in
+  let i1 op =
+    if Array.length args <> 1 then fault "intrinsic %s: arity" name
+    else Ir.Eval.VInt (op (Ir.Eval.as_int args.(0)))
+  in
+  let i2 op =
+    if Array.length args <> 2 then fault "intrinsic %s: arity" name
+    else
+      Ir.Eval.VInt (op (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1)))
+  in
+  match name with
+  | "sqrt" -> f1 sqrt
+  | "sin" -> f1 sin
+  | "cos" -> f1 cos
+  | "atan" -> f1 atan
+  | "exp" -> f1 exp
+  | "log" -> f1 log
+  | "fabs" -> f1 abs_float
+  | "floor" -> f1 floor
+  | "pow" ->
+      if Array.length args <> 2 then fault "intrinsic pow: arity"
+      else
+        Ir.Eval.VFloat
+          (Float.pow (Ir.Eval.as_float args.(0)) (Ir.Eval.as_float args.(1)))
+  | "abs" -> i1 Int64.abs
+  | "min" -> i2 min
+  | "max" -> i2 max
+  | _ -> fault "unknown function @%s" name
+
+let is_intrinsic = function
+  | "sqrt" | "sin" | "cos" | "atan" | "exp" | "log" | "fabs" | "floor"
+  | "pow" | "abs" | "min" | "max" ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Prepared module                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-block static data, computed once per run.  [exec_count] is the
+   run-local profile counter (folded into a Profile at the end — much
+   cheaper than a hashtable update per block execution). *)
+type block_info = {
+  instrs : Ir.Instr.t array;
+  term : Ir.Instr.terminator;
+  ninstrs : int;
+  static_cycles : int;  (* excludes user-call callees and CI latencies *)
+  mutable exec_count : int64;
+}
+
+type func_info = {
+  func : Ir.Func.t;
+  blocks : block_info array;
+  reg_tys : Ir.Ty.t array;  (* type of each register, Void if undefined *)
+}
+
+let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
+  let is_user_func name = Ir.Irmod.find_func m name <> None in
+  let reg_tys = Array.make (max 1 f.Ir.Func.next_reg) Ir.Ty.Void in
+  List.iter (fun (r, ty) -> reg_tys.(r) <- ty) f.Ir.Func.params;
+  Ir.Func.iter_instrs
+    (fun _ (i : Ir.Instr.t) ->
+      if i.Ir.Instr.id < Array.length reg_tys then
+        reg_tys.(i.Ir.Instr.id) <- i.Ir.Instr.ty)
+    f;
+  let blocks =
+    Array.map
+      (fun (b : Ir.Block.t) ->
+        let instrs = Array.of_list b.Ir.Block.instrs in
+        let static_cycles =
+          Array.fold_left
+            (fun acc (i : Ir.Instr.t) ->
+              acc
+              +
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Call (name, _) when is_user_func name ->
+                  Ir.Cost.call_linkage_cycles
+              | kind -> Ir.Cost.cycles kind)
+            0 instrs
+          + Ir.Cost.terminator_cycles b.Ir.Block.term
+        in
+        {
+          instrs;
+          term = b.Ir.Block.term;
+          ninstrs = Array.length instrs;
+          static_cycles;
+          exec_count = 0L;
+        })
+      f.Ir.Func.blocks
+  in
+  { func = f; blocks; reg_tys }
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  ret : Ir.Eval.value option;
+  native_cycles : float;
+  vm_cycles : float;
+  profile : Profile.t;
+  memory : Memory.t;
+}
+
+(** Simulated seconds for a cycle count, at the PowerPC 405 clock. *)
+let seconds_of_cycles c = c *. Ir.Cost.cycle_time
+
+type state = {
+  funcs : (string, func_info) Hashtbl.t;
+  memory : Memory.t;
+  jit : Jit_model.t;
+  cis : ci_registry;
+  mutable native : float;
+  mutable vm : float;
+  mutable fuel : int64;  (* remaining dynamic instructions; negative = out *)
+}
+
+let value_of_operand regs = function
+  | Ir.Instr.Const c -> Ir.Eval.of_const c
+  | Ir.Instr.Reg r -> regs.(r)
+
+let rec exec_func st (fi : func_info) (args : Ir.Eval.value array) :
+    Ir.Eval.value option =
+  let f = fi.func in
+  if Array.length args <> List.length f.Ir.Func.params then
+    fault "@%s: expected %d arguments, got %d" f.Ir.Func.name
+      (List.length f.Ir.Func.params)
+      (Array.length args);
+  let regs = Array.make (max 1 f.Ir.Func.next_reg) (Ir.Eval.VInt 0L) in
+  Array.iteri (fun i v -> regs.(i) <- v) args;
+  let frame_mark = Memory.mark st.memory in
+  let finish v =
+    Memory.release st.memory frame_mark;
+    v
+  in
+  let cur = ref Ir.Func.entry_label in
+  let prev = ref (-1) in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    let bi = fi.blocks.(!cur) in
+    (* Fuel. *)
+    st.fuel <- Int64.sub st.fuel (Int64.of_int (bi.ninstrs + 1));
+    if st.fuel < 0L then fault "execution budget exhausted in @%s" f.Ir.Func.name;
+    (* Profile and clocks.  [prior] is the pre-increment count used by
+       the JIT warm-up model. *)
+    let prior = bi.exec_count in
+    bi.exec_count <- Int64.add prior 1L;
+    st.native <- st.native +. float_of_int bi.static_cycles;
+    st.vm <-
+      st.vm
+      +. Jit_model.block_execution_cycles st.jit ~prior ~ninstrs:bi.ninstrs
+           ~native_cycles:bi.static_cycles;
+    (* Phis first, read atomically. *)
+    let n = Array.length bi.instrs in
+    let phi_count = ref 0 in
+    (try
+       while !phi_count < n do
+         match bi.instrs.(!phi_count).Ir.Instr.kind with
+         | Ir.Instr.Phi _ -> incr phi_count
+         | _ -> raise Exit
+       done
+     with Exit -> ());
+    if !phi_count > 0 then begin
+      let staged = Array.make !phi_count (Ir.Eval.VInt 0L) in
+      for k = 0 to !phi_count - 1 do
+        match bi.instrs.(k).Ir.Instr.kind with
+        | Ir.Instr.Phi incoming -> (
+            match List.assoc_opt !prev incoming with
+            | Some op -> staged.(k) <- value_of_operand regs op
+            | None ->
+                fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+                  f.Ir.Func.name !cur !prev)
+        | _ -> assert false
+      done;
+      for k = 0 to !phi_count - 1 do
+        regs.(bi.instrs.(k).Ir.Instr.id) <- staged.(k)
+      done
+    end;
+    (* Straight-line body. *)
+    for k = !phi_count to n - 1 do
+      let i = bi.instrs.(k) in
+      let v op = value_of_operand regs op in
+      let set x = regs.(i.Ir.Instr.id) <- x in
+      try
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Phi _ ->
+            fault "@%s/bb%d: phi after non-phi" f.Ir.Func.name !cur
+        | Ir.Instr.Binop (op, a, b) ->
+            set (Ir.Eval.eval_binop i.Ir.Instr.ty op (v a) (v b))
+        | Ir.Instr.Icmp (p, a, b) -> set (Ir.Eval.eval_icmp p (v a) (v b))
+        | Ir.Instr.Fcmp (p, a, b) -> set (Ir.Eval.eval_fcmp p (v a) (v b))
+        | Ir.Instr.Cast (c, a) ->
+            let from_ =
+              match a with
+              | Ir.Instr.Const cst -> Ir.Instr.const_ty cst
+              | Ir.Instr.Reg r -> fi.reg_tys.(r)
+            in
+            set (Ir.Eval.eval_cast c ~from_ ~to_:i.Ir.Instr.ty (v a))
+        | Ir.Instr.Select (c, a, b) ->
+            set (Ir.Eval.eval_select (v c) (v a) (v b))
+        | Ir.Instr.Alloca (_, count) ->
+            set (Ir.Eval.VPtr (Memory.alloc st.memory count))
+        | Ir.Instr.Load a -> set (Memory.load st.memory (Ir.Eval.as_ptr (v a)))
+        | Ir.Instr.Store (x, a) ->
+            Memory.store st.memory (Ir.Eval.as_ptr (v a)) (v x)
+        | Ir.Instr.Gep (base, idx) ->
+            set
+              (Ir.Eval.VPtr
+                 (Ir.Eval.as_ptr (v base) + Int64.to_int (Ir.Eval.as_int (v idx))))
+        | Ir.Instr.Gaddr g -> set (Ir.Eval.VPtr (Memory.global_base st.memory g))
+        | Ir.Instr.Call (name, argops) -> (
+            let argv = Array.of_list (List.map v argops) in
+            match Hashtbl.find_opt st.funcs name with
+            | Some callee -> (
+                match exec_func st callee argv with
+                | Some r -> set r
+                | None -> ())
+            | None ->
+                if is_intrinsic name then set (intrinsic name argv)
+                else fault "call to unknown function @%s" name)
+        | Ir.Instr.Ci_call (ci, argops) -> (
+            match Hashtbl.find_opt st.cis ci with
+            | Some impl ->
+                let argv = Array.of_list (List.map v argops) in
+                set (impl.ci_eval argv);
+                st.native <- st.native +. float_of_int impl.ci_cycles;
+                st.vm <- st.vm +. float_of_int impl.ci_cycles
+            | None -> fault "custom instruction #%d is not configured" ci)
+      with
+      | Ir.Eval.Division_by_zero ->
+          fault "@%s/bb%d: division by zero" f.Ir.Func.name !cur
+      | Ir.Eval.Type_error m -> fault "@%s/bb%d: %s" f.Ir.Func.name !cur m
+      | Memory.Bad_address a ->
+          fault "@%s/bb%d: bad address %d" f.Ir.Func.name !cur a
+      | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name
+    done;
+    (* Terminator. *)
+    (match bi.term with
+    | Ir.Instr.Ret op ->
+        result := Option.map (value_of_operand regs) op;
+        running := false
+    | Ir.Instr.Br l ->
+        prev := !cur;
+        cur := l
+    | Ir.Instr.Cond_br (c, a, b) ->
+        prev := !cur;
+        cur := (if Ir.Eval.is_true (value_of_operand regs c) then a else b)
+    | Ir.Instr.Switch (s, default, cases) ->
+        let sv = Ir.Eval.as_int (value_of_operand regs s) in
+        prev := !cur;
+        cur :=
+          (match List.assoc_opt sv cases with Some l -> l | None -> default))
+  done;
+  finish !result
+
+(** Run [entry] with scalar [args].
+
+    @param fuel maximum dynamic instructions (default 4e9)
+    @param jit VM cost model (default {!Jit_model.default})
+    @param cis configured custom instructions (default none)
+    @raise Fault on any runtime error. *)
+let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
+    ?(cis = empty_cis ()) (m : Ir.Irmod.t) ~entry
+    ~(args : Ir.Eval.value list) : outcome =
+  let memory = Memory.create () in
+  Memory.load_globals memory m;
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Hashtbl.replace funcs f.Ir.Func.name (prepare_func m f))
+    m.Ir.Irmod.funcs;
+  let st = { funcs; memory; jit; cis; native = 0.0; vm = 0.0; fuel } in
+  (* Whole-module dynamic translation at load time. *)
+  st.vm <-
+    st.vm
+    +. Jit_model.module_translation_cycles jit
+         ~module_instrs:(Ir.Irmod.num_instrs m);
+  let fi =
+    match Hashtbl.find_opt funcs entry with
+    | Some fi -> fi
+    | None -> fault "entry function @%s not found" entry
+  in
+  let ret = exec_func st fi (Array.of_list args) in
+  (* Fold the run-local counters into a profile. *)
+  let profile = Profile.create () in
+  Hashtbl.iter
+    (fun name (fi : func_info) ->
+      Array.iteri
+        (fun label bi ->
+          if bi.exec_count > 0L then
+            Profile.record profile ~func:name ~label ~count:bi.exec_count
+              ~instrs:bi.ninstrs)
+        fi.blocks)
+    funcs;
+  { ret; native_cycles = st.native; vm_cycles = st.vm; profile; memory }

@@ -1,0 +1,126 @@
+(** Cell-addressed VM memory.
+
+    Memory is a flat, growable array of scalar cells.  The loader lays
+    out module globals from address 1 upward (address 0 is reserved so
+    that a null pointer never aliases a global); the stack for allocas
+    grows above the globals.  One cell holds one scalar regardless of
+    width — address arithmetic in the IR is in cells, which keeps the
+    model simple without affecting anything the ISE study measures. *)
+
+module Ir = Jitise_ir
+
+type t = {
+  mutable cells : Ir.Eval.value array;
+  mutable stack_pointer : int;  (** next free cell *)
+  globals : (string, int) Hashtbl.t;  (** global name -> base address *)
+  limit : int;  (** hard cap on memory growth, in cells *)
+}
+
+exception Out_of_memory
+exception Bad_address of int
+
+let default_limit = 1 lsl 24  (* 16 M cells *)
+
+let create ?(limit = default_limit) () =
+  {
+    cells = Array.make 1024 (Ir.Eval.VInt 0L);
+    stack_pointer = 1;
+    globals = Hashtbl.create 16;
+    limit;
+  }
+
+let ensure t addr =
+  if addr < 0 then raise (Bad_address addr);
+  if addr >= Array.length t.cells then begin
+    if addr >= t.limit then raise Out_of_memory;
+    let new_len = min t.limit (max (addr + 1) (2 * Array.length t.cells)) in
+    let cells = Array.make new_len (Ir.Eval.VInt 0L) in
+    Array.blit t.cells 0 cells 0 (Array.length t.cells);
+    t.cells <- cells
+  end
+
+let load t addr =
+  if addr <= 0 || addr >= t.stack_pointer then raise (Bad_address addr);
+  if addr < Array.length t.cells then t.cells.(addr) else Ir.Eval.VInt 0L
+
+let store t addr v =
+  if addr <= 0 || addr >= t.stack_pointer then raise (Bad_address addr);
+  ensure t addr;
+  t.cells.(addr) <- v
+
+(** Reserve [n] cells and return their base address. *)
+let alloc t n =
+  if n <= 0 then invalid_arg "Memory.alloc: non-positive size";
+  let base = t.stack_pointer in
+  t.stack_pointer <- base + n;
+  ensure t (t.stack_pointer - 1);
+  base
+
+(** Current stack mark, for frame save/restore. *)
+let mark t = t.stack_pointer
+
+(** Pop the stack back to a previous {!mark}. *)
+let release t m = t.stack_pointer <- m
+
+let zero_value (ty : Ir.Ty.t) =
+  if Ir.Ty.is_float ty then Ir.Eval.VFloat 0.0 else Ir.Eval.VInt 0L
+
+(** Lay out and initialize all globals of a module. *)
+let load_globals t (m : Ir.Irmod.t) =
+  List.iter
+    (fun (g : Ir.Irmod.global) ->
+      let base = alloc t g.Ir.Irmod.gsize in
+      Hashtbl.replace t.globals g.Ir.Irmod.gname base;
+      (match g.Ir.Irmod.ginit with
+      | Ir.Irmod.Zero ->
+          for i = 0 to g.Ir.Irmod.gsize - 1 do
+            t.cells.(base + i) <- zero_value g.Ir.Irmod.gty
+          done
+      | Ir.Irmod.Ints a ->
+          for i = 0 to g.Ir.Irmod.gsize - 1 do
+            let v = if i < Array.length a then a.(i) else 0L in
+            t.cells.(base + i) <-
+              Ir.Eval.VInt (Ir.Eval.normalize g.Ir.Irmod.gty v)
+          done
+      | Ir.Irmod.Floats a ->
+          for i = 0 to g.Ir.Irmod.gsize - 1 do
+            let v = if i < Array.length a then a.(i) else 0.0 in
+            t.cells.(base + i) <-
+              Ir.Eval.VFloat (Ir.Eval.round_float g.Ir.Irmod.gty v)
+          done))
+    m.Ir.Irmod.globals
+
+let global_base t name =
+  match Hashtbl.find_opt t.globals name with
+  | Some base -> base
+  | None -> invalid_arg (Printf.sprintf "Memory.global_base: unknown global %s" name)
+
+(** Read [len] cells of a global as floats (for checksumming results in
+    tests and workload validation). *)
+let read_global_floats t name len =
+  let base = global_base t name in
+  Array.init len (fun i ->
+      match load t (base + i) with
+      | Ir.Eval.VFloat v -> v
+      | Ir.Eval.VInt v -> Int64.to_float v
+      | Ir.Eval.VPtr p -> float_of_int p)
+
+(** Read [len] cells of a global as ints. *)
+let read_global_ints t name len =
+  let base = global_base t name in
+  Array.init len (fun i ->
+      match load t (base + i) with
+      | Ir.Eval.VInt v -> v
+      | Ir.Eval.VFloat v -> Int64.of_float v
+      | Ir.Eval.VPtr p -> Int64.of_int p)
+
+(** Overwrite a global's cells with integer data (workload dataset
+    injection). *)
+let write_global_ints t name data =
+  let base = global_base t name in
+  Array.iteri (fun i v -> store t (base + i) (Ir.Eval.VInt v)) data
+
+(** Overwrite a global's cells with float data. *)
+let write_global_floats t name data =
+  let base = global_base t name in
+  Array.iteri (fun i v -> store t (base + i) (Ir.Eval.VFloat v)) data

@@ -1,0 +1,72 @@
+(** Execution profiles.
+
+    The VM records how often every basic block executes.  Profiles
+    drive everything downstream: the pruning filter ranks blocks by
+    dynamic cost, the coverage analysis classifies code as
+    live/dead/constant across datasets, and the break-even model weighs
+    candidate savings by block frequency. *)
+
+module Ir = Jitise_ir
+
+type key = string * Ir.Instr.label  (** function name, block label *)
+
+type t = {
+  counts : (key, int64) Hashtbl.t;
+  mutable executed_instrs : int64;  (** dynamic IR instruction count *)
+}
+
+let create () = { counts = Hashtbl.create 256; executed_instrs = 0L }
+
+let bump t ~func ~label ~instrs =
+  let key = (func, label) in
+  let prev = Option.value ~default:0L (Hashtbl.find_opt t.counts key) in
+  Hashtbl.replace t.counts key (Int64.add prev 1L);
+  t.executed_instrs <- Int64.add t.executed_instrs (Int64.of_int instrs)
+
+(** Add [count] executions of a block at once (bulk import from the
+    VM's run-local counters). *)
+let record t ~func ~label ~count ~instrs =
+  let key = (func, label) in
+  let prev = Option.value ~default:0L (Hashtbl.find_opt t.counts key) in
+  Hashtbl.replace t.counts key (Int64.add prev count);
+  t.executed_instrs <-
+    Int64.add t.executed_instrs (Int64.mul count (Int64.of_int instrs))
+
+let count t ~func ~label =
+  Option.value ~default:0L (Hashtbl.find_opt t.counts (func, label))
+
+let iter f t = Hashtbl.iter (fun (fn, l) c -> f ~func:fn ~label:l ~count:c) t.counts
+
+(** All profiled (function, label, count) triples, sorted for
+    determinism. *)
+let to_list t =
+  Hashtbl.fold (fun (fn, l) c acc -> (fn, l, c) :: acc) t.counts []
+  |> List.sort compare
+
+(** Merge [src] into [dst] (summing counts). *)
+let merge ~into:dst src =
+  Hashtbl.iter
+    (fun key c ->
+      let prev = Option.value ~default:0L (Hashtbl.find_opt dst.counts key) in
+      Hashtbl.replace dst.counts key (Int64.add prev c))
+    src.counts;
+  dst.executed_instrs <- Int64.add dst.executed_instrs src.executed_instrs
+
+(** Total software cycles attributed to each block of [m] under this
+    profile: [freq * block_cycles].  Returns a sorted association list
+    from (func, label) to cycles, heaviest first. *)
+let block_costs t (m : Ir.Irmod.t) =
+  let costs = ref [] in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          let freq = count t ~func:f.Ir.Func.name ~label:b.Ir.Block.label in
+          if freq > 0L then
+            let cycles =
+              Int64.mul freq (Int64.of_int (Ir.Cost.block_cycles b))
+            in
+            costs := ((f.Ir.Func.name, b.Ir.Block.label), cycles) :: !costs)
+        f)
+    m.Ir.Irmod.funcs;
+  List.sort (fun (_, a) (_, b) -> Int64.compare b a) !costs

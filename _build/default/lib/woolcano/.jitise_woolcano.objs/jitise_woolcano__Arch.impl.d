@@ -1,0 +1,1 @@
+lib/woolcano/arch.ml: Jitise_cad Jitise_ir

@@ -1,0 +1,1 @@
+lib/woolcano/asip.ml: Arch Array Jitise_cad Jitise_ise List Option Printf

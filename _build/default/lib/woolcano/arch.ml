@@ -1,0 +1,34 @@
+(** The Woolcano reconfigurable ASIP architecture.
+
+    Woolcano [Grad & Plessl, ERSA'09] couples the PowerPC 405 hard core
+    of a Xilinx Virtex-4 FX with user-defined instruction (UDI) slots
+    implemented in the FPGA fabric and connected through the Auxiliary
+    Processor Unit (APU).  Slots are runtime-replaceable via partial
+    reconfiguration over the ICAP port.  This module captures the
+    architectural constants the simulation depends on. *)
+
+type t = {
+  core_clock_hz : float;        (** PowerPC 405 clock *)
+  udi_slots : int;              (** concurrently loadable instructions *)
+  max_ci_inputs : int;          (** register operands per UDI (via multi-word APU transfer) *)
+  slot_lut_capacity : int;      (** area ceiling of one slot *)
+  icap_bytes_per_second : float; (** partial-reconfiguration bandwidth *)
+  reconfig_setup_seconds : float; (** driver + ICAP setup per load *)
+}
+
+(** The platform evaluated in the paper: Virtex-4 FX100, 300 MHz 405
+    core, APU-attached UDIs. *)
+let default =
+  {
+    core_clock_hz = Jitise_ir.Cost.clock_hz;
+    udi_slots = 8;
+    max_ci_inputs = 16;
+    slot_lut_capacity = 8_192;
+    icap_bytes_per_second = 66.0e6;  (* ICAP at 66 MHz, 8-bit on V4 *)
+    reconfig_setup_seconds = 0.002;
+  }
+
+(** Seconds to load one partial bitstream into a slot. *)
+let reconfiguration_seconds t (b : Jitise_cad.Bitstream.t) =
+  t.reconfig_setup_seconds
+  +. (float_of_int b.Jitise_cad.Bitstream.size_bytes /. t.icap_bytes_per_second)

@@ -1,0 +1,94 @@
+(** Runtime state of the reconfigurable ASIP.
+
+    Tracks which custom instructions currently occupy the UDI slots,
+    performs (simulated) partial reconfiguration with LRU eviction, and
+    accumulates the reconfiguration time — part of the adaptation cost
+    in the end-to-end overhead accounting. *)
+
+module Ise = Jitise_ise
+module Cad = Jitise_cad
+
+type slot = {
+  mutable occupant : Cad.Bitstream.t option;
+  mutable last_use : int;  (** logical clock for LRU *)
+}
+
+type t = {
+  arch : Arch.t;
+  slots : slot array;
+  mutable clock : int;
+  mutable reconfig_seconds : float;  (** cumulative reconfiguration time *)
+  mutable reconfigurations : int;
+  mutable evictions : int;
+}
+
+let create ?(arch = Arch.default) () =
+  {
+    arch;
+    slots =
+      Array.init arch.Arch.udi_slots (fun _ -> { occupant = None; last_use = 0 });
+    clock = 0;
+    reconfig_seconds = 0.0;
+    reconfigurations = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(** Slot index currently holding [signature], if loaded. *)
+let find t signature =
+  let found = ref None in
+  Array.iteri
+    (fun idx s ->
+      match s.occupant with
+      | Some b when b.Cad.Bitstream.signature = signature -> found := Some idx
+      | _ -> ())
+    t.slots;
+  !found
+
+(** Ensure [bitstream] is loaded; reconfigures (evicting the LRU slot if
+    full) unless it is already resident.  Returns the slot index and
+    whether a reconfiguration happened. *)
+let load t (bitstream : Cad.Bitstream.t) =
+  let now = tick t in
+  match find t bitstream.Cad.Bitstream.signature with
+  | Some idx ->
+      t.slots.(idx).last_use <- now;
+      (idx, false)
+  | None ->
+      if bitstream.Cad.Bitstream.luts > t.arch.Arch.slot_lut_capacity then
+        invalid_arg
+          (Printf.sprintf "Asip.load: %s (%d LUTs) exceeds slot capacity %d"
+             bitstream.Cad.Bitstream.signature bitstream.Cad.Bitstream.luts
+             t.arch.Arch.slot_lut_capacity);
+      (* Free slot, else LRU victim. *)
+      let victim = ref 0 in
+      let best = ref max_int in
+      Array.iteri
+        (fun idx s ->
+          let score = match s.occupant with None -> -1 | Some _ -> s.last_use in
+          if score < !best then begin
+            best := score;
+            victim := idx
+          end)
+        t.slots;
+      if t.slots.(!victim).occupant <> None then t.evictions <- t.evictions + 1;
+      t.slots.(!victim).occupant <- Some bitstream;
+      t.slots.(!victim).last_use <- now;
+      t.reconfigurations <- t.reconfigurations + 1;
+      t.reconfig_seconds <-
+        t.reconfig_seconds +. Arch.reconfiguration_seconds t.arch bitstream;
+      (!victim, true)
+
+(** Signatures currently resident. *)
+let resident t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s ->
+         Option.map (fun b -> b.Cad.Bitstream.signature) s.occupant)
+
+let occupancy t =
+  Array.fold_left
+    (fun acc s -> match s.occupant with Some _ -> acc + 1 | None -> acc)
+    0 t.slots

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Embedded List Scientific Workload

@@ -1,0 +1,1 @@
+lib/workloads/scientific.ml: Gen Workload

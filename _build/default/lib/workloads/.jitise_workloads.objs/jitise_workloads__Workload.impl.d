@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Int64 Jitise_frontend Jitise_ir Jitise_vm List

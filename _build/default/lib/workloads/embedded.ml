@@ -1,0 +1,426 @@
+(** The four embedded workloads (MiBench / SciMark2 rows of Table I):
+    adpcm, fft, sor, whetstone.  Small programs with pronounced
+    floating-point or bit-manipulation kernels — the domain where the
+    paper finds JIT ISE profitable. *)
+
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* adpcm: IMA ADPCM encode/decode round trip (MiBench).  Integer       *)
+(* quantization with step tables; the encode loop is the kernel.       *)
+(* ------------------------------------------------------------------ *)
+
+let adpcm_source =
+  {|
+int step_table[89];
+int index_table[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+int pcm[4096];
+int code_buf[4096];
+int out_pcm[4096];
+
+void init_steps() {
+  int i;
+  int s = 7;
+  for (i = 0; i < 89; i = i + 1) {
+    step_table[i] = s;
+    s = s + (s >> 2) + 1;
+    if (s > 32767) { s = 32767; }
+  }
+}
+
+void make_signal(int len) {
+  int i;
+  int acc = 12345;
+  for (i = 0; i < len; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    pcm[i] = ((acc >> 16) & 16383) - 8192 + ((i & 31) << 6);
+  }
+}
+
+int clamp_index(int v) {
+  if (v < 0) { return 0; }
+  if (v > 88) { return 88; }
+  return v;
+}
+
+void encode(int len) {
+  int i;
+  int pred = 0;
+  int idx = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int step = step_table[idx];
+    int diff = pcm[i] - pred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+    int code = (diff << 2) / step;
+    if (code > 7) { code = 7; }
+    int delta = ((code * step) >> 2) + (step >> 3);
+    if (sign != 0) { pred = pred - delta; } else { pred = pred + delta; }
+    if (pred > 32767) { pred = 32767; }
+    if (pred < -32768) { pred = -32768; }
+    code_buf[i] = code | sign;
+    idx = clamp_index(idx + index_table[code | sign]);
+  }
+}
+
+void decode(int len) {
+  int i;
+  int pred = 0;
+  int idx = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int step = step_table[idx];
+    int code = code_buf[i];
+    int diff = ((code & 7) * step >> 2) + (step >> 3);
+    if ((code & 8) != 0) { pred = pred - diff; } else { pred = pred + diff; }
+    if (pred > 32767) { pred = 32767; }
+    if (pred < -32768) { pred = -32768; }
+    out_pcm[i] = pred;
+    idx = clamp_index(idx + index_table[code]);
+  }
+}
+
+// Never exercised: 8-bit companding fallback for legacy streams.
+int mulaw_byte(int sample) {
+  int sign = 0;
+  if (sample < 0) { sign = 128; sample = 0 - sample; }
+  int exp = 0;
+  int tmp = sample >> 6;
+  while (tmp != 0 && exp < 7) { exp = exp + 1; tmp = tmp >> 1; }
+  return sign | (exp << 4) | ((sample >> (exp + 2)) & 15);
+}
+
+int main(int n) {
+  int len = n;
+  int block = 0;
+  int err = 0;
+  if (len > 4096) { len = 4096; }
+  init_steps();
+  while (block * len < n * 4) {
+    make_signal(len);
+    encode(len);
+    decode(len);
+    block = block + 1;
+  }
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    int d = pcm[i] - out_pcm[i];
+    if (d < 0) { d = 0 - d; }
+    err = err + d;
+  }
+  if (err < 0) { return mulaw_byte(err); }
+  return err / len;
+}
+|}
+
+let adpcm =
+  {
+    name = "adpcm";
+    domain = Embedded;
+    sources = [ ("adpcm.c", adpcm_source) ];
+    datasets =
+      [ { label = "train"; n = 50000 }; { label = "large"; n = 110000 } ];
+    description = "IMA ADPCM speech codec round trip (MiBench)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fft: iterative radix-2 FFT over a fixed 256-point buffer, repeated  *)
+(* over the input stream (SciMark2).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fft_source =
+  {|
+double re[256];
+double im[256];
+double twid_r[128];
+double twid_c[128];
+
+void init_twiddles() {
+  int k;
+  for (k = 0; k < 128; k = k + 1) {
+    double ang = -3.14159265358979 * k / 128.0;
+    twid_r[k] = cos(ang);
+    twid_c[k] = sin(ang);
+  }
+}
+
+void load_block(int seed) {
+  int i;
+  int acc = seed * 2654435761 + 1013904223;
+  for (i = 0; i < 256; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    re[i] = ((acc >> 8) & 65535) / 32768.0 - 1.0;
+    im[i] = 0.0;
+  }
+}
+
+void bit_reverse() {
+  int i;
+  int j = 0;
+  for (i = 0; i < 255; i = i + 1) {
+    if (i < j) {
+      double tr = re[i]; re[i] = re[j]; re[j] = tr;
+      double ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    int m = 128;
+    while (m >= 1 && j >= m) { j = j - m; m = m >> 1; }
+    j = j + m;
+  }
+}
+
+void fft_pass() {
+  int len = 2;
+  while (len <= 256) {
+    int half = len >> 1;
+    int step = 256 / len;
+    int i = 0;
+    while (i < 256) {
+      int k;
+      for (k = 0; k < half; k = k + 1) {
+        int tw = k * step;
+        double wr = twid_r[tw];
+        double wi = twid_c[tw];
+        int a = i + k;
+        int b = i + k + half;
+        double xr = re[b] * wr - im[b] * wi;
+        double xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+      i = i + len;
+    }
+    len = len << 1;
+  }
+}
+
+// Inverse transform: present for API completeness, never called here.
+void ifft_scale() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    re[i] = re[i] / 256.0;
+    im[i] = 0.0 - im[i] / 256.0;
+  }
+}
+
+int main(int n) {
+  int block;
+  double energy = 0.0;
+  init_twiddles();
+  for (block = 0; block < n; block = block + 1) {
+    load_block(block);
+    bit_reverse();
+    fft_pass();
+    energy = energy + re[1] * re[1] + im[1] * im[1];
+  }
+  if (energy < 0.0) { ifft_scale(); }
+  return energy * 1000.0;
+}
+|}
+
+let fft =
+  {
+    name = "fft";
+    domain = Embedded;
+    sources = [ ("fft.c", fft_source) ];
+    datasets = [ { label = "train"; n = 160 }; { label = "large"; n = 340 } ];
+    description = "256-point radix-2 FFT over an input stream (SciMark2)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* sor: Jacobi successive over-relaxation on a 64x64 grid (SciMark2).  *)
+(* ------------------------------------------------------------------ *)
+
+let sor_source =
+  {|
+double grid[64][64];
+
+void init_grid() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i = i + 1) {
+    for (j = 0; j < 64; j = j + 1) {
+      grid[i][j] = 0.0;
+    }
+    grid[i][0] = 1.0;
+    grid[i][63] = -1.0;
+  }
+}
+
+void sweep(double omega) {
+  int i;
+  int j;
+  double one_minus = 1.0 - omega;
+  for (i = 1; i < 63; i = i + 1) {
+    for (j = 1; j < 63; j = j + 1) {
+      double avg = 0.25 * (grid[i-1][j] + grid[i+1][j] + grid[i][j-1] + grid[i][j+1]);
+      grid[i][j] = omega * avg + one_minus * grid[i][j];
+    }
+  }
+}
+
+int main(int n) {
+  int sweeps;
+  init_grid();
+  for (sweeps = 0; sweeps < n; sweeps = sweeps + 1) {
+    sweep(1.25);
+  }
+  double sum = 0.0;
+  int i;
+  for (i = 1; i < 63; i = i + 1) {
+    sum = sum + grid[i][32];
+  }
+  return sum * 100000.0;
+}
+|}
+
+let sor =
+  {
+    name = "sor";
+    domain = Embedded;
+    sources = [ ("sor.c", sor_source) ];
+    datasets = [ { label = "train"; n = 130 }; { label = "large"; n = 280 } ];
+    description = "successive over-relaxation on a 64x64 grid (SciMark2)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* whetstone: the classic synthetic float benchmark: tight loops over  *)
+(* transcendental and polynomial kernels.                              *)
+(* ------------------------------------------------------------------ *)
+
+let whetstone_source =
+  {|
+double e1[4];
+
+// Software math library, compiled to bitcode like the rest of the
+// program (the 405 has no FPU, so these Horner chains ARE the sin/cos
+// the program executes — and they are exactly where the ISE algorithms
+// find the long float data paths that give whetstone its big speedup).
+double poly_sin(double x) {
+  double x2 = x * x;
+  return x * (1.0 + x2 * (-0.166666667 + x2 * (0.008333333
+         + x2 * (-0.000198413 + x2 * 0.0000027557))));
+}
+
+double poly_cos(double x) {
+  double x2 = x * x;
+  return 1.0 + x2 * (-0.5 + x2 * (0.041666667
+         + x2 * (-0.001388889 + x2 * 0.0000248016)));
+}
+
+double poly_atan(double x) {
+  double x2 = x * x;
+  return x * (1.0 + x2 * (-0.3333314 + x2 * (0.1999355
+         + x2 * (-0.1420890 + x2 * (0.1065626 + x2 * (-0.0752896
+         + x2 * 0.0429096))))));
+}
+
+double poly_exp(double x) {
+  return 1.0 + x * (1.0 + x * (0.5 + x * (0.166666667
+         + x * (0.041666667 + x * (0.008333333 + x * 0.001388889)))));
+}
+
+double poly_log(double x) {
+  double y = (x - 1.0) / (x + 1.0);
+  double y2 = y * y;
+  return 2.0 * y * (1.0 + y2 * (0.333333333 + y2 * (0.2
+         + y2 * (0.142857143 + y2 * 0.111111111))));
+}
+
+double soft_sqrt(double x) {
+  double g = x * 0.5 + 0.5;
+  g = 0.5 * (g + x / g);
+  g = 0.5 * (g + x / g);
+  g = 0.5 * (g + x / g);
+  return g;
+}
+
+double pa(double x, double t, double t2) {
+  int j;
+  double y = x;
+  for (j = 0; j < 6; j = j + 1) {
+    y = (y + y + y + y) * t / t2;
+  }
+  return y;
+}
+
+void p3(double x, double y, double t, double t2) {
+  double xt = t * (x + y);
+  double yt = t * (xt + y);
+  e1[2] = (xt + yt) / t2;
+}
+
+int main(int n) {
+  double t = 0.499975;
+  double t1 = 0.50025;
+  double t2 = 2.0;
+  double x = 1.0;
+  double y = 1.0;
+  double z = 1.0;
+  int i;
+  int loops = n;
+
+  // Module 2: array elements
+  e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+  for (i = 0; i < loops * 12; i = i + 1) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) * t;
+  }
+
+  // Module 7: trig
+  x = 0.5; y = 0.5;
+  for (i = 0; i < loops * 4; i = i + 1) {
+    double s1 = poly_sin(x);
+    double c1 = poly_cos(x);
+    double s2 = poly_sin(y);
+    double cxy = poly_cos(x + y);
+    double cxmy = poly_cos(x - y);
+    x = t2 * poly_atan(t2 * s1 * c1 / (cxy + cxmy - 1.0));
+    y = t2 * poly_atan(t2 * s2 * poly_cos(y) / (cxy + cxmy - 1.0));
+  }
+
+  // Module 8: procedure calls
+  x = 1.0; y = 1.0; z = 1.0;
+  for (i = 0; i < loops * 10; i = i + 1) {
+    z = pa(x + y, t, t2) * t1;
+  }
+
+  // Module 11: standard functions
+  x = 0.75;
+  for (i = 0; i < loops * 9; i = i + 1) {
+    x = soft_sqrt(poly_exp(poly_log(x + 1.0) / t1)) - 0.49;
+  }
+
+  // Module 6-ish: integer arithmetic feeding the float state
+  int j = 1;
+  int k = 2;
+  int l = 3;
+  for (i = 0; i < loops * 14; i = i + 1) {
+    j = j * (k - j) * (l - k);
+    k = l * k - (l - j) * k;
+    l = (l - k) * (k + j);
+    e1[(l & 1)] = j + k + l;
+    e1[((k > 0) & 1)] = j * k * l;
+    j = j & 1023;
+    k = (k & 2047) + 1;
+    l = (l & 511) + 2;
+  }
+
+  p3(x, y, t, t2);
+  double check = x + y + z + e1[0] + e1[1] + e1[2] + e1[3];
+  return check * 1000.0;
+}
+|}
+
+let whetstone =
+  {
+    name = "whetstone";
+    domain = Embedded;
+    sources = [ ("whetstone.c", whetstone_source) ];
+    datasets = [ { label = "train"; n = 900 }; { label = "large"; n = 1900 } ];
+    description = "classic Whetstone synthetic floating-point benchmark";
+  }
+
+let all = [ adpcm; fft; sor; whetstone ]

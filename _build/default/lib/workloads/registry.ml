@@ -1,0 +1,15 @@
+(** All workloads, in the row order of the paper's tables. *)
+
+let scientific = Scientific.all
+let embedded = Embedded.all
+
+(** Table order: scientific first (as in Tables I and II), then
+    embedded. *)
+let all = scientific @ embedded
+
+(** Look up a workload by its table name (e.g. ["470.lbm"] or
+    ["whetstone"]). *)
+let find name =
+  List.find_opt (fun w -> w.Workload.name = name) all
+
+let names = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,959 @@
+(** The ten scientific workloads (SPEC2000/2006 rows of Table I).
+
+    Each program couples a faithful hot kernel (the loop nest the
+    original benchmark spends its time in) with a large cold remainder
+    produced by {!Gen} — dispatch-guarded helper families and fixed-size
+    initialization — reproducing the scale contrast the paper measures:
+    scientific codes are much larger than the embedded kernels, their
+    basic blocks are colder on average, their relative kernel size is
+    smaller, and most of their code is dead or constant under any one
+    dataset. *)
+
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* 164.gzip: LZ77 longest-match over a synthetic window (integer).     *)
+(* ------------------------------------------------------------------ *)
+
+let gzip_kernel =
+  {|
+int window[8192];
+int hash_head[1024];
+int match_len_hist[64];
+
+int crc_byte(int crc, int byte) {
+  // CRC-32 bit loop, unrolled as gzip's table generator does.
+  int c = crc ^ byte;
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  c = (c >> 1) ^ ((0 - (c & 1)) & 0x6DB88320);
+  return c;
+}
+
+int window_crc;
+
+void fill_window(int seed, int len) {
+  int i;
+  int acc = seed;
+  int crc = -1;
+  for (i = 0; i < len; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    window[i] = (acc >> 16) & 255;
+    crc = crc_byte(crc, (acc >> 16) & 255);
+  }
+  window_crc = crc;
+}
+
+int hash3(int pos) {
+  int h = window[pos] * 33 + window[pos + 1];
+  h = h * 33 + window[pos + 2];
+  return h & 1023;
+}
+
+int longest_match(int pos, int limit) {
+  int best = 2;
+  int chain = hash_head[hash3(pos)];
+  int tries = 64;
+  while (chain > 0 && tries > 0) {
+    int len = 0;
+    while (len < 128 && pos + len < limit
+           && window[chain + len] == window[pos + len]) {
+      len = len + 1;
+    }
+    if (len > best) { best = len; }
+    chain = chain - (1 + (chain & 7));
+    tries = tries - 1;
+  }
+  return best;
+}
+
+int deflate_block(int len) {
+  int pos = 0;
+  int emitted = 0;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { hash_head[i] = 0; }
+  while (pos < len - 130) {
+    int h = hash3(pos);
+    int m = longest_match(pos, len);
+    hash_head[h] = pos;
+    if (m > 2) {
+      match_len_hist[m & 63] = match_len_hist[m & 63] + 1;
+      pos = pos + m;
+      emitted = emitted + 2;
+    } else {
+      pos = pos + 1;
+      emitted = emitted + 1;
+    }
+  }
+  return emitted + (window_crc & 7);
+}
+
+int main(int n) {
+  int block;
+  int out = 0;
+  int i;
+  int live_acc = gz_startup();
+  for (i = 0; i < 64; i = i + 1) { match_len_hist[i] = 0; }
+  gz_ph_seed(2);
+  for (block = 0; block < n; block = block + 1) {
+    fill_window(block * 7919 + 13, 8192);
+    out = out + deflate_block(8192);
+    gz_ph_run();
+    live_acc = live_acc + gz_step(block);
+  }
+  if (out < 0) { return gz_cold_dispatch(3, out); }
+  return (out & 1048575) + (live_acc & 7);
+}
+|}
+
+let gzip =
+  {
+    name = "164.gzip";
+    domain = Scientific;
+    sources =
+      [
+        ("deflate.c", gzip_kernel);
+        ("trees.c", Gen.int_helper_family ~prefix:"gz_cold" ~count:60);
+        ("modes.c", Gen.mode_family ~app:"gz" ~live:60 ~cfg:20 ~dead:40);
+        ( "inflate.c",
+          Gen.phase_family ~prefix:"gz_ph" ~phases:14 ~width:512
+            ~float_ops:false );
+      ];
+    datasets = [ { label = "train"; n = 2 }; { label = "large"; n = 4 } ];
+    description = "LZ77 longest-match deflate kernel (SPEC 164.gzip)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 179.art: adaptive resonance neural network (f64 vector matching).   *)
+(* ------------------------------------------------------------------ *)
+
+let art_kernel =
+  {|
+double f1_layer[64];
+double weights[32][64];
+double activation[32];
+
+void init_weights() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i = i + 1) {
+    for (j = 0; j < 64; j = j + 1) {
+      weights[i][j] = 1.0 / (1.0 + i + j);
+    }
+    activation[i] = 0.0;
+  }
+}
+
+void present_input(int seed) {
+  int j;
+  int acc = seed;
+  for (j = 0; j < 64; j = j + 1) {
+    acc = acc * 1103515245 + 12345;
+    f1_layer[j] = ((acc >> 12) & 1023) / 1024.0;
+  }
+}
+
+int resonate() {
+  int i;
+  int j;
+  int winner = 0;
+  double best = -1.0;
+  for (i = 0; i < 32; i = i + 1) {
+    double num = 0.0;
+    double den = 0.5;
+    for (j = 0; j < 64; j = j + 1) {
+      double w = weights[i][j];
+      double x = f1_layer[j];
+      double m = w * x;
+      num = num + m;
+      den = den + w;
+    }
+    activation[i] = num / den;
+    if (activation[i] > best) { best = activation[i]; winner = i; }
+  }
+  return winner;
+}
+
+void learn(int winner) {
+  int j;
+  for (j = 0; j < 64; j = j + 1) {
+    double w = weights[winner][j];
+    weights[winner][j] = 0.7 * w + 0.3 * f1_layer[j] * w;
+  }
+}
+
+int main(int n) {
+  int t;
+  int hits = 0;
+  int live_acc = art_startup();
+  init_weights();
+  art_ph_seed(3);
+  for (t = 0; t < n; t = t + 1) {
+    present_input(t * 31 + 7);
+    int w = resonate();
+    learn(w);
+    art_ph_run();
+    hits = hits + w;
+    live_acc = live_acc + art_step(t);
+  }
+  if (hits < 0) { return art_report_eval(1, 0.5) * 10.0; }
+  return hits + (live_acc & 7);
+}
+|}
+
+let art =
+  {
+    name = "179.art";
+    domain = Scientific;
+    sources =
+      [
+        ("scanner.c", art_kernel);
+        ("report.c", Gen.float_helper_family ~prefix:"art_report" ~count:30);
+        ("modes.c", Gen.mode_family ~app:"art" ~live:40 ~cfg:14 ~dead:26);
+        ( "match.c",
+          Gen.phase_family ~prefix:"art_ph" ~phases:14 ~width:64
+            ~float_ops:true );
+      ];
+    datasets = [ { label = "train"; n = 60 }; { label = "large"; n = 130 } ];
+    description = "adaptive-resonance image matcher (SPEC 179.art)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 183.equake: sparse matrix-vector product + explicit time stepping.  *)
+(* ------------------------------------------------------------------ *)
+
+let equake_kernel =
+  {|
+double matval[4096];
+int matcol[4096];
+int rowptr[513];
+double disp[512];
+double vel[512];
+double force[512];
+
+void build_mesh() {
+  int i;
+  int k = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    rowptr[i] = k;
+    int nnz = 3 + (i & 3);
+    int j;
+    for (j = 0; j < nnz; j = j + 1) {
+      matcol[k] = (i + j * 17) & 511;
+      matval[k] = 0.01 * (1 + ((i * 31 + j) & 63));
+      k = k + 1;
+    }
+    disp[i] = 0.0;
+    vel[i] = 0.001 * (i & 15);
+  }
+  rowptr[512] = k;
+}
+
+void smvp() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    double sum = 0.0;
+    int p = rowptr[i];
+    int e = rowptr[i + 1];
+    while (p < e) {
+      sum = sum + matval[p] * disp[matcol[p]];
+      p = p + 1;
+    }
+    force[i] = sum;
+  }
+}
+
+void time_step(double dt) {
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    vel[i] = vel[i] + dt * (force[i] - 0.02 * vel[i]);
+    disp[i] = disp[i] + dt * vel[i];
+  }
+}
+
+int main(int n) {
+  int t;
+  int live_acc = eq_startup();
+  build_mesh();
+  eq_ph_seed(7);
+  for (t = 0; t < n; t = t + 1) {
+    smvp();
+    time_step(0.0008);
+    eq_ph_run();
+    live_acc = live_acc + eq_step(t);
+  }
+  double sum = 0.0;
+  int i;
+  for (i = 0; i < 512; i = i + 1) { sum = sum + disp[i] * disp[i]; }
+  if (sum < 0.0) { return eq_cold_dispatch(2, 9); }
+  return sum * 1000.0 + (live_acc & 7);
+}
+|}
+
+let equake =
+  {
+    name = "183.equake";
+    domain = Scientific;
+    sources =
+      [
+        ("quake.c", equake_kernel);
+        ("phi.c", Gen.int_helper_family ~prefix:"eq_cold" ~count:26);
+        ("modes.c", Gen.mode_family ~app:"eq" ~live:36 ~cfg:12 ~dead:22);
+        ( "solver.c",
+          Gen.phase_family ~prefix:"eq_ph" ~phases:14 ~width:64
+            ~float_ops:true );
+      ];
+    datasets = [ { label = "train"; n = 130 }; { label = "large"; n = 280 } ];
+    description = "seismic wave propagation: sparse matvec kernel (183.equake)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 188.ammp: molecular dynamics nonbond force loop.  The original is   *)
+(* the largest program of the set; most of it is setup and analysis.   *)
+(* ------------------------------------------------------------------ *)
+
+let ammp_kernel =
+  {|
+double atom_x[256];
+double atom_y[256];
+double atom_z[256];
+double force_x[256];
+double force_y[256];
+double force_z[256];
+
+void place_atoms(int seed) {
+  int i;
+  int acc = seed;
+  for (i = 0; i < 256; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    atom_x[i] = ((acc >> 8) & 1023) / 64.0;
+    acc = acc * 1103515245 + 12345;
+    atom_y[i] = ((acc >> 8) & 1023) / 64.0;
+    acc = acc * 1103515245 + 12345;
+    atom_z[i] = ((acc >> 8) & 1023) / 64.0;
+    force_x[i] = 0.0;
+    force_y[i] = 0.0;
+    force_z[i] = 0.0;
+  }
+}
+
+void nonbond_forces() {
+  int i;
+  int j;
+  for (i = 0; i < 256; i = i + 1) {
+    for (j = i + 1; j < 256; j = j + 1) {
+      double dx = atom_x[i] - atom_x[j];
+      double dy = atom_y[i] - atom_y[j];
+      double dz = atom_z[i] - atom_z[j];
+      double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      if (r2 < 36.0) {
+        double inv2 = 1.0 / r2;
+        double inv6 = inv2 * inv2 * inv2;
+        double coef = inv6 * (inv6 - 0.5) * inv2;
+        force_x[i] = force_x[i] + coef * dx;
+        force_y[i] = force_y[i] + coef * dy;
+        force_z[i] = force_z[i] + coef * dz;
+        force_x[j] = force_x[j] - coef * dx;
+        force_y[j] = force_y[j] - coef * dy;
+        force_z[j] = force_z[j] - coef * dz;
+      }
+    }
+  }
+}
+
+int main(int n) {
+  int t;
+  double virial = 0.0;
+  int live_acc = am_startup();
+  for (t = 0; t < n; t = t + 1) {
+    place_atoms(t * 97 + 5);
+    nonbond_forces();
+    live_acc = live_acc + am_step(t);
+    int i;
+    for (i = 0; i < 256; i = i + 1) {
+      virial = virial + force_x[i] * force_x[i] + force_y[i] * force_z[i];
+    }
+  }
+  if (virial < -1.0e18) { return am_cold_dispatch(5, 1); }
+  return virial + (live_acc & 7);
+}
+|}
+
+let ammp =
+  {
+    name = "188.ammp";
+    domain = Scientific;
+    sources =
+      [
+        ("nonbon.c", ammp_kernel);
+        ("eval.c", Gen.float_helper_family ~prefix:"am_eval" ~count:60);
+        ("parse.c", Gen.int_helper_family ~prefix:"am_cold" ~count:70);
+        ("modes.c", Gen.mode_family ~app:"am" ~live:95 ~cfg:30 ~dead:60);
+      ];
+    datasets = [ { label = "train"; n = 10 }; { label = "large"; n = 22 } ];
+    description = "molecular-dynamics nonbond force kernel (188.ammp)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 429.mcf: network-simplex pricing sweep (pure integer).              *)
+(* ------------------------------------------------------------------ *)
+
+let mcf_kernel =
+  {|
+int arc_cost[4096];
+int arc_tail[4096];
+int arc_head[4096];
+int node_potential[512];
+int arc_flow[4096];
+
+void build_network(int seed) {
+  int i;
+  int acc = seed;
+  for (i = 0; i < 512; i = i + 1) {
+    node_potential[i] = (i * 37) & 1023;
+  }
+  for (i = 0; i < 4096; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    arc_tail[i] = (acc >> 8) & 511;
+    arc_head[i] = (acc >> 20) & 511;
+    arc_cost[i] = (acc >> 4) & 255;
+    arc_flow[i] = 0;
+  }
+}
+
+int price_arcs() {
+  int i;
+  int best = 0;
+  int best_red = 0;
+  for (i = 0; i < 4096; i = i + 1) {
+    int red = (arc_cost[i] * 5 - node_potential[arc_tail[i]] * 4
+               + node_potential[arc_head[i]] * 4 + 2) >> 2;
+    if (red < best_red) { best_red = red; best = i; }
+  }
+  return best;
+}
+
+void augment(int arc) {
+  int t = arc_tail[arc];
+  int h = arc_head[arc];
+  arc_flow[arc] = arc_flow[arc] + 1;
+  node_potential[t] = node_potential[t] + 1;
+  node_potential[h] = node_potential[h] - 1;
+}
+
+int main(int n) {
+  int round;
+  int pushes = 0;
+  int live_acc = mcf_startup();
+  build_network(4242);
+  mcf_ph_seed(11);
+  for (round = 0; round < n; round = round + 1) {
+    int arc = price_arcs();
+    augment(arc);
+    mcf_ph_run();
+    pushes = pushes + arc_flow[arc];
+    live_acc = live_acc + mcf_step(round);
+  }
+  if (pushes < 0) { return mcf_cold_dispatch(1, pushes); }
+  return pushes + (live_acc & 7);
+}
+|}
+
+let mcf =
+  {
+    name = "429.mcf";
+    domain = Scientific;
+    sources =
+      [
+        ("pbeampp.c", mcf_kernel);
+        ("implicit.c", Gen.int_helper_family ~prefix:"mcf_cold" ~count:28);
+        ("modes.c", Gen.mode_family ~app:"mcf" ~live:40 ~cfg:14 ~dead:24);
+        ( "treeup.c",
+          Gen.phase_family ~prefix:"mcf_ph" ~phases:14 ~width:512
+            ~float_ops:false );
+      ];
+    datasets = [ { label = "train"; n = 110 }; { label = "large"; n = 240 } ];
+    description = "network-simplex arc pricing (429.mcf)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 433.milc: SU(3) complex 3x3 matrix products, fully unrolled — the   *)
+(* biggest straight-line float blocks of the suite.                    *)
+(* ------------------------------------------------------------------ *)
+
+let milc_kernel =
+  {|
+double ar[9];
+double ai[9];
+double br[9];
+double bi[9];
+double cr[9];
+double ci[9];
+double link_acc;
+
+void load_links(int seed) {
+  int k;
+  int acc = seed;
+  for (k = 0; k < 9; k = k + 1) {
+    acc = acc * 1103515245 + 12345;
+    ar[k] = ((acc >> 10) & 255) / 256.0;
+    acc = acc * 1103515245 + 12345;
+    ai[k] = ((acc >> 10) & 255) / 256.0 - 0.5;
+    acc = acc * 1103515245 + 12345;
+    br[k] = ((acc >> 10) & 255) / 256.0;
+    acc = acc * 1103515245 + 12345;
+    bi[k] = ((acc >> 10) & 255) / 256.0 - 0.5;
+  }
+}
+
+void su3_mult() {
+  int i;
+  int j;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) {
+      double rr = ar[i*3+0] * br[0*3+j] - ai[i*3+0] * bi[0*3+j]
+                + ar[i*3+1] * br[1*3+j] - ai[i*3+1] * bi[1*3+j]
+                + ar[i*3+2] * br[2*3+j] - ai[i*3+2] * bi[2*3+j];
+      double ii = ar[i*3+0] * bi[0*3+j] + ai[i*3+0] * br[0*3+j]
+                + ar[i*3+1] * bi[1*3+j] + ai[i*3+1] * br[1*3+j]
+                + ar[i*3+2] * bi[2*3+j] + ai[i*3+2] * br[2*3+j];
+      cr[i*3+j] = rr;
+      ci[i*3+j] = ii;
+    }
+  }
+}
+
+double re_trace() {
+  return cr[0] + cr[4] + cr[8];
+}
+
+int main(int n) {
+  int t;
+  int live_acc = milc_startup();
+  link_acc = 0.0;
+  milc_ph_seed(5);
+  for (t = 0; t < n; t = t + 1) {
+    load_links(t * 131 + 17);
+    su3_mult();
+    milc_ph_run();
+    link_acc = link_acc + re_trace();
+    live_acc = live_acc + milc_step(t);
+  }
+  if (link_acc < -1.0e18) { return milc_cold_dispatch(0, 1); }
+  return link_acc * 1000.0 + (live_acc & 7);
+}
+|}
+
+let milc =
+  {
+    name = "433.milc";
+    domain = Scientific;
+    sources =
+      [
+        ("m_mat_nn.c", milc_kernel);
+        ("setup.c", Gen.int_helper_family ~prefix:"milc_cold" ~count:55);
+        ("modes.c", Gen.mode_family ~app:"milc" ~live:60 ~cfg:20 ~dead:45);
+        ( "congrad.c",
+          Gen.phase_family ~prefix:"milc_ph" ~phases:14 ~width:48
+            ~float_ops:true );
+      ];
+    datasets =
+      [ { label = "train"; n = 220 }; { label = "large"; n = 480 } ];
+    description = "SU(3) complex matrix-matrix products (433.milc)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 444.namd: pairwise nonbonded forces with a switching function.      *)
+(* ------------------------------------------------------------------ *)
+
+let namd_kernel =
+  {|
+double px[192];
+double py[192];
+double pz[192];
+double charge[192];
+double fx[192];
+double fy[192];
+double fz[192];
+double pair_energy;
+
+void init_particles(int seed) {
+  int i;
+  int acc = seed;
+  for (i = 0; i < 192; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    px[i] = ((acc >> 9) & 511) / 32.0;
+    acc = acc * 1103515245 + 12345;
+    py[i] = ((acc >> 9) & 511) / 32.0;
+    acc = acc * 1103515245 + 12345;
+    pz[i] = ((acc >> 9) & 511) / 32.0;
+    charge[i] = 0.1 + 0.01 * (i & 7);
+    fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0;
+  }
+}
+
+void compute_electrostatics() {
+  int i;
+  int j;
+  for (i = 0; i < 192; i = i + 1) {
+    for (j = i + 1; j < 192; j = j + 1) {
+      double dx = px[i] - px[j];
+      double dy = py[i] - py[j];
+      double dz = pz[i] - pz[j];
+      double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      if (r2 < 64.0) {
+        double r = sqrt(r2);
+        double sw = 1.0 - r2 / 64.0;
+        double e = charge[i] * charge[j] / r * sw * sw;
+        double g = e / r2;
+        fx[i] = fx[i] + g * dx;
+        fy[i] = fy[i] + g * dy;
+        fz[i] = fz[i] + g * dz;
+        fx[j] = fx[j] - g * dx;
+        fy[j] = fy[j] - g * dy;
+        fz[j] = fz[j] - g * dz;
+        pair_energy = pair_energy + e;
+      }
+    }
+  }
+}
+
+void compute_lennard_jones() {
+  int i;
+  int j;
+  for (i = 0; i < 192; i = i + 1) {
+    for (j = i + 1; j < 192; j = j + 1) {
+      double dx = px[i] - px[j];
+      double dy = py[i] - py[j];
+      double dz = pz[i] - pz[j];
+      double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      if (r2 < 36.0) {
+        double inv2 = 1.0 / r2;
+        double inv6 = inv2 * inv2 * inv2;
+        double g = inv6 * (12.0 * inv6 - 6.0) * inv2;
+        fx[i] = fx[i] + g * dx;
+        fy[i] = fy[i] + g * dy;
+        fz[i] = fz[i] + g * dz;
+        fx[j] = fx[j] - g * dx;
+        fy[j] = fy[j] - g * dy;
+        fz[j] = fz[j] - g * dz;
+        pair_energy = pair_energy + inv6 * (inv6 - 1.0);
+      }
+    }
+  }
+}
+
+int main(int n) {
+  int t;
+  pair_energy = 0.0;
+  int live_acc = namd_startup();
+  for (t = 0; t < n; t = t + 1) {
+    init_particles(t * 211 + 3);
+    compute_electrostatics();
+    compute_lennard_jones();
+    live_acc = live_acc + namd_step(t);
+  }
+  if (pair_energy < -1.0e18) { return namd_dead_dispatch(7, 2); }
+  return pair_energy * 10.0 + (live_acc & 7);
+}
+|}
+
+let namd =
+  {
+    name = "444.namd";
+    domain = Scientific;
+    sources =
+      [
+        ("compute_nonbonded.c", namd_kernel);
+        ("lattice.c", Gen.float_helper_family ~prefix:"namd_lat" ~count:55);
+        ("modes.c", Gen.mode_family ~app:"namd" ~live:70 ~cfg:24 ~dead:50);
+      ];
+    datasets = [ { label = "train"; n = 14 }; { label = "large"; n = 30 } ];
+    description = "pairwise nonbonded molecular forces (444.namd)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 458.sjeng: bitboard move scoring — wide integer logic, everything   *)
+(* executes (the paper reports a 100 % kernel for sjeng).              *)
+(* ------------------------------------------------------------------ *)
+
+let sjeng_kernel =
+  {|
+long occupied[64];
+int piece_score[64];
+int history[1024];
+
+void setup_board(int seed) {
+  int i;
+  int acc = seed;
+  for (i = 0; i < 64; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    long lo = acc & 65535;
+    acc = acc * 1103515245 + 12345;
+    long hi = acc & 65535;
+    occupied[i] = (hi << 16) | lo;
+    piece_score[i] = ((acc >> 8) & 63) - 32;
+  }
+}
+
+int popcount(long b) {
+  // SWAR parallel bit count, as real chess engines use.
+  long x = b - ((b >> 1) & 0x5555555555555555);
+  x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F;
+  return (x * 0x0101010101010101) >> 56;
+}
+
+int attacks_from(int sq) {
+  long b = occupied[sq];
+  long n = ((b << 17) & -256) | ((b >> 17) & 255)
+         | ((b << 15) & -512) | ((b >> 15) & 511)
+         | ((b << 10) & -64) | ((b >> 10) & 63);
+  return popcount(n & ~b);
+}
+
+int evaluate() {
+  int sq;
+  int score = 0;
+  for (sq = 0; sq < 64; sq = sq + 1) {
+    int mob = attacks_from(sq);
+    int ps = piece_score[sq];
+    score = score + ps * 4 + mob * 3 - ((ps ^ mob) & 7);
+    history[(sq * 16 + mob) & 1023] = score;
+  }
+  return score;
+}
+
+int search(int depth, int alpha) {
+  if (depth == 0) { return evaluate(); }
+  int best = alpha;
+  int m;
+  for (m = 0; m < 4; m = m + 1) {
+    setup_board(depth * 131 + m * 17);
+    int v = 0 - search(depth - 1, 0 - best);
+    if (v > best) { best = v; }
+  }
+  return best;
+}
+
+int main(int n) {
+  int g;
+  int total = 0;
+  int live_acc = sj_startup();
+  sj_ph_seed(9);
+  for (g = 0; g < n; g = g + 1) {
+    setup_board(g * 7 + 1);
+    total = total + search(3, -30000);
+    sj_ph_run();
+    live_acc = live_acc + sj_step(g);
+  }
+  return (total & 65535) + (live_acc & 7);
+}
+|}
+
+let sjeng =
+  {
+    name = "458.sjeng";
+    domain = Scientific;
+    sources =
+      [
+        ("attacks.c", sjeng_kernel);
+        ("proof.c", Gen.int_helper_family ~prefix:"sj_cold" ~count:55);
+        ("modes.c", Gen.mode_family ~app:"sj" ~live:60 ~cfg:20 ~dead:40);
+        ( "evalmat.c",
+          Gen.phase_family ~prefix:"sj_ph" ~phases:14 ~width:512
+            ~float_ops:false );
+      ];
+    datasets = [ { label = "train"; n = 70 }; { label = "large"; n = 160 } ];
+    description = "bitboard mobility evaluation and search (458.sjeng)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 470.lbm: D2Q9 lattice Boltzmann stream-and-collide; one huge        *)
+(* straight-line float block per cell (the paper's biggest candidates).*)
+(* ------------------------------------------------------------------ *)
+
+let lbm_kernel =
+  {|
+double f0[1024]; double f1[1024]; double f2[1024];
+double f3[1024]; double f4[1024]; double f5[1024];
+double f6[1024]; double f7[1024]; double f8[1024];
+
+void init_cells() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    f0[i] = 0.4444; f1[i] = 0.1111; f2[i] = 0.1111;
+    f3[i] = 0.1111; f4[i] = 0.1111; f5[i] = 0.0278;
+    f6[i] = 0.0278; f7[i] = 0.0278; f8[i] = 0.0278 + 0.0001 * (i & 15);
+  }
+}
+
+void collide_stream() {
+  int i;
+  for (i = 1; i < 1023; i = i + 1) {
+    double rho = f0[i] + f1[i] + f2[i] + f3[i] + f4[i]
+               + f5[i] + f6[i] + f7[i] + f8[i];
+    double ux = (f1[i] - f3[i] + f5[i] - f6[i] - f7[i] + f8[i]) / rho;
+    double uy = (f2[i] - f4[i] + f5[i] + f6[i] - f7[i] - f8[i]) / rho;
+    double u2 = 1.0 - 1.5 * (ux * ux + uy * uy);
+    double w1 = rho * 0.1111;
+    double w2 = rho * 0.0278;
+    double omega = 1.85;
+    f0[i] = f0[i] + omega * (rho * 0.4444 * u2 - f0[i]);
+    f1[i] = f1[i] + omega * (w1 * (u2 + 3.0 * ux + 4.5 * ux * ux) - f1[i]);
+    f2[i] = f2[i] + omega * (w1 * (u2 + 3.0 * uy + 4.5 * uy * uy) - f2[i]);
+    f3[i] = f3[i] + omega * (w1 * (u2 - 3.0 * ux + 4.5 * ux * ux) - f3[i]);
+    f4[i] = f4[i] + omega * (w1 * (u2 - 3.0 * uy + 4.5 * uy * uy) - f4[i]);
+    double uxy = ux + uy;
+    double uxmy = ux - uy;
+    f5[i] = f5[i] + omega * (w2 * (u2 + 3.0 * uxy + 4.5 * uxy * uxy) - f5[i]);
+    f6[i] = f6[i] + omega * (w2 * (u2 - 3.0 * uxmy + 4.5 * uxmy * uxmy) - f6[i]);
+    f7[i] = f7[i] + omega * (w2 * (u2 - 3.0 * uxy + 4.5 * uxy * uxy) - f7[i]);
+    f8[i] = f8[i] + omega * (w2 * (u2 + 3.0 * uxmy + 4.5 * uxmy * uxmy) - f8[i]);
+  }
+  for (i = 1023; i > 0; i = i - 1) { f1[i] = f1[i - 1]; f5[i] = f5[i - 1]; }
+  for (i = 0; i < 1023; i = i + 1) { f3[i] = f3[i + 1]; f7[i] = f7[i + 1]; }
+}
+
+int main(int n) {
+  int t;
+  int live_acc = lbm_startup();
+  init_cells();
+  for (t = 0; t < n; t = t + 1) {
+    collide_stream();
+    live_acc = live_acc + lbm_step(t);
+  }
+  double mass = 0.0;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { mass = mass + f0[i] + f5[i]; }
+  if (mass < 0.0) { return lbm_cold_dispatch(4, 4); }
+  return mass * 100.0 + (live_acc & 7);
+}
+|}
+
+let lbm =
+  {
+    name = "470.lbm";
+    domain = Scientific;
+    sources =
+      [
+        ("lbm.c", lbm_kernel);
+        ("main_aux.c", Gen.int_helper_family ~prefix:"lbm_cold" ~count:16);
+        ("modes.c", Gen.mode_family ~app:"lbm" ~live:26 ~cfg:10 ~dead:16);
+      ];
+    datasets = [ { label = "train"; n = 120 }; { label = "large"; n = 260 } ];
+    description = "D2Q9 lattice-Boltzmann collide/stream (470.lbm)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 473.astar: grid path search with open-list scanning (integer).      *)
+(* ------------------------------------------------------------------ *)
+
+let astar_kernel =
+  {|
+int gcost[4096];
+int open_flag[4096];
+int closed_flag[4096];
+int terrain[4096];
+int heur[4096];
+
+void build_map(int seed, int goal) {
+  int i;
+  int acc = seed;
+  for (i = 0; i < 4096; i = i + 1) {
+    acc = acc * 1103515245 + 12345;
+    terrain[i] = 1 + ((acc >> 20) & 7);
+    gcost[i] = 1000000;
+    open_flag[i] = 0;
+    closed_flag[i] = 0;
+    heur[i] = heuristic(i, goal);
+  }
+}
+
+int heuristic(int cell, int goal) {
+  int cx = cell & 63;
+  int cy = cell >> 6;
+  int gx = goal & 63;
+  int gy = goal >> 6;
+  int dx = cx - gx;
+  int dy = cy - gy;
+  if (dx < 0) { dx = 0 - dx; }
+  if (dy < 0) { dy = 0 - dy; }
+  return (dx + dy) * 3;
+}
+
+int pick_best() {
+  int i;
+  int best = -1;
+  int best_f = 1000000000;
+  for (i = 0; i < 4096; i = i + 1) {
+    int f = gcost[i] * 2 + heur[i] * 3 + (open_flag[i] - 1) * 1000000000;
+    if (f < best_f && open_flag[i] == 1) { best_f = f; best = i; }
+  }
+  return best;
+}
+
+void relax(int cell, int next) {
+  if (next >= 0 && next < 4096 && closed_flag[next] == 0) {
+    int cand = gcost[cell] + terrain[next];
+    if (cand < gcost[next]) {
+      gcost[next] = cand;
+      open_flag[next] = 1;
+    }
+  }
+}
+
+int path_search(int start, int goal) {
+  int expansions = 0;
+  gcost[start] = 0;
+  open_flag[start] = 1;
+  while (expansions < 800) {
+    int cell = pick_best();
+    if (cell < 0) { return expansions; }
+    if (cell == goal) { return expansions; }
+    open_flag[cell] = 0;
+    closed_flag[cell] = 1;
+    relax(cell, cell - 1);
+    relax(cell, cell + 1);
+    relax(cell, cell - 64);
+    relax(cell, cell + 64);
+    expansions = expansions + 1;
+  }
+  return expansions;
+}
+
+int main(int n) {
+  int q;
+  int work = 0;
+  int live_acc = as_startup();
+  for (q = 0; q < n; q = q + 1) {
+    build_map(q * 57 + 11, 4030);
+    work = work + path_search(65, 4030);
+    live_acc = live_acc + as_step(q);
+  }
+  if (work < 0) { return as_cold_dispatch(6, work); }
+  return work + (live_acc & 7);
+}
+|}
+
+let astar =
+  {
+    name = "473.astar";
+    domain = Scientific;
+    sources =
+      [
+        ("way.c", astar_kernel);
+        ("regway.c", Gen.int_helper_family ~prefix:"as_cold" ~count:34);
+        ("modes.c", Gen.mode_family ~app:"as" ~live:46 ~cfg:16 ~dead:28);
+      ];
+    datasets = [ { label = "train"; n = 3 }; { label = "large"; n = 6 } ];
+    description = "grid A* path search with open-list scan (473.astar)";
+  }
+
+let all =
+  [ gzip; art; equake; ammp; mcf; milc; namd; sjeng; lbm; astar ]

@@ -1,0 +1,53 @@
+(** Benchmark workloads.
+
+    The paper evaluates ten scientific applications (SPEC2000/2006) and
+    four embedded kernels (MiBench/SciMark2).  The original suites are
+    proprietary or need a C toolchain, so each row of Table I is
+    represented here by a MiniC program that reproduces the relevant
+    *structure* of the original: its computational kernel, its rough
+    scale contrast (scientific programs are much larger, with bigger
+    but colder code), and its input-dependence (live/const/dead mix).
+    Datasets are synthetic, sized so the hot kernels dominate — the
+    same property the paper required of its train inputs.
+
+    Every program has the entry point [int main(int n)] where [n]
+    scales the input, at least two datasets (the coverage analysis
+    needs to compare runs), plus unexercised code paths so the
+    dead/const/live classification is non-trivial. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+
+type domain = Scientific | Embedded
+
+type dataset = {
+  label : string;
+  n : int;  (** the input-size argument passed to [main] *)
+}
+
+type t = {
+  name : string;           (** the paper's benchmark name, e.g. "470.lbm" *)
+  domain : domain;
+  sources : (string * string) list;  (** (filename, MiniC source) *)
+  datasets : dataset list;  (** ordered; first is the "train" set *)
+  description : string;
+}
+
+let domain_to_string = function
+  | Scientific -> "scientific"
+  | Embedded -> "embedded"
+
+(** Compile a workload to bitcode with the -O3 pipeline. *)
+let compile ?optimize (w : t) : F.Compiler.result =
+  F.Compiler.compile ?optimize ~module_name:w.name w.sources
+
+(** Run one dataset on the VM and return the outcome. *)
+let run ?fuel ?jit ?cis (compiled : F.Compiler.result) (d : dataset) =
+  Vm.Machine.run ?fuel ?jit ?cis compiled.F.Compiler.modul ~entry:"main"
+    ~args:[ Ir.Eval.VInt (Int64.of_int d.n) ]
+
+(** Profiles for every dataset of a workload (used by the coverage
+    classifier); returns [(dataset, outcome)] pairs. *)
+let run_all ?fuel ?jit (compiled : F.Compiler.result) (w : t) =
+  List.map (fun d -> (d, run ?fuel ?jit compiled d)) w.datasets

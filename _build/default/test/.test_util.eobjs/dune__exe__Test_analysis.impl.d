@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Int64 Jitise_analysis Jitise_frontend Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm List

@@ -1,0 +1,1 @@
+test/test_cad.ml: Alcotest Jitise_cad Jitise_frontend Jitise_hwgen Jitise_ir Jitise_ise Jitise_pivpav Jitise_util Lazy List Option

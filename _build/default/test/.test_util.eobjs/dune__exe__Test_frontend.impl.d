@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Int64 Jitise_frontend Jitise_ir Jitise_vm List Option Printf QCheck QCheck_alcotest

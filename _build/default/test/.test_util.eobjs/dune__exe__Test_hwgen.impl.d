@@ -1,0 +1,1 @@
+test/test_hwgen.ml: Alcotest Jitise_frontend Jitise_hwgen Jitise_ir Jitise_ise Jitise_pivpav List Option String

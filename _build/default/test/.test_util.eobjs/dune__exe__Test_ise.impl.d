@@ -1,0 +1,1 @@
+test/test_ise.ml: Alcotest Array Hashtbl Int64 Jitise_frontend Jitise_ir Jitise_ise Jitise_pivpav Jitise_vm Jitise_workloads List Option Printf QCheck QCheck_alcotest String

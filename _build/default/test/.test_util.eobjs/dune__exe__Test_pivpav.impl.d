@@ -1,0 +1,1 @@
+test/test_pivpav.ml: Alcotest Array Fun Jitise_frontend Jitise_ir Jitise_pivpav List Option String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Jitise_util List QCheck QCheck_alcotest String

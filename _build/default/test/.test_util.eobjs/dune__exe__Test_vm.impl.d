@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Hashtbl Int64 Jitise_frontend Jitise_ir Jitise_vm

@@ -1,0 +1,1 @@
+test/test_woolcano.ml: Alcotest Jitise_cad Jitise_woolcano List

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Format Jitise_frontend Jitise_ir Jitise_vm Jitise_workloads Lazy List Option

@@ -1,0 +1,283 @@
+(* Tests for Jitise_analysis: coverage classification, kernel size,
+   break-even model, bitstream cache extrapolation. *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module F = Jitise_frontend
+module Ise = Jitise_ise
+module An = Jitise_analysis
+
+let compile src = (F.Compiler.compile_string ~name:"t" src).F.Compiler.modul
+
+let run m n =
+  Vm.Machine.run m ~entry:"main" ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
+
+(* A program with all three coverage classes: a fixed-trip init loop
+   (constant), an n-dependent loop (live), and a guarded branch that
+   never runs (dead). *)
+let coverage_src =
+  "int tbl[16];\n\
+   int never(int x) { return x * 99; }\n\
+   int main(int n) {\n\
+  \  int i;\n\
+  \  int s = 0;\n\
+  \  for (i = 0; i < 16; i = i + 1) { tbl[i] = i * 3; }\n\
+  \  for (i = 0; i < n; i = i + 1) { s = s + tbl[i & 15]; }\n\
+  \  if (s < -1000000) { s = never(s); }\n\
+  \  return s;\n\
+   }"
+
+let classify () =
+  let m = compile coverage_src in
+  let o1 = run m 100 and o2 = run m 200 in
+  (m, An.Coverage.classify m [ o1.Vm.Machine.profile; o2.Vm.Machine.profile ])
+
+let test_coverage_classes () =
+  let m, cov = classify () in
+  ignore m;
+  Alcotest.(check bool) "live code found" true (cov.An.Coverage.live_instrs > 0);
+  Alcotest.(check bool) "const code found" true (cov.An.Coverage.const_instrs > 0);
+  Alcotest.(check bool) "dead code found" true (cov.An.Coverage.dead_instrs > 0);
+  let live, dead, const = An.Coverage.percentages cov in
+  Alcotest.(check (float 1e-6)) "percentages sum to 100" 100.0
+    (live +. dead +. const);
+  (* the never() function is entirely dead *)
+  Alcotest.(check bool) "never() is dead" true
+    (An.Coverage.class_of cov ~func:"never" ~label:0 = An.Coverage.Dead)
+
+let test_coverage_requires_two_profiles () =
+  let m = compile coverage_src in
+  let o = run m 50 in
+  Alcotest.(check bool) "one profile rejected" true
+    (try
+       ignore (An.Coverage.classify m [ o.Vm.Machine.profile ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_coverage_live_blocks_vary () =
+  let m, cov = classify () in
+  ignore m;
+  List.iter
+    (fun (b : An.Coverage.block_class) ->
+      match b.An.Coverage.classification with
+      | An.Coverage.Live -> (
+          match b.An.Coverage.frequencies with
+          | a :: rest ->
+              Alcotest.(check bool) "live varies" true
+                (List.exists (fun c -> c <> a) rest)
+          | [] -> ())
+      | An.Coverage.Constant -> (
+          match b.An.Coverage.frequencies with
+          | a :: rest ->
+              Alcotest.(check bool) "const stable nonzero" true
+                (a > 0L && List.for_all (fun c -> c = a) rest)
+          | [] -> ())
+      | An.Coverage.Dead ->
+          Alcotest.(check bool) "dead never runs" true
+            (List.for_all (fun c -> c = 0L) b.An.Coverage.frequencies))
+    cov.An.Coverage.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_computation () =
+  let m = compile coverage_src in
+  let o = run m 10_000 in
+  let k = An.Kernel.compute m o.Vm.Machine.profile in
+  Alcotest.(check bool) "kernel covers >= 90% of time" true
+    (k.An.Kernel.time_percent >= 90.0);
+  Alcotest.(check bool) "kernel is a strict subset" true
+    (k.An.Kernel.kernel_instrs < k.An.Kernel.total_instrs);
+  Alcotest.(check bool) "size percent consistent" true
+    (abs_float
+       (k.An.Kernel.size_percent
+       -. 100.0
+          *. float_of_int k.An.Kernel.kernel_instrs
+          /. float_of_int k.An.Kernel.total_instrs)
+    < 1e-6)
+
+let test_kernel_threshold () =
+  let m = compile coverage_src in
+  let o = run m 10_000 in
+  let k50 = An.Kernel.compute ~threshold_percent:50.0 m o.Vm.Machine.profile in
+  let k95 = An.Kernel.compute ~threshold_percent:95.0 m o.Vm.Machine.profile in
+  Alcotest.(check bool) "higher threshold, bigger kernel" true
+    (List.length k95.An.Kernel.blocks >= List.length k50.An.Kernel.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Break-even                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let split ~live_cycles ~const_cycles ~live_saved ~const_saved =
+  { An.Breakeven.live_cycles; const_cycles; live_saved; const_saved }
+
+let after = function
+  | An.Breakeven.After s -> s
+  | An.Breakeven.Never -> Alcotest.fail "expected finite break-even"
+
+let test_breakeven_never () =
+  let s = split ~live_cycles:1e6 ~const_cycles:1e5 ~live_saved:0.0 ~const_saved:0.0 in
+  Alcotest.(check bool) "no savings, never" true
+    (An.Breakeven.of_split s ~overhead_seconds:100.0 = An.Breakeven.Never);
+  (* only one-time savings cannot amortize a larger overhead *)
+  let s = split ~live_cycles:1e6 ~const_cycles:1e5 ~live_saved:0.0 ~const_saved:100.0 in
+  Alcotest.(check bool) "const-only savings too small" true
+    (An.Breakeven.of_split s ~overhead_seconds:100.0 = An.Breakeven.Never)
+
+let test_breakeven_within_first_run () =
+  let ct = Ir.Cost.cycle_time in
+  (* the app saves 1e6 cycles per run; overhead worth 5e5 cycles *)
+  let s = split ~live_cycles:2e6 ~const_cycles:0.0 ~live_saved:1e6 ~const_saved:0.0 in
+  let t = after (An.Breakeven.of_split s ~overhead_seconds:(5e5 *. ct)) in
+  (* half the run: (2e6 - 1e6)/2 cycles of adapted time *)
+  Alcotest.(check (float 1e-9)) "half the adapted run" (5e5 *. ct) t
+
+let test_breakeven_scaling_run () =
+  let ct = Ir.Cost.cycle_time in
+  (* needs x4 the baseline input: overhead = 4e6 saved cycles, run saves
+     1e6 per baseline unit *)
+  let s = split ~live_cycles:2e6 ~const_cycles:0.0 ~live_saved:1e6 ~const_saved:0.0 in
+  let t = after (An.Breakeven.of_split s ~overhead_seconds:(4e6 *. ct)) in
+  Alcotest.(check (float 1e-6)) "x4 scaled adapted time" (4.0 *. (2e6 -. 1e6) *. ct) t
+
+let test_breakeven_monotone_in_overhead () =
+  let s = split ~live_cycles:5e6 ~const_cycles:1e6 ~live_saved:2e6 ~const_saved:1e5 in
+  let t1 = after (An.Breakeven.of_split s ~overhead_seconds:1.0) in
+  let t2 = after (An.Breakeven.of_split s ~overhead_seconds:10.0) in
+  Alcotest.(check bool) "more overhead, later break-even" true (t2 > t1)
+
+let test_breakeven_const_savings_help () =
+  let base = split ~live_cycles:5e6 ~const_cycles:1e6 ~live_saved:1e5 ~const_saved:0.0 in
+  let boosted = { base with An.Breakeven.const_saved = 5e4 } in
+  let t_base = after (An.Breakeven.of_split base ~overhead_seconds:10.0) in
+  let t_boost = after (An.Breakeven.of_split boosted ~overhead_seconds:10.0) in
+  Alcotest.(check bool) "one-time savings shorten break-even" true
+    (t_boost < t_base)
+
+let test_breakeven_split_costs () =
+  let m = compile coverage_src in
+  let o1 = run m 2000 and o2 = run m 4000 in
+  let cov = An.Coverage.classify m [ o1.Vm.Machine.profile; o2.Vm.Machine.profile ] in
+  let db = Jitise_pivpav.Database.create () in
+  let cands = Ise.Maxmiso.of_module m in
+  let sel = Ise.Select.select db m o1.Vm.Machine.profile cands in
+  let s = An.Breakeven.split_costs m o1.Vm.Machine.profile cov sel in
+  Alcotest.(check bool) "live cycles dominate this program" true
+    (s.An.Breakeven.live_cycles > s.An.Breakeven.const_cycles);
+  Alcotest.(check bool) "savings split consistent" true
+    (s.An.Breakeven.live_saved +. s.An.Breakeven.const_saved
+    <= List.fold_left (fun a x -> a +. x.Ise.Select.saved_cycles) 0.0 sel +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let costs =
+  [
+    { An.Cache_model.signature = "a"; generation_seconds = 100.0 };
+    { An.Cache_model.signature = "b"; generation_seconds = 200.0 };
+    { An.Cache_model.signature = "c"; generation_seconds = 300.0 };
+    { An.Cache_model.signature = "d"; generation_seconds = 400.0 };
+  ]
+
+let test_cache_zero_rate_pays_everything () =
+  Alcotest.(check (float 1e-6)) "no cache, full cost" 1000.0
+    (An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:0.0 costs)
+
+let test_cache_full_rate_pays_nothing () =
+  (* 100 % hit rate rounds to all four unique bitstreams cached *)
+  Alcotest.(check bool) "full cache nearly free" true
+    (An.Cache_model.residual_overhead ~hit_rate:0.9999 ~cad_speedup:0.0 costs
+    < 1e-6)
+
+let test_cache_monotone () =
+  let rates = [ 0.0; 0.25; 0.5; 0.75 ] in
+  let overheads =
+    List.map
+      (fun h -> An.Cache_model.residual_overhead ~hit_rate:h ~cad_speedup:0.0 costs)
+      rates
+  in
+  let rec non_increasing = function
+    | a :: b :: r -> a >= b -. 1e-9 && non_increasing (b :: r)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in hit rate" true (non_increasing overheads)
+
+let test_cache_speedup_scales () =
+  let full = An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:0.0 costs in
+  let fast = An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:0.3 costs in
+  Alcotest.(check (float 1e-6)) "linear CAD scaling" (0.7 *. full) fast
+
+let test_cache_dedups_signatures () =
+  let dup =
+    costs
+    @ [ { An.Cache_model.signature = "a"; generation_seconds = 100.0 } ]
+  in
+  Alcotest.(check (float 1e-6)) "duplicate signature is a natural hit" 1000.0
+    (An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:0.0 dup)
+
+let test_cache_validates_inputs () =
+  Alcotest.(check bool) "bad hit rate" true
+    (try
+       ignore (An.Cache_model.residual_overhead ~hit_rate:1.5 ~cad_speedup:0.0 costs);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad speedup" true
+    (try
+       ignore (An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:1.0 costs);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_grid () =
+  let s =
+    split ~live_cycles:1e8 ~const_cycles:1e6 ~live_saved:5e7 ~const_saved:0.0
+  in
+  let grid = An.Cache_model.grid ~split:s costs in
+  Alcotest.(check int) "full grid" 40 (List.length grid);
+  (* corner cells: (0,0) worst, (0.9, 0.9) best *)
+  let be h c =
+    match
+      List.find_opt
+        (fun g -> g.An.Cache_model.hit_rate = h && g.An.Cache_model.cad_speedup = c)
+        grid
+    with
+    | Some { An.Cache_model.break_even = An.Breakeven.After t; _ } -> t
+    | _ -> Alcotest.fail "missing cell"
+  in
+  Alcotest.(check bool) "best corner beats worst" true (be 0.9 0.9 < be 0.0 0.0)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "classes" `Quick test_coverage_classes;
+          Alcotest.test_case "two profiles" `Quick test_coverage_requires_two_profiles;
+          Alcotest.test_case "frequency patterns" `Quick test_coverage_live_blocks_vary;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "computation" `Quick test_kernel_computation;
+          Alcotest.test_case "threshold" `Quick test_kernel_threshold;
+        ] );
+      ( "breakeven",
+        [
+          Alcotest.test_case "never" `Quick test_breakeven_never;
+          Alcotest.test_case "within first run" `Quick test_breakeven_within_first_run;
+          Alcotest.test_case "scaling run" `Quick test_breakeven_scaling_run;
+          Alcotest.test_case "monotone" `Quick test_breakeven_monotone_in_overhead;
+          Alcotest.test_case "const savings" `Quick test_breakeven_const_savings_help;
+          Alcotest.test_case "split costs" `Quick test_breakeven_split_costs;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "zero rate" `Quick test_cache_zero_rate_pays_everything;
+          Alcotest.test_case "full rate" `Quick test_cache_full_rate_pays_nothing;
+          Alcotest.test_case "monotone" `Quick test_cache_monotone;
+          Alcotest.test_case "cad speedup" `Quick test_cache_speedup_scales;
+          Alcotest.test_case "dedup" `Quick test_cache_dedups_signatures;
+          Alcotest.test_case "validation" `Quick test_cache_validates_inputs;
+          Alcotest.test_case "grid" `Quick test_cache_grid;
+        ] );
+    ]

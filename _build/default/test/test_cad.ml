@@ -1,0 +1,215 @@
+(* Tests for Jitise_cad: the tool-flow simulator's calibration against
+   the paper's Table III and Section V-C, and its determinism. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Hw = Jitise_hwgen
+module Cad = Jitise_cad
+
+let db = Pp.Database.create ()
+
+(* A corpus of candidates of varying sizes from several kernels. *)
+let projects =
+  lazy
+    (let srcs =
+       [
+         "double g; int main(int n) { double x = n * 1.0; g = x * 2.5 + 1.5; return 0; }";
+         "double g; int main(int n) { double x = n * 1.0; g = (x * 2.5 + 1.5) * (x - 0.5) + x / 3.0; return 0; }";
+         "int g; int main(int n) { g = ((n * 19 + 7) ^ (n >> 3)) * (n + 11); return 0; }";
+         "double g; int main(int n) { double x = n * 1.0; double y = x * 0.5; g = (x / y + y / x) * (x + y) - (x - y) / (x * y + 1.0); return 0; }";
+       ]
+     in
+     List.concat_map
+       (fun src ->
+         let m = (F.Compiler.compile_string ~name:"t" src).F.Compiler.modul in
+         List.filter_map
+           (fun (c : Ise.Candidate.t) ->
+             let f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+             let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
+             Some (Hw.Project.create db dfg c))
+           (Ise.Maxmiso.of_module m))
+       srcs)
+
+let implement ?config p = Cad.Flow.implement ?config db p
+
+let test_flow_runs_all_stages () =
+  let p = List.hd (Lazy.force projects) in
+  let run = implement p in
+  let stages = List.map (fun s -> s.Cad.Flow.stage) run.Cad.Flow.stages in
+  List.iter
+    (fun st ->
+      Alcotest.(check bool)
+        (Cad.Flow.stage_name st ^ " present")
+        true (List.mem st stages))
+    [ Cad.Flow.Check_syntax; Cad.Flow.Synthesis; Cad.Flow.Translate;
+      Cad.Flow.Map; Cad.Flow.Place_and_route; Cad.Flow.Bitgen ];
+  Alcotest.(check bool) "total is the sum" true
+    (abs_float
+       (run.Cad.Flow.total_seconds
+       -. List.fold_left (fun a s -> a +. s.Cad.Flow.seconds) 0.0 run.Cad.Flow.stages)
+    < 1e-9)
+
+let test_flow_constants_match_table3 () =
+  let runs = List.map implement (Lazy.force projects) in
+  let mean get =
+    Jitise_util.Stats.mean (List.map get runs)
+  in
+  let syn = mean (fun r -> Cad.Flow.stage_seconds r Cad.Flow.Check_syntax) in
+  let xst = mean (fun r -> Cad.Flow.stage_seconds r Cad.Flow.Synthesis) in
+  let tra = mean (fun r -> Cad.Flow.stage_seconds r Cad.Flow.Translate) in
+  let bitgen = mean (fun r -> Cad.Flow.stage_seconds r Cad.Flow.Bitgen) in
+  Alcotest.(check bool) "syn ~ 4.22 s" true (abs_float (syn -. 4.22) < 0.5);
+  Alcotest.(check bool) "xst ~ 10.60 s" true (abs_float (xst -. 10.60) < 1.0);
+  Alcotest.(check bool) "tra ~ 8.99 s" true (abs_float (tra -. 8.99) < 2.0);
+  Alcotest.(check bool) "bitgen ~ 151 s" true (abs_float (bitgen -. 151.0) < 6.0)
+
+let test_flow_map_par_ranges () =
+  List.iter
+    (fun p ->
+      let run = implement p in
+      let map = Cad.Flow.stage_seconds run Cad.Flow.Map in
+      let par = Cad.Flow.stage_seconds run Cad.Flow.Place_and_route in
+      Alcotest.(check bool) "map in 30..456 s" true (map >= 30.0 && map <= 456.0);
+      Alcotest.(check bool) "par in 40..728 s" true (par >= 40.0 && par <= 728.0);
+      let ratio = par /. map in
+      Alcotest.(check bool) "par/map in 1.2..2.6" true
+        (ratio >= 1.2 && ratio <= 2.6))
+    (Lazy.force projects)
+
+let test_flow_bigger_candidates_take_longer () =
+  let ps = Lazy.force projects in
+  let area p = let l, _, _ = Hw.Project.area db p in l in
+  let small = List.fold_left (fun a p -> if area p < area a then p else a) (List.hd ps) ps in
+  let big = List.fold_left (fun a p -> if area p > area a then p else a) (List.hd ps) ps in
+  if area big > 2 * area small then begin
+    let rs = implement small and rb = implement big in
+    Alcotest.(check bool) "bigger data path maps longer" true
+      (Cad.Flow.stage_seconds rb Cad.Flow.Map
+      > Cad.Flow.stage_seconds rs Cad.Flow.Map)
+  end
+
+let test_flow_deterministic () =
+  let p = List.hd (Lazy.force projects) in
+  let a = implement p and b = implement p in
+  Alcotest.(check (float 1e-9)) "same total" a.Cad.Flow.total_seconds
+    b.Cad.Flow.total_seconds
+
+let test_flow_speedup_factor () =
+  let p = List.hd (Lazy.force projects) in
+  let full = implement p in
+  let fast =
+    implement ~config:{ Cad.Flow.default_config with Cad.Flow.speedup_factor = 0.3 } p
+  in
+  Alcotest.(check (float 1e-6)) "30 % faster flow"
+    (0.7 *. full.Cad.Flow.total_seconds)
+    fast.Cad.Flow.total_seconds
+
+let test_flow_eapr_vs_regular_bitgen () =
+  let p = List.hd (Lazy.force projects) in
+  let eapr = implement p in
+  let regular =
+    implement ~config:{ Cad.Flow.default_config with Cad.Flow.eapr = false } p
+  in
+  let b r = Cad.Flow.stage_seconds r Cad.Flow.Bitgen in
+  (* the paper: EAPR bitgen ~151 s vs ~41 s for the regular flow *)
+  Alcotest.(check bool) "EAPR bitgen is ~3.7x slower" true
+    (b eapr /. b regular > 3.0);
+  Alcotest.(check bool) "regular ~41 s" true (abs_float (b regular -. 41.0) < 5.0)
+
+let test_flow_constant_seconds () =
+  let p = List.hd (Lazy.force projects) in
+  let run = implement p in
+  let expected =
+    Cad.Flow.stage_seconds run Cad.Flow.Check_syntax
+    +. Cad.Flow.stage_seconds run Cad.Flow.Synthesis
+    +. Cad.Flow.stage_seconds run Cad.Flow.Translate
+    +. Cad.Flow.stage_seconds run Cad.Flow.Bitgen
+  in
+  Alcotest.(check (float 1e-9)) "const excludes map/par" expected
+    (Cad.Flow.constant_seconds run)
+
+let test_flow_bitgen_dominates_constants () =
+  (* the paper: Bitgen is ~85 % of the constant overhead *)
+  let p = List.hd (Lazy.force projects) in
+  let run = implement p in
+  let share =
+    Cad.Flow.stage_seconds run Cad.Flow.Bitgen /. Cad.Flow.constant_seconds run
+  in
+  Alcotest.(check bool) "bitgen share in 80..90 %" true
+    (share > 0.80 && share < 0.90)
+
+let test_flow_c2v () =
+  let p = List.hd (Lazy.force projects) in
+  let c2v = Cad.Flow.c2v_seconds p in
+  Alcotest.(check bool) "~3.22 s" true (abs_float (c2v -. 3.22) < 0.8)
+
+let test_bitstream_properties () =
+  List.iter
+    (fun p ->
+      let run = implement p in
+      let b = run.Cad.Flow.bitstream in
+      Alcotest.(check string) "keyed by signature" p.Hw.Project.name
+        b.Cad.Bitstream.signature;
+      Alcotest.(check bool) "has frames" true (b.Cad.Bitstream.frames > 0);
+      Alcotest.(check int) "size = frames x frame bytes"
+        (b.Cad.Bitstream.frames
+        * p.Hw.Project.device.Hw.Project.reconfig_frame_bytes)
+        b.Cad.Bitstream.size_bytes)
+    (Lazy.force projects)
+
+let test_flow_small_device () =
+  (* Section VI-B: a smaller device shrinks the constant stages but not
+     map/PAR *)
+  let p = List.hd (Lazy.force projects) in
+  let full = implement p in
+  let small = implement ~config:Cad.Flow.small_device_config p in
+  Alcotest.(check bool) "constants shrink" true
+    (Cad.Flow.constant_seconds small < 0.7 *. Cad.Flow.constant_seconds full);
+  Alcotest.(check (float 1e-9)) "map unchanged"
+    (Cad.Flow.stage_seconds full Cad.Flow.Map)
+    (Cad.Flow.stage_seconds small Cad.Flow.Map);
+  Alcotest.(check bool) "bad scale rejected" true
+    (try
+       ignore
+         (implement
+            ~config:{ Cad.Flow.default_config with Cad.Flow.device_scale = 0.0 }
+            p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_flow_syntax_error_raises () =
+  let p = List.hd (Lazy.force projects) in
+  let broken =
+    { p with Hw.Project.vhdl = { p.Hw.Project.vhdl with Hw.Vhdl.source = "x" } }
+  in
+  Alcotest.(check bool) "syntax error raised" true
+    (try
+       ignore (implement broken);
+       false
+     with Cad.Flow.Syntax_error _ -> true)
+
+let () =
+  Alcotest.run "cad"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "all stages" `Quick test_flow_runs_all_stages;
+          Alcotest.test_case "table III constants" `Quick
+            test_flow_constants_match_table3;
+          Alcotest.test_case "map/par ranges" `Quick test_flow_map_par_ranges;
+          Alcotest.test_case "size scaling" `Quick
+            test_flow_bigger_candidates_take_longer;
+          Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "speedup factor" `Quick test_flow_speedup_factor;
+          Alcotest.test_case "eapr bitgen" `Quick test_flow_eapr_vs_regular_bitgen;
+          Alcotest.test_case "constant seconds" `Quick test_flow_constant_seconds;
+          Alcotest.test_case "bitgen dominates" `Quick
+            test_flow_bitgen_dominates_constants;
+          Alcotest.test_case "c2v" `Quick test_flow_c2v;
+          Alcotest.test_case "bitstream" `Quick test_bitstream_properties;
+          Alcotest.test_case "small device" `Quick test_flow_small_device;
+          Alcotest.test_case "syntax error" `Quick test_flow_syntax_error_raises;
+        ] );
+    ]

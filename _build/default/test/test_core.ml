@@ -1,0 +1,353 @@
+(* Tests for Jitise_core: binary adaptation, the ASIP specialization
+   process, experiment plumbing, tables, diagrams. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module An = Jitise_analysis
+module Core = Jitise_core
+
+let db = Pp.Database.create ()
+
+let compile src = (F.Compiler.compile_string ~name:"t" src).F.Compiler.modul
+
+let run ?cis m n =
+  Vm.Machine.run ?cis m ~entry:"main" ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
+
+let float_kernel_src =
+  "double a[64]; double b[64]; double out[64];\n\
+   int main(int n) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 64; i = i + 1) { a[i] = i * 0.5 + 1.0; b[i] = i * 0.25 + 2.0; }\n\
+  \  int t;\n\
+  \  for (t = 0; t < n; t = t + 1) {\n\
+  \    for (i = 0; i < 64; i = i + 1) {\n\
+  \      out[i] = (a[i] * 1.5 + b[i] * 2.5) * (a[i] - b[i]) + out[i] * 0.5;\n\
+  \    }\n\
+  \  }\n\
+  \  double s = 0.0;\n\
+  \  for (i = 0; i < 64; i = i + 1) { s = s + out[i]; }\n\
+  \  return s;\n\
+   }"
+
+let specialize ?prune src n =
+  let m = compile src in
+  let out = run m n in
+  let report =
+    Core.Asip_sp.run ?prune db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  (m, out, report)
+
+(* ------------------------------------------------------------------ *)
+(* Adapt                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_adapt_preserves_results () =
+  let m, out, report = specialize float_kernel_src 200 in
+  let adapted = Core.Adapt.apply m report.Core.Asip_sp.selection in
+  let out2 = run ~cis:adapted.Core.Adapt.registry adapted.Core.Adapt.modul 200 in
+  Alcotest.(check bool) "selection non-empty" true
+    (report.Core.Asip_sp.selection <> []);
+  Alcotest.(check bool) "same checksum" true (out.Vm.Machine.ret = out2.Vm.Machine.ret);
+  Alcotest.(check bool) "instructions replaced" true
+    (adapted.Core.Adapt.replaced_instrs > 0)
+
+let test_adapt_measured_speedup_matches_estimate () =
+  let m, out, report = specialize float_kernel_src 200 in
+  let adapted = Core.Adapt.apply m report.Core.Asip_sp.selection in
+  let out2 = run ~cis:adapted.Core.Adapt.registry adapted.Core.Adapt.modul 200 in
+  let measured = out.Vm.Machine.native_cycles /. out2.Vm.Machine.native_cycles in
+  let predicted = report.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f within 2%% of predicted %.3f" measured predicted)
+    true
+    (abs_float (measured -. predicted) /. predicted < 0.02);
+  Alcotest.(check bool) "actually faster" true (measured > 1.2)
+
+let test_adapt_module_is_a_copy () =
+  let m, _, report = specialize float_kernel_src 50 in
+  let before = Ir.Irmod.num_instrs m in
+  let adapted = Core.Adapt.apply m report.Core.Asip_sp.selection in
+  Alcotest.(check int) "original untouched" before (Ir.Irmod.num_instrs m);
+  Alcotest.(check bool) "adapted is smaller" true
+    (Ir.Irmod.num_instrs adapted.Core.Adapt.modul < before)
+
+let test_adapt_on_workload () =
+  let w = Option.get (W.Registry.find "sor") in
+  let r = W.Workload.compile w in
+  let d = { (List.hd w.W.Workload.datasets) with W.Workload.n = 10 } in
+  let out = W.Workload.run r d in
+  let report =
+    Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  let adapted = Core.Adapt.apply r.F.Compiler.modul report.Core.Asip_sp.selection in
+  let out2 =
+    Vm.Machine.run adapted.Core.Adapt.modul ~entry:"main"
+      ~cis:adapted.Core.Adapt.registry
+      ~args:[ Ir.Eval.VInt (Int64.of_int d.W.Workload.n) ]
+  in
+  Alcotest.(check bool) "sor adapted run agrees" true
+    (out.Vm.Machine.ret = out2.Vm.Machine.ret)
+
+(* ------------------------------------------------------------------ *)
+(* Asip_sp                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_asip_sp_report_invariants () =
+  let _, _, r = specialize float_kernel_src 200 in
+  Alcotest.(check bool) "search wall positive" true
+    (r.Core.Asip_sp.search_wall_seconds > 0.0);
+  Alcotest.(check bool) "pruning kept <= 3 blocks" true
+    (r.Core.Asip_sp.searched_blocks <= 3);
+  Alcotest.(check (float 1e-6)) "sum = const + map + par"
+    r.Core.Asip_sp.sum_seconds
+    (r.Core.Asip_sp.const_seconds +. r.Core.Asip_sp.map_seconds
+    +. r.Core.Asip_sp.par_seconds);
+  Alcotest.(check int) "one report per selected candidate"
+    (List.length r.Core.Asip_sp.selection)
+    (List.length r.Core.Asip_sp.candidates);
+  Alcotest.(check bool) "pruned ratio <= max ratio" true
+    (r.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio
+    <= r.Core.Asip_sp.asip_ratio_max.Ise.Speedup.ratio +. 1e-9);
+  Alcotest.(check bool) "efficiency positive" true
+    (r.Core.Asip_sp.pruning_efficiency > 0.0);
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      if c.Core.Asip_sp.cache_hit then
+        Alcotest.(check (float 1e-9)) "cache hits are free" 0.0
+          c.Core.Asip_sp.total_seconds
+      else
+        Alcotest.(check bool) "misses pay C2V + CAD" true
+          (c.Core.Asip_sp.total_seconds > c.Core.Asip_sp.c2v_seconds))
+    r.Core.Asip_sp.candidates
+
+let test_asip_sp_cache_dedups_unrolled_copies () =
+  (* unrolling produces 4 copies of the loop-body data path; only the
+     first builds a bitstream *)
+  let _, _, r = specialize float_kernel_src 200 in
+  let hits =
+    List.length
+      (List.filter
+         (fun (c : Core.Asip_sp.candidate_result) -> c.Core.Asip_sp.cache_hit)
+         r.Core.Asip_sp.candidates)
+  in
+  Alcotest.(check bool) "duplicated data paths hit the run cache" true (hits > 0)
+
+let test_asip_sp_no_pruning () =
+  let _, _, pruned = specialize float_kernel_src 200 in
+  let _, _, full = specialize ~prune:Ise.Prune.none float_kernel_src 200 in
+  Alcotest.(check bool) "no filter sees at least as many blocks" true
+    (full.Core.Asip_sp.searched_blocks >= pruned.Core.Asip_sp.searched_blocks);
+  Alcotest.(check bool) "no filter at least as fast an app" true
+    (full.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio
+    >= pruned.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio -. 1e-9)
+
+let test_asip_sp_cad_speedup_config () =
+  let m = compile float_kernel_src in
+  let out = run m 200 in
+  let slow =
+    Core.Asip_sp.run db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  let fast =
+    Core.Asip_sp.run
+      ~cad_config:{ Jitise_cad.Flow.default_config with Jitise_cad.Flow.speedup_factor = 0.5 }
+      db m out.Vm.Machine.profile ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  Alcotest.(check bool) "half the CAD time" true
+    (abs_float ((fast.Core.Asip_sp.sum_seconds /. slow.Core.Asip_sp.sum_seconds) -. 0.5)
+    < 0.02)
+
+let test_candidate_costs_export () =
+  let _, _, r = specialize float_kernel_src 200 in
+  let costs = Core.Asip_sp.candidate_costs r in
+  Alcotest.(check int) "one cost per candidate"
+    (List.length r.Core.Asip_sp.candidates)
+    (List.length costs);
+  let total =
+    List.fold_left
+      (fun a (c : An.Cache_model.candidate_cost) -> a +. c.An.Cache_model.generation_seconds)
+      0.0 costs
+  in
+  Alcotest.(check (float 1e-6)) "costs sum to the overhead"
+    r.Core.Asip_sp.sum_seconds total
+
+(* ------------------------------------------------------------------ *)
+(* Experiment + tables                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sor_result =
+  lazy
+    (let w = Option.get (W.Registry.find "sor") in
+     Core.Experiment.run_app db w)
+
+let test_experiment_structure () =
+  let r = Lazy.force sor_result in
+  Alcotest.(check int) "one outcome per dataset"
+    (List.length r.Core.Experiment.workload.W.Workload.datasets)
+    (List.length r.Core.Experiment.outcomes);
+  Alcotest.(check bool) "is embedded" true (Core.Experiment.is_embedded r);
+  Alcotest.(check bool) "not scientific" false (Core.Experiment.is_scientific r);
+  Alcotest.(check bool) "break-even computed" true
+    (match r.Core.Experiment.break_even with
+    | An.Breakeven.After t -> t > 0.0
+    | An.Breakeven.Never -> true)
+
+let test_table_rows () =
+  let r = Lazy.force sor_result in
+  let t1 = Core.Tables.table1_row r in
+  Alcotest.(check string) "name" "sor" t1.Core.Tables.name;
+  Alcotest.(check bool) "vm ratio near 1" true
+    (t1.Core.Tables.vm_ratio > 0.9 && t1.Core.Tables.vm_ratio < 1.2);
+  Alcotest.(check bool) "speedup > 2 for sor" true (t1.Core.Tables.asip_ratio > 2.0);
+  let t2 = Core.Tables.table2_row r in
+  Alcotest.(check bool) "overhead positive" true (t2.Core.Tables.sum_seconds > 0.0);
+  Alcotest.(check bool) "candidates found" true (t2.Core.Tables.candidates > 0)
+
+let test_table_renderers () =
+  let r = Lazy.force sor_result in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  let s1 = Core.Tables.render_table1 (Core.Tables.table1 [ r ]) in
+  Alcotest.(check bool) "table1 row" true (contains s1 "sor");
+  Alcotest.(check bool) "table1 summary rows" true (contains s1 "AVG-E");
+  let s2 = Core.Tables.render_table2 (Core.Tables.table2 [ r ]) in
+  Alcotest.(check bool) "table2 break even column" true (contains s2 "break even");
+  let s3 = Core.Tables.render_table3 (Core.Tables.table3 [ r ]) in
+  Alcotest.(check bool) "table3 columns" true (contains s3 "Bitgen[s]");
+  let s4 = Core.Tables.render_table4 (Core.Tables.table4 [ r ]) in
+  Alcotest.(check bool) "table4 grid" true (contains s4 "Cache hit[%]")
+
+let test_table3_statistics () =
+  let r = Lazy.force sor_result in
+  let t3 = Core.Tables.table3 [ r ] in
+  Alcotest.(check bool) "bitgen mean ~151" true
+    (abs_float (t3.Core.Tables.bitgen.Jitise_util.Stats.mean -. 151.0) < 8.0);
+  Alcotest.(check bool) "total is the sum of stage means" true
+    (t3.Core.Tables.total_mean > 170.0 && t3.Core.Tables.total_mean < 190.0)
+
+let test_table4_monotone () =
+  let r = Lazy.force sor_result in
+  let cells = Core.Tables.table4 [ r ] in
+  let be h c =
+    match
+      List.find_opt
+        (fun x -> x.Core.Tables.hit_rate = h && x.Core.Tables.cad_speedup = c)
+        cells
+    with
+    | Some x -> x.Core.Tables.avg_break_even_seconds
+    | None -> Alcotest.fail "missing cell"
+  in
+  Alcotest.(check bool) "faster CAD shortens break-even" true
+    (be 0.0 0.9 < be 0.0 0.0 +. 1e-9);
+  Alcotest.(check bool) "cache shortens break-even" true
+    (be 0.9 0.0 < be 0.0 0.0 +. 1e-9)
+
+let test_jit_manager_timeline () =
+  let _, _, report = specialize float_kernel_src 200 in
+  let t = Core.Jit_manager.timeline report in
+  Alcotest.(check bool) "events chronological" true
+    (let rec mono = function
+       | a :: b :: r ->
+           a.Core.Jit_manager.at_seconds <= b.Core.Jit_manager.at_seconds
+           && mono (b :: r)
+       | _ -> true
+     in
+     mono t.Core.Jit_manager.events);
+  Alcotest.(check bool) "specialization time matches report" true
+    (abs_float
+       (t.Core.Jit_manager.specialization_seconds
+       -. (report.Core.Asip_sp.sum_seconds
+          +. report.Core.Asip_sp.search_wall_seconds))
+    < 1.0);
+  Alcotest.(check bool) "reconfiguration in milliseconds" true
+    (t.Core.Jit_manager.reconfiguration_seconds > 0.0
+    && t.Core.Jit_manager.reconfiguration_seconds < 1.0);
+  (match t.Core.Jit_manager.overtake_seconds with
+  | Some ot ->
+      Alcotest.(check bool) "overtake after readiness" true
+        (ot
+        >= t.Core.Jit_manager.specialization_seconds
+           +. t.Core.Jit_manager.reconfiguration_seconds -. 1e-6)
+  | None -> Alcotest.fail "a >1.2x speedup must overtake");
+  (* rendering works *)
+  let s = Format.asprintf "%a" Core.Jit_manager.pp_timeline t in
+  Alcotest.(check bool) "rendered" true (String.length s > 100)
+
+let test_jit_manager_overtake_math () =
+  (* with speedup s and readiness T, overtake satisfies
+     spec + s (T* - T) = T* *)
+  let _, _, report = specialize float_kernel_src 200 in
+  let t = Core.Jit_manager.timeline report in
+  match t.Core.Jit_manager.overtake_seconds with
+  | Some t_star ->
+      let t_ready =
+        t.Core.Jit_manager.specialization_seconds
+        +. t.Core.Jit_manager.reconfiguration_seconds
+      in
+      let work_jit =
+        t.Core.Jit_manager.specialization_seconds
+        +. (t.Core.Jit_manager.speedup *. (t_star -. t_ready))
+      in
+      Alcotest.(check bool) "work parity at overtake" true
+        (abs_float (work_jit -. t_star) /. t_star < 1e-6)
+  | None -> Alcotest.fail "expected overtake"
+
+let test_diagrams () =
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  let f1 = Core.Diagrams.figure1 () in
+  List.iter
+    (fun stage -> Alcotest.(check bool) stage true (contains f1 stage))
+    [ "source code"; "bitcode (IR)"; "virtual machine"; "ASIP specialization" ];
+  let f2 = Core.Diagrams.figure2 () in
+  List.iter
+    (fun step -> Alcotest.(check bool) step true (contains f2 step))
+    [ "Candidate Search"; "Netlist Generation"; "Instruction Implementation";
+      "MAXMISO"; "@50pS3L" ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "adapt",
+        [
+          Alcotest.test_case "preserves results" `Quick test_adapt_preserves_results;
+          Alcotest.test_case "speedup matches estimate" `Quick
+            test_adapt_measured_speedup_matches_estimate;
+          Alcotest.test_case "copies the module" `Quick test_adapt_module_is_a_copy;
+          Alcotest.test_case "sor workload" `Slow test_adapt_on_workload;
+        ] );
+      ( "asip-sp",
+        [
+          Alcotest.test_case "report invariants" `Quick test_asip_sp_report_invariants;
+          Alcotest.test_case "run cache dedup" `Quick
+            test_asip_sp_cache_dedups_unrolled_copies;
+          Alcotest.test_case "no pruning" `Quick test_asip_sp_no_pruning;
+          Alcotest.test_case "cad speedup" `Quick test_asip_sp_cad_speedup_config;
+          Alcotest.test_case "candidate costs" `Quick test_candidate_costs_export;
+        ] );
+      ( "experiment-tables",
+        [
+          Alcotest.test_case "experiment structure" `Slow test_experiment_structure;
+          Alcotest.test_case "table rows" `Slow test_table_rows;
+          Alcotest.test_case "table renderers" `Slow test_table_renderers;
+          Alcotest.test_case "table3 statistics" `Slow test_table3_statistics;
+          Alcotest.test_case "table4 monotone" `Slow test_table4_monotone;
+          Alcotest.test_case "diagrams" `Quick test_diagrams;
+          Alcotest.test_case "jit manager timeline" `Quick
+            test_jit_manager_timeline;
+          Alcotest.test_case "jit manager overtake" `Quick
+            test_jit_manager_overtake_math;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* End-to-end integration: the full just-in-time ISE pipeline of
+   Figure 1, from MiniC source to an adapted binary running on the
+   modelled Woolcano ASIP, plus cross-checks between the analyses. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Cad = Jitise_cad
+module Wool = Jitise_woolcano
+module An = Jitise_analysis
+module Core = Jitise_core
+
+let db = Pp.Database.create ()
+
+(* The complete flow on one embedded workload, small dataset. *)
+let test_full_pipeline_fft () =
+  let w = Option.get (W.Registry.find "fft") in
+  (* 1. compile to bitcode *)
+  let r = W.Workload.compile w in
+  Alcotest.(check (list string)) "bitcode verifies" []
+    (List.map
+       (Format.asprintf "%a" Ir.Verifier.pp_error)
+       (Ir.Verifier.check_module r.F.Compiler.modul));
+  (* 2. profiled VM execution *)
+  let d = { (List.hd w.W.Workload.datasets) with W.Workload.n = 12 } in
+  let out = W.Workload.run r d in
+  Alcotest.(check bool) "profile collected" true
+    (Vm.Profile.to_list out.Vm.Machine.profile <> []);
+  (* 3. ASIP specialization *)
+  let report =
+    Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  Alcotest.(check bool) "candidates implemented" true
+    (report.Core.Asip_sp.candidates <> []);
+  (* 4. every bitstream loads into the modelled Woolcano ASIP *)
+  let asip = Wool.Asip.create () in
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      ignore (Wool.Asip.load asip c.Core.Asip_sp.run.Cad.Flow.bitstream))
+    report.Core.Asip_sp.candidates;
+  Alcotest.(check bool) "reconfiguration time accounted" true
+    (asip.Wool.Asip.reconfig_seconds > 0.0);
+  (* 5. binary adaptation, re-run, identical results, faster clock *)
+  let adapted = Core.Adapt.apply r.F.Compiler.modul report.Core.Asip_sp.selection in
+  let out2 =
+    Vm.Machine.run adapted.Core.Adapt.modul ~entry:"main"
+      ~cis:adapted.Core.Adapt.registry
+      ~args:[ Ir.Eval.VInt (Int64.of_int d.W.Workload.n) ]
+  in
+  Alcotest.(check bool) "adapted result identical" true
+    (out.Vm.Machine.ret = out2.Vm.Machine.ret);
+  Alcotest.(check bool) "adapted binary is faster" true
+    (out2.Vm.Machine.native_cycles < out.Vm.Machine.native_cycles);
+  (* 6. the speedup the VM measures equals the report's prediction *)
+  let measured = out.Vm.Machine.native_cycles /. out2.Vm.Machine.native_cycles in
+  Alcotest.(check bool) "prediction within 2%" true
+    (abs_float (measured -. report.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio)
+     /. measured
+    < 0.02)
+
+(* Adapted-binary equivalence across a sweep of workloads. *)
+let test_adaptation_equivalence_sweep () =
+  List.iter
+    (fun name ->
+      let w = Option.get (W.Registry.find name) in
+      let r = W.Workload.compile w in
+      let d0 = List.hd w.W.Workload.datasets in
+      let d = { d0 with W.Workload.n = max 1 (d0.W.Workload.n / 20) } in
+      let out = W.Workload.run r d in
+      let report =
+        Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+          ~total_cycles:out.Vm.Machine.native_cycles
+      in
+      let adapted =
+        Core.Adapt.apply r.F.Compiler.modul report.Core.Asip_sp.selection
+      in
+      let out2 =
+        Vm.Machine.run adapted.Core.Adapt.modul ~entry:"main"
+          ~cis:adapted.Core.Adapt.registry
+          ~args:[ Ir.Eval.VInt (Int64.of_int d.W.Workload.n) ]
+      in
+      Alcotest.(check bool) (name ^ " equivalent after adaptation") true
+        (out.Vm.Machine.ret = out2.Vm.Machine.ret))
+    [ "sor"; "whetstone"; "adpcm"; "433.milc"; "458.sjeng"; "470.lbm" ]
+
+(* The three analyses agree with each other on a full app result. *)
+let test_cross_analysis_consistency () =
+  let w = Option.get (W.Registry.find "whetstone") in
+  let r = Core.Experiment.run_app db w in
+  (* kernel time coverage >= 90 *)
+  Alcotest.(check bool) "kernel covers 90%" true
+    (r.Core.Experiment.kernel.An.Kernel.time_percent >= 90.0);
+  (* coverage percentages sum to 100 *)
+  let live, dead, const = An.Coverage.percentages r.Core.Experiment.coverage in
+  Alcotest.(check (float 1e-6)) "coverage sums" 100.0 (live +. dead +. const);
+  (* the break-even recomputed from the split matches the report *)
+  let be =
+    An.Breakeven.of_split r.Core.Experiment.split
+      ~overhead_seconds:r.Core.Experiment.report.Core.Asip_sp.sum_seconds
+  in
+  Alcotest.(check bool) "break-even reproducible" true
+    (be = r.Core.Experiment.break_even);
+  (* Table IV's zero-cache, zero-speedup cell equals the plain
+     break-even when no duplicate signatures exist; with duplicates it
+     can only be earlier *)
+  let costs = Core.Asip_sp.candidate_costs r.Core.Experiment.report in
+  let residual =
+    An.Cache_model.residual_overhead ~hit_rate:0.0 ~cad_speedup:0.0 costs
+  in
+  Alcotest.(check bool) "cache(0) <= raw overhead" true
+    (residual <= r.Core.Experiment.report.Core.Asip_sp.sum_seconds +. 1e-6)
+
+(* The headline claim of the paper, on our substrate: embedded
+   applications reach break-even, and pruning pays for itself. *)
+let test_embedded_break_even_exists () =
+  let w = Option.get (W.Registry.find "sor") in
+  let r = Core.Experiment.run_app db w in
+  (match r.Core.Experiment.break_even with
+  | An.Breakeven.After t ->
+      Alcotest.(check bool) "sor amortizes within a day" true (t < 86_400.0)
+  | An.Breakeven.Never -> Alcotest.fail "sor must reach break-even");
+  Alcotest.(check bool) "sor speedup > 2" true
+    (r.Core.Experiment.report.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio > 2.0)
+
+let test_pruning_efficiency_worthwhile () =
+  (* identification over the pruned blocks must be faster than over the
+     whole program *)
+  let w = Option.get (W.Registry.find "458.sjeng") in
+  let r = Core.Experiment.run_app db w in
+  let rep = r.Core.Experiment.report in
+  Alcotest.(check bool) "pruned search faster than full search" true
+    (rep.Core.Asip_sp.search_wall_seconds
+    < rep.Core.Asip_sp.search_wall_seconds_nopruning)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "fft end-to-end" `Slow test_full_pipeline_fft;
+          Alcotest.test_case "equivalence sweep" `Slow
+            test_adaptation_equivalence_sweep;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "cross analysis" `Slow test_cross_analysis_consistency;
+          Alcotest.test_case "embedded break-even" `Slow
+            test_embedded_break_even_exists;
+          Alcotest.test_case "pruning worthwhile" `Slow
+            test_pruning_efficiency_worthwhile;
+        ] );
+    ]

@@ -1,0 +1,604 @@
+(* Tests for Jitise_ir: types, instructions, eval semantics, builder,
+   verifier, CFG, dominators, DFG, cost model, printer. *)
+
+module Ir = Jitise_ir
+open Ir
+
+(* A hand-built function used by several suites:
+
+   int f(x) {            bb0: cmp = x < 10 ? bb1 : bb2
+     if (x < 10)          bb1: a = x + 1        -> bb3
+       return (x+1)*2     bb2: b = x * 3        -> bb3
+     else return x*3      bb3: p = phi [bb1: a2, bb2: b]; ret p
+   } *)
+let diamond_func () =
+  let f = Func.create ~name:"diamond" ~params:[ (0, Ty.I32) ] ~ret_ty:Ty.I32 in
+  let b = Builder.create f in
+  let bb0 = Builder.new_block b ~name:"entry" in
+  let bb1 = Builder.new_block b ~name:"then" in
+  let bb2 = Builder.new_block b ~name:"else" in
+  let bb3 = Builder.new_block b ~name:"join" in
+  Builder.position_at b bb0;
+  let cmp = Builder.icmp b Instr.Islt (Builder.reg 0) (Builder.ci32 10) in
+  Builder.cond_br b (Builder.reg cmp) bb1.Block.label bb2.Block.label;
+  Builder.position_at b bb1;
+  let a = Builder.binop b Instr.Add Ty.I32 (Builder.reg 0) (Builder.ci32 1) in
+  let a2 = Builder.binop b Instr.Mul Ty.I32 (Builder.reg a) (Builder.ci32 2) in
+  Builder.br b bb3.Block.label;
+  Builder.position_at b bb2;
+  let c = Builder.binop b Instr.Mul Ty.I32 (Builder.reg 0) (Builder.ci32 3) in
+  Builder.br b bb3.Block.label;
+  Builder.position_at b bb3;
+  let p =
+    Builder.phi b Ty.I32
+      [ (bb1.Block.label, Builder.reg a2); (bb2.Block.label, Builder.reg c) ]
+  in
+  Builder.ret b (Some (Builder.reg p));
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Ty                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ty_bits () =
+  Alcotest.(check int) "i1" 1 (Ty.bits Ty.I1);
+  Alcotest.(check int) "i32" 32 (Ty.bits Ty.I32);
+  Alcotest.(check int) "f64" 64 (Ty.bits Ty.F64);
+  Alcotest.(check int) "ptr is machine word" 32 (Ty.bits Ty.Ptr);
+  Alcotest.(check int) "void" 0 (Ty.bits Ty.Void)
+
+let test_ty_roundtrip () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) "roundtrip" true
+        (Ty.of_string (Ty.to_string ty) = Some ty))
+    [ Ty.I1; Ty.I8; Ty.I16; Ty.I32; Ty.I64; Ty.F32; Ty.F64; Ty.Ptr; Ty.Void ];
+  Alcotest.(check bool) "unknown" true (Ty.of_string "bogus" = None)
+
+let test_ty_classes () =
+  Alcotest.(check bool) "int" true (Ty.is_int Ty.I8);
+  Alcotest.(check bool) "not int" false (Ty.is_int Ty.F32);
+  Alcotest.(check bool) "float" true (Ty.is_float Ty.F64);
+  Alcotest.(check bool) "scalar" true (Ty.is_scalar Ty.Ptr);
+  Alcotest.(check bool) "void not scalar" false (Ty.is_scalar Ty.Void)
+
+(* ------------------------------------------------------------------ *)
+(* Instr classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_instr_classification () =
+  let add = Instr.Binop (Instr.Add, Builder.ci32 1, Builder.ci32 2) in
+  let load = Instr.Load (Builder.reg 0) in
+  let store = Instr.Store (Builder.ci32 1, Builder.reg 0) in
+  let call = Instr.Call ("f", []) in
+  Alcotest.(check bool) "add feasible" true (Instr.hw_feasible add);
+  Alcotest.(check bool) "load infeasible" false (Instr.hw_feasible load);
+  Alcotest.(check bool) "store infeasible" false (Instr.hw_feasible store);
+  Alcotest.(check bool) "call infeasible" false (Instr.hw_feasible call);
+  Alcotest.(check bool) "store memory" true (Instr.accesses_memory store);
+  Alcotest.(check bool) "add pure" false (Instr.has_side_effect add);
+  Alcotest.(check bool) "call effectful" true (Instr.has_side_effect call)
+
+let test_instr_operands () =
+  let sel = Instr.Select (Builder.reg 1, Builder.reg 2, Builder.ci32 0) in
+  Alcotest.(check int) "select arity" 3 (List.length (Instr.operands sel));
+  Alcotest.(check (list int)) "used regs" [ 1; 2 ] (Instr.used_regs sel);
+  Alcotest.(check (list int)) "successors" [ 4; 7 ]
+    (Instr.successors (Instr.Cond_br (Builder.reg 0, 4, 7)))
+
+let test_instr_names () =
+  Alcotest.(check string) "binop name" "fmul" (Instr.binop_name Instr.Fmul);
+  Alcotest.(check bool) "binop roundtrip" true
+    (Instr.binop_of_name "ashr" = Some Instr.Ashr);
+  Alcotest.(check bool) "icmp roundtrip" true
+    (Instr.icmp_of_name (Instr.icmp_name Instr.Iuge) = Some Instr.Iuge);
+  Alcotest.(check bool) "cast roundtrip" true
+    (Instr.cast_of_name (Instr.cast_name Instr.Fptosi) = Some Instr.Fptosi);
+  Alcotest.(check string) "opcode of icmp" "icmp.slt"
+    (Instr.opcode_name (Instr.Icmp (Instr.Islt, Builder.ci32 0, Builder.ci32 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vint = function Eval.VInt v -> v | _ -> Alcotest.fail "expected int"
+let vfloat = function Eval.VFloat v -> v | _ -> Alcotest.fail "expected float"
+
+let test_eval_wrapping () =
+  let v =
+    Eval.eval_binop Ty.I32 Instr.Add (Eval.VInt 2147483647L) (Eval.VInt 1L)
+  in
+  Alcotest.(check int64) "i32 wraps" (-2147483648L) (vint v);
+  let v = Eval.eval_binop Ty.I8 Instr.Mul (Eval.VInt 100L) (Eval.VInt 3L) in
+  Alcotest.(check int64) "i8 wraps" 44L (vint v)
+
+let test_eval_division () =
+  Alcotest.(check int64) "sdiv" (-3L)
+    (vint (Eval.eval_binop Ty.I32 Instr.Sdiv (Eval.VInt (-7L)) (Eval.VInt 2L)));
+  Alcotest.(check int64) "udiv treats bits unsigned" 2147483644L
+    (vint (Eval.eval_binop Ty.I32 Instr.Udiv (Eval.VInt (-7L)) (Eval.VInt 2L)));
+  Alcotest.(check bool) "division by zero" true
+    (try
+       ignore (Eval.eval_binop Ty.I32 Instr.Sdiv (Eval.VInt 1L) (Eval.VInt 0L));
+       false
+     with Eval.Division_by_zero -> true)
+
+let test_eval_shifts () =
+  Alcotest.(check int64) "shl" 8L
+    (vint (Eval.eval_binop Ty.I32 Instr.Shl (Eval.VInt 1L) (Eval.VInt 3L)));
+  Alcotest.(check int64) "lshr of negative i32" 2147483644L
+    (vint (Eval.eval_binop Ty.I32 Instr.Lshr (Eval.VInt (-7L)) (Eval.VInt 1L)));
+  Alcotest.(check int64) "ashr keeps sign" (-4L)
+    (vint (Eval.eval_binop Ty.I32 Instr.Ashr (Eval.VInt (-7L)) (Eval.VInt 1L)));
+  Alcotest.(check int64) "shift amount masked" 2L
+    (vint (Eval.eval_binop Ty.I32 Instr.Shl (Eval.VInt 1L) (Eval.VInt 33L)))
+
+let test_eval_icmp () =
+  let t p a b = vint (Eval.eval_icmp p (Eval.VInt a) (Eval.VInt b)) = 1L in
+  Alcotest.(check bool) "slt" true (t Instr.Islt (-1L) 0L);
+  Alcotest.(check bool) "ult sees -1 as max" false (t Instr.Iult (-1L) 0L);
+  Alcotest.(check bool) "eq" true (t Instr.Ieq 5L 5L);
+  Alcotest.(check bool) "uge" true (t Instr.Iuge (-1L) 1L)
+
+let test_eval_fcmp_nan () =
+  let nan_cmp p =
+    vint (Eval.eval_fcmp p (Eval.VFloat Float.nan) (Eval.VFloat 1.0))
+  in
+  Alcotest.(check int64) "nan unordered oeq" 0L (nan_cmp Instr.Foeq);
+  Alcotest.(check int64) "nan unordered one" 0L (nan_cmp Instr.Fone);
+  Alcotest.(check int64) "olt" 1L
+    (vint (Eval.eval_fcmp Instr.Folt (Eval.VFloat 1.0) (Eval.VFloat 2.0)))
+
+let test_eval_casts () =
+  Alcotest.(check int64) "trunc" (-1L)
+    (vint (Eval.eval_cast Instr.Trunc ~from_:Ty.I32 ~to_:Ty.I8 (Eval.VInt 255L)));
+  Alcotest.(check int64) "zext i8" 255L
+    (vint (Eval.eval_cast Instr.Zext ~from_:Ty.I8 ~to_:Ty.I32 (Eval.VInt (-1L))));
+  Alcotest.(check int64) "sext i8" (-1L)
+    (vint (Eval.eval_cast Instr.Sext ~from_:Ty.I8 ~to_:Ty.I32 (Eval.VInt (-1L))));
+  Alcotest.(check int64) "fptosi" 3L
+    (vint (Eval.eval_cast Instr.Fptosi ~from_:Ty.F64 ~to_:Ty.I32 (Eval.VFloat 3.7)));
+  Alcotest.(check (float 1e-9)) "sitofp" 4.0
+    (vfloat (Eval.eval_cast Instr.Sitofp ~from_:Ty.I32 ~to_:Ty.F64 (Eval.VInt 4L)));
+  Alcotest.(check int64) "fptosi of nan" 0L
+    (vint
+       (Eval.eval_cast Instr.Fptosi ~from_:Ty.F64 ~to_:Ty.I32
+          (Eval.VFloat Float.nan)))
+
+let test_eval_f32_rounding () =
+  let v =
+    Eval.eval_binop Ty.F32 Instr.Fadd (Eval.VFloat 0.1) (Eval.VFloat 0.2)
+  in
+  let f64 = 0.1 +. 0.2 in
+  Alcotest.(check bool) "f32 differs from f64 sum" true (vfloat v <> f64)
+
+let test_eval_i1_normalization () =
+  Alcotest.(check int64) "i1 const true is 1" 1L
+    (vint (Eval.of_const (Instr.Cint (1L, Ty.I1))));
+  Alcotest.(check int64) "i1 wraps to 0/1" 1L
+    (vint (Eval.of_const (Instr.Cint (3L, Ty.I1))))
+
+let test_eval_select_is_true () =
+  Alcotest.(check bool) "zero false" false (Eval.is_true (Eval.VInt 0L));
+  Alcotest.(check bool) "float true" true (Eval.is_true (Eval.VFloat 0.5));
+  Alcotest.(check int64) "select picks" 7L
+    (vint (Eval.eval_select (Eval.VInt 1L) (Eval.VInt 7L) (Eval.VInt 9L)))
+
+let prop_i32_add_matches_int32 =
+  QCheck.Test.make ~name:"i32 add matches Int32 semantics" ~count:1000
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+      let v =
+        Eval.eval_binop Ty.I32 Instr.Add
+          (Eval.VInt (Int64.of_int32 a))
+          (Eval.VInt (Int64.of_int32 b))
+      in
+      vint v = Int64.of_int32 (Int32.add a b))
+
+let prop_i32_mul_matches_int32 =
+  QCheck.Test.make ~name:"i32 mul matches Int32 semantics" ~count:1000
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+      let v =
+        Eval.eval_binop Ty.I32 Instr.Mul
+          (Eval.VInt (Int64.of_int32 a))
+          (Eval.VInt (Int64.of_int32 b))
+      in
+      vint v = Int64.of_int32 (Int32.mul a b))
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize idempotent" ~count:1000
+    QCheck.(pair (oneofl [ Ty.I1; Ty.I8; Ty.I16; Ty.I32; Ty.I64 ]) int64)
+    (fun (ty, v) ->
+      let n = Eval.normalize ty v in
+      Eval.normalize ty n = n)
+
+(* ------------------------------------------------------------------ *)
+(* Builder + Verifier                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_diamond_valid () =
+  let f = diamond_func () in
+  Alcotest.(check (list string)) "verifies" []
+    (List.map
+       (Format.asprintf "%a" Verifier.pp_error)
+       (Verifier.check_func f));
+  Alcotest.(check int) "blocks" 4 (Func.num_blocks f);
+  Alcotest.(check int) "instrs" 5 (Func.num_instrs f)
+
+let test_verifier_catches_undefined_reg () =
+  let f = Func.create ~name:"bad" ~params:[] ~ret_ty:Ty.I32 in
+  let b = Builder.create f in
+  let bb = Builder.new_block b ~name:"entry" in
+  Builder.position_at b bb;
+  let r = Builder.binop b Instr.Add Ty.I32 (Builder.reg 99) (Builder.ci32 1) in
+  Builder.ret b (Some (Builder.reg r));
+  let f = Builder.finish b in
+  Alcotest.(check bool) "error reported" true (Verifier.check_func f <> [])
+
+let test_verifier_catches_bad_branch () =
+  let f = Func.create ~name:"bad" ~params:[] ~ret_ty:Ty.Void in
+  let b = Builder.create f in
+  let bb = Builder.new_block b ~name:"entry" in
+  Builder.position_at b bb;
+  Builder.br b 5;
+  let f = Builder.finish b in
+  Alcotest.(check bool) "bad target" true (Verifier.check_func f <> [])
+
+let test_verifier_catches_type_mismatch () =
+  let f = Func.create ~name:"bad" ~params:[ (0, Ty.F64) ] ~ret_ty:Ty.I32 in
+  let b = Builder.create f in
+  let bb = Builder.new_block b ~name:"entry" in
+  Builder.position_at b bb;
+  (* integer add on a float-typed operand *)
+  let r = Builder.binop b Instr.Add Ty.I32 (Builder.reg 0) (Builder.ci32 1) in
+  Builder.ret b (Some (Builder.reg r));
+  let f = Builder.finish b in
+  Alcotest.(check bool) "type error found" true (Verifier.check_func f <> [])
+
+let test_verifier_catches_ret_mismatch () =
+  let f = Func.create ~name:"bad" ~params:[] ~ret_ty:Ty.Void in
+  let b = Builder.create f in
+  let bb = Builder.new_block b ~name:"entry" in
+  Builder.position_at b bb;
+  Builder.ret b (Some (Builder.ci32 1));
+  let f = Builder.finish b in
+  Alcotest.(check bool) "ret in void" true (Verifier.check_func f <> [])
+
+let test_verifier_module () =
+  let m = Irmod.create ~name:"m" in
+  Irmod.add_func m (diamond_func ());
+  Alcotest.(check bool) "module clean" true (Verifier.check_module m = []);
+  Verifier.check_module_exn m
+
+(* ------------------------------------------------------------------ *)
+(* Irmod                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_irmod_duplicates () =
+  let m = Irmod.create ~name:"m" in
+  Irmod.add_func m (diamond_func ());
+  Alcotest.(check bool) "dup func rejected" true
+    (try
+       Irmod.add_func m (diamond_func ());
+       false
+     with Invalid_argument _ -> true);
+  Irmod.add_global m
+    { Irmod.gname = "g"; gty = Ty.I32; gsize = 4; ginit = Irmod.Zero };
+  Alcotest.(check bool) "dup global rejected" true
+    (try
+       Irmod.add_global m
+         { Irmod.gname = "g"; gty = Ty.I32; gsize = 1; ginit = Irmod.Zero };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "find" true (Irmod.find_func m "diamond" <> None);
+  Alcotest.(check bool) "find missing" true (Irmod.find_func m "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cfg / Dom                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_diamond () =
+  let f = diamond_func () in
+  let cfg = Cfg.of_func f in
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] (Cfg.succs cfg 0);
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare (Cfg.preds cfg 3));
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "rpo covers all" 4 (List.length rpo);
+  Alcotest.(check int) "rpo starts at entry" 0 (List.hd rpo)
+
+let test_cfg_unreachable () =
+  let f = Func.create ~name:"u" ~params:[] ~ret_ty:Ty.Void in
+  let b = Builder.create f in
+  let bb0 = Builder.new_block b ~name:"entry" in
+  let _bb1 = Builder.new_block b ~name:"island" in
+  Builder.position_at b bb0;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let reach = Cfg.reachable (Cfg.of_func f) in
+  Alcotest.(check bool) "entry reachable" true reach.(0);
+  Alcotest.(check bool) "island unreachable" false reach.(1)
+
+let test_dom_diamond () =
+  let f = diamond_func () in
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  Alcotest.(check int) "idom of then" 0 dom.Dom.idom.(1);
+  Alcotest.(check int) "idom of else" 0 dom.Dom.idom.(2);
+  Alcotest.(check int) "idom of join" 0 dom.Dom.idom.(3);
+  Alcotest.(check bool) "entry dominates all" true (Dom.dominates dom 0 3);
+  Alcotest.(check bool) "then does not dominate join" false
+    (Dom.dominates dom 1 3);
+  let fr = Dom.frontiers dom cfg in
+  Alcotest.(check (list int)) "frontier of then" [ 3 ] fr.(1);
+  Alcotest.(check (list int)) "frontier of else" [ 3 ] fr.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Dfg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let straightline_block () =
+  (* bb0: t1 = x + 1; t2 = t1 * 2; t3 = load p; t4 = t2 + x; ret t4
+     t1 feeds only t2; t2 feeds t4 (single consumers) *)
+  let f =
+    Func.create ~name:"s" ~params:[ (0, Ty.I32); (1, Ty.Ptr) ] ~ret_ty:Ty.I32
+  in
+  let b = Builder.create f in
+  let bb = Builder.new_block b ~name:"entry" in
+  Builder.position_at b bb;
+  let t1 = Builder.binop b Instr.Add Ty.I32 (Builder.reg 0) (Builder.ci32 1) in
+  let t2 = Builder.binop b Instr.Mul Ty.I32 (Builder.reg t1) (Builder.ci32 2) in
+  let _t3 = Builder.load b Ty.I32 (Builder.reg 1) in
+  let t4 = Builder.binop b Instr.Add Ty.I32 (Builder.reg t2) (Builder.reg 0) in
+  Builder.ret b (Some (Builder.reg t4));
+  let f = Builder.finish b in
+  (f, Ir.Func.block f 0)
+
+let test_dfg_edges () =
+  let f, blk = straightline_block () in
+  let dfg = Dfg.of_block f blk in
+  Alcotest.(check int) "nodes" 4 (Dfg.node_count dfg);
+  (* t1 (node 0) feeds t2 (node 1) *)
+  Alcotest.(check (list int)) "t1 succs" [ 1 ] dfg.Dfg.nodes.(0).Dfg.succs;
+  Alcotest.(check (list int)) "t4 preds" [ 1 ] dfg.Dfg.nodes.(3).Dfg.preds;
+  Alcotest.(check bool) "t4 escapes (terminator)" true
+    dfg.Dfg.nodes.(3).Dfg.external_uses;
+  Alcotest.(check bool) "load infeasible" false (Dfg.feasible dfg.Dfg.nodes.(2))
+
+let test_dfg_external_inputs () =
+  let f, blk = straightline_block () in
+  let dfg = Dfg.of_block f blk in
+  (* node 0 reads param %0 (external) and a constant *)
+  Alcotest.(check int) "one external reg input" 1
+    (List.length (Dfg.external_inputs dfg 0));
+  Alcotest.(check bool) "is block output" true (Dfg.is_block_output dfg 3)
+
+let test_dfg_topological () =
+  let f, blk = straightline_block () in
+  let dfg = Dfg.of_block f blk in
+  Alcotest.(check (list int)) "topo order" [ 0; 1; 2; 3 ]
+    (Dfg.topological_order dfg)
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_ordering () =
+  let c k = Cost.cycles k in
+  let add = Instr.Binop (Instr.Add, Builder.ci32 1, Builder.ci32 1) in
+  let mul = Instr.Binop (Instr.Mul, Builder.ci32 1, Builder.ci32 1) in
+  let div = Instr.Binop (Instr.Sdiv, Builder.ci32 1, Builder.ci32 1) in
+  let fadd = Instr.Binop (Instr.Fadd, Builder.cf64 1., Builder.cf64 1.) in
+  let fdiv = Instr.Binop (Instr.Fdiv, Builder.cf64 1., Builder.cf64 1.) in
+  Alcotest.(check bool) "add < mul" true (c add < c mul);
+  Alcotest.(check bool) "mul < div" true (c mul < c div);
+  Alcotest.(check bool) "int add << soft-float add" true (c add * 10 <= c fadd);
+  Alcotest.(check bool) "fadd < fdiv" true (c fadd < c fdiv)
+
+let test_cost_block () =
+  let f, blk = straightline_block () in
+  ignore f;
+  Alcotest.(check bool) "block cost positive" true (Cost.block_cycles blk > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_printer_output () =
+  let m = Irmod.create ~name:"m" in
+  Irmod.add_global m
+    { Irmod.gname = "tbl"; gty = Ty.F64; gsize = 2; ginit = Irmod.Floats [| 1.5; 2.5 |] };
+  Irmod.add_func m (diamond_func ());
+  let s = Printer.module_to_string m in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "module header" true (contains "module m");
+  Alcotest.(check bool) "global" true (contains "global @tbl");
+  Alcotest.(check bool) "function" true (contains "func i32 @diamond");
+  Alcotest.(check bool) "phi" true (contains "phi i32");
+  Alcotest.(check bool) "condbr" true (contains "condbr")
+
+(* ------------------------------------------------------------------ *)
+(* Parser round trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip m =
+  let printed = Printer.module_to_string m in
+  let reparsed = Parser.parse_module printed in
+  Alcotest.(check string) "round trip is a fixpoint" printed
+    (Printer.module_to_string reparsed);
+  Alcotest.(check bool) "reparsed module verifies" true
+    (Verifier.check_module reparsed = [])
+
+let test_parser_roundtrip_diamond () =
+  let m = Irmod.create ~name:"m" in
+  Irmod.add_global m
+    { Irmod.gname = "tbl"; gty = Ty.F64; gsize = 2;
+      ginit = Irmod.Floats [| 1.5; -2.5 |] };
+  Irmod.add_global m
+    { Irmod.gname = "z"; gty = Ty.I32; gsize = 4; ginit = Irmod.Zero };
+  Irmod.add_global m
+    { Irmod.gname = "iv"; gty = Ty.I64; gsize = 2; ginit = Irmod.Ints [| -7L; 9L |] };
+  Irmod.add_func m (diamond_func ());
+  roundtrip m
+
+let test_parser_roundtrip_all_instr_kinds () =
+  let f =
+    Func.create ~name:"kinds" ~params:[ (0, Ty.I32); (1, Ty.F64) ]
+      ~ret_ty:Ty.I32
+  in
+  let b = Builder.create f in
+  let bb0 = Builder.new_block b ~name:"entry" in
+  let bb1 = Builder.new_block b ~name:"next" in
+  let bb2 = Builder.new_block b ~name:"exit" in
+  Builder.position_at b bb0;
+  let add = Builder.binop b Instr.Add Ty.I32 (Builder.reg 0) (Builder.ci32 7) in
+  let fm = Builder.binop b Instr.Fmul Ty.F64 (Builder.reg 1) (Builder.cf64 2.5) in
+  let ic = Builder.icmp b Instr.Iult (Builder.reg add) (Builder.ci32 100) in
+  let _fc = Builder.fcmp b Instr.Foge (Builder.reg fm) (Builder.cf64 0.0) in
+  let sel = Builder.select b Ty.I32 (Builder.reg ic) (Builder.reg add) (Builder.ci32 0) in
+  let al = Builder.alloca b Ty.I32 4 in
+  let _st = Builder.store b (Builder.reg sel) (Builder.reg al) in
+  let ld = Builder.load b Ty.I32 (Builder.reg al) in
+  let _gep = Builder.gep b (Builder.reg al) (Builder.reg ld) in
+  let _ga = Builder.add b Ty.Ptr (Instr.Gaddr "glob") in
+  let cl = Builder.call b Ty.F64 "sqrt" [ Builder.reg fm ] in
+  let tr = Builder.cast b Instr.Fptosi Ty.I32 (Builder.reg cl) in
+  Builder.set_term b
+    (Instr.Switch (Builder.reg tr, bb1.Block.label, [ (3L, bb2.Block.label) ]));
+  Builder.position_at b bb1;
+  Builder.cond_br b (Builder.reg ic) bb2.Block.label bb2.Block.label;
+  Builder.position_at b bb2;
+  let p =
+    Builder.phi b Ty.I32
+      [ (bb0.Block.label, Builder.reg sel); (bb1.Block.label, Builder.ci32 1) ]
+  in
+  Builder.ret b (Some (Builder.reg p));
+  let f = Builder.finish b in
+  let m = Irmod.create ~name:"kinds" in
+  Irmod.add_global m
+    { Irmod.gname = "glob"; gty = Ty.I32; gsize = 1; ginit = Irmod.Zero };
+  Irmod.add_func m f;
+  let printed = Printer.module_to_string m in
+  let reparsed = Parser.parse_module printed in
+  Alcotest.(check string) "fixpoint" printed (Printer.module_to_string reparsed)
+
+let test_parser_roundtrip_workloads () =
+  List.iter
+    (fun (w : Jitise_workloads.Workload.t) ->
+      let r = Jitise_workloads.Workload.compile w in
+      let m = r.Jitise_frontend.Compiler.modul in
+      let printed = Printer.module_to_string m in
+      let reparsed = Parser.parse_module printed in
+      Alcotest.(check string)
+        (w.Jitise_workloads.Workload.name ^ " round trips")
+        printed
+        (Printer.module_to_string reparsed))
+    Jitise_workloads.Registry.all
+
+let test_parser_errors () =
+  let bad input =
+    try
+      ignore (Parser.parse_module input);
+      false
+    with Parser.Error _ -> true
+  in
+  Alcotest.(check bool) "garbage" true (bad "module m\nwat");
+  Alcotest.(check bool) "bad operand" true
+    (bad "module m\nfunc i32 @f() {\nbb0:\n  %1 = add i32 oops, 1:i32\n  ret %1\n}");
+  Alcotest.(check bool) "unterminated func" true
+    (bad "module m\nfunc i32 @f() {\nbb0:\n  ret 0:i32");
+  Alcotest.(check bool) "unknown instr" true
+    (bad "module m\nfunc i32 @f() {\nbb0:\n  %1 = frobnicate i32 1:i32, 2:i32\n  ret %1\n}")
+
+let test_parser_executes_same () =
+  (* parse(print(m)) runs identically *)
+  let w = Option.get (Jitise_workloads.Registry.find "sor") in
+  let r = Jitise_workloads.Workload.compile w in
+  let m = r.Jitise_frontend.Compiler.modul in
+  let reparsed = Parser.parse_module (Printer.module_to_string m) in
+  let run m =
+    (Jitise_vm.Machine.run m ~entry:"main" ~args:[ Eval.VInt 5L ]).Jitise_vm.Machine.ret
+  in
+  Alcotest.(check bool) "same results" true (run m = run reparsed)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "ty",
+        [
+          Alcotest.test_case "bits" `Quick test_ty_bits;
+          Alcotest.test_case "roundtrip" `Quick test_ty_roundtrip;
+          Alcotest.test_case "classes" `Quick test_ty_classes;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "classification" `Quick test_instr_classification;
+          Alcotest.test_case "operands" `Quick test_instr_operands;
+          Alcotest.test_case "names" `Quick test_instr_names;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "wrapping" `Quick test_eval_wrapping;
+          Alcotest.test_case "division" `Quick test_eval_division;
+          Alcotest.test_case "shifts" `Quick test_eval_shifts;
+          Alcotest.test_case "icmp" `Quick test_eval_icmp;
+          Alcotest.test_case "fcmp nan" `Quick test_eval_fcmp_nan;
+          Alcotest.test_case "casts" `Quick test_eval_casts;
+          Alcotest.test_case "f32 rounding" `Quick test_eval_f32_rounding;
+          Alcotest.test_case "i1 normalization" `Quick test_eval_i1_normalization;
+          Alcotest.test_case "select/is_true" `Quick test_eval_select_is_true;
+        ]
+        @ qsuite
+            [
+              prop_i32_add_matches_int32;
+              prop_i32_mul_matches_int32;
+              prop_normalize_idempotent;
+            ] );
+      ( "builder-verifier",
+        [
+          Alcotest.test_case "diamond valid" `Quick test_builder_diamond_valid;
+          Alcotest.test_case "undefined reg" `Quick test_verifier_catches_undefined_reg;
+          Alcotest.test_case "bad branch" `Quick test_verifier_catches_bad_branch;
+          Alcotest.test_case "type mismatch" `Quick test_verifier_catches_type_mismatch;
+          Alcotest.test_case "ret mismatch" `Quick test_verifier_catches_ret_mismatch;
+          Alcotest.test_case "module check" `Quick test_verifier_module;
+          Alcotest.test_case "module duplicates" `Quick test_irmod_duplicates;
+        ] );
+      ( "cfg-dom",
+        [
+          Alcotest.test_case "diamond cfg" `Quick test_cfg_diamond;
+          Alcotest.test_case "unreachable" `Quick test_cfg_unreachable;
+          Alcotest.test_case "dominators" `Quick test_dom_diamond;
+        ] );
+      ( "dfg",
+        [
+          Alcotest.test_case "edges" `Quick test_dfg_edges;
+          Alcotest.test_case "external inputs" `Quick test_dfg_external_inputs;
+          Alcotest.test_case "topological" `Quick test_dfg_topological;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "ordering" `Quick test_cost_ordering;
+          Alcotest.test_case "block" `Quick test_cost_block;
+        ] );
+      ("printer", [ Alcotest.test_case "output" `Quick test_printer_output ]);
+      ( "parser",
+        [
+          Alcotest.test_case "diamond round trip" `Quick
+            test_parser_roundtrip_diamond;
+          Alcotest.test_case "all instruction kinds" `Quick
+            test_parser_roundtrip_all_instr_kinds;
+          Alcotest.test_case "workload round trips" `Slow
+            test_parser_roundtrip_workloads;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "executes identically" `Quick
+            test_parser_executes_same;
+        ] );
+    ]

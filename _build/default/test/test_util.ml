@@ -1,0 +1,276 @@
+(* Tests for Jitise_util: PRNG, statistics, durations, text tables. *)
+
+module U = Jitise_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish msg = Alcotest.(check (float 1e-6)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = U.Prng.create ~seed:42 and b = U.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (U.Prng.int64 a) (U.Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = U.Prng.create ~seed:1 and b = U.Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (U.Prng.int64 a = U.Prng.int64 b)
+
+let test_prng_copy () =
+  let a = U.Prng.create ~seed:7 in
+  ignore (U.Prng.int64 a);
+  let b = U.Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (U.Prng.int64 a)
+    (U.Prng.int64 b)
+
+let test_prng_split_independent () =
+  let a = U.Prng.create ~seed:7 in
+  let b = U.Prng.split a in
+  Alcotest.(check bool) "split differs from parent continuation" false
+    (U.Prng.int64 a = U.Prng.int64 b)
+
+let test_prng_int_bounds () =
+  let t = U.Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = U.Prng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_prng_int_invalid () =
+  let t = U.Prng.create ~seed:3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (U.Prng.int t 0))
+
+let test_prng_float_bounds () =
+  let t = U.Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = U.Prng.float t 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_prng_gaussian_moments () =
+  let t = U.Prng.create ~seed:11 in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> U.Prng.gaussian t ~mu:3.0 ~sigma:2.0) in
+  let mean = U.Stats.mean samples in
+  let sd = U.Stats.stdev samples in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "stdev near 2" true (abs_float (sd -. 2.0) < 0.1)
+
+let test_prng_pick () =
+  let t = U.Prng.create ~seed:9 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let v = U.Prng.pick t arr in
+    Alcotest.(check bool) "picked element" true (Array.mem v arr)
+  done
+
+let test_prng_hash_string_stable () =
+  Alcotest.(check int) "stable hash" (U.Prng.hash_string "abc")
+    (U.Prng.hash_string "abc");
+  Alcotest.(check bool) "different strings differ" true
+    (U.Prng.hash_string "abc" <> U.Prng.hash_string "abd");
+  Alcotest.(check bool) "non-negative" true (U.Prng.hash_string "xyz" >= 0)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      let t = U.Prng.create ~seed in
+      U.Prng.shuffle t arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean () =
+  check_float "empty" 0.0 (U.Stats.mean []);
+  check_float "single" 5.0 (U.Stats.mean [ 5.0 ]);
+  check_float "several" 2.0 (U.Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_stats_stdev () =
+  check_float "too few" 0.0 (U.Stats.stdev [ 1.0 ]);
+  check_floatish "known sample" 1.0 (U.Stats.stdev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_geomean () =
+  check_floatish "geometric" 2.0 (U.Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (U.Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_median () =
+  check_float "odd" 2.0 (U.Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (U.Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (U.Stats.percentile 50.0 xs);
+  check_float "p100" 100.0 (U.Stats.percentile 100.0 xs);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (U.Stats.percentile 101.0 xs))
+
+let test_stats_minmax_sum () =
+  check_float "min" 1.0 (U.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (U.Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check_float "sum" 6.0 (U.Stats.sum [ 3.0; 1.0; 2.0 ])
+
+let test_stats_weighted_mean () =
+  check_float "weights" 2.75 (U.Stats.weighted_mean [ (1.0, 2.0); (3.0, 3.0) ]);
+  check_float "zero weight" 0.0 (U.Stats.weighted_mean [ (0.0, 9.0) ])
+
+let test_stats_summarize () =
+  let s = U.Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "n" 3 s.U.Stats.n;
+  check_float "mean" 2.0 s.U.Stats.mean;
+  check_float "min" 1.0 s.U.Stats.min;
+  check_float "max" 3.0 s.U.Stats.max;
+  let empty = U.Stats.summarize [] in
+  Alcotest.(check int) "empty n" 0 empty.U.Stats.n
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within min/max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = U.Stats.mean xs in
+      m >= U.Stats.minimum xs -. 1e-9 && m <= U.Stats.maximum xs +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Duration                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_duration_formats () =
+  Alcotest.(check string) "min:sec" "56:22" (U.Duration.to_min_sec 3382.0);
+  Alcotest.(check string) "hms" "01:59:55" (U.Duration.to_hms 7195.0);
+  Alcotest.(check string) "dhms" "206:22:15:50"
+    (U.Duration.to_dhms ((206.0 *. 86400.0) +. (22.0 *. 3600.0) +. (15.0 *. 60.0) +. 50.0));
+  Alcotest.(check string) "ms" "1.44" (U.Duration.to_ms_string 0.00144)
+
+let test_duration_rounding () =
+  Alcotest.(check string) "rounds up" "1:00" (U.Duration.to_min_sec 59.7)
+
+let test_duration_negative () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Duration.to_min_sec: negative duration") (fun () ->
+      ignore (U.Duration.to_min_sec (-1.0)))
+
+let test_duration_parse () =
+  check_float "of_min_sec" 3382.0 (U.Duration.of_min_sec "56:22");
+  check_float "of_hms" 7195.0 (U.Duration.of_hms "01:59:55");
+  check_float "of_dhms" 93307.0 (U.Duration.of_dhms "1:01:55:07");
+  Alcotest.(check bool) "malformed raises" true
+    (try
+       ignore (U.Duration.of_hms "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_duration_constructors () =
+  check_float "minutes" 90.0 (U.Duration.minutes 1.5);
+  check_float "hours" 5400.0 (U.Duration.hours 1.5);
+  check_float "days" 86400.0 (U.Duration.days 1.0);
+  check_float "seconds" 3.0 (U.Duration.seconds 3.0)
+
+let prop_duration_roundtrip =
+  QCheck.Test.make ~name:"min:sec round trip" ~count:500
+    QCheck.(int_bound 10_000_000)
+    (fun secs ->
+      let s = float_of_int secs in
+      U.Duration.of_min_sec (U.Duration.to_min_sec s) = s)
+
+let prop_duration_dhms_roundtrip =
+  QCheck.Test.make ~name:"d:h:m:s round trip" ~count:500
+    QCheck.(int_bound 100_000_000)
+    (fun secs ->
+      let s = float_of_int secs in
+      U.Duration.of_dhms (U.Duration.to_dhms s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Texttable                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_texttable_render () =
+  let t = U.Texttable.create ~headers:[ "a"; "bb" ] in
+  U.Texttable.add_row t [ "x"; "1" ];
+  U.Texttable.add_separator t;
+  U.Texttable.add_row t [ "longer"; "22" ];
+  let s = U.Texttable.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  (* every line has the same width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_texttable_mismatch () =
+  let t = U.Texttable.create ~headers:[ "a"; "b" ] in
+  Alcotest.(check bool) "row arity enforced" true
+    (try
+       U.Texttable.add_row t [ "only one" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_texttable_alignment () =
+  let t = U.Texttable.create ~headers:[ "name"; "val" ] in
+  U.Texttable.set_aligns t [ U.Texttable.Left; U.Texttable.Right ];
+  U.Texttable.add_row t [ "a"; "1" ];
+  let s = U.Texttable.render t in
+  Alcotest.(check bool) "right aligned number" true
+    (let lines = String.split_on_char '\n' s in
+     match List.filteri (fun i _ -> i = 2) lines with
+     | [ row ] -> String.length row > 0 && row.[String.length row - 1] = '1'
+     | _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          Alcotest.test_case "hash stable" `Quick test_prng_hash_string_stable;
+        ]
+        @ qsuite [ prop_shuffle_is_permutation ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stdev" `Quick test_stats_stdev;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "min/max/sum" `Quick test_stats_minmax_sum;
+          Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
+          Alcotest.test_case "summarize" `Quick test_stats_summarize;
+        ]
+        @ qsuite [ prop_mean_bounded ] );
+      ( "duration",
+        [
+          Alcotest.test_case "formats" `Quick test_duration_formats;
+          Alcotest.test_case "rounding" `Quick test_duration_rounding;
+          Alcotest.test_case "negative" `Quick test_duration_negative;
+          Alcotest.test_case "parse" `Quick test_duration_parse;
+          Alcotest.test_case "constructors" `Quick test_duration_constructors;
+        ]
+        @ qsuite [ prop_duration_roundtrip; prop_duration_dhms_roundtrip ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick test_texttable_render;
+          Alcotest.test_case "arity" `Quick test_texttable_mismatch;
+          Alcotest.test_case "alignment" `Quick test_texttable_alignment;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for Jitise_vm: memory, profile, JIT cost model, interpreter. *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module F = Jitise_frontend
+
+let compile src = (F.Compiler.compile_string ~name:"t" src).F.Compiler.modul
+
+let run ?fuel ?jit ?cis ?(n = 0) m =
+  Vm.Machine.run ?fuel ?jit ?cis m ~entry:"main"
+    ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
+
+let ret_int out =
+  match out.Vm.Machine.ret with
+  | Some (Ir.Eval.VInt v) -> Int64.to_int v
+  | _ -> Alcotest.fail "expected int"
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_alloc_store_load () =
+  let m = Vm.Memory.create () in
+  let base = Vm.Memory.alloc m 4 in
+  Vm.Memory.store m (base + 2) (Ir.Eval.VInt 42L);
+  (match Vm.Memory.load m (base + 2) with
+  | Ir.Eval.VInt 42L -> ()
+  | _ -> Alcotest.fail "roundtrip");
+  Alcotest.(check bool) "fresh cells are zero" true
+    (match Vm.Memory.load m base with Ir.Eval.VInt 0L -> true | _ -> false)
+
+let test_memory_bad_address () =
+  let m = Vm.Memory.create () in
+  let _ = Vm.Memory.alloc m 2 in
+  Alcotest.(check bool) "null deref" true
+    (try
+       ignore (Vm.Memory.load m 0);
+       false
+     with Vm.Memory.Bad_address 0 -> true);
+  Alcotest.(check bool) "past the stack" true
+    (try
+       ignore (Vm.Memory.load m 1000);
+       false
+     with Vm.Memory.Bad_address _ -> true)
+
+let test_memory_frames () =
+  let m = Vm.Memory.create () in
+  let mark = Vm.Memory.mark m in
+  let base = Vm.Memory.alloc m 8 in
+  Vm.Memory.release m mark;
+  Alcotest.(check bool) "released frame unreadable" true
+    (try
+       ignore (Vm.Memory.load m base);
+       false
+     with Vm.Memory.Bad_address _ -> true)
+
+let test_memory_globals () =
+  let modul = Ir.Irmod.create ~name:"g" in
+  Ir.Irmod.add_global modul
+    { Ir.Irmod.gname = "ints"; gty = Ir.Ty.I32; gsize = 3;
+      ginit = Ir.Irmod.Ints [| 1L; 2L; 3L |] };
+  Ir.Irmod.add_global modul
+    { Ir.Irmod.gname = "floats"; gty = Ir.Ty.F64; gsize = 2;
+      ginit = Ir.Irmod.Floats [| 1.5; -2.5 |] };
+  Ir.Irmod.add_global modul
+    { Ir.Irmod.gname = "zeros"; gty = Ir.Ty.F32; gsize = 2; ginit = Ir.Irmod.Zero };
+  let m = Vm.Memory.create () in
+  Vm.Memory.load_globals m modul;
+  Alcotest.(check (array int64)) "ints" [| 1L; 2L; 3L |]
+    (Vm.Memory.read_global_ints m "ints" 3);
+  Alcotest.(check (array (float 1e-9))) "floats" [| 1.5; -2.5 |]
+    (Vm.Memory.read_global_floats m "floats" 2);
+  Alcotest.(check (array (float 1e-9))) "zeros" [| 0.0; 0.0 |]
+    (Vm.Memory.read_global_floats m "zeros" 2);
+  Vm.Memory.write_global_ints m "ints" [| 9L; 8L; 7L |];
+  Alcotest.(check (array int64)) "overwritten" [| 9L; 8L; 7L |]
+    (Vm.Memory.read_global_ints m "ints" 3);
+  Alcotest.(check bool) "unknown global" true
+    (try
+       ignore (Vm.Memory.global_base m "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_limit () =
+  let m = Vm.Memory.create ~limit:128 () in
+  Alcotest.(check bool) "out of memory" true
+    (try
+       ignore (Vm.Memory.alloc m 1024);
+       false
+     with Vm.Memory.Out_of_memory -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_counts () =
+  let p = Vm.Profile.create () in
+  Vm.Profile.bump p ~func:"f" ~label:0 ~instrs:3;
+  Vm.Profile.bump p ~func:"f" ~label:0 ~instrs:3;
+  Vm.Profile.record p ~func:"f" ~label:1 ~count:5L ~instrs:2;
+  Alcotest.(check int64) "bumped twice" 2L (Vm.Profile.count p ~func:"f" ~label:0);
+  Alcotest.(check int64) "recorded" 5L (Vm.Profile.count p ~func:"f" ~label:1);
+  Alcotest.(check int64) "missing is zero" 0L (Vm.Profile.count p ~func:"g" ~label:0);
+  Alcotest.(check int64) "instr total" 16L p.Vm.Profile.executed_instrs
+
+let test_profile_merge () =
+  let a = Vm.Profile.create () and b = Vm.Profile.create () in
+  Vm.Profile.record a ~func:"f" ~label:0 ~count:2L ~instrs:1;
+  Vm.Profile.record b ~func:"f" ~label:0 ~count:3L ~instrs:1;
+  Vm.Profile.merge ~into:a b;
+  Alcotest.(check int64) "merged" 5L (Vm.Profile.count a ~func:"f" ~label:0)
+
+let test_profile_block_costs_ordering () =
+  let m =
+    compile
+      "int main(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }"
+  in
+  let out = run ~n:50 m in
+  let costs = Vm.Profile.block_costs out.Vm.Machine.profile m in
+  Alcotest.(check bool) "non-empty" true (costs <> []);
+  let rec descending = function
+    | a :: b :: rest -> snd a >= snd b && descending (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by cost" true (descending costs)
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_phi_swap () =
+  (* Parallel phi semantics: swapping two values through a loop must not
+     serialize.  After n iterations of (a, b) <- (b, a), with n even the
+     original order is restored. *)
+  let m =
+    compile
+      "int main(int n) { int a = 1; int b = 2; int i; for (i = 0; i < n; i = i + 1) { int t = a; a = b; b = t; } return a * 10 + b; }"
+  in
+  Alcotest.(check int) "even swaps" 12 (ret_int (run ~n:4 m));
+  Alcotest.(check int) "odd swaps" 21 (ret_int (run ~n:5 m))
+
+let test_machine_faults () =
+  let m = compile "int main(int n) { return 10 / n; }" in
+  Alcotest.(check bool) "division fault" true
+    (try
+       ignore (run ~n:0 m);
+       false
+     with Vm.Machine.Fault _ -> true);
+  let m = compile "int a[4]; int main(int n) { return a[n]; }" in
+  Alcotest.(check bool) "wild index" true
+    (try
+       ignore (run ~n:5000 m);
+       false
+     with Vm.Machine.Fault _ -> true)
+
+let test_machine_missing_entry () =
+  let m = compile "int main(int n) { return 0; }" in
+  Alcotest.(check bool) "unknown entry" true
+    (try
+       ignore (Vm.Machine.run m ~entry:"nope" ~args:[]);
+       false
+     with Vm.Machine.Fault _ -> true)
+
+let test_machine_fuel () =
+  let m = compile "int main(int n) { while (1 == 1) { n = n + 1; } return n; }" in
+  Alcotest.(check bool) "infinite loop stopped" true
+    (try
+       ignore (run ~fuel:10_000L m);
+       false
+     with Vm.Machine.Fault _ -> true)
+
+let test_machine_clocks () =
+  let m =
+    compile
+      "double v[64]; int main(int n) { int i; double s = 0.0; for (i = 0; i < 64; i = i + 1) { v[i] = i * 0.5; } for (i = 0; i < n; i = i + 1) { s = s + v[i & 63] * v[(i + 1) & 63]; } return s; }"
+  in
+  let out = run ~n:5000 m in
+  Alcotest.(check bool) "native positive" true (out.Vm.Machine.native_cycles > 0.0);
+  Alcotest.(check bool) "vm >= 0" true (out.Vm.Machine.vm_cycles > 0.0);
+  (* native-model run reports identical clocks *)
+  let native = run ~n:5000 ~jit:Vm.Jit_model.native m in
+  Alcotest.(check (float 1e-6)) "native model has no overhead"
+    native.Vm.Machine.native_cycles native.Vm.Machine.vm_cycles
+
+let test_machine_hot_loop_amortizes () =
+  let src =
+    "int main(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + i * 3; } return s; }"
+  in
+  let m = compile src in
+  let small = run ~n:50 m in
+  let large = run ~n:1_000_000 m in
+  let ratio o = o.Vm.Machine.vm_cycles /. o.Vm.Machine.native_cycles in
+  Alcotest.(check bool) "warm-up dominates small runs" true
+    (ratio small > ratio large);
+  Alcotest.(check bool) "hot loop converges near 1" true (ratio large < 1.05)
+
+let test_machine_deterministic () =
+  let m = compile "int main(int n) { return n * 3 + 1; }" in
+  let a = run ~n:4 m and b = run ~n:4 m in
+  Alcotest.(check int) "same result" (ret_int a) (ret_int b);
+  Alcotest.(check (float 1e-9)) "same cycles" a.Vm.Machine.native_cycles
+    b.Vm.Machine.native_cycles
+
+let test_machine_ci_call () =
+  (* Hand-build a module with a Ci_call and check the registry path:
+     main(n) = ci0(n, 7) where ci0(a, b) = a * b, at 2 cycles. *)
+  let f = Ir.Func.create ~name:"main" ~params:[ (0, Ir.Ty.I32) ] ~ret_ty:Ir.Ty.I32 in
+  let b = Ir.Builder.create f in
+  let bb = Ir.Builder.new_block b ~name:"entry" in
+  Ir.Builder.position_at b bb;
+  let r =
+    Ir.Builder.add b Ir.Ty.I32
+      (Ir.Instr.Ci_call (0, [ Ir.Builder.reg 0; Ir.Builder.ci32 7 ]))
+  in
+  Ir.Builder.ret b (Some (Ir.Builder.reg r));
+  let f = Ir.Builder.finish b in
+  let m = Ir.Irmod.create ~name:"ci" in
+  Ir.Irmod.add_func m f;
+  let cis = Vm.Machine.empty_cis () in
+  Hashtbl.replace cis 0
+    {
+      Vm.Machine.ci_eval =
+        (fun args ->
+          Ir.Eval.VInt
+            (Int64.mul (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1))));
+      ci_cycles = 2;
+    };
+  Alcotest.(check int) "ci computes" 42 (ret_int (run ~cis ~n:6 m));
+  (* without the registry the call faults *)
+  Alcotest.(check bool) "unconfigured ci faults" true
+    (try
+       ignore (run ~n:6 m);
+       false
+     with Vm.Machine.Fault _ -> true)
+
+let test_jit_model_translation () =
+  Alcotest.(check (float 1e-9)) "native model translates for free" 0.0
+    (Vm.Jit_model.module_translation_cycles Vm.Jit_model.native
+       ~module_instrs:1000);
+  Alcotest.(check bool) "default model charges translation" true
+    (Vm.Jit_model.module_translation_cycles Vm.Jit_model.default
+       ~module_instrs:1000
+    > 0.0)
+
+let test_jit_model_block_cycles () =
+  let jit = Vm.Jit_model.default in
+  let cold =
+    Vm.Jit_model.block_execution_cycles jit ~prior:0L ~ninstrs:10
+      ~native_cycles:20
+  in
+  let hot =
+    Vm.Jit_model.block_execution_cycles jit ~prior:1_000L ~ninstrs:10
+      ~native_cycles:20
+  in
+  Alcotest.(check bool) "cold interp is slower" true (cold > 20.0);
+  Alcotest.(check bool) "hot is native-or-better" true (hot <= 20.0)
+
+let test_seconds_of_cycles () =
+  Alcotest.(check (float 1e-12)) "300 MHz" 1.0
+    (Vm.Machine.seconds_of_cycles Ir.Cost.clock_hz)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "alloc/store/load" `Quick test_memory_alloc_store_load;
+          Alcotest.test_case "bad address" `Quick test_memory_bad_address;
+          Alcotest.test_case "frames" `Quick test_memory_frames;
+          Alcotest.test_case "globals" `Quick test_memory_globals;
+          Alcotest.test_case "limit" `Quick test_memory_limit;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile_counts;
+          Alcotest.test_case "merge" `Quick test_profile_merge;
+          Alcotest.test_case "block costs" `Quick test_profile_block_costs_ordering;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "phi swap" `Quick test_machine_phi_swap;
+          Alcotest.test_case "faults" `Quick test_machine_faults;
+          Alcotest.test_case "missing entry" `Quick test_machine_missing_entry;
+          Alcotest.test_case "fuel" `Quick test_machine_fuel;
+          Alcotest.test_case "clocks" `Quick test_machine_clocks;
+          Alcotest.test_case "hot loop amortizes" `Quick test_machine_hot_loop_amortizes;
+          Alcotest.test_case "deterministic" `Quick test_machine_deterministic;
+          Alcotest.test_case "ci call" `Quick test_machine_ci_call;
+        ] );
+      ( "jit model",
+        [
+          Alcotest.test_case "translation" `Quick test_jit_model_translation;
+          Alcotest.test_case "block cycles" `Quick test_jit_model_block_cycles;
+          Alcotest.test_case "clock" `Quick test_seconds_of_cycles;
+        ] );
+    ]

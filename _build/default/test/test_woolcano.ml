@@ -1,0 +1,79 @@
+(* Tests for Jitise_woolcano: architecture constants, the UDI slot
+   manager with LRU partial reconfiguration. *)
+
+module Cad = Jitise_cad
+module W = Jitise_woolcano
+
+let bitstream ?(luts = 500) signature =
+  {
+    Cad.Bitstream.signature;
+    size_bytes = 40_000;
+    frames = 60;
+    luts;
+    generation_seconds = 200.0;
+  }
+
+let test_arch_reconfiguration_time () =
+  let b = bitstream "x" in
+  let t = W.Arch.reconfiguration_seconds W.Arch.default b in
+  (* 40 kB over a 66 MB/s ICAP plus 2 ms setup: ~2.6 ms *)
+  Alcotest.(check bool) "milliseconds scale" true (t > 0.002 && t < 0.01)
+
+let test_asip_load_and_hit () =
+  let asip = W.Asip.create () in
+  let b = bitstream "a" in
+  let _, reconfigured = W.Asip.load asip b in
+  Alcotest.(check bool) "first load reconfigures" true reconfigured;
+  let _, again = W.Asip.load asip b in
+  Alcotest.(check bool) "resident CI does not reconfigure" false again;
+  Alcotest.(check int) "one reconfiguration" 1 asip.W.Asip.reconfigurations;
+  Alcotest.(check int) "occupancy" 1 (W.Asip.occupancy asip);
+  Alcotest.(check bool) "time accounted" true (asip.W.Asip.reconfig_seconds > 0.0)
+
+let test_asip_lru_eviction () =
+  let arch = { W.Arch.default with W.Arch.udi_slots = 2 } in
+  let asip = W.Asip.create ~arch () in
+  ignore (W.Asip.load asip (bitstream "a"));
+  ignore (W.Asip.load asip (bitstream "b"));
+  (* touch a so that b is the LRU victim *)
+  ignore (W.Asip.load asip (bitstream "a"));
+  ignore (W.Asip.load asip (bitstream "c"));
+  Alcotest.(check int) "one eviction" 1 asip.W.Asip.evictions;
+  let resident = List.sort compare (W.Asip.resident asip) in
+  Alcotest.(check (list string)) "b evicted" [ "a"; "c" ] resident;
+  Alcotest.(check bool) "find resident" true (W.Asip.find asip "a" <> None);
+  Alcotest.(check bool) "find evicted" true (W.Asip.find asip "b" = None)
+
+let test_asip_capacity_guard () =
+  let asip = W.Asip.create () in
+  Alcotest.(check bool) "oversized CI rejected" true
+    (try
+       ignore (W.Asip.load asip (bitstream ~luts:1_000_000 "huge"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_asip_slot_count () =
+  let asip = W.Asip.create () in
+  for i = 1 to W.Arch.default.W.Arch.udi_slots do
+    ignore (W.Asip.load asip (bitstream (string_of_int i)))
+  done;
+  Alcotest.(check int) "all slots used"
+    W.Arch.default.W.Arch.udi_slots
+    (W.Asip.occupancy asip);
+  Alcotest.(check int) "no eviction yet" 0 asip.W.Asip.evictions;
+  ignore (W.Asip.load asip (bitstream "overflow"));
+  Alcotest.(check int) "eviction on overflow" 1 asip.W.Asip.evictions
+
+let () =
+  Alcotest.run "woolcano"
+    [
+      ( "arch",
+        [ Alcotest.test_case "reconfiguration time" `Quick test_arch_reconfiguration_time ] );
+      ( "asip",
+        [
+          Alcotest.test_case "load and hit" `Quick test_asip_load_and_hit;
+          Alcotest.test_case "lru eviction" `Quick test_asip_lru_eviction;
+          Alcotest.test_case "capacity guard" `Quick test_asip_capacity_guard;
+          Alcotest.test_case "slot count" `Quick test_asip_slot_count;
+        ] );
+    ]
