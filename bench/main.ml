@@ -27,12 +27,25 @@ module Core = Jitise_core
 
 let db = Pp.Database.create ()
 
+let find_workload name =
+  match W.Registry.find name with
+  | Some w -> w
+  | None ->
+      failwith
+        (Printf.sprintf "bench: workload %S is not registered (have: %s)" name
+           (String.concat ", " W.Registry.names))
+
+let find_func modul fname =
+  match Ir.Irmod.find_func modul fname with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "bench: function %S not found" fname)
+
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (small and fast; the full sweep happens in the      *)
 (* table-regeneration half)                                            *)
 (* ------------------------------------------------------------------ *)
 
-let sor = Option.get (W.Registry.find "sor")
+let sor = find_workload "sor"
 let sor_compiled = lazy (W.Workload.compile sor)
 
 let sor_profiled =
@@ -44,7 +57,7 @@ let sor_profiled =
 let sor_report =
   lazy
     (let m, out = Lazy.force sor_profiled in
-     Core.Asip_sp.run db m out.Vm.Machine.profile
+     Core.Asip_sp.run_spec db m out.Vm.Machine.profile
        ~total_cycles:out.Vm.Machine.native_cycles)
 
 let sor_project =
@@ -53,7 +66,7 @@ let sor_project =
      let r = Lazy.force sor_report in
      let s = List.hd r.Core.Asip_sp.selection in
      let c = s.Ise.Select.candidate in
-     let f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+     let f = find_func m c.Ise.Candidate.func in
      let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
      (dfg, c, Hw.Project.create db dfg c))
 
@@ -133,7 +146,7 @@ let bench_figure1 =
          let r = Lazy.force sor_compiled in
          let out = W.Workload.run r { label = "f1"; n = 4 } in
          let report =
-           Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+           Core.Asip_sp.run_spec db r.F.Compiler.modul out.Vm.Machine.profile
              ~total_cycles:out.Vm.Machine.native_cycles
          in
          let adapted =
@@ -148,7 +161,7 @@ let bench_figure2 =
     (Staged.stage (fun () ->
          let m, out = Lazy.force sor_profiled in
          Sys.opaque_identity
-           (Core.Asip_sp.run db m out.Vm.Machine.profile
+           (Core.Asip_sp.run_spec db m out.Vm.Machine.profile
               ~total_cycles:out.Vm.Machine.native_cycles)))
 
 (* Ablations -------------------------------------------------------- *)
@@ -158,7 +171,7 @@ let hot_dfg =
     (let m, out = Lazy.force sor_profiled in
      match Vm.Profile.block_costs out.Vm.Machine.profile m with
      | ((fname, label), _) :: _ ->
-         let f = Option.get (Ir.Irmod.find_func m fname) in
+         let f = find_func m fname in
          Ir.Dfg.of_block f (Ir.Func.block f label)
      | [] -> assert false)
 
@@ -248,9 +261,9 @@ let run_benchmarks () =
 (* Table regeneration                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate_tables () =
+let regenerate_tables ~spec () =
   prerr_endline "[bench] running the full experiment sweep...";
-  let results = Core.Experiment.run_all ~verbose:true db in
+  let results = Core.Experiment.sweep ~verbose:true ~spec db in
   print_endline "=== Table I: application characterization ===";
   print_string (Core.Tables.render_table1 (Core.Tables.table1 results));
   print_endline "\n=== Table II: ASIP-SP runtime overheads ===";
@@ -264,9 +277,48 @@ let regenerate_tables () =
   print_endline "";
   print_string (Core.Diagrams.figure2 ())
 
+(* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache, plus
+   the original --tables-only/--bench-only halves. *)
+let rec arg_value key = function
+  | k :: v :: _ when k = key -> Some v
+  | _ :: rest -> arg_value key rest
+  | [] -> None
+
 let () =
   let argv = Array.to_list Sys.argv in
   let tables = not (List.mem "--bench-only" argv) in
   let benches = not (List.mem "--tables-only" argv) in
-  if tables then regenerate_tables ();
-  if benches then run_benchmarks ()
+  let trace = arg_value "--trace" argv in
+  let jobs =
+    match arg_value "--jobs" argv with
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> j
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a count >= 1, got %s\n" n;
+            exit 2)
+    | None -> 1
+  in
+  let spec = Core.Spec.with_jobs jobs Core.Spec.default in
+  let spec =
+    if trace <> None then
+      Core.Spec.with_tracer (Jitise_util.Trace.create ()) spec
+    else spec
+  in
+  let spec =
+    if List.mem "--shared-cache" argv then
+      Core.Spec.with_cache (Cad.Cache.create ()) spec
+    else spec
+  in
+  if tables then regenerate_tables ~spec ();
+  if benches then run_benchmarks ();
+  (match (spec.Core.Spec.tracer, trace) with
+  | Some t, Some path ->
+      Jitise_util.Trace.write t path;
+      Printf.eprintf "[trace] wrote %s (%d spans)\n%!" path
+        (List.length (Jitise_util.Trace.events t))
+  | _ -> ());
+  match spec.Core.Spec.cache with
+  | Some c ->
+      Format.eprintf "[cache] %a@." Cad.Cache.pp_stats (Cad.Cache.stats c)
+  | None -> ()

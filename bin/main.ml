@@ -11,6 +11,7 @@ module Vm = Jitise_vm
 module W = Jitise_workloads
 module Ise = Jitise_ise
 module Pp = Jitise_pivpav
+module Cad = Jitise_cad
 module Core = Jitise_core
 module U = Jitise_util
 
@@ -18,35 +19,65 @@ open Cmdliner
 
 let db = lazy (Pp.Database.create ())
 
-(* Results are reused across tables within one `all` invocation. *)
-let results = lazy (Core.Experiment.run_all ~verbose:true (Lazy.force db))
+(* ------------------------------------------------------------------ *)
+(* Sweep-engine configuration shared by the table/specialize commands  *)
+(* ------------------------------------------------------------------ *)
 
-let run_table1 () =
-  print_string
-    (Core.Tables.render_table1 (Core.Tables.table1 (Lazy.force results)))
+let mk_spec ~trace ~jobs ~shared_cache =
+  (* Fail before the sweep, not after: a full run takes minutes and an
+     unwritable trace path would otherwise only surface at the end. *)
+  Option.iter
+    (fun path ->
+      try Out_channel.with_open_text path (fun _ -> ())
+      with Sys_error msg ->
+        Printf.eprintf "jitise: cannot write trace file: %s\n" msg;
+        exit 1)
+    trace;
+  let spec = Core.Spec.with_jobs jobs Core.Spec.default in
+  let spec =
+    if trace <> None then Core.Spec.with_tracer (U.Trace.create ()) spec
+    else spec
+  in
+  if shared_cache then Core.Spec.with_cache (Cad.Cache.create ()) spec
+  else spec
 
-let run_table2 () =
-  print_string
-    (Core.Tables.render_table2 (Core.Tables.table2 (Lazy.force results)))
+(* Write the trace and report cache statistics once the work is done. *)
+let finish_spec (spec : Core.Spec.t) trace =
+  (match (spec.Core.Spec.tracer, trace) with
+  | Some t, Some path ->
+      U.Trace.write t path;
+      Printf.eprintf "[trace] wrote %s (%d spans)\n%!" path
+        (List.length (U.Trace.events t))
+  | _ -> ());
+  match spec.Core.Spec.cache with
+  | Some c ->
+      Format.eprintf "[cache] %a@." Cad.Cache.pp_stats (Cad.Cache.stats c)
+  | None -> ()
 
-let run_table3 () =
-  print_string (Core.Tables.render_table3 (Core.Tables.table3 (Lazy.force results)))
+let render_table1 results =
+  print_string (Core.Tables.render_table1 (Core.Tables.table1 results))
 
-let run_table4 () =
-  print_string (Core.Tables.render_table4 (Core.Tables.table4 (Lazy.force results)))
+let render_table2 results =
+  print_string (Core.Tables.render_table2 (Core.Tables.table2 results))
+
+let render_table3 results =
+  print_string (Core.Tables.render_table3 (Core.Tables.table3 results))
+
+let render_table4 results =
+  print_string (Core.Tables.render_table4 (Core.Tables.table4 results))
 
 let run_figure1 () = print_string (Core.Diagrams.figure1 ())
 let run_figure2 () = print_string (Core.Diagrams.figure2 ())
 
-let run_all () =
+let render_all results =
   print_endline "=== Table I ===";
-  run_table1 ();
+  render_table1 results;
   print_endline "\n=== Table II ===";
-  run_table2 ();
+  render_table2 results;
   print_endline "\n=== Table III ===";
-  run_table3 ();
+  render_table3 results;
   print_endline "\n=== Table IV ===";
-  run_table4 ();
+  render_table4 results;
   print_endline "\n=== Figure 1 ===";
   run_figure1 ();
   print_endline "\n=== Figure 2 ===";
@@ -72,10 +103,11 @@ let run_inspect name =
   let r = W.Workload.compile w in
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
-let run_specialize name =
+let run_specialize name trace jobs shared_cache =
   let w = load_workload name in
   let db = Lazy.force db in
-  let r = Core.Experiment.run_app db w in
+  let spec = mk_spec ~trace ~jobs ~shared_cache in
+  let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
   Printf.printf "%s: %d candidate(s) selected, ASIP ratio %.2fx (max %.2fx)\n"
     name
@@ -87,12 +119,16 @@ let run_specialize name =
       let cand = c.Core.Asip_sp.scored.Ise.Select.candidate in
       let est = c.Core.Asip_sp.scored.Ise.Select.estimate in
       Printf.printf
-        "  %s  %s/bb%d  %d instrs, %d inputs, sw %d cyc -> hw %d cyc, %s CAD\n"
+        "  %s  %s/bb%d  %d instrs, %d inputs, sw %d cyc -> hw %d cyc, %s CAD%s\n"
         cand.Ise.Candidate.signature cand.Ise.Candidate.func
         cand.Ise.Candidate.block cand.Ise.Candidate.size
         cand.Ise.Candidate.num_inputs est.Pp.Estimator.sw_cycles
         est.Pp.Estimator.hw_cycles
-        (U.Duration.to_min_sec c.Core.Asip_sp.total_seconds))
+        (U.Duration.to_min_sec c.Core.Asip_sp.total_seconds)
+        (match c.Core.Asip_sp.cache_hit with
+        | Some kind ->
+            Printf.sprintf " (%s cache hit)" (Cad.Cache.hit_name kind)
+        | None -> ""))
     rep.Core.Asip_sp.candidates;
   Printf.printf "total ASIP-SP overhead: %s (const %s, map %s, par %s)\n"
     (U.Duration.to_min_sec rep.Core.Asip_sp.sum_seconds)
@@ -102,12 +138,13 @@ let run_specialize name =
   Printf.printf "break-even: %s\n"
     (match r.Core.Experiment.break_even with
     | Jitise_analysis.Breakeven.Never -> "never"
-    | Jitise_analysis.Breakeven.After s -> U.Duration.to_dhms s)
+    | Jitise_analysis.Breakeven.After s -> U.Duration.to_dhms s);
+  finish_spec spec trace
 
 let run_timeline name =
   let w = load_workload name in
   let db = Lazy.force db in
-  let r = Core.Experiment.run_app db w in
+  let r = Core.Experiment.evaluate db w in
   let t = Core.Jit_manager.timeline r.Core.Experiment.report in
   Format.printf "%a" Core.Jit_manager.pp_timeline t;
   Printf.printf
@@ -136,7 +173,9 @@ let run_ablation name =
   List.iter
     (fun prune ->
       let rep =
-        Core.Asip_sp.run ~prune db r.Jitise_frontend.Compiler.modul
+        Core.Asip_sp.run_spec
+          ~spec:(Core.Spec.with_prune prune Core.Spec.default)
+          ~app:name db r.Jitise_frontend.Compiler.modul
           out.Vm.Machine.profile ~total_cycles:out.Vm.Machine.native_cycles
       in
       U.Texttable.add_row t
@@ -211,19 +250,69 @@ let workload_arg =
 
 let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record one span per pipeline stage per workload and write a \
+           Chrome-trace JSON to $(docv) (open in chrome://tracing or \
+           Perfetto).")
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "expected a count >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value & opt positive_int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate workloads (and candidates) on $(docv) domains.  The \
+           reports are identical to a serial run.")
+
+let shared_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "shared-cache" ]
+        ~doc:
+          "Share the bitstream cache across applications (the Section VI-A \
+           proposal) and report its local/shared hit statistics on stderr.")
+
+(* A command that runs the full sweep once and renders from it. *)
+let sweep_cmd name doc render =
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(
+      const (fun trace jobs shared_cache ->
+          let spec = mk_spec ~trace ~jobs ~shared_cache in
+          let results =
+            Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
+          in
+          render results;
+          finish_spec spec trace)
+      $ trace_arg $ jobs_arg $ shared_cache_arg)
+
 let cmds =
   [
-    unit_cmd "table1" "Reproduce Table I (application characterization)"
-      run_table1;
-    unit_cmd "table2" "Reproduce Table II (ASIP-SP runtime overheads)"
-      run_table2;
-    unit_cmd "table3" "Reproduce Table III (constant CAD overheads)" run_table3;
-    unit_cmd "table4" "Reproduce Table IV (cache / faster-CAD break-even)"
-      run_table4;
+    sweep_cmd "table1" "Reproduce Table I (application characterization)"
+      render_table1;
+    sweep_cmd "table2" "Reproduce Table II (ASIP-SP runtime overheads)"
+      render_table2;
+    sweep_cmd "table3" "Reproduce Table III (constant CAD overheads)"
+      render_table3;
+    sweep_cmd "table4" "Reproduce Table IV (cache / faster-CAD break-even)"
+      render_table4;
     unit_cmd "figure1" "Render Figure 1 (tool-flow overview)" run_figure1;
     unit_cmd "figure2" "Render Figure 2 (ASIP specialization process)"
       run_figure2;
-    unit_cmd "all" "Reproduce every table and figure" run_all;
+    sweep_cmd "all" "Reproduce every table and figure" render_all;
     unit_cmd "list" "List the benchmark workloads" run_list;
     Cmd.v
       (Cmd.info "inspect" ~doc:"Dump a workload's optimized bitcode")
@@ -231,7 +320,9 @@ let cmds =
     Cmd.v
       (Cmd.info "specialize"
          ~doc:"Run the ASIP specialization process on a workload")
-      Term.(const run_specialize $ workload_arg);
+      Term.(
+        const run_specialize $ workload_arg $ trace_arg $ jobs_arg
+        $ shared_cache_arg);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:

@@ -21,7 +21,11 @@ module U = Jitise_util
 let section title = Printf.printf "\n--- %s ---\n" title
 
 let () =
-  let w = Option.get (W.Registry.find "adpcm") in
+  let w =
+    match W.Registry.find "adpcm" with
+    | Some w -> w
+    | None -> failwith "adpcm_accel: workload \"adpcm\" is not registered"
+  in
   let db = Pp.Database.create () in
 
   section "compilation to bitcode";
@@ -49,7 +53,7 @@ let () =
 
   section "candidate search (@50pS3L + MAXMISO + PivPav estimation)";
   let report =
-    Core.Asip_sp.run db modul out.Vm.Machine.profile
+    Core.Asip_sp.run_spec db modul out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
   Printf.printf "pruned to %d blocks / %d instructions in %.2f ms\n"
@@ -62,7 +66,14 @@ let () =
   (match report.Core.Asip_sp.selection with
   | s :: _ ->
       let c = s.Ise.Select.candidate in
-      let f = Option.get (Ir.Irmod.find_func modul c.Ise.Candidate.func) in
+      let f =
+        match Ir.Irmod.find_func modul c.Ise.Candidate.func with
+        | Some f -> f
+        | None ->
+            failwith
+              (Printf.sprintf "adpcm_accel: function %S not found"
+                 c.Ise.Candidate.func)
+      in
       let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
       let vhdl = Hw.Vhdl.generate dfg c in
       let lines = String.split_on_char '\n' vhdl.Hw.Vhdl.source in
@@ -73,7 +84,7 @@ let () =
   section "FPGA CAD tool flow (simulated Xilinx ISE 12.2 EAPR)";
   List.iter
     (fun (c : Core.Asip_sp.candidate_result) ->
-      if not c.Core.Asip_sp.cache_hit then begin
+      if c.Core.Asip_sp.cache_hit = None then begin
         Printf.printf "  %s:"
           c.Core.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature;
         List.iter

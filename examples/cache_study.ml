@@ -24,7 +24,7 @@ let () =
   in
   let db = Pp.Database.create () in
   Printf.eprintf "[cache_study] profiling and specializing %s...\n%!" name;
-  let r = Core.Experiment.run_app db w in
+  let r = Core.Experiment.evaluate db w in
   let report = r.Core.Experiment.report in
   let costs = Core.Asip_sp.candidate_costs report in
 
@@ -76,4 +76,26 @@ let () =
   Printf.printf
     "\nwith a 30%% cache hit rate and a 30%% faster CAD flow the break-even\n\
      time drops from %s to %s (%.2fx better)\n"
-    (U.Duration.to_hms base) (U.Duration.to_hms improved) (base /. improved)
+    (U.Duration.to_hms base) (U.Duration.to_hms improved) (base /. improved);
+
+  (* The other half of Section VI-A: a bitstream cache *shared across
+     applications*.  Run a second workload against the same cache and
+     count how many of its data paths were already built. *)
+  let other = if name = "sor" then "fft" else "sor" in
+  match W.Registry.find other with
+  | None -> ()
+  | Some w2 ->
+      Printf.eprintf "[cache_study] cross-application cache: %s then %s...\n%!"
+        name other;
+      let cache = Jitise_cad.Cache.create () in
+      let spec = Core.Spec.with_cache cache Core.Spec.default in
+      let _r1 = Core.Experiment.evaluate ~spec db w in
+      let r2 = Core.Experiment.evaluate ~spec db w2 in
+      let local, shared = Core.Asip_sp.cache_hit_counts r2.Core.Experiment.report in
+      Printf.printf
+        "\ncross-application cache (%s specialized first, then %s):\n\
+        \  %s: %d local hit(s), %d shared hit(s) out of %d candidate(s)\n"
+        name other other local shared
+        (List.length r2.Core.Experiment.report.Core.Asip_sp.candidates);
+      Format.printf "  cache totals: %a@." Jitise_cad.Cache.pp_stats
+        (Jitise_cad.Cache.stats cache)

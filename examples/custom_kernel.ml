@@ -67,7 +67,11 @@ let () =
   let (fname, label), _ =
     List.hd (Vm.Profile.block_costs out.Vm.Machine.profile modul)
   in
-  let f = Option.get (Ir.Irmod.find_func modul fname) in
+  let f =
+    match Ir.Irmod.find_func modul fname with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "custom_kernel: function %S not found" fname)
+  in
   let dfg = Ir.Dfg.of_block f (Ir.Func.block f label) in
   Printf.printf "hottest block: %s/bb%d (%d instructions)\n" fname label
     (Ir.Dfg.node_count dfg);

@@ -72,7 +72,7 @@ let () =
      through the simulated CAD flow. *)
   let db = Pp.Database.create () in
   let report =
-    Core.Asip_sp.run db modul out.Vm.Machine.profile
+    Core.Asip_sp.run_spec db modul out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
   Printf.printf "\ncandidate search: %.2f ms wall clock\n"
@@ -88,7 +88,9 @@ let () =
         (if cand.Ise.Candidate.size > 4 then ",..." else "")
         est.Pp.Estimator.sw_cycles est.Pp.Estimator.hw_cycles
         (Jitise_util.Duration.to_min_sec c.Core.Asip_sp.total_seconds)
-        (if c.Core.Asip_sp.cache_hit then " (bitstream cache hit)" else ""))
+        (match c.Core.Asip_sp.cache_hit with
+        | Some _ -> " (bitstream cache hit)"
+        | None -> ""))
     report.Core.Asip_sp.candidates;
   Printf.printf "hardware generation overhead: %s (min:sec)\n"
     (Jitise_util.Duration.to_min_sec report.Core.Asip_sp.sum_seconds);

@@ -1,0 +1,112 @@
+(** Shared bitstream cache (Section VI-A).
+
+    The paper proposes amortizing the dominant CAD cost by caching
+    partial bitstreams keyed by the candidate's {e structural signature}
+    — and sharing that cache {e across applications}: two programs whose
+    hot loops contain the same data-path shape pay the map/PAR bill only
+    once.
+
+    This cache is process-wide and thread-safe, so a parallel sweep can
+    share one instance between all domains.  Each entry remembers which
+    application first built it, which lets a lookup distinguish
+
+    - a {!Local} hit — the same application already built this data
+      path (the within-run reuse the seed modelled with an ad-hoc
+      [Hashtbl]), from
+    - a {!Shared} hit — a {e different} application built it, the
+      cross-application amortization Section VI-A is after.
+
+    Accounting is deterministic as long as [note] calls are sequenced in
+    a fixed order (the sweep engine finalizes applications in registry
+    order precisely for this reason). *)
+
+type hit = Local | Shared
+
+let hit_name = function Local -> "local" | Shared -> "shared"
+
+type entry = {
+  bitstream : Bitstream.t;
+  builder : string;  (** application that first built the data path *)
+  mutable hits : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;  (** signature -> entry *)
+  lock : Mutex.t;
+  mutable local_hits : int;
+  mutable shared_hits : int;
+  mutable by_app : (string * int) list;
+      (** hits per {e requesting} application *)
+}
+
+let create () =
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    local_hits = 0;
+    shared_hits = 0;
+    by_app = [];
+  }
+
+let bump_app t app =
+  let n = match List.assoc_opt app t.by_app with Some n -> n | None -> 0 in
+  t.by_app <- (app, n + 1) :: List.remove_assoc app t.by_app
+
+(** [note t ~app ~signature ~bitstream] records that [app] needs the
+    data path [signature].  Returns [None] on a miss (the bitstream is
+    then stored, attributed to [app]) or [Some kind] on a hit. *)
+let note (t : t) ~app ~signature ~(bitstream : Bitstream.t) : hit option =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table signature with
+      | None ->
+          Hashtbl.replace t.table signature { bitstream; builder = app; hits = 0 };
+          None
+      | Some e ->
+          e.hits <- e.hits + 1;
+          let kind = if e.builder = app then Local else Shared in
+          (match kind with
+          | Local -> t.local_hits <- t.local_hits + 1
+          | Shared -> t.shared_hits <- t.shared_hits + 1);
+          bump_app t app;
+          Some kind)
+
+(** The cached bitstream for [signature], if any (does not count as a
+    hit). *)
+let find (t : t) (signature : string) : Bitstream.t option =
+  Mutex.protect t.lock (fun () ->
+      Option.map (fun e -> e.bitstream) (Hashtbl.find_opt t.table signature))
+
+type stats = {
+  entries : int;          (** distinct data paths built *)
+  local_hits : int;       (** within-application reuses *)
+  shared_hits : int;      (** cross-application reuses *)
+  bytes : int;            (** total cached bitstream payload *)
+  saved_seconds : float;  (** CAD time the hits avoided *)
+  by_app : (string * int) list;  (** hits per requesting app, sorted *)
+}
+
+let stats (t : t) : stats =
+  Mutex.protect t.lock (fun () ->
+      let entries = Hashtbl.length t.table in
+      let bytes, saved =
+        Hashtbl.fold
+          (fun _ e (b, s) ->
+            ( b + e.bitstream.Bitstream.size_bytes,
+              s
+              +. (float_of_int e.hits
+                 *. e.bitstream.Bitstream.generation_seconds) ))
+          t.table (0, 0.0)
+      in
+      {
+        entries;
+        local_hits = t.local_hits;
+        shared_hits = t.shared_hits;
+        bytes;
+        saved_seconds = saved;
+        by_app = List.sort compare t.by_app;
+      })
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d bitstream(s), %d local + %d shared hit(s), %d bytes, %.1f s of CAD saved"
+    s.entries s.local_hits s.shared_hits s.bytes s.saved_seconds

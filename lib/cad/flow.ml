@@ -63,7 +63,13 @@ type run = {
   project : Hw.Project.t;
   stages : stage_report list;
   total_seconds : float;
+      (** what the flow {e would} cost; on a cache hit the caller
+          decides whether the cost is actually paid *)
   bitstream : Bitstream.t;
+  cache_hit : Cache.hit option;
+      (** [Some _] when a [?cache] passed to {!implement} already held
+          this data path — [Local] from the same application, [Shared]
+          from another one *)
   syntax_problems : string list;  (** non-empty = flow aborted *)
 }
 
@@ -130,11 +136,19 @@ let c2v_seconds (p : Hw.Project.t) =
 
 (** Run the implementation flow on a prepared project.
 
+    @param cache a shared bitstream cache (Section VI-A); the produced
+    bitstream is recorded in it under the project's structural
+    signature, and [run.cache_hit] reports whether it was already there
+    @param app the application the data path belongs to, for the
+    cache's local/shared hit attribution
+    @param tracer records one synthetic span per CAD stage (the
+    durations are simulated, so the spans carry the modelled seconds,
+    not wall-clock time)
     @raise Syntax_error when the generated VHDL fails the syntax
     check (indicates a data-path generator bug — tests assert this
     never fires on MAXMISO output). *)
-let implement ?(config = default_config) (db : Pp.Database.t)
-    (p : Hw.Project.t) : run =
+let implement ?cache ?(app = "") ?tracer ?(config = default_config)
+    (db : Pp.Database.t) (p : Hw.Project.t) : run =
   let syntax_problems = Hw.Vhdl.check_syntax p.Hw.Project.vhdl in
   if syntax_problems <> [] then raise (Syntax_error syntax_problems);
   if config.device_scale <= 0.0 || config.device_scale > 1.0 then
@@ -180,7 +194,33 @@ let implement ?(config = default_config) (db : Pp.Database.t)
       generation_seconds = total_seconds;
     }
   in
-  { project = p; stages; total_seconds; bitstream; syntax_problems = [] }
+  (match tracer with
+  | None -> ()
+  | Some t ->
+      (* One synthetic span per CAD stage, laid out back to back on the
+         simulated timeline starting "now".  The durations are the
+         modelled seconds, not wall-clock time. *)
+      let t0 = Jitise_util.Trace.now () in
+      ignore
+        (List.fold_left
+           (fun offset s ->
+             Jitise_util.Trace.add t ~cat:"cad-sim"
+               ~args:
+                 [
+                   ("project", p.Hw.Project.name);
+                   ("simulated_seconds", Printf.sprintf "%.2f" s.seconds);
+                 ]
+               ~name:("cad:" ^ stage_name s.stage)
+               ~ts:(t0 +. offset) ~dur:s.seconds ();
+             offset +. s.seconds)
+           0.0 stages));
+  let cache_hit =
+    match cache with
+    | None -> None
+    | Some c ->
+        Cache.note c ~app ~signature:p.Hw.Project.name ~bitstream
+  in
+  { project = p; stages; total_seconds; bitstream; cache_hit; syntax_problems = [] }
 
 (** Seconds spent in a given stage of a run. *)
 let stage_seconds run stage =

@@ -14,7 +14,22 @@
       check, synthesis, translate, map, place-and-route, bitstream
       generation (simulated seconds, calibrated to Tables II/III).
 
-    The report aggregates exactly the quantities Table II prints. *)
+    The report aggregates exactly the quantities Table II prints.
+
+    The process is split into two halves so a sweep over many
+    applications can parallelize the expensive work while keeping the
+    bitstream-cache accounting deterministic:
+
+    - {!stage} does everything costly — search, estimation, selection,
+      VHDL generation and the simulated CAD flow — and is safe to run
+      for several applications concurrently (it never touches the
+      shared cache);
+    - {!finalize} replays the staged candidates against the (local or
+      shared) bitstream cache {e in selection order} and aggregates the
+      report.  Running finalization sequentially in a fixed application
+      order makes parallel sweeps report-identical to serial ones.
+
+    {!run_spec} composes the two for the single-application case. *)
 
 module Ir = Jitise_ir
 module Vm = Jitise_vm
@@ -22,17 +37,19 @@ module Ise = Jitise_ise
 module Pp = Jitise_pivpav
 module Hw = Jitise_hwgen
 module Cad = Jitise_cad
+module U = Jitise_util
 
 type candidate_result = {
   scored : Ise.Select.scored;
   vhdl_lines : int;
   c2v_seconds : float;
   run : Cad.Flow.run;
-  cache_hit : bool;
-      (** an identical data path was already built in this run (same
-          structural signature), so its bitstream is reused and no CAD
-          time is paid — the Section VI-A cache working within one
-          application *)
+  cache_hit : Cad.Cache.hit option;
+      (** [Some Local] — this application already built an identical
+          data path (same structural signature); [Some Shared] — a
+          different application in the same sweep built it (the
+          Section VI-A cross-application cache); [None] — a miss, the
+          full CAD bill is paid *)
   total_seconds : float;  (** c2v + all CAD stages; 0 on a cache hit *)
 }
 
@@ -63,35 +80,60 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let find_func_exn (m : Ir.Irmod.t) name =
+  match Ir.Irmod.find_func m name with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Asip_sp: function %S not found in module %S" name
+           m.Ir.Irmod.mname)
+
+(* MAXMISO identification over a list of blocks. *)
+let identify (m : Ir.Irmod.t) blocks =
+  List.concat_map
+    (fun (fname, label) ->
+      match Ir.Irmod.find_func m fname with
+      | None -> []
+      | Some f ->
+          let dfg = Ir.Dfg.of_block f (Ir.Func.block f label) in
+          Ise.Maxmiso.of_block dfg ~func:fname)
+    blocks
+
 (* Identification + estimation + selection over a list of blocks. *)
 let search_blocks (db : Pp.Database.t) (m : Ir.Irmod.t)
     (profile : Vm.Profile.t) ~select_config blocks =
-  let candidates =
-    List.concat_map
-      (fun (fname, label) ->
-        match Ir.Irmod.find_func m fname with
-        | None -> []
-        | Some f ->
-            let dfg = Ir.Dfg.of_block f (Ir.Func.block f label) in
-            Ise.Maxmiso.of_block dfg ~func:fname)
-      blocks
-  in
+  let candidates = identify m blocks in
   let selection =
     Ise.Select.select ~config:select_config db m profile candidates
   in
   (candidates, selection)
 
-(** Run the complete specialization process on a profiled module.
+(** Output of the parallel-safe half of the process: everything up to
+    — but excluding — bitstream-cache accounting and report
+    aggregation. *)
+type staged = {
+  stg_search_wall : float;
+  stg_nopruning_wall : float;
+  stg_pruning : Ise.Prune.selection;
+  stg_all_candidates : int;
+  stg_selection : Ise.Select.scored list;
+  stg_asip_ratio : Ise.Speedup.t;
+  stg_asip_ratio_max : Ise.Speedup.t;
+  stg_implemented :
+    (Ise.Select.scored * Hw.Project.t * float * Cad.Flow.run) list;
+      (** per selected candidate, in selection order: the CAD project,
+          the (speedup-scaled) C2V seconds and the simulated flow run *)
+}
 
-    @param prune the block filter (default the paper's [@50pS3L])
-    @param select_config candidate-selection constraints
-    @param cad_config CAD flow configuration (speedup, EAPR)
-    @param total_cycles native cycles of the profiling run, for the
-    application-level speedup accounting *)
-let run ?(prune = Ise.Prune.at_50p_s3l)
-    ?(select_config = Ise.Select.default_config)
-    ?(cad_config = Cad.Flow.default_config) (db : Pp.Database.t)
-    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : report =
+(** Phase 1 + the per-candidate hardware generation, with no shared
+    state beyond the (thread-safe) PivPav database: safe to run for
+    many applications concurrently.  [spec.jobs] also parallelizes the
+    per-candidate CAD simulation within this one application.  [app]
+    labels the trace spans. *)
+let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
+    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : staged =
+  let tr = spec.Spec.tracer in
+  let lbl stage = if app = "" then stage else stage ^ ":" ^ app in
   (* Phase 1a: reference search without pruning (for the efficiency
      metric and the ASIP-ratio upper bound of Table I). *)
   let all_blocks =
@@ -102,15 +144,25 @@ let run ?(prune = Ise.Prune.at_50p_s3l)
   in
   let (_, selection_nopruning), nopruning_wall =
     wall (fun () ->
-        search_blocks db m profile ~select_config:Ise.Select.default_config
-          all_blocks)
+        U.Trace.span tr ~cat:"search" (lbl "search-reference") (fun () ->
+            search_blocks db m profile
+              ~select_config:Ise.Select.default_config all_blocks))
   in
   (* Phase 1b: the pruned search the JIT flow actually uses. *)
   let (pruning, all_candidates, selection), search_wall =
     wall (fun () ->
-        let pruning = Ise.Prune.apply prune m profile in
-        let candidates, selection =
-          search_blocks db m profile ~select_config pruning.Ise.Prune.blocks
+        let pruning =
+          U.Trace.span tr ~cat:"search" (lbl "prune") (fun () ->
+              Ise.Prune.apply spec.Spec.prune m profile)
+        in
+        let candidates =
+          U.Trace.span tr ~cat:"search" (lbl "maxmiso") (fun () ->
+              identify m pruning.Ise.Prune.blocks)
+        in
+        let selection =
+          U.Trace.span tr ~cat:"search" (lbl "select") (fun () ->
+              Ise.Select.select ~config:spec.Spec.select db m profile
+                candidates)
         in
         (pruning, candidates, selection))
   in
@@ -118,42 +170,79 @@ let run ?(prune = Ise.Prune.at_50p_s3l)
   let asip_ratio_max =
     Ise.Speedup.of_selection ~total_cycles selection_nopruning
   in
-  let pruning_efficiency =
-    let safe x = Float.max x 1e-9 in
-    asip_ratio.Ise.Speedup.ratio /. safe search_wall
-    /. (asip_ratio_max.Ise.Speedup.ratio /. safe nopruning_wall)
-  in
-  (* Phases 2 and 3 for every selected candidate.  Bitstreams are keyed
-     by structural signature, so a candidate whose data path was already
-     built in this run is a cache hit and pays no CAD time. *)
-  let built : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let candidates =
-    List.map
+  (* Phases 2 and 3 for every selected candidate.  The flow simulation
+     is deterministically seeded by the candidate signature, so the
+     parallel map commutes with the serial one. *)
+  let implemented =
+    U.Pool.map ~jobs:spec.Spec.jobs
       (fun (s : Ise.Select.scored) ->
         let c = s.Ise.Select.candidate in
-        let f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+        let f = find_func_exn m c.Ise.Candidate.func in
         let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
-        let project = Hw.Project.create db dfg c in
+        let project =
+          U.Trace.span tr ~cat:"hwgen"
+            (lbl ("vhdl:" ^ c.Ise.Candidate.signature))
+            (fun () -> Hw.Project.create db dfg c)
+        in
         let c2v = Cad.Flow.c2v_seconds project in
-        let run = Cad.Flow.implement ~config:cad_config db project in
-        let scale = 1.0 -. cad_config.Cad.Flow.speedup_factor in
-        let c2v = c2v *. scale in
-        let cache_hit = Hashtbl.mem built c.Ise.Candidate.signature in
-        Hashtbl.replace built c.Ise.Candidate.signature ();
+        let run =
+          U.Trace.span tr ~cat:"cad"
+            (lbl ("implement:" ^ c.Ise.Candidate.signature))
+            (fun () -> Cad.Flow.implement ?tracer:tr ~config:spec.Spec.cad db project)
+        in
+        let c2v = c2v *. (1.0 -. spec.Spec.cad.Cad.Flow.speedup_factor) in
+        (s, project, c2v, run))
+      selection
+  in
+  {
+    stg_search_wall = search_wall;
+    stg_nopruning_wall = nopruning_wall;
+    stg_pruning = pruning;
+    stg_all_candidates = List.length all_candidates;
+    stg_selection = selection;
+    stg_asip_ratio = asip_ratio;
+    stg_asip_ratio_max = asip_ratio_max;
+    stg_implemented = implemented;
+  }
+
+(** Replay the staged candidates against the bitstream cache (the
+    shared one from [spec.cache] if present, a run-local one
+    otherwise), in selection order, and aggregate the report.  Cheap
+    and sequential: a sweep calls this once per application in a fixed
+    order so that local/shared hit attribution is deterministic. *)
+let finalize ?(spec = Spec.default) ~app (st : staged) : report =
+  let local : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let candidates =
+    List.map
+      (fun ((s : Ise.Select.scored), (project : Hw.Project.t), c2v, run) ->
+        let signature = s.Ise.Select.candidate.Ise.Candidate.signature in
+        let cache_hit =
+          match spec.Spec.cache with
+          | Some cache ->
+              Cad.Cache.note cache ~app ~signature
+                ~bitstream:run.Cad.Flow.bitstream
+          | None ->
+              if Hashtbl.mem local signature then Some Cad.Cache.Local
+              else begin
+                Hashtbl.replace local signature ();
+                None
+              end
+        in
+        let free = cache_hit <> None in
         {
           scored = s;
           vhdl_lines = project.Hw.Project.vhdl.Hw.Vhdl.lines;
-          c2v_seconds = (if cache_hit then 0.0 else c2v);
+          c2v_seconds = (if free then 0.0 else c2v);
           run;
           cache_hit;
           total_seconds =
-            (if cache_hit then 0.0 else c2v +. run.Cad.Flow.total_seconds);
+            (if free then 0.0 else c2v +. run.Cad.Flow.total_seconds);
         })
-      selection
+      st.stg_implemented
   in
   let sum get =
     List.fold_left
-      (fun acc c -> if c.cache_hit then acc else acc +. get c)
+      (fun acc c -> if c.cache_hit <> None then acc else acc +. get c)
       0.0 candidates
   in
   let const_seconds =
@@ -163,23 +252,61 @@ let run ?(prune = Ise.Prune.at_50p_s3l)
   let par_seconds =
     sum (fun c -> Cad.Flow.stage_seconds c.run Cad.Flow.Place_and_route)
   in
+  let pruning_efficiency =
+    let safe x = Float.max x 1e-9 in
+    st.stg_asip_ratio.Ise.Speedup.ratio /. safe st.stg_search_wall
+    /. (st.stg_asip_ratio_max.Ise.Speedup.ratio /. safe st.stg_nopruning_wall)
+  in
   {
-    search_wall_seconds = search_wall;
-    search_wall_seconds_nopruning = nopruning_wall;
-    pruning;
+    search_wall_seconds = st.stg_search_wall;
+    search_wall_seconds_nopruning = st.stg_nopruning_wall;
+    pruning = st.stg_pruning;
     pruning_efficiency;
-    searched_blocks = List.length pruning.Ise.Prune.blocks;
-    searched_instrs = pruning.Ise.Prune.selected_instrs;
-    selection;
-    all_candidates = List.length all_candidates;
+    searched_blocks = List.length st.stg_pruning.Ise.Prune.blocks;
+    searched_instrs = st.stg_pruning.Ise.Prune.selected_instrs;
+    selection = st.stg_selection;
+    all_candidates = st.stg_all_candidates;
     candidates;
     const_seconds;
     map_seconds;
     par_seconds;
     sum_seconds = const_seconds +. map_seconds +. par_seconds;
-    asip_ratio;
-    asip_ratio_max;
+    asip_ratio = st.stg_asip_ratio;
+    asip_ratio_max = st.stg_asip_ratio_max;
   }
+
+(** Run the complete specialization process on a profiled module.
+
+    @param spec the unified pipeline configuration ({!Spec.default}
+    reproduces the paper's setup: [@50pS3L] pruning, default selection
+    constraints, EAPR CAD flow, serial, run-local cache)
+    @param app application name for cache attribution and trace labels
+    (defaults to the module name)
+    @param total_cycles native cycles of the profiling run, for the
+    application-level speedup accounting *)
+let run_spec ?(spec = Spec.default) ?app (db : Pp.Database.t)
+    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : report =
+  let app = match app with Some a -> a | None -> m.Ir.Irmod.mname in
+  finalize ~spec ~app (stage ~spec ~app db m profile ~total_cycles)
+
+(** @deprecated Old scattered-optional-argument entry point; use
+    {!run_spec} with a {!Spec.t} instead. *)
+let run ?prune ?select_config ?cad_config (db : Pp.Database.t)
+    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : report =
+  run_spec
+    ~spec:(Spec.of_options ?prune ?select:select_config ?cad:cad_config ())
+    db m profile ~total_cycles
+
+(** Per-application local and shared bitstream-cache hit counts of a
+    report. *)
+let cache_hit_counts (r : report) : int * int =
+  List.fold_left
+    (fun (l, s) c ->
+      match c.cache_hit with
+      | Some Cad.Cache.Local -> (l + 1, s)
+      | Some Cad.Cache.Shared -> (l, s + 1)
+      | None -> (l, s))
+    (0, 0) r.candidates
 
 (** Per-candidate cache cost records for the Table IV extrapolation. *)
 let candidate_costs (r : report) : Jitise_analysis.Cache_model.candidate_cost list =

@@ -1,11 +1,20 @@
-(** Per-application experiment execution.
+(** Per-application experiment execution and the parallel sweep engine.
 
     One [app_result] bundles everything the four tables need for one
     benchmark: compilation statistics, the per-dataset VM outcomes
     (profiles + both clocks), the coverage classification, the kernel
     analysis, the full ASIP-SP report and the break-even result.  The
     table drivers share these records so each workload is compiled and
-    executed once. *)
+    executed once.
+
+    Like {!Asip_sp}, the per-application pipeline is split in two:
+    {!prepare} does all the expensive work (compile, profiled VM
+    execution, analyses, candidate staging) and carries no shared
+    mutable state, so {!sweep} can fan it out across a domain pool;
+    {!finish} replays the staged candidates against the bitstream cache
+    and is executed sequentially {e in registry order}, which makes a
+    parallel sweep report-identical to a serial one — including the
+    local/shared attribution of cache hits. *)
 
 module Ir = Jitise_ir
 module F = Jitise_frontend
@@ -14,6 +23,7 @@ module W = Jitise_workloads
 module Ise = Jitise_ise
 module Pp = Jitise_pivpav
 module An = Jitise_analysis
+module U = Jitise_util
 
 type app_result = {
   workload : W.Workload.t;
@@ -30,39 +40,116 @@ type app_result = {
 (** The train-dataset outcome (first dataset). *)
 let train_outcome r = snd (List.hd r.outcomes)
 
-(** Run the full experiment pipeline for one workload. *)
-let run_app ?prune ?cad_config (db : Pp.Database.t) (w : W.Workload.t) :
-    app_result =
-  let compiled = W.Workload.compile w in
-  let outcomes = W.Workload.run_all compiled w in
+(** The expensive, parallel-safe half of one application's pipeline. *)
+type prepared = {
+  pre_workload : W.Workload.t;
+  pre_compiled : F.Compiler.result;
+  pre_outcomes : (W.Workload.dataset * Vm.Machine.outcome) list;
+  pre_coverage : An.Coverage.t;
+  pre_kernel : An.Kernel.t;
+  pre_staged : Asip_sp.staged;
+}
+
+(** Compile, execute, analyze and stage one workload.  Touches no
+    shared mutable state (the PivPav database is thread-safe), so many
+    applications can be prepared concurrently. *)
+let prepare ~(spec : Spec.t) (db : Pp.Database.t) (w : W.Workload.t) :
+    prepared =
+  let tr = spec.Spec.tracer in
+  let app = w.W.Workload.name in
+  let compiled =
+    U.Trace.span tr ~cat:"frontend" ("compile:" ^ app) (fun () ->
+        W.Workload.compile w)
+  in
+  let outcomes =
+    U.Trace.span tr ~cat:"vm" ("profile:" ^ app) (fun () ->
+        W.Workload.run_all compiled w)
+  in
   let modul = compiled.F.Compiler.modul in
   let profiles = List.map (fun (_, o) -> o.Vm.Machine.profile) outcomes in
-  let coverage = An.Coverage.classify modul profiles in
+  let coverage =
+    U.Trace.span tr ~cat:"analysis" ("coverage:" ^ app) (fun () ->
+        An.Coverage.classify modul profiles)
+  in
   let train = snd (List.hd outcomes) in
-  let kernel = An.Kernel.compute modul train.Vm.Machine.profile in
-  let report =
-    Asip_sp.run ?prune ?cad_config db modul train.Vm.Machine.profile
+  let kernel =
+    U.Trace.span tr ~cat:"analysis" ("kernel:" ^ app) (fun () ->
+        An.Kernel.compute modul train.Vm.Machine.profile)
+  in
+  let staged =
+    Asip_sp.stage ~spec ~app db modul train.Vm.Machine.profile
       ~total_cycles:train.Vm.Machine.native_cycles
   in
+  {
+    pre_workload = w;
+    pre_compiled = compiled;
+    pre_outcomes = outcomes;
+    pre_coverage = coverage;
+    pre_kernel = kernel;
+    pre_staged = staged;
+  }
+
+(** The cheap, sequential half: bitstream-cache accounting and the
+    derived analyses. *)
+let finish ~(spec : Spec.t) (p : prepared) : app_result =
+  let w = p.pre_workload in
+  let modul = p.pre_compiled.F.Compiler.modul in
+  let train = snd (List.hd p.pre_outcomes) in
+  let report =
+    Asip_sp.finalize ~spec ~app:w.W.Workload.name p.pre_staged
+  in
   let split =
-    An.Breakeven.split_costs modul train.Vm.Machine.profile coverage
+    An.Breakeven.split_costs modul train.Vm.Machine.profile p.pre_coverage
       report.Asip_sp.selection
   in
   let break_even =
     An.Breakeven.of_split split ~overhead_seconds:report.Asip_sp.sum_seconds
   in
-  { workload = w; compiled; outcomes; coverage; kernel; report; split; break_even }
+  {
+    workload = w;
+    compiled = p.pre_compiled;
+    outcomes = p.pre_outcomes;
+    coverage = p.pre_coverage;
+    kernel = p.pre_kernel;
+    report;
+    split;
+    break_even;
+  }
 
-(** Run every registered workload.  [verbose] logs progress to stderr
-    (a full sweep interprets ~10^8 simulated instructions). *)
+(** Run the full experiment pipeline for one workload. *)
+let evaluate ?(spec = Spec.default) (db : Pp.Database.t) (w : W.Workload.t) :
+    app_result =
+  finish ~spec (prepare ~spec db w)
+
+(** Run every registered workload — the sweep engine.  [spec.jobs]
+    domains prepare the applications concurrently; finalization runs
+    sequentially in registry order, so the results (including the
+    local/shared cache-hit attribution against [spec.cache]) are
+    identical whatever the parallelism.  [verbose] logs progress to
+    stderr (a full sweep interprets ~10^8 simulated instructions). *)
+let sweep ?(verbose = false) ?(spec = Spec.default) (db : Pp.Database.t) :
+    app_result list =
+  let prepared =
+    U.Pool.map ~jobs:spec.Spec.jobs
+      (fun w ->
+        if verbose then
+          Printf.eprintf "[experiment] %s...\n%!" w.W.Workload.name;
+        prepare ~spec db w)
+      W.Registry.all
+  in
+  List.map (finish ~spec) prepared
+
+(** @deprecated Old scattered-optional-argument entry point; use
+    {!evaluate} with a {!Spec.t} instead. *)
+let run_app ?prune ?cad_config (db : Pp.Database.t) (w : W.Workload.t) :
+    app_result =
+  evaluate ~spec:(Spec.of_options ?prune ?cad:cad_config ()) db w
+
+(** @deprecated Old scattered-optional-argument entry point; use
+    {!sweep} with a {!Spec.t} instead. *)
 let run_all ?(verbose = false) ?prune ?cad_config (db : Pp.Database.t) :
     app_result list =
-  List.map
-    (fun w ->
-      if verbose then
-        Printf.eprintf "[experiment] %s...\n%!" w.W.Workload.name;
-      run_app ?prune ?cad_config db w)
-    W.Registry.all
+  sweep ~verbose ~spec:(Spec.of_options ?prune ?cad:cad_config ()) db
 
 let is_scientific r = r.workload.W.Workload.domain = W.Workload.Scientific
 let is_embedded r = r.workload.W.Workload.domain = W.Workload.Embedded

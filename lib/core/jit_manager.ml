@@ -62,17 +62,18 @@ let timeline ?(arch = Wool.Arch.default) (report : Asip_sp.report) : timeline =
   let t = ref report.Asip_sp.search_wall_seconds in
   List.iter
     (fun (c : Asip_sp.candidate_result) ->
-      if c.Asip_sp.cache_hit then
-        emit !t "%s: bitstream cache hit"
-          c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
-      else begin
-        t := !t +. c.Asip_sp.total_seconds;
-        emit !t "%s: bitstream ready (map %.0f s, par %.0f s, bitgen %.0f s)"
-          c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
-          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Map)
-          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Place_and_route)
-          (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Bitgen)
-      end)
+      match c.Asip_sp.cache_hit with
+      | Some kind ->
+          emit !t "%s: bitstream cache hit (%s)"
+            c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
+            (Cad.Cache.hit_name kind)
+      | None ->
+          t := !t +. c.Asip_sp.total_seconds;
+          emit !t "%s: bitstream ready (map %.0f s, par %.0f s, bitgen %.0f s)"
+            c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
+            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Map)
+            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Place_and_route)
+            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Bitgen))
     report.Asip_sp.candidates;
   let specialization_seconds = !t in
   (* Reconfigure every bitstream into the UDI slots. *)

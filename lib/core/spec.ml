@@ -1,0 +1,73 @@
+(** Unified pipeline configuration.
+
+    One value configures the whole sweep engine: the pruning filter,
+    candidate-selection constraints and CAD model (previously threaded
+    as scattered [?prune ?select_config ?cad_config] optional
+    arguments), plus the engine knobs the parallel redesign added — the
+    domain count, the shared bitstream cache, and the span tracer.
+
+    Build a spec from {!default} with the [with_*] setters:
+
+    {[
+      let spec =
+        Spec.default
+        |> Spec.with_jobs 4
+        |> Spec.with_cache (Jitise_cad.Cache.create ())
+        |> Spec.with_tracer (Jitise_util.Trace.create ())
+      in
+      Experiment.sweep ~spec db
+    ]} *)
+
+module Ise = Jitise_ise
+module Cad = Jitise_cad
+module U = Jitise_util
+
+type t = {
+  prune : Ise.Prune.t;  (** block filter, default the paper's [@50pS3L] *)
+  select : Ise.Select.config;  (** candidate-selection constraints *)
+  cad : Cad.Flow.config;  (** CAD flow model (speedup, EAPR, device) *)
+  jobs : int;
+      (** domains used by {!Experiment.sweep} (across workloads) and
+          {!Asip_sp.stage} (across selected candidates); 1 = serial.
+          Reports are identical whatever the value. *)
+  cache : Cad.Cache.t option;
+      (** shared bitstream cache; [None] (the default) reuses data
+          paths within one specialization run only, [Some c] also
+          shares them across applications (Section VI-A) *)
+  tracer : U.Trace.t option;
+      (** when set, every pipeline stage records a span; export with
+          {!U.Trace.write} *)
+}
+
+let default =
+  {
+    prune = Ise.Prune.at_50p_s3l;
+    select = Ise.Select.default_config;
+    cad = Cad.Flow.default_config;
+    jobs = 1;
+    cache = None;
+    tracer = None;
+  }
+
+let with_prune prune t = { t with prune }
+let with_select select t = { t with select }
+let with_cad cad t = { t with cad }
+
+let with_jobs jobs t =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Spec.with_jobs: jobs must be >= 1 (got %d)" jobs)
+  else { t with jobs }
+
+let with_cache cache t = { t with cache = Some cache }
+let with_tracer tracer t = { t with tracer = Some tracer }
+
+(** Bridge for the deprecated optional-argument entry points: fold the
+    old scattered arguments into a spec, defaulting each to
+    {!default}'s value. *)
+let of_options ?prune ?select ?cad () =
+  {
+    default with
+    prune = Option.value prune ~default:default.prune;
+    select = Option.value select ~default:default.select;
+    cad = Option.value cad ~default:default.cad;
+  }

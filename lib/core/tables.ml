@@ -284,7 +284,7 @@ let table3 (results : Experiment.app_result list) : table3 =
     List.concat_map
       (fun (r : Experiment.app_result) ->
         List.filter
-          (fun (c : Asip_sp.candidate_result) -> not c.Asip_sp.cache_hit)
+          (fun (c : Asip_sp.candidate_result) -> c.Asip_sp.cache_hit = None)
           r.Experiment.report.Asip_sp.candidates)
       results
   in

@@ -21,6 +21,12 @@ type entry = {
 
 type t = {
   entries : (Component.t, entry) Hashtbl.t;
+      (** fully populated by [create]; read-only afterwards, so lookups
+          are safe from any domain *)
+  lock : Mutex.t;
+      (** guards the counters and the lazy netlist forcing — one
+          database instance is shared by every domain of a parallel
+          sweep *)
   mutable queries : int;
   mutable netlist_hits : int;
   mutable netlist_misses : int;
@@ -194,6 +200,7 @@ let create () =
   let t =
     {
       entries = Hashtbl.create 256;
+      lock = Mutex.create ();
       queries = 0;
       netlist_hits = 0;
       netlist_misses = 0;
@@ -220,7 +227,7 @@ let metrics_per_entry t =
 (** Look up a component; snaps unknown widths up to the next stocked
     width.  Returns [None] for opcodes with no hardware implementation. *)
 let lookup t (c : Component.t) =
-  t.queries <- t.queries + 1;
+  Mutex.protect t.lock (fun () -> t.queries <- t.queries + 1);
   match Hashtbl.find_opt t.entries c with
   | Some e -> Some e
   | None ->
@@ -248,15 +255,20 @@ let fetch_netlist t (c : Component.t) =
   match lookup t c with
   | None -> None
   | Some e ->
-      if Lazy.is_val e.netlist then t.netlist_hits <- t.netlist_hits + 1
-      else t.netlist_misses <- t.netlist_misses + 1;
-      Some (Lazy.force e.netlist)
+      (* Forcing a lazy concurrently from two domains raises
+         [Lazy.Undefined]; serialize the miss path. *)
+      Some
+        (Mutex.protect t.lock (fun () ->
+             if Lazy.is_val e.netlist then t.netlist_hits <- t.netlist_hits + 1
+             else t.netlist_misses <- t.netlist_misses + 1;
+             Lazy.force e.netlist))
 
 type stats = { queries : int; netlist_hits : int; netlist_misses : int }
 
 let stats (t : t) =
-  {
-    queries = t.queries;
-    netlist_hits = t.netlist_hits;
-    netlist_misses = t.netlist_misses;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        queries = t.queries;
+        netlist_hits = t.netlist_hits;
+        netlist_misses = t.netlist_misses;
+      })

@@ -32,7 +32,8 @@ let projects =
            (Ise.Maxmiso.of_module m))
        srcs)
 
-let implement ?config p = Cad.Flow.implement ?config db p
+let implement ?cache ?app ?tracer ?config p =
+  Cad.Flow.implement ?cache ?app ?tracer ?config db p
 
 let test_flow_runs_all_stages () =
   let p = List.hd (Lazy.force projects) in
@@ -190,6 +191,100 @@ let test_flow_syntax_error_raises () =
        false
      with Cad.Flow.Syntax_error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hit_opt : Cad.Cache.hit option Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | None -> Format.fprintf ppf "miss"
+      | Some k -> Format.fprintf ppf "hit(%s)" (Cad.Cache.hit_name k))
+    ( = )
+
+let test_cache_local_vs_shared () =
+  let cache = Cad.Cache.create () in
+  let p = List.hd (Lazy.force projects) in
+  let b = (implement p).Cad.Flow.bitstream in
+  let note app =
+    Cad.Cache.note cache ~app ~signature:p.Hw.Project.name ~bitstream:b
+  in
+  Alcotest.check hit_opt "first request misses" None (note "alpha");
+  Alcotest.check hit_opt "same app reuses locally" (Some Cad.Cache.Local)
+    (note "alpha");
+  Alcotest.check hit_opt "other app hits the shared entry"
+    (Some Cad.Cache.Shared) (note "beta");
+  Alcotest.check
+    Alcotest.(option string)
+    "find returns the stored bitstream" (Some p.Hw.Project.name)
+    (Option.map
+       (fun (b : Cad.Bitstream.t) -> b.Cad.Bitstream.signature)
+       (Cad.Cache.find cache p.Hw.Project.name));
+  Alcotest.check Alcotest.(option string) "unknown signature" None
+    (Option.map
+       (fun (b : Cad.Bitstream.t) -> b.Cad.Bitstream.signature)
+       (Cad.Cache.find cache "no-such-data-path"))
+
+let test_cache_stats () =
+  let cache = Cad.Cache.create () in
+  let ps = Lazy.force projects in
+  let p1 = List.nth ps 0 and p2 = List.nth ps 1 in
+  let note app (p : Hw.Project.t) =
+    ignore
+      (Cad.Cache.note cache ~app ~signature:p.Hw.Project.name
+         ~bitstream:(implement p).Cad.Flow.bitstream)
+  in
+  note "alpha" p1;      (* miss: builds the entry *)
+  note "alpha" p1;      (* local hit *)
+  note "beta" p1;       (* shared hit *)
+  note "beta" p1;       (* shared hit *)
+  note "beta" p2;       (* miss: second entry *)
+  let s = Cad.Cache.stats cache in
+  Alcotest.(check int) "entries" 2 s.Cad.Cache.entries;
+  Alcotest.(check int) "local hits" 1 s.Cad.Cache.local_hits;
+  Alcotest.(check int) "shared hits" 2 s.Cad.Cache.shared_hits;
+  Alcotest.(check (list (pair string int))) "per-app hit counts"
+    [ ("alpha", 1); ("beta", 2) ]
+    s.Cad.Cache.by_app;
+  Alcotest.(check bool) "cached payload accounted" true (s.Cad.Cache.bytes > 0);
+  Alcotest.(check bool) "saved CAD time accounted" true
+    (s.Cad.Cache.saved_seconds > 0.0)
+
+let test_flow_cache_integration () =
+  (* the flow's own cache plumbing classifies hits the same way *)
+  let cache = Cad.Cache.create () in
+  let p = List.hd (Lazy.force projects) in
+  let hit app = (implement ~cache ~app p).Cad.Flow.cache_hit in
+  Alcotest.check hit_opt "first build misses" None (hit "alpha");
+  Alcotest.check hit_opt "rebuild is a local hit" (Some Cad.Cache.Local)
+    (hit "alpha");
+  Alcotest.check hit_opt "other app is a shared hit" (Some Cad.Cache.Shared)
+    (hit "beta");
+  Alcotest.check hit_opt "no cache, no classification" None
+    (implement p).Cad.Flow.cache_hit
+
+let test_flow_tracer_spans () =
+  (* one synthetic span per CAD stage, modelled durations *)
+  let tracer = Jitise_util.Trace.create () in
+  let p = List.hd (Lazy.force projects) in
+  let run = implement ~tracer p in
+  let spans = Jitise_util.Trace.events tracer in
+  Alcotest.(check int) "one span per stage"
+    (List.length run.Cad.Flow.stages)
+    (List.length spans);
+  List.iter
+    (fun (s : Cad.Flow.stage_report) ->
+      let name = "cad:" ^ Cad.Flow.stage_name s.Cad.Flow.stage in
+      match
+        List.find_opt (fun e -> e.Jitise_util.Trace.name = name) spans
+      with
+      | Some e ->
+          Alcotest.(check (float 1e-9))
+            (name ^ " carries the modelled duration")
+            s.Cad.Flow.seconds e.Jitise_util.Trace.dur
+      | None -> Alcotest.failf "no span named %s" name)
+    run.Cad.Flow.stages
+
 let () =
   Alcotest.run "cad"
     [
@@ -211,5 +306,13 @@ let () =
           Alcotest.test_case "bitstream" `Quick test_bitstream_properties;
           Alcotest.test_case "small device" `Quick test_flow_small_device;
           Alcotest.test_case "syntax error" `Quick test_flow_syntax_error_raises;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "local vs shared" `Quick test_cache_local_vs_shared;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "flow integration" `Quick
+            test_flow_cache_integration;
+          Alcotest.test_case "tracer spans" `Quick test_flow_tracer_spans;
         ] );
     ]

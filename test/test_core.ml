@@ -118,12 +118,13 @@ let test_asip_sp_report_invariants () =
     (r.Core.Asip_sp.pruning_efficiency > 0.0);
   List.iter
     (fun (c : Core.Asip_sp.candidate_result) ->
-      if c.Core.Asip_sp.cache_hit then
-        Alcotest.(check (float 1e-9)) "cache hits are free" 0.0
-          c.Core.Asip_sp.total_seconds
-      else
-        Alcotest.(check bool) "misses pay C2V + CAD" true
-          (c.Core.Asip_sp.total_seconds > c.Core.Asip_sp.c2v_seconds))
+      match c.Core.Asip_sp.cache_hit with
+      | Some _ ->
+          Alcotest.(check (float 1e-9)) "cache hits are free" 0.0
+            c.Core.Asip_sp.total_seconds
+      | None ->
+          Alcotest.(check bool) "misses pay C2V + CAD" true
+            (c.Core.Asip_sp.total_seconds > c.Core.Asip_sp.c2v_seconds))
     r.Core.Asip_sp.candidates
 
 let test_asip_sp_cache_dedups_unrolled_copies () =
@@ -133,7 +134,8 @@ let test_asip_sp_cache_dedups_unrolled_copies () =
   let hits =
     List.length
       (List.filter
-         (fun (c : Core.Asip_sp.candidate_result) -> c.Core.Asip_sp.cache_hit)
+         (fun (c : Core.Asip_sp.candidate_result) ->
+           c.Core.Asip_sp.cache_hit = Some Jitise_cad.Cache.Local)
          r.Core.Asip_sp.candidates)
   in
   Alcotest.(check bool) "duplicated data paths hit the run cache" true (hits > 0)
@@ -317,6 +319,22 @@ let test_diagrams () =
     [ "Candidate Search"; "Netlist Generation"; "Instruction Implementation";
       "MAXMISO"; "@50pS3L" ]
 
+let test_spec_builders () =
+  let spec =
+    Core.Spec.default |> Core.Spec.with_jobs 4
+    |> Core.Spec.with_cache (Jitise_cad.Cache.create ())
+    |> Core.Spec.with_tracer (Jitise_util.Trace.create ())
+  in
+  Alcotest.(check int) "jobs set" 4 spec.Core.Spec.jobs;
+  Alcotest.(check bool) "cache set" true (spec.Core.Spec.cache <> None);
+  Alcotest.(check bool) "tracer set" true (spec.Core.Spec.tracer <> None);
+  Alcotest.(check int) "default is serial" 1 Core.Spec.default.Core.Spec.jobs;
+  Alcotest.(check bool) "default has no cache" true
+    (Core.Spec.default.Core.Spec.cache = None);
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Spec.with_jobs: jobs must be >= 1 (got 0)") (fun () ->
+      ignore (Core.Spec.with_jobs 0 Core.Spec.default))
+
 let () =
   Alcotest.run "core"
     [
@@ -336,6 +354,7 @@ let () =
           Alcotest.test_case "no pruning" `Quick test_asip_sp_no_pruning;
           Alcotest.test_case "cad speedup" `Quick test_asip_sp_cad_speedup_config;
           Alcotest.test_case "candidate costs" `Quick test_candidate_costs_export;
+          Alcotest.test_case "spec builders" `Quick test_spec_builders;
         ] );
       ( "experiment-tables",
         [

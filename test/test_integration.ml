@@ -136,6 +136,132 @@ let test_pruning_efficiency_worthwhile () =
     (rep.Core.Asip_sp.search_wall_seconds
     < rep.Core.Asip_sp.search_wall_seconds_nopruning)
 
+(* ------------------------------------------------------------------ *)
+(* The parallel sweep engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in an app_result that is deterministic by construction —
+   i.e. all of it except the measured wall-clock fields
+   (search_wall_seconds and friends), which can never be bit-equal
+   between two runs. *)
+type candidate_projection = {
+  p_signature : string;
+  p_c2v : float;
+  p_total : float;
+  p_cache_hit : Cad.Cache.hit option;
+}
+
+type app_projection = {
+  p_app : string;
+  p_selection : string list;
+  p_candidates : candidate_projection list;
+  p_const : float;
+  p_map : float;
+  p_par : float;
+  p_sum : float;
+  p_ratio : float;
+  p_ratio_max : float;
+  p_break_even : An.Breakeven.result;
+}
+
+let project (r : Core.Experiment.app_result) : app_projection =
+  let rep = r.Core.Experiment.report in
+  let signature (s : Ise.Select.scored) =
+    s.Ise.Select.candidate.Ise.Candidate.signature
+  in
+  {
+    p_app = r.Core.Experiment.workload.W.Workload.name;
+    p_selection = List.map signature rep.Core.Asip_sp.selection;
+    p_candidates =
+      List.map
+        (fun (c : Core.Asip_sp.candidate_result) ->
+          {
+            p_signature = signature c.Core.Asip_sp.scored;
+            p_c2v = c.Core.Asip_sp.c2v_seconds;
+            p_total = c.Core.Asip_sp.total_seconds;
+            p_cache_hit = c.Core.Asip_sp.cache_hit;
+          })
+        rep.Core.Asip_sp.candidates;
+    p_const = rep.Core.Asip_sp.const_seconds;
+    p_map = rep.Core.Asip_sp.map_seconds;
+    p_par = rep.Core.Asip_sp.par_seconds;
+    p_sum = rep.Core.Asip_sp.sum_seconds;
+    p_ratio = rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio;
+    p_ratio_max = rep.Core.Asip_sp.asip_ratio_max.Ise.Speedup.ratio;
+    p_break_even = r.Core.Experiment.break_even;
+  }
+
+(* ISSUE acceptance: a parallel sweep with a shared cache is
+   report-identical to a serial one, and the full sweep crosses
+   application boundaries in the cache at least once. *)
+let test_parallel_sweep_deterministic () =
+  let sweep jobs cache =
+    let spec =
+      Core.Spec.default |> Core.Spec.with_jobs jobs
+      |> Core.Spec.with_cache cache
+    in
+    Core.Experiment.sweep ~spec (Pp.Database.create ())
+  in
+  let c_serial = Cad.Cache.create () and c_parallel = Cad.Cache.create () in
+  let serial = sweep 1 c_serial and parallel = sweep 4 c_parallel in
+  Alcotest.(check int) "same number of applications" (List.length serial)
+    (List.length parallel);
+  List.iter2
+    (fun s p ->
+      let s = project s and p = project p in
+      Alcotest.(check bool)
+        (s.p_app ^ " report identical under jobs:4")
+        true (s = p))
+    serial parallel;
+  let ss = Cad.Cache.stats c_serial and ps = Cad.Cache.stats c_parallel in
+  Alcotest.(check int) "same cache entries" ss.Cad.Cache.entries
+    ps.Cad.Cache.entries;
+  Alcotest.(check int) "same local hits" ss.Cad.Cache.local_hits
+    ps.Cad.Cache.local_hits;
+  Alcotest.(check int) "same shared hits" ss.Cad.Cache.shared_hits
+    ps.Cad.Cache.shared_hits;
+  Alcotest.(check (list (pair string int))) "same per-app attribution"
+    ss.Cad.Cache.by_app ps.Cad.Cache.by_app;
+  Alcotest.(check bool) "at least one cross-application hit" true
+    (ss.Cad.Cache.shared_hits >= 1)
+
+(* Two workloads with a common candidate signature share bitstreams. *)
+let test_shared_cache_across_two_workloads () =
+  let cache = Cad.Cache.create () in
+  let spec = Core.Spec.with_cache cache Core.Spec.default in
+  let db = Pp.Database.create () in
+  let eval name = Core.Experiment.evaluate ~spec db (Option.get (W.Registry.find name)) in
+  let _first = eval "fft" in
+  let second = eval "sor" in
+  let local, shared =
+    Core.Asip_sp.cache_hit_counts second.Core.Experiment.report
+  in
+  Alcotest.(check bool) "second app hits the first app's bitstreams" true
+    (shared >= 1);
+  let s = Cad.Cache.stats cache in
+  Alcotest.(check int) "report and cache agree on shared hits"
+    s.Cad.Cache.shared_hits shared;
+  Alcotest.(check bool) "local reuse still detected" true (local >= 0);
+  (* every hit zeroes the candidate's accounted cost *)
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      match c.Core.Asip_sp.cache_hit with
+      | Some _ ->
+          Alcotest.(check (float 1e-9)) "hit costs nothing" 0.0
+            c.Core.Asip_sp.total_seconds
+      | None ->
+          Alcotest.(check bool) "miss pays the CAD bill" true
+            (c.Core.Asip_sp.total_seconds > 0.0))
+    second.Core.Experiment.report.Core.Asip_sp.candidates
+
+(* The deprecated optional-argument wrappers agree with the Spec API. *)
+let test_legacy_wrappers_agree () =
+  let w = Option.get (W.Registry.find "sor") in
+  let via_spec = Core.Experiment.evaluate (Pp.Database.create ()) w in
+  let via_legacy = Core.Experiment.run_app (Pp.Database.create ()) w in
+  Alcotest.(check bool) "run_app equals evaluate" true
+    (project via_spec = project via_legacy)
+
 let () =
   Alcotest.run "integration"
     [
@@ -152,5 +278,13 @@ let () =
             test_embedded_break_even_exists;
           Alcotest.test_case "pruning worthwhile" `Slow
             test_pruning_efficiency_worthwhile;
+        ] );
+      ( "sweep engine",
+        [
+          Alcotest.test_case "parallel determinism" `Slow
+            test_parallel_sweep_deterministic;
+          Alcotest.test_case "shared cache across apps" `Slow
+            test_shared_cache_across_two_workloads;
+          Alcotest.test_case "legacy wrappers" `Slow test_legacy_wrappers_agree;
         ] );
     ]

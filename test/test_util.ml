@@ -227,6 +227,113 @@ let test_texttable_alignment () =
      | [ row ] -> String.length row > 0 && row.[String.length row - 1] = '1'
      | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_ordering () =
+  (* the parallel map must return results in input order, whatever the
+     scheduling *)
+  let xs = List.init 100 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  Alcotest.(check (list int)) "jobs:4 equals List.map" (List.map f xs)
+    (U.Pool.map ~jobs:4 f xs)
+
+let test_pool_jobs_one_degenerate () =
+  let xs = [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "jobs:1 inline" (List.map succ xs)
+    (U.Pool.map ~jobs:1 succ xs);
+  Alcotest.(check (list int)) "empty list" [] (U.Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (U.Pool.map ~jobs:4 succ [ 1 ])
+
+let test_pool_exception_propagation () =
+  (* any failure surfaces; with several failures the lowest-indexed one
+     wins, so parallel failures are deterministic *)
+  let f i = if i = 3 || i = 7 then failwith (Printf.sprintf "boom %d" i) else i in
+  Alcotest.check_raises "lowest-indexed failure" (Failure "boom 3") (fun () ->
+      ignore (U.Pool.map ~jobs:4 f (List.init 10 (fun i -> i))))
+
+let test_pool_all_elements_visited () =
+  let counter = Atomic.make 0 in
+  U.Pool.iter ~jobs:4 (fun _ -> Atomic.incr counter) (List.init 50 (fun i -> i));
+  Alcotest.(check int) "every element visited once" 50 (Atomic.get counter)
+
+let test_pool_default_jobs () =
+  Alcotest.(check bool) "default_jobs >= 1" true (U.Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_span_records () =
+  let t = U.Trace.create () in
+  let r = U.Trace.span (Some t) ~cat:"test" "work" (fun () -> 42) in
+  Alcotest.(check int) "span is transparent" 42 r;
+  match U.Trace.events t with
+  | [ e ] ->
+      Alcotest.(check string) "name" "work" e.U.Trace.name;
+      Alcotest.(check string) "cat" "test" e.U.Trace.cat;
+      Alcotest.(check bool) "non-negative duration" true (e.U.Trace.dur >= 0.0)
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+let test_trace_span_none_is_free () =
+  Alcotest.(check int) "no tracer, plain call" 7
+    (U.Trace.span None "ignored" (fun () -> 7))
+
+let test_trace_span_records_on_raise () =
+  let t = U.Trace.create () in
+  (try U.Trace.span (Some t) "failing" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (U.Trace.events t))
+
+let test_trace_synthetic_events_sorted () =
+  let t = U.Trace.create () in
+  U.Trace.add t ~tid:9 ~name:"late" ~ts:2.0 ~dur:0.5 ();
+  U.Trace.add t ~tid:9 ~name:"early" ~ts:1.0 ~dur:0.25 ();
+  match U.Trace.events t with
+  | [ a; b ] ->
+      Alcotest.(check string) "oldest first" "early" a.U.Trace.name;
+      Alcotest.(check string) "then the later one" "late" b.U.Trace.name;
+      Alcotest.(check int) "explicit tid kept" 9 a.U.Trace.tid
+  | es -> Alcotest.failf "expected 2 events, got %d" (List.length es)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_json_export () =
+  let t = U.Trace.create () in
+  U.Trace.add t ~cat:"cad-sim" ~args:[ ("app", "sor") ] ~tid:1 ~name:"cad:\"map\""
+    ~ts:1.0 ~dur:2.0 ();
+  let json = U.Trace.to_json t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle json))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"X\"";
+      "\"cat\":\"cad-sim\"";
+      "\"name\":\"cad:\\\"map\\\"\"";  (* quotes escaped *)
+      "\"ts\":1000000.0";              (* seconds -> microseconds *)
+      "\"dur\":2000000.0";
+      "\"args\":{\"app\":\"sor\"}";
+    ]
+
+let test_trace_write () =
+  let t = U.Trace.create () in
+  U.Trace.span (Some t) "stage" (fun () -> ());
+  let path = Filename.temp_file "jitise-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      U.Trace.write t path;
+      let written = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check string) "file holds the export" (U.Trace.to_json t) written;
+      Alcotest.(check bool) "looks like a chrome trace" true
+        (contains ~needle:"\"traceEvents\"" written))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -272,5 +379,28 @@ let () =
           Alcotest.test_case "render" `Quick test_texttable_render;
           Alcotest.test_case "arity" `Quick test_texttable_mismatch;
           Alcotest.test_case "alignment" `Quick test_texttable_alignment;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "jobs=1 degenerate" `Quick
+            test_pool_jobs_one_degenerate;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "iter visits all" `Quick
+            test_pool_all_elements_visited;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span records" `Quick test_trace_span_records;
+          Alcotest.test_case "span without tracer" `Quick
+            test_trace_span_none_is_free;
+          Alcotest.test_case "span on raise" `Quick
+            test_trace_span_records_on_raise;
+          Alcotest.test_case "events sorted" `Quick
+            test_trace_synthetic_events_sorted;
+          Alcotest.test_case "chrome json" `Quick test_trace_json_export;
+          Alcotest.test_case "write" `Quick test_trace_write;
         ] );
     ]
