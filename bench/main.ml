@@ -264,10 +264,11 @@ let run_benchmarks () =
 let regenerate_tables ~spec () =
   prerr_endline "[bench] running the full experiment sweep...";
   let results = Core.Experiment.sweep ~verbose:true ~spec db in
+  let faults = spec.Core.Spec.faults.Cad.Faults.enabled in
   print_endline "=== Table I: application characterization ===";
   print_string (Core.Tables.render_table1 (Core.Tables.table1 results));
   print_endline "\n=== Table II: ASIP-SP runtime overheads ===";
-  print_string (Core.Tables.render_table2 (Core.Tables.table2 results));
+  print_string (Core.Tables.render_table2 ~faults (Core.Tables.table2 results));
   print_endline "\n=== Table III: constant CAD overheads ===";
   print_string (Core.Tables.render_table3 (Core.Tables.table3 results));
   print_endline "\n=== Table IV: break-even with caching / faster CAD ===";
@@ -277,28 +278,31 @@ let regenerate_tables ~spec () =
   print_endline "";
   print_string (Core.Diagrams.figure2 ())
 
-(* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache, plus
+(* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache,
+   --faults, --fault-seed SEED, --retries N, --deadline SECONDS, plus
    the original --tables-only/--bench-only halves. *)
 let rec arg_value key = function
   | k :: v :: _ when k = key -> Some v
   | _ :: rest -> arg_value key rest
   | [] -> None
 
+let int_arg key ~default ~min argv =
+  match arg_value key argv with
+  | Some n -> (
+      match int_of_string_opt n with
+      | Some j when j >= min -> j
+      | _ ->
+          Printf.eprintf "bench: %s expects an integer >= %d, got %s\n" key min
+            n;
+          exit 2)
+  | None -> default
+
 let () =
   let argv = Array.to_list Sys.argv in
   let tables = not (List.mem "--bench-only" argv) in
   let benches = not (List.mem "--tables-only" argv) in
   let trace = arg_value "--trace" argv in
-  let jobs =
-    match arg_value "--jobs" argv with
-    | Some n -> (
-        match int_of_string_opt n with
-        | Some j when j >= 1 -> j
-        | _ ->
-            Printf.eprintf "bench: --jobs expects a count >= 1, got %s\n" n;
-            exit 2)
-    | None -> 1
-  in
+  let jobs = int_arg "--jobs" ~default:1 ~min:1 argv in
   let spec = Core.Spec.with_jobs jobs Core.Spec.default in
   let spec =
     if trace <> None then
@@ -309,6 +313,32 @@ let () =
     if List.mem "--shared-cache" argv then
       Core.Spec.with_cache (Cad.Cache.create ()) spec
     else spec
+  in
+  let spec =
+    if not (List.mem "--faults" argv) then spec
+    else begin
+      let seed = int_arg "--fault-seed" ~default:20110516 ~min:0 argv in
+      let retries = int_arg "--retries" ~default:3 ~min:1 argv in
+      let deadline =
+        match arg_value "--deadline" argv with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some d when d > 0.0 -> Some d
+            | _ ->
+                Printf.eprintf
+                  "bench: --deadline expects a positive number of seconds, \
+                   got %s\n"
+                  s;
+                exit 2)
+        | None -> None
+      in
+      spec
+      |> Core.Spec.with_faults (Cad.Faults.defaults ~seed)
+      |> Core.Spec.with_retry
+           (Jitise_util.Retry.default
+           |> Jitise_util.Retry.with_max_attempts retries
+           |> Jitise_util.Retry.with_specialization_deadline deadline)
+    end
   in
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();

@@ -23,7 +23,16 @@ let db = lazy (Pp.Database.create ())
 (* Sweep-engine configuration shared by the table/specialize commands  *)
 (* ------------------------------------------------------------------ *)
 
-let mk_spec ~trace ~jobs ~shared_cache =
+(* Everything the [--faults]/[--fault-seed]/[--retries]/[--deadline]
+   flags decide, bundled so every command threads one value. *)
+type fault_options = {
+  faults : bool;
+  fault_seed : int;
+  retries : int;
+  deadline : float option;  (** whole-specialization budget, seconds *)
+}
+
+let mk_spec ~trace ~jobs ~shared_cache ~fault_options:fo =
   (* Fail before the sweep, not after: a full run takes minutes and an
      unwritable trace path would otherwise only surface at the end. *)
   Option.iter
@@ -38,8 +47,18 @@ let mk_spec ~trace ~jobs ~shared_cache =
     if trace <> None then Core.Spec.with_tracer (U.Trace.create ()) spec
     else spec
   in
-  if shared_cache then Core.Spec.with_cache (Cad.Cache.create ()) spec
-  else spec
+  let spec =
+    if shared_cache then Core.Spec.with_cache (Cad.Cache.create ()) spec
+    else spec
+  in
+  if not fo.faults then spec
+  else
+    spec
+    |> Core.Spec.with_faults (Cad.Faults.defaults ~seed:fo.fault_seed)
+    |> Core.Spec.with_retry
+         (U.Retry.default
+         |> U.Retry.with_max_attempts fo.retries
+         |> U.Retry.with_specialization_deadline fo.deadline)
 
 (* Write the trace and report cache statistics once the work is done. *)
 let finish_spec (spec : Core.Spec.t) trace =
@@ -54,30 +73,30 @@ let finish_spec (spec : Core.Spec.t) trace =
       Format.eprintf "[cache] %a@." Cad.Cache.pp_stats (Cad.Cache.stats c)
   | None -> ()
 
-let render_table1 results =
+let render_table1 ~faults:_ results =
   print_string (Core.Tables.render_table1 (Core.Tables.table1 results))
 
-let render_table2 results =
-  print_string (Core.Tables.render_table2 (Core.Tables.table2 results))
+let render_table2 ~faults results =
+  print_string (Core.Tables.render_table2 ~faults (Core.Tables.table2 results))
 
-let render_table3 results =
+let render_table3 ~faults:_ results =
   print_string (Core.Tables.render_table3 (Core.Tables.table3 results))
 
-let render_table4 results =
+let render_table4 ~faults:_ results =
   print_string (Core.Tables.render_table4 (Core.Tables.table4 results))
 
 let run_figure1 () = print_string (Core.Diagrams.figure1 ())
 let run_figure2 () = print_string (Core.Diagrams.figure2 ())
 
-let render_all results =
+let render_all ~faults results =
   print_endline "=== Table I ===";
-  render_table1 results;
+  render_table1 ~faults results;
   print_endline "\n=== Table II ===";
-  render_table2 results;
+  render_table2 ~faults results;
   print_endline "\n=== Table III ===";
-  render_table3 results;
+  render_table3 ~faults results;
   print_endline "\n=== Table IV ===";
-  render_table4 results;
+  render_table4 ~faults results;
   print_endline "\n=== Figure 1 ===";
   run_figure1 ();
   print_endline "\n=== Figure 2 ===";
@@ -103,10 +122,10 @@ let run_inspect name =
   let r = W.Workload.compile w in
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
-let run_specialize name trace jobs shared_cache =
+let run_specialize name trace jobs shared_cache fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
-  let spec = mk_spec ~trace ~jobs ~shared_cache in
+  let spec = mk_spec ~trace ~jobs ~shared_cache ~fault_options in
   let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
   Printf.printf "%s: %d candidate(s) selected, ASIP ratio %.2fx (max %.2fx)\n"
@@ -119,7 +138,7 @@ let run_specialize name trace jobs shared_cache =
       let cand = c.Core.Asip_sp.scored.Ise.Select.candidate in
       let est = c.Core.Asip_sp.scored.Ise.Select.estimate in
       Printf.printf
-        "  %s  %s/bb%d  %d instrs, %d inputs, sw %d cyc -> hw %d cyc, %s CAD%s\n"
+        "  %s  %s/bb%d  %d instrs, %d inputs, sw %d cyc -> hw %d cyc, %s CAD%s%s\n"
         cand.Ise.Candidate.signature cand.Ise.Candidate.func
         cand.Ise.Candidate.block cand.Ise.Candidate.size
         cand.Ise.Candidate.num_inputs est.Pp.Estimator.sw_cycles
@@ -128,8 +147,41 @@ let run_specialize name trace jobs shared_cache =
         (match c.Core.Asip_sp.cache_hit with
         | Some kind ->
             Printf.sprintf " (%s cache hit)" (Cad.Cache.hit_name kind)
-        | None -> ""))
+        | None -> "")
+        (if not fault_options.faults then ""
+         else
+           let retry =
+             if c.Core.Asip_sp.failed_attempts = 0 then ""
+             else
+               Printf.sprintf ", %d attempt(s), %d failed (%s wasted)"
+                 c.Core.Asip_sp.attempts c.Core.Asip_sp.failed_attempts
+                 (U.Duration.to_min_sec c.Core.Asip_sp.wasted_seconds)
+           in
+           match c.Core.Asip_sp.outcome with
+           | Core.Asip_sp.Promoted { from; _ } ->
+               Printf.sprintf "%s [promoted; %s failed]" retry
+                 from.Ise.Select.candidate.Ise.Candidate.signature
+           | Core.Asip_sp.Implemented -> retry))
     rep.Core.Asip_sp.candidates;
+  if fault_options.faults then begin
+    List.iter
+      (fun (d : Core.Asip_sp.dropped) ->
+        Printf.printf "  %s  abandoned: %s, %d failed attempt(s), %s wasted\n"
+          d.Core.Asip_sp.drop_scored.Ise.Select.candidate
+            .Ise.Candidate.signature
+          (Core.Asip_sp.drop_reason_name d.Core.Asip_sp.drop_reason)
+          d.Core.Asip_sp.drop_attempts
+          (U.Duration.to_min_sec d.Core.Asip_sp.drop_wasted_seconds))
+      rep.Core.Asip_sp.dropped;
+    Printf.printf
+      "faults: %d CAD attempt(s), %d failed, %s wasted; %d promoted, %d \
+       dropped%s\n"
+      rep.Core.Asip_sp.total_attempts rep.Core.Asip_sp.failed_attempts
+      (U.Duration.to_min_sec rep.Core.Asip_sp.wasted_seconds)
+      rep.Core.Asip_sp.degraded
+      (List.length rep.Core.Asip_sp.dropped)
+      (if rep.Core.Asip_sp.deadline_exceeded then "; deadline exceeded" else "")
+  end;
   Printf.printf "total ASIP-SP overhead: %s (const %s, map %s, par %s)\n"
     (U.Duration.to_min_sec rep.Core.Asip_sp.sum_seconds)
     (U.Duration.to_min_sec rep.Core.Asip_sp.const_seconds)
@@ -141,11 +193,12 @@ let run_specialize name trace jobs shared_cache =
     | Jitise_analysis.Breakeven.After s -> U.Duration.to_dhms s);
   finish_spec spec trace
 
-let run_timeline name =
+let run_timeline name jobs fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
-  let r = Core.Experiment.evaluate db w in
-  let t = Core.Jit_manager.timeline r.Core.Experiment.report in
+  let spec = mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~fault_options in
+  let r = Core.Experiment.evaluate ~spec db w in
+  let t = Core.Jit_manager.timeline ~jobs r.Core.Experiment.report in
   Format.printf "%a" Core.Jit_manager.pp_timeline t;
   Printf.printf
     "\nspeedup %.2fx; specialization %s; reconfiguration %.1f ms\n"
@@ -285,19 +338,59 @@ let shared_cache_arg =
           "Share the bitstream cache across applications (the Section VI-A \
            proposal) and report its local/shared hit statistics on stderr.")
 
+let faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Inject deterministic CAD tool-flow failures (crashes, congestion, \
+           timing misses, corrupt bitstreams) and recover with the retry \
+           policy.  Off by default, which reproduces the failure-free flow \
+           exactly.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 20110516
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the fault-injection model.  The same seed produces the \
+           same failures, whatever $(b,--jobs) is.")
+
+let retries_arg =
+  Arg.(
+    value & opt positive_int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "CAD attempts per candidate before it degrades to the next-ranked \
+           candidate or to software (with $(b,--faults)).")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Simulated-time budget for a whole specialization run (with \
+           $(b,--faults)); candidates past it are left in software.")
+
+let fault_options_term =
+  Term.(
+    const (fun faults fault_seed retries deadline ->
+        { faults; fault_seed; retries; deadline })
+    $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg)
+
 (* A command that runs the full sweep once and renders from it. *)
 let sweep_cmd name doc render =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun trace jobs shared_cache ->
-          let spec = mk_spec ~trace ~jobs ~shared_cache in
+      const (fun trace jobs shared_cache fault_options ->
+          let spec = mk_spec ~trace ~jobs ~shared_cache ~fault_options in
           let results =
             Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
           in
-          render results;
+          render ~faults:fault_options.faults results;
           finish_spec spec trace)
-      $ trace_arg $ jobs_arg $ shared_cache_arg)
+      $ trace_arg $ jobs_arg $ shared_cache_arg $ fault_options_term)
 
 let cmds =
   [
@@ -322,13 +415,13 @@ let cmds =
          ~doc:"Run the ASIP specialization process on a workload")
       Term.(
         const run_specialize $ workload_arg $ trace_arg $ jobs_arg
-        $ shared_cache_arg);
+        $ shared_cache_arg $ fault_options_term);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:
            "Simulate the concurrent JIT-customization timeline of a \
-            workload")
-      Term.(const run_timeline $ workload_arg);
+            workload (--jobs models concurrent CAD flows on the host)")
+      Term.(const run_timeline $ workload_arg $ jobs_arg $ fault_options_term);
     Cmd.v
       (Cmd.info "ablation"
          ~doc:"Sweep pruning filters over a workload (search time vs speedup)")

@@ -70,6 +70,26 @@ let note (t : t) ~app ~signature ~(bitstream : Bitstream.t) : hit option =
           bump_app t app;
           Some kind)
 
+(** [find_hit t ~app ~signature] is the {e probe} half of {!note}: on a
+    hit it performs exactly the same accounting (hit counters, per-app
+    attribution) and returns [Some kind]; on a miss it returns [None]
+    {b without inserting anything}.  The fault-aware pipeline uses it to
+    check the cache before running a failure-prone CAD chain, and calls
+    {!note} only after a {e successful} build — so a failed run is never
+    recorded and never served to another application. *)
+let find_hit (t : t) ~app ~signature : hit option =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table signature with
+      | None -> None
+      | Some e ->
+          e.hits <- e.hits + 1;
+          let kind = if e.builder = app then Local else Shared in
+          (match kind with
+          | Local -> t.local_hits <- t.local_hits + 1
+          | Shared -> t.shared_hits <- t.shared_hits + 1);
+          bump_app t app;
+          Some kind)
+
 (** The cached bitstream for [signature], if any (does not count as a
     hit). *)
 let find (t : t) (signature : string) : Bitstream.t option =

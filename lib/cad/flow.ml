@@ -17,7 +17,13 @@
     - project creation (C2V) 3.22 (sd 0.10), dominated by the 2.5 s
       TCL project setup plus 0.2 s VHDL generation;
     - a full (non-EAPR) bitgen takes only ~41 s — the 151 s figure is
-      an EAPR overhead the paper calls out explicitly. *)
+      an EAPR overhead the paper calls out explicitly.
+
+    Failure model: commodity CAD tools fail routinely, so
+    {!implement_result} can inject per-stage failures from a
+    {!Faults.config} and returns [(run, failure) result]; a failure
+    reports the stage it hit and the simulated seconds wasted up to it.
+    {!implement} is the never-failing entry point (faults disabled). *)
 
 module Ir = Jitise_ir
 module Pp = Jitise_pivpav
@@ -57,6 +63,15 @@ let default_config = { speedup_factor = 0.0; eapr = true; device_scale = 1.0 }
     target with roughly 60 % of the FX100's frames. *)
 let small_device_config = { default_config with device_scale = 0.6 }
 
+(** Reject an out-of-range configuration.  Run before any simulated
+    work (including the VHDL syntax check), so a bad config is reported
+    identically whether or not the project is well-formed. *)
+let validate_config config =
+  if config.speedup_factor < 0.0 || config.speedup_factor > 0.99 then
+    invalid_arg "Flow.implement: speedup_factor must be in [0, 0.99]";
+  if config.device_scale <= 0.0 || config.device_scale > 1.0 then
+    invalid_arg "Flow.implement: device_scale must be in (0, 1]"
+
 type stage_report = { stage : stage; seconds : float }
 
 type run = {
@@ -71,7 +86,26 @@ type run = {
           this data path — [Local] from the same application, [Shared]
           from another one *)
   syntax_problems : string list;  (** non-empty = flow aborted *)
+  relaxed : bool;
+      (** the run was resynthesized with relaxed timing constraints
+          (the recovery move after a {!Faults.Timing_failure}); costs
+          ~15 % extra map/PAR time *)
 }
+
+(** One failed CAD attempt: the stage that failed, why, and the
+    simulated seconds burnt getting there (every stage up to and
+    including the failing one ran to completion or abort). *)
+type failure = {
+  failed_stage : stage;
+  fault : Faults.kind;
+  wasted_seconds : float;
+  failed_attempt : int;  (** 1-based attempt number of this failure *)
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s at %s (attempt %d, %.0f s wasted)"
+    (Faults.kind_name f.fault) (stage_name f.failed_stage) f.failed_attempt
+    f.wasted_seconds
 
 exception Syntax_error of string list
 
@@ -120,6 +154,10 @@ let bitgen_seconds cfg p =
   if cfg.eapr then gauss p Bitgen ~mu:151.0 ~sigma:2.43
   else gauss p Bitgen ~mu:41.0 ~sigma:1.2
 
+(* Extra map/PAR cost of a relaxed (reduced-effort, relaxed-constraint)
+   resynthesis: the tools close timing easily but place less tightly. *)
+let relaxed_map_par_penalty = 1.15
+
 (** Simulated seconds of the Netlist Generation phase for one candidate
     (Generate VHDL + Extract Netlists + Create Project — the paper's
     C2V column: 3.22 s, sd 0.10). *)
@@ -134,8 +172,52 @@ let c2v_seconds (p : Hw.Project.t) =
   in
   Float.max 2.8 (generate_vhdl +. create_project +. extract +. jitter)
 
-(** Run the implementation flow on a prepared project.
+let emit_spans tracer (p : Hw.Project.t) stages ~failed =
+  match tracer with
+  | None -> ()
+  | Some t ->
+      (* One synthetic span per CAD stage, laid out back to back on the
+         simulated timeline starting "now".  The durations are the
+         modelled seconds, not wall-clock time. *)
+      let t0 = Jitise_util.Trace.now () in
+      ignore
+        (List.fold_left
+           (fun offset s ->
+             let is_failed =
+               match failed with
+               | Some f -> f.failed_stage = s.stage
+               | None -> false
+             in
+             Jitise_util.Trace.add t
+               ~cat:(if is_failed then "cad-fault" else "cad-sim")
+               ~args:
+                 [
+                   ("project", p.Hw.Project.name);
+                   ("simulated_seconds", Printf.sprintf "%.2f" s.seconds);
+                 ]
+               ~name:
+                 ("cad:" ^ stage_name s.stage
+                 ^ if is_failed then ":failed" else "")
+               ~ts:(t0 +. offset) ~dur:s.seconds ();
+             offset +. s.seconds)
+           0.0 stages)
 
+(** Run the implementation flow on a prepared project, with optional
+    fault injection.
+
+    The six stages run in order; before each stage completes, the
+    {!Faults} model is rolled for this [(signature, stage, attempt)]
+    tuple.  On a failure the attempt aborts: the result is [Error f]
+    where [f.wasted_seconds] covers every stage up to and including the
+    failing one, and nothing is recorded in [?cache] — failed runs must
+    never be served to other applications.  With [faults] disabled
+    (default) the result is always [Ok].
+
+    @param attempt 1-based CAD attempt number; seeds the fault rolls so
+    a retry of the same data path fails (or succeeds) differently
+    @param relaxed resynthesize with relaxed timing constraints: timing
+    failures cannot occur, map/PAR cost ~15 % extra (the recovery move
+    for {!Faults.Timing_failure})
     @param cache a shared bitstream cache (Section VI-A); the produced
     bitstream is recorded in it under the project's structural
     signature, and [run.cache_hit] reports whether it was already there
@@ -147,12 +229,16 @@ let c2v_seconds (p : Hw.Project.t) =
     @raise Syntax_error when the generated VHDL fails the syntax
     check (indicates a data-path generator bug — tests assert this
     never fires on MAXMISO output). *)
-let implement ?cache ?(app = "") ?tracer ?(config = default_config)
-    (db : Pp.Database.t) (p : Hw.Project.t) : run =
+let implement_result ?cache ?(app = "") ?tracer ?(config = default_config)
+    ?(faults = Faults.none) ?(attempt = 1) ?(relaxed = false)
+    (db : Pp.Database.t) (p : Hw.Project.t) : (run, failure) result =
+  (* Validate the whole configuration up front — before the syntax
+     check and before any simulated work. *)
+  validate_config config;
+  Faults.validate faults;
+  if attempt < 1 then invalid_arg "Flow.implement: attempt must be >= 1";
   let syntax_problems = Hw.Vhdl.check_syntax p.Hw.Project.vhdl in
   if syntax_problems <> [] then raise (Syntax_error syntax_problems);
-  if config.device_scale <= 0.0 || config.device_scale > 1.0 then
-    invalid_arg "Flow.implement: device_scale must be in (0, 1]";
   let scale = 1.0 -. config.speedup_factor in
   (* Constant stages scale with device capacity; map/PAR do not. *)
   let const_scale = scale *. config.device_scale in
@@ -167,7 +253,9 @@ let implement ?cache ?(app = "") ?tracer ?(config = default_config)
       (fun (stage, seconds) ->
         let s =
           match stage with
-          | Map | Place_and_route -> seconds *. scale
+          | Map | Place_and_route ->
+              seconds *. scale
+              *. (if relaxed then relaxed_map_par_penalty else 1.0)
           | _ -> seconds *. const_scale
         in
         { stage; seconds = s })
@@ -180,47 +268,87 @@ let implement ?cache ?(app = "") ?tracer ?(config = default_config)
         (Bitgen, bitgen);
       ]
   in
-  let total_seconds =
-    List.fold_left (fun acc s -> acc +. s.seconds) 0.0 stages
-  in
   let luts, _, _ = Hw.Project.area db p in
-  let frames = 4 + (luts / 128) in
-  let bitstream =
-    {
-      Bitstream.signature = p.Hw.Project.name;
-      size_bytes = frames * p.Hw.Project.device.Hw.Project.reconfig_frame_bytes;
-      frames;
-      luts;
-      generation_seconds = total_seconds;
-    }
+  (* Fault rolls, in stage order; the first hit aborts the attempt with
+     every stage up to and including the failing one billed. *)
+  let fault =
+    if not faults.Faults.enabled then None
+    else begin
+      let area_fraction = float_of_int luts /. 9_000.0 in
+      let rec scan elapsed = function
+        | [] -> None
+        | s :: rest -> (
+            let elapsed = elapsed +. s.seconds in
+            match
+              Faults.roll faults ~signature:p.Hw.Project.name
+                ~stage:(stage_name s.stage) ~attempt ~relaxed
+                ~complexity:area_fraction
+            with
+            | Some kind ->
+                Some
+                  {
+                    failed_stage = s.stage;
+                    fault = kind;
+                    wasted_seconds = elapsed;
+                    failed_attempt = attempt;
+                  }
+            | None -> scan elapsed rest)
+      in
+      scan 0.0 stages
+    end
   in
-  (match tracer with
-  | None -> ()
-  | Some t ->
-      (* One synthetic span per CAD stage, laid out back to back on the
-         simulated timeline starting "now".  The durations are the
-         modelled seconds, not wall-clock time. *)
-      let t0 = Jitise_util.Trace.now () in
-      ignore
-        (List.fold_left
-           (fun offset s ->
-             Jitise_util.Trace.add t ~cat:"cad-sim"
-               ~args:
-                 [
-                   ("project", p.Hw.Project.name);
-                   ("simulated_seconds", Printf.sprintf "%.2f" s.seconds);
-                 ]
-               ~name:("cad:" ^ stage_name s.stage)
-               ~ts:(t0 +. offset) ~dur:s.seconds ();
-             offset +. s.seconds)
-           0.0 stages));
-  let cache_hit =
-    match cache with
-    | None -> None
-    | Some c ->
-        Cache.note c ~app ~signature:p.Hw.Project.name ~bitstream
-  in
-  { project = p; stages; total_seconds; bitstream; cache_hit; syntax_problems = [] }
+  match fault with
+  | Some f ->
+      (* Bill only the stages that ran; never touch the cache. *)
+      let ran =
+        let rec take = function
+          | [] -> []
+          | s :: rest ->
+              if s.stage = f.failed_stage then [ s ] else s :: take rest
+        in
+        take stages
+      in
+      emit_spans tracer p ran ~failed:(Some f);
+      Error f
+  | None ->
+      let total_seconds =
+        List.fold_left (fun acc s -> acc +. s.seconds) 0.0 stages
+      in
+      let frames = 4 + (luts / 128) in
+      let bitstream =
+        Bitstream.make ~signature:p.Hw.Project.name
+          ~size_bytes:
+            (frames * p.Hw.Project.device.Hw.Project.reconfig_frame_bytes)
+          ~frames ~luts ~generation_seconds:total_seconds
+      in
+      emit_spans tracer p stages ~failed:None;
+      let cache_hit =
+        match cache with
+        | None -> None
+        | Some c ->
+            Cache.note c ~app ~signature:p.Hw.Project.name ~bitstream
+      in
+      Ok
+        {
+          project = p;
+          stages;
+          total_seconds;
+          bitstream;
+          cache_hit;
+          syntax_problems = [];
+          relaxed;
+        }
+
+(** {!implement_result} with fault injection disabled: always succeeds
+    (or raises {!Syntax_error} / [Invalid_argument], as documented
+    there). *)
+let implement ?cache ?app ?tracer ?config (db : Pp.Database.t)
+    (p : Hw.Project.t) : run =
+  match
+    implement_result ?cache ?app ?tracer ?config ~faults:Faults.none db p
+  with
+  | Ok run -> run
+  | Error _ -> assert false (* unreachable: faults disabled *)
 
 (** Seconds spent in a given stage of a run. *)
 let stage_seconds run stage =

@@ -128,7 +128,16 @@ let apply (m : Ir.Irmod.t) (selection : Ise.Select.scored list) : t =
       let block = Ir.Func.block f c.Ise.Candidate.block in
       (* DFG over the *original* module for the closure (original
          instruction ids are stable across the copy). *)
-      let orig_f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+      let orig_f =
+        match Ir.Irmod.find_func m c.Ise.Candidate.func with
+        | Some f -> f
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Adapt.apply: function %S (candidate %s) missing from the \
+                  original module"
+                 c.Ise.Candidate.func c.Ise.Candidate.signature)
+      in
       let orig_block = Ir.Func.block orig_f c.Ise.Candidate.block in
       let dfg = Ir.Dfg.of_block orig_f orig_block in
       let inputs = Ise.Candidate.external_input_regs dfg c.Ise.Candidate.nodes in

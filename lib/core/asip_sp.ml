@@ -21,13 +21,28 @@
     bitstream-cache accounting deterministic:
 
     - {!stage} does everything costly — search, estimation, selection,
-      VHDL generation and the simulated CAD flow — and is safe to run
-      for several applications concurrently (it never touches the
-      shared cache);
+      VHDL generation and the simulated CAD flow (including the full
+      per-candidate retry chain when fault injection is on) — and is
+      safe to run for several applications concurrently (it never
+      touches the shared cache);
     - {!finalize} replays the staged candidates against the (local or
       shared) bitstream cache {e in selection order} and aggregates the
       report.  Running finalization sequentially in a fixed application
       order makes parallel sweeps report-identical to serial ones.
+
+    {b Failure handling} (when [spec.faults] is enabled): every
+    candidate's CAD chain is governed by [spec.retry] — transient
+    failures are retried after an exponential backoff, a timing-closure
+    failure switches the retry to a relaxed resynthesis, and a chain
+    that exhausts its attempts or its per-candidate deadline degrades
+    gracefully: the next-best profitable candidate from the ranking is
+    promoted in its place, and if no alternate can be implemented the
+    instruction simply stays in software.  A whole-specialization
+    deadline bounds the total simulated time; candidates past it are
+    dropped (cache hits are still taken — they are free).  All of this
+    is deterministic in the fault seed, and fault chains are computed
+    in the parallel phase from per-candidate seeds, so the recovery
+    behaviour is identical however many domains run the sweep.
 
     {!run_spec} composes the two for the single-application case. *)
 
@@ -39,8 +54,31 @@ module Hw = Jitise_hwgen
 module Cad = Jitise_cad
 module U = Jitise_util
 
+(** Why a selected candidate was abandoned (left in software). *)
+type drop_reason =
+  | Retries_exhausted  (** every permitted CAD attempt failed *)
+  | Candidate_deadline  (** the per-candidate time budget ran out *)
+  | Specialization_deadline
+      (** the whole-specialization budget was already exhausted, so no
+          CAD attempt was even started *)
+
+let drop_reason_name = function
+  | Retries_exhausted -> "retries exhausted"
+  | Candidate_deadline -> "candidate deadline"
+  | Specialization_deadline -> "specialization deadline"
+
+(** How a slot in the selection came to be implemented. *)
+type outcome =
+  | Implemented  (** the originally selected candidate was built *)
+  | Promoted of {
+      from : Ise.Select.scored;  (** the candidate that failed *)
+      from_failure : Cad.Flow.failure;  (** its final failure *)
+    }
+      (** the originally selected candidate failed permanently and this
+          next-ranked alternate was built in its place *)
+
 type candidate_result = {
-  scored : Ise.Select.scored;
+  scored : Ise.Select.scored;  (** the candidate actually implemented *)
   vhdl_lines : int;
   c2v_seconds : float;
   run : Cad.Flow.run;
@@ -51,6 +89,28 @@ type candidate_result = {
           Section VI-A cross-application cache); [None] — a miss, the
           full CAD bill is paid *)
   total_seconds : float;  (** c2v + all CAD stages; 0 on a cache hit *)
+  attempts : int;
+      (** CAD attempts run to land this slot — successful and failed,
+          including a failed primary's when the slot was promoted; 0 on
+          a cache hit *)
+  failed_attempts : int;  (** failures among [attempts] *)
+  wasted_seconds : float;
+      (** simulated seconds burnt on failed attempts and backoffs on
+          the road to this result (0 when the first attempt succeeded) *)
+  outcome : outcome;
+}
+
+(** A selected candidate that could not be implemented at all: the
+    instruction stays in software. *)
+type dropped = {
+  drop_scored : Ise.Select.scored;
+  drop_reason : drop_reason;
+  drop_failure : Cad.Flow.failure option;
+      (** the final failure observed, [None] when dropped before any
+          attempt ran *)
+  drop_attempts : int;  (** attempts run at this slot (all failed) *)
+  drop_wasted_seconds : float;
+  drop_at_index : int;  (** position in the original selection order *)
 }
 
 type report = {
@@ -66,12 +126,25 @@ type report = {
   all_candidates : int;  (** identified before profitability filtering *)
   (* Hardware generation *)
   candidates : candidate_result list;
+      (** implemented slots, in selection order (a promoted slot sits
+          at its failed primary's position) *)
+  dropped : dropped list;  (** abandoned slots, in selection order *)
   const_seconds : float;   (** sum of constant-time stages (incl. C2V) *)
   map_seconds : float;
   par_seconds : float;
-  sum_seconds : float;     (** total ASIP-SP overhead *)
+  wasted_seconds : float;
+      (** simulated seconds burnt on failed CAD attempts and backoffs,
+          over implemented and dropped slots alike; 0 with faults off *)
+  sum_seconds : float;     (** total ASIP-SP overhead, including waste *)
+  total_attempts : int;    (** CAD attempts run (successes + failures) *)
+  failed_attempts : int;
+  degraded : int;          (** slots implemented via promotion *)
+  deadline_exceeded : bool;
+      (** the specialization deadline expired during this run *)
   (* Speedups *)
-  asip_ratio : Ise.Speedup.t;          (** with pruning + selection *)
+  asip_ratio : Ise.Speedup.t;
+      (** with pruning + selection, over the {e implemented} slots —
+          degradation lowers it *)
   asip_ratio_max : Ise.Speedup.t;      (** all MAXMISOs, no pruning *)
 }
 
@@ -108,21 +181,123 @@ let search_blocks (db : Pp.Database.t) (m : Ir.Irmod.t)
   in
   (candidates, selection)
 
+(** One CAD attempt of a candidate's retry chain. *)
+type attempt_info = {
+  att_number : int;  (** 1-based *)
+  att_relaxed : bool;  (** resynthesized with relaxed constraints *)
+  att_failure : Cad.Flow.failure option;  (** [None] = succeeded *)
+  att_backoff_seconds : float;
+      (** simulated cool-down after this (failed) attempt *)
+}
+
+(** A candidate's full retry chain, computed deterministically from the
+    fault seed: either the run that finally succeeded or the permanent
+    failure that ended it. *)
+type chain = {
+  ch_attempts : attempt_info list;  (** in order; last one decides *)
+  ch_result : (Cad.Flow.run, Cad.Flow.failure * drop_reason) result;
+}
+
+let chain_failed_attempts ch =
+  List.length (List.filter (fun a -> a.att_failure <> None) ch.ch_attempts)
+
+(** Simulated seconds burnt on the failed attempts and backoffs of a
+    chain (excludes the successful run itself and the C2V time). *)
+let chain_wasted_seconds ch =
+  List.fold_left
+    (fun acc a ->
+      match a.att_failure with
+      | None -> acc
+      | Some f -> acc +. f.Cad.Flow.wasted_seconds +. a.att_backoff_seconds)
+    0.0 ch.ch_attempts
+
+(* Run a candidate's CAD chain under the retry policy.  Pure in
+   (project, config, faults, policy): safe in the parallel phase.  The
+   candidate deadline covers C2V, failed attempts, backoffs and is
+   checked before starting another attempt. *)
+let build_chain ?tracer ~config ~faults ~(policy : U.Retry.policy) ~c2v db
+    (project : Hw.Project.t) : chain =
+  let key = project.Hw.Project.name in
+  let rec go attempt relaxed spent rev =
+    match
+      Cad.Flow.implement_result ?tracer ~config ~faults ~attempt ~relaxed db
+        project
+    with
+    | Ok run ->
+        let rev =
+          {
+            att_number = attempt;
+            att_relaxed = relaxed;
+            att_failure = None;
+            att_backoff_seconds = 0.0;
+          }
+          :: rev
+        in
+        { ch_attempts = List.rev rev; ch_result = Ok run }
+    | Error f ->
+        let stop reason backoff =
+          let rev =
+            {
+              att_number = attempt;
+              att_relaxed = relaxed;
+              att_failure = Some f;
+              att_backoff_seconds = backoff;
+            }
+            :: rev
+          in
+          { ch_attempts = List.rev rev; ch_result = Error (f, reason) }
+        in
+        if attempt >= policy.U.Retry.max_attempts then stop Retries_exhausted 0.0
+        else
+          let backoff = U.Retry.backoff_seconds policy ~key ~attempt in
+          let spent = spent +. f.Cad.Flow.wasted_seconds +. backoff in
+          let over_deadline =
+            match policy.U.Retry.candidate_deadline_seconds with
+            | Some d -> spent >= d
+            | None -> false
+          in
+          if over_deadline then stop Candidate_deadline backoff
+          else
+            let rev =
+              {
+                att_number = attempt;
+                att_relaxed = relaxed;
+                att_failure = Some f;
+                att_backoff_seconds = backoff;
+              }
+              :: rev
+            in
+            go (attempt + 1)
+              (relaxed || f.Cad.Flow.fault = Cad.Faults.Timing_failure)
+              spent rev
+  in
+  go 1 false c2v []
+
+(** One candidate staged for finalization: the CAD project, the
+    (speedup-scaled) C2V seconds and the precomputed retry chain. *)
+type staged_candidate = {
+  sc_scored : Ise.Select.scored;
+  sc_project : Hw.Project.t;
+  sc_c2v : float;
+  sc_chain : chain;
+}
+
 (** Output of the parallel-safe half of the process: everything up to
-    — but excluding — bitstream-cache accounting and report
-    aggregation. *)
+    — but excluding — bitstream-cache accounting, budget enforcement
+    and report aggregation. *)
 type staged = {
   stg_search_wall : float;
   stg_nopruning_wall : float;
   stg_pruning : Ise.Prune.selection;
   stg_all_candidates : int;
   stg_selection : Ise.Select.scored list;
+  stg_total_cycles : float;
   stg_asip_ratio : Ise.Speedup.t;
   stg_asip_ratio_max : Ise.Speedup.t;
-  stg_implemented :
-    (Ise.Select.scored * Hw.Project.t * float * Cad.Flow.run) list;
-      (** per selected candidate, in selection order: the CAD project,
-          the (speedup-scaled) C2V seconds and the simulated flow run *)
+  stg_candidates : staged_candidate list;  (** in selection order *)
+  stg_alternates : staged_candidate list;
+      (** promotion pool: profitable candidates the selection caps left
+          out, best first; empty when fault injection is off *)
 }
 
 (** Phase 1 + the per-candidate hardware generation, with no shared
@@ -170,9 +345,33 @@ let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
   let asip_ratio_max =
     Ise.Speedup.of_selection ~total_cycles selection_nopruning
   in
-  (* Phases 2 and 3 for every selected candidate.  The flow simulation
-     is deterministically seeded by the candidate signature, so the
-     parallel map commutes with the serial one. *)
+  (* Promotion pool (only needed when failures can demand it): rank the
+     same candidate set without the selection caps and keep whatever
+     the caps excluded, best first. *)
+  let alternates =
+    if not spec.Spec.faults.Cad.Faults.enabled then []
+    else
+      let unconstrained =
+        {
+          spec.Spec.select with
+          Ise.Select.max_candidates = None;
+          lut_budget = None;
+        }
+      in
+      let full =
+        Ise.Select.select ~config:unconstrained db m profile all_candidates
+      in
+      let key (s : Ise.Select.scored) =
+        let c = s.Ise.Select.candidate in
+        (c.Ise.Candidate.func, c.Ise.Candidate.block, c.Ise.Candidate.signature)
+      in
+      let chosen = List.map key selection in
+      List.filter (fun s -> not (List.mem (key s) chosen)) full
+  in
+  (* Phases 2 and 3 for every selected candidate (and staged alternate).
+     The flow simulation and its fault chain are deterministically
+     seeded by the candidate signature, so the parallel map commutes
+     with the serial one. *)
   let implemented =
     U.Pool.map ~jobs:spec.Spec.jobs
       (fun (s : Ise.Select.scored) ->
@@ -185,60 +384,223 @@ let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
             (fun () -> Hw.Project.create db dfg c)
         in
         let c2v = Cad.Flow.c2v_seconds project in
-        let run =
+        let c2v = c2v *. (1.0 -. spec.Spec.cad.Cad.Flow.speedup_factor) in
+        let chain =
           U.Trace.span tr ~cat:"cad"
             (lbl ("implement:" ^ c.Ise.Candidate.signature))
-            (fun () -> Cad.Flow.implement ?tracer:tr ~config:spec.Spec.cad db project)
+            (fun () ->
+              build_chain ?tracer:tr ~config:spec.Spec.cad
+                ~faults:spec.Spec.faults ~policy:spec.Spec.retry ~c2v db
+                project)
         in
-        let c2v = c2v *. (1.0 -. spec.Spec.cad.Cad.Flow.speedup_factor) in
-        (s, project, c2v, run))
-      selection
+        { sc_scored = s; sc_project = project; sc_c2v = c2v; sc_chain = chain })
+      (selection @ alternates)
   in
+  let n = List.length selection in
+  let stg_candidates = List.filteri (fun i _ -> i < n) implemented in
+  let stg_alternates = List.filteri (fun i _ -> i >= n) implemented in
   {
     stg_search_wall = search_wall;
     stg_nopruning_wall = nopruning_wall;
     stg_pruning = pruning;
     stg_all_candidates = List.length all_candidates;
     stg_selection = selection;
+    stg_total_cycles = total_cycles;
     stg_asip_ratio = asip_ratio;
     stg_asip_ratio_max = asip_ratio_max;
-    stg_implemented = implemented;
+    stg_candidates;
+    stg_alternates;
   }
+
+(* What finalization decides about one slot of the selection. *)
+type resolution =
+  | R_built of candidate_result
+  | R_no_budget
+  | R_failed of Cad.Flow.failure * drop_reason * int * float
+      (* final failure, reason, attempts run, wasted (incl. C2V) *)
 
 (** Replay the staged candidates against the bitstream cache (the
     shared one from [spec.cache] if present, a run-local one
     otherwise), in selection order, and aggregate the report.  Cheap
     and sequential: a sweep calls this once per application in a fixed
-    order so that local/shared hit attribution is deterministic. *)
+    order so that local/shared hit attribution is deterministic.
+
+    With faults enabled, this is also where recovery policy is applied:
+    the whole-specialization deadline is spent in selection order,
+    failed candidates consume promotion alternates, and — crucially for
+    the shared cache — a slot's bitstream is recorded only after its
+    chain {e succeeded}, so a failed run is never served to another
+    application. *)
 let finalize ?(spec = Spec.default) ~app (st : staged) : report =
+  let faults_on = spec.Spec.faults.Cad.Faults.enabled in
   let local : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let candidates =
-    List.map
-      (fun ((s : Ise.Select.scored), (project : Hw.Project.t), c2v, run) ->
-        let signature = s.Ise.Select.candidate.Ise.Candidate.signature in
-        let cache_hit =
-          match spec.Spec.cache with
-          | Some cache ->
-              Cad.Cache.note cache ~app ~signature
-                ~bitstream:run.Cad.Flow.bitstream
-          | None ->
-              if Hashtbl.mem local signature then Some Cad.Cache.Local
-              else begin
-                Hashtbl.replace local signature ();
-                None
-              end
-        in
-        let free = cache_hit <> None in
+  (* Probe: counts and attributes a hit, never inserts.  Record:
+     inserts after a successful build.  With faults off both collapse
+     into the single legacy [note] call. *)
+  let probe_hit signature bitstream =
+    match spec.Spec.cache with
+    | Some cache ->
+        if faults_on then Cad.Cache.find_hit cache ~app ~signature
+        else Cad.Cache.note cache ~app ~signature ~bitstream
+    | None ->
+        if Hashtbl.mem local signature then Some Cad.Cache.Local
+        else begin
+          if not faults_on then Hashtbl.replace local signature ();
+          None
+        end
+  in
+  let record_built signature bitstream =
+    if faults_on then
+      match spec.Spec.cache with
+      | Some cache ->
+          ignore (Cad.Cache.note cache ~app ~signature ~bitstream)
+      | None -> Hashtbl.replace local signature ()
+  in
+  let budget =
+    U.Retry.budget
+      (if faults_on then
+         spec.Spec.retry.U.Retry.specialization_deadline_seconds
+       else None)
+  in
+  (* Decide one staged candidate: cache hit (free, always allowed),
+     successful chain (billed against the budget, recorded in the
+     cache), or permanent failure (waste billed, nothing recorded). *)
+  let resolve (sc : staged_candidate) : resolution =
+    let s = sc.sc_scored in
+    let signature = s.Ise.Select.candidate.Ise.Candidate.signature in
+    let bitstream_of run = run.Cad.Flow.bitstream in
+    let mk_hit hit run =
+      R_built
         {
           scored = s;
-          vhdl_lines = project.Hw.Project.vhdl.Hw.Vhdl.lines;
-          c2v_seconds = (if free then 0.0 else c2v);
+          vhdl_lines = sc.sc_project.Hw.Project.vhdl.Hw.Vhdl.lines;
+          c2v_seconds = 0.0;
           run;
-          cache_hit;
-          total_seconds =
-            (if free then 0.0 else c2v +. run.Cad.Flow.total_seconds);
-        })
-      st.stg_implemented
+          cache_hit = Some hit;
+          total_seconds = 0.0;
+          attempts = 0;
+          failed_attempts = 0;
+          wasted_seconds = 0.0;
+          outcome = Implemented;
+        }
+    in
+    match sc.sc_chain.ch_result with
+    | Ok run -> (
+        match probe_hit signature (bitstream_of run) with
+        | Some hit -> mk_hit hit run
+        | None ->
+            if U.Retry.exhausted budget then R_no_budget
+            else begin
+              let wasted = chain_wasted_seconds sc.sc_chain in
+              let total = sc.sc_c2v +. run.Cad.Flow.total_seconds in
+              U.Retry.spend budget (total +. wasted);
+              record_built signature (bitstream_of run);
+              R_built
+                {
+                  scored = s;
+                  vhdl_lines = sc.sc_project.Hw.Project.vhdl.Hw.Vhdl.lines;
+                  c2v_seconds = sc.sc_c2v;
+                  run;
+                  cache_hit = None;
+                  total_seconds = total;
+                  attempts = List.length sc.sc_chain.ch_attempts;
+                  failed_attempts = chain_failed_attempts sc.sc_chain;
+                  wasted_seconds = wasted;
+                  outcome = Implemented;
+                }
+            end)
+    | Error (f, reason) ->
+        (* No cache probe: fault rolls are seeded by the signature
+           alone, so a permanently failing signature fails identically
+           in every application of the sweep and can never have been
+           recorded — the probe would be a guaranteed miss. *)
+        if U.Retry.exhausted budget then R_no_budget
+        else begin
+          let wasted = sc.sc_c2v +. chain_wasted_seconds sc.sc_chain in
+          U.Retry.spend budget wasted;
+          R_failed
+            (f, reason, List.length sc.sc_chain.ch_attempts, wasted)
+        end
+  in
+  (* Walk the selection in order, promoting alternates on permanent
+     failure.  Each alternate is consumed at most once. *)
+  let alternates = ref st.stg_alternates in
+  let take_alternate () =
+    match !alternates with
+    | [] -> None
+    | a :: rest ->
+        alternates := rest;
+        Some a
+  in
+  let results =
+    List.mapi
+      (fun idx (sc : staged_candidate) ->
+        match resolve sc with
+        | R_built c -> Either.Left c
+        | R_no_budget ->
+            Either.Right
+              {
+                drop_scored = sc.sc_scored;
+                drop_reason = Specialization_deadline;
+                drop_failure = None;
+                drop_attempts = 0;
+                drop_wasted_seconds = 0.0;
+                drop_at_index = idx;
+              }
+        | R_failed (f, reason, n_att, wasted_p) ->
+            (* Degradation ladder, last rung: promote the next-ranked
+               profitable candidate; failing that, stay in software. *)
+            let rec promote extra_att extra_failed extra_wasted =
+              match take_alternate () with
+              | None ->
+                  Either.Right
+                    {
+                      drop_scored = sc.sc_scored;
+                      drop_reason = reason;
+                      drop_failure = Some f;
+                      drop_attempts = n_att + extra_att;
+                      drop_wasted_seconds = wasted_p +. extra_wasted;
+                      drop_at_index = idx;
+                    }
+              | Some alt -> (
+                  match resolve alt with
+                  | R_built c ->
+                      Either.Left
+                        {
+                          c with
+                          attempts = c.attempts + n_att + extra_att;
+                          failed_attempts =
+                            c.failed_attempts + n_att + extra_failed;
+                          wasted_seconds =
+                            c.wasted_seconds +. wasted_p +. extra_wasted;
+                          outcome = Promoted { from = sc.sc_scored; from_failure = f };
+                        }
+                  | R_no_budget ->
+                      Either.Right
+                        {
+                          drop_scored = sc.sc_scored;
+                          drop_reason = reason;
+                          drop_failure = Some f;
+                          drop_attempts = n_att + extra_att;
+                          drop_wasted_seconds = wasted_p +. extra_wasted;
+                          drop_at_index = idx;
+                        }
+                  | R_failed (_, _, a_att, a_wasted) ->
+                      promote (extra_att + a_att) (extra_failed + a_att)
+                        (extra_wasted +. a_wasted))
+            in
+            promote 0 0 0.0)
+      st.stg_candidates
+  in
+  let candidates =
+    List.filter_map
+      (function Either.Left c -> Some c | Either.Right _ -> None)
+      results
+  in
+  let dropped =
+    List.filter_map
+      (function Either.Right d -> Some d | Either.Left _ -> None)
+      results
   in
   let sum get =
     List.fold_left
@@ -252,10 +614,48 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
   let par_seconds =
     sum (fun c -> Cad.Flow.stage_seconds c.run Cad.Flow.Place_and_route)
   in
+  let wasted_seconds =
+    List.fold_left
+      (fun acc (c : candidate_result) -> acc +. c.wasted_seconds)
+      0.0 candidates
+    +. List.fold_left (fun acc d -> acc +. d.drop_wasted_seconds) 0.0 dropped
+  in
+  let total_attempts =
+    List.fold_left
+      (fun acc (c : candidate_result) -> acc + c.attempts)
+      0 candidates
+    + List.fold_left (fun acc d -> acc + d.drop_attempts) 0 dropped
+  in
+  let failed_attempts =
+    List.fold_left
+      (fun acc (c : candidate_result) -> acc + c.failed_attempts)
+      0 candidates
+    + List.fold_left (fun acc d -> acc + d.drop_attempts) 0 dropped
+  in
+  let degraded =
+    List.length
+      (List.filter
+         (fun c -> match c.outcome with Promoted _ -> true | _ -> false)
+         candidates)
+  in
+  let deadline_exceeded =
+    U.Retry.exhausted budget
+    || List.exists (fun d -> d.drop_reason = Specialization_deadline) dropped
+  in
   let pruning_efficiency =
     let safe x = Float.max x 1e-9 in
     st.stg_asip_ratio.Ise.Speedup.ratio /. safe st.stg_search_wall
     /. (st.stg_asip_ratio_max.Ise.Speedup.ratio /. safe st.stg_nopruning_wall)
+  in
+  (* Degradation changes what is actually in hardware; recompute the
+     speedup over the implemented slots.  With faults off the
+     implemented list IS the selection, so keep the staged value (and
+     its bit-exact floats). *)
+  let asip_ratio =
+    if faults_on then
+      Ise.Speedup.of_selection ~total_cycles:st.stg_total_cycles
+        (List.map (fun c -> c.scored) candidates)
+    else st.stg_asip_ratio
   in
   {
     search_wall_seconds = st.stg_search_wall;
@@ -267,11 +667,17 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
     selection = st.stg_selection;
     all_candidates = st.stg_all_candidates;
     candidates;
+    dropped;
     const_seconds;
     map_seconds;
     par_seconds;
-    sum_seconds = const_seconds +. map_seconds +. par_seconds;
-    asip_ratio = st.stg_asip_ratio;
+    wasted_seconds;
+    sum_seconds = const_seconds +. map_seconds +. par_seconds +. wasted_seconds;
+    total_attempts;
+    failed_attempts;
+    degraded;
+    deadline_exceeded;
+    asip_ratio;
     asip_ratio_max = st.stg_asip_ratio_max;
   }
 
@@ -279,7 +685,8 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
 
     @param spec the unified pipeline configuration ({!Spec.default}
     reproduces the paper's setup: [@50pS3L] pruning, default selection
-    constraints, EAPR CAD flow, serial, run-local cache)
+    constraints, EAPR CAD flow, serial, run-local cache, no fault
+    injection)
     @param app application name for cache attribution and trace labels
     (defaults to the module name)
     @param total_cycles native cycles of the profiling run, for the

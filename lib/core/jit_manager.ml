@@ -21,7 +21,12 @@
       break even     when cumulative work of the JIT system equals the
                      plain system's  (equivalently: lost time T_rc is
                      amortized and the head start overcome)
-    v} *)
+    v}
+
+    When the report carries failures (fault injection was on), the
+    timeline also shows the recovery machinery at work: retry storms,
+    candidates promoted after a permanent failure, and candidates
+    abandoned to software. *)
 
 module Ir = Jitise_ir
 module Vm = Jitise_vm
@@ -47,35 +52,103 @@ type timeline = {
 }
 
 (** Simulate the concurrent-specialization timeline for a profiled
-    module.  [report] must come from {!Asip_sp.run} on the same
-    profile. *)
-let timeline ?(arch = Wool.Arch.default) (report : Asip_sp.report) : timeline =
+    module.  [report] must come from {!Asip_sp.run_spec} on the same
+    profile.
+
+    [jobs] is the number of concurrent CAD tool-flow instances on the
+    host machine (default 1).  Candidates are dispatched greedily to
+    the earliest-free instance in selection order, so
+    [specialization_seconds] is the {e makespan} of that schedule —
+    with [jobs = 1] it degenerates to the sequential sum the paper
+    assumes.  Note this models host-side CAD parallelism only: the
+    candidate search is not parallelized here, and the dispatch order
+    is fixed, so the model is an upper bound on what a smarter
+    scheduler could do with the same job count. *)
+let timeline ?(arch = Wool.Arch.default) ?(jobs = 1)
+    (report : Asip_sp.report) : timeline =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Jit_manager.timeline: jobs must be >= 1 (got %d)" jobs);
   let events = ref [] in
   let emit at_seconds fmt =
     Printf.ksprintf (fun what -> events := { at_seconds; what } :: !events) fmt
+  in
+  let sig_of (s : Ise.Select.scored) =
+    s.Ise.Select.candidate.Ise.Candidate.signature
   in
   emit 0.0 "profiling complete; candidate search starts";
   emit (report.Asip_sp.search_wall_seconds)
     "candidate search done: %d candidates selected"
     (List.length report.Asip_sp.selection);
-  (* CAD runs sequentially per candidate on the host machine. *)
-  let t = ref report.Asip_sp.search_wall_seconds in
+  (* [jobs] CAD flows run on the host machine; every lane becomes free
+     when the search completes. *)
+  let lanes = Array.make jobs report.Asip_sp.search_wall_seconds in
+  let earliest_lane () =
+    let best = ref 0 in
+    Array.iteri (fun i t -> if t < lanes.(!best) then best := i) lanes;
+    !best
+  in
+  (* Slots in original selection order: each position holds either an
+     implemented candidate or a dropped one. *)
+  let drops_at = Hashtbl.create 8 in
   List.iter
-    (fun (c : Asip_sp.candidate_result) ->
-      match c.Asip_sp.cache_hit with
-      | Some kind ->
-          emit !t "%s: bitstream cache hit (%s)"
-            c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
-            (Cad.Cache.hit_name kind)
-      | None ->
-          t := !t +. c.Asip_sp.total_seconds;
-          emit !t "%s: bitstream ready (map %.0f s, par %.0f s, bitgen %.0f s)"
-            c.Asip_sp.scored.Ise.Select.candidate.Ise.Candidate.signature
-            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Map)
-            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Place_and_route)
-            (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Bitgen))
-    report.Asip_sp.candidates;
-  let specialization_seconds = !t in
+    (fun (d : Asip_sp.dropped) ->
+      Hashtbl.replace drops_at d.Asip_sp.drop_at_index d)
+    report.Asip_sp.dropped;
+  let remaining = ref report.Asip_sp.candidates in
+  for idx = 0 to List.length report.Asip_sp.selection - 1 do
+    match Hashtbl.find_opt drops_at idx with
+    | Some d ->
+        (* Abandoned: the failed attempts still occupied a CAD lane. *)
+        let lane = earliest_lane () in
+        let t1 = lanes.(lane) +. d.Asip_sp.drop_wasted_seconds in
+        lanes.(lane) <- t1;
+        emit t1 "%s: abandoned (%s, %d failed attempt(s)); staying in software"
+          (sig_of d.Asip_sp.drop_scored)
+          (Asip_sp.drop_reason_name d.Asip_sp.drop_reason)
+          d.Asip_sp.drop_attempts
+    | None -> (
+        match !remaining with
+        | [] -> ()
+        | c :: rest -> (
+            remaining := rest;
+            match c.Asip_sp.cache_hit with
+            | Some kind ->
+                emit
+                  lanes.(earliest_lane ())
+                  "%s: bitstream cache hit (%s)"
+                  (sig_of c.Asip_sp.scored) (Cad.Cache.hit_name kind)
+            | None ->
+                let lane = earliest_lane () in
+                let t0 = lanes.(lane) in
+                (match c.Asip_sp.outcome with
+                | Asip_sp.Promoted { from; from_failure } ->
+                    emit
+                      (t0 +. c.Asip_sp.wasted_seconds)
+                      "%s: permanent CAD failure (%s); promoting %s"
+                      (sig_of from)
+                      (Format.asprintf "%a" Cad.Flow.pp_failure from_failure)
+                      (sig_of c.Asip_sp.scored)
+                | Asip_sp.Implemented ->
+                    if c.Asip_sp.failed_attempts > 0 then
+                      emit
+                        (t0 +. c.Asip_sp.wasted_seconds)
+                        "%s: recovered after %d failed attempt(s) (%.0f s \
+                         wasted incl. backoff)"
+                        (sig_of c.Asip_sp.scored) c.Asip_sp.failed_attempts
+                        c.Asip_sp.wasted_seconds);
+                let t1 =
+                  t0 +. c.Asip_sp.wasted_seconds +. c.Asip_sp.total_seconds
+                in
+                lanes.(lane) <- t1;
+                emit t1
+                  "%s: bitstream ready (map %.0f s, par %.0f s, bitgen %.0f s)"
+                  (sig_of c.Asip_sp.scored)
+                  (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Map)
+                  (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Place_and_route)
+                  (Cad.Flow.stage_seconds c.Asip_sp.run Cad.Flow.Bitgen)))
+  done;
+  let specialization_seconds = Array.fold_left Float.max 0.0 lanes in
   (* Reconfigure every bitstream into the UDI slots. *)
   let asip = Wool.Asip.create ~arch () in
   List.iter
@@ -110,7 +183,10 @@ let timeline ?(arch = Wool.Arch.default) (report : Asip_sp.report) : timeline =
       emit t_star "JIT system overtakes the plain-CPU system"
   | None -> emit t_ready "no net speedup: the plain CPU is never overtaken");
   {
-    events = List.rev !events;
+    events =
+      List.stable_sort
+        (fun a b -> compare a.at_seconds b.at_seconds)
+        (List.rev !events);
     specialization_seconds;
     reconfiguration_seconds;
     speedup;

@@ -37,6 +37,13 @@ type t = {
   tracer : U.Trace.t option;
       (** when set, every pipeline stage records a span; export with
           {!U.Trace.write} *)
+  faults : Cad.Faults.config;
+      (** CAD fault-injection model; {!Cad.Faults.none} (the default)
+          reproduces the failure-free flow byte for byte *)
+  retry : U.Retry.policy;
+      (** recovery policy for injected CAD failures: attempts, backoff,
+          per-candidate and whole-specialization deadlines.  Only
+          consulted when [faults] is enabled. *)
 }
 
 let default =
@@ -47,6 +54,8 @@ let default =
     jobs = 1;
     cache = None;
     tracer = None;
+    faults = Cad.Faults.none;
+    retry = U.Retry.default;
   }
 
 let with_prune prune t = { t with prune }
@@ -60,6 +69,14 @@ let with_jobs jobs t =
 
 let with_cache cache t = { t with cache = Some cache }
 let with_tracer tracer t = { t with tracer = Some tracer }
+
+let with_faults faults t =
+  Cad.Faults.validate faults;
+  { t with faults }
+
+let with_retry retry t =
+  U.Retry.validate retry;
+  { t with retry }
 
 (** Bridge for the deprecated optional-argument entry points: fold the
     old scattered arguments into a spec, defaulting each to

@@ -160,6 +160,9 @@ type table2_row = {
   blocks : int;       (** blocks passed to identification *)
   instrs : int;       (** instructions passed to identification *)
   candidates : int;
+  attempts : int;       (** CAD attempts run (successes + failures) *)
+  failures : int;       (** failed CAD attempts *)
+  degradations : int;   (** slots promoted or abandoned *)
   asip_ratio : float;  (** after pruning + selection *)
   const_seconds : float;
   map_seconds : float;
@@ -178,6 +181,9 @@ let table2_row (r : Experiment.app_result) : table2_row =
     blocks = rep.Asip_sp.searched_blocks;
     instrs = rep.Asip_sp.searched_instrs;
     candidates = List.length rep.Asip_sp.selection;
+    attempts = rep.Asip_sp.total_attempts;
+    failures = rep.Asip_sp.failed_attempts;
+    degradations = rep.Asip_sp.degraded + List.length rep.Asip_sp.dropped;
     asip_ratio = rep.Asip_sp.asip_ratio.Ise.Speedup.ratio;
     const_seconds = rep.Asip_sp.const_seconds;
     map_seconds = rep.Asip_sp.map_seconds;
@@ -192,41 +198,47 @@ let break_even_seconds = function
   | An.Breakeven.Never -> Float.infinity
   | An.Breakeven.After s -> s
 
-let table2_fields (r : table2_row) =
-  [
-    r.search_ms; r.pruner_efficiency; float_of_int r.blocks;
-    float_of_int r.instrs; float_of_int r.candidates; r.asip_ratio;
-    r.const_seconds; r.map_seconds; r.par_seconds; r.sum_seconds;
-    (match r.break_even with
-    | An.Breakeven.Never -> Float.nan
-    | An.Breakeven.After s -> s);
-  ]
+(** Numeric columns of a Table II row.  [faults] adds the attempts /
+    failures / degradations columns (after "can"); leave it unset to
+    reproduce the paper's exact layout. *)
+let table2_fields ?(faults = false) (r : table2_row) =
+  [ r.search_ms; r.pruner_efficiency; float_of_int r.blocks;
+    float_of_int r.instrs; float_of_int r.candidates ]
+  @ (if faults then
+       [ float_of_int r.attempts; float_of_int r.failures;
+         float_of_int r.degradations ]
+     else [])
+  @ [
+      r.asip_ratio; r.const_seconds; r.map_seconds; r.par_seconds;
+      r.sum_seconds;
+      (match r.break_even with
+      | An.Breakeven.Never -> Float.nan
+      | An.Breakeven.After s -> s);
+    ]
 
-let render_table2 rows =
+let render_table2 ?(faults = false) rows =
+  let count = fun v -> Printf.sprintf "%.0f" v in
+  let frac = fun v -> Printf.sprintf "%.2f" v in
+  let fault_headers = if faults then [ "att"; "fail"; "deg" ] else [] in
   let t =
     U.Texttable.create
       ~headers:
-        [
-          "App"; "real[ms]"; "effic"; "blk"; "ins"; "can"; "ratio";
-          "const"; "map"; "par"; "sum"; "break even";
-        ]
+        ([ "App"; "real[ms]"; "effic"; "blk"; "ins"; "can" ]
+        @ fault_headers
+        @ [ "ratio"; "const"; "map"; "par"; "sum"; "break even" ])
   in
   let dur v = if Float.is_nan v then "-" else U.Duration.to_min_sec v in
   let be v = if Float.is_nan v then "never" else U.Duration.to_dhms v in
+  let fault_fmt = if faults then [ count; count; count ] else [] in
   let fmt =
-    [
-      (fun v -> Printf.sprintf "%.2f" v);
-      (fun v -> Printf.sprintf "%.2f" v);
-      (fun v -> Printf.sprintf "%.0f" v);
-      (fun v -> Printf.sprintf "%.0f" v);
-      (fun v -> Printf.sprintf "%.0f" v);
-      (fun v -> Printf.sprintf "%.2f" v);
-      dur; dur; dur; dur; be;
-    ]
+    [ frac; frac; count; count; count ]
+    @ fault_fmt
+    @ [ frac; dur; dur; dur; dur; be ]
   in
   let emit name fields =
     U.Texttable.add_row t (name :: List.map2 (fun f v -> f v) fmt fields)
   in
+  let table2_fields = table2_fields ~faults in
   List.iter
     (fun r ->
       if r.domain = W.Workload.Scientific then emit r.name (table2_fields r))
@@ -245,24 +257,14 @@ let render_table2 rows =
   U.Texttable.add_separator t;
   emit_opt "AVG-E" avg_e;
   if ratio <> [] then
-  U.Texttable.add_row t
-    ("RATIO"
-    :: List.map2
-         (fun f v -> f v)
-         [
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.2f" v);
-           (fun v -> Printf.sprintf "%.0f" v);
-         ]
-         ratio);
+    U.Texttable.add_row t
+      ("RATIO"
+      :: List.map2
+           (fun f v -> f v)
+           ([ frac; frac; frac; frac; frac ]
+           @ (if faults then [ frac; frac; frac ] else [])
+           @ [ frac; frac; frac; frac; frac; count ])
+           ratio);
   U.Texttable.render t
 
 (* ------------------------------------------------------------------ *)

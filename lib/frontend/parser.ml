@@ -171,7 +171,13 @@ let rec parse_stmt st : Ast.stmt =
   let l = line st in
   match peek_kind st with
   | Token.Kw_int | Token.Kw_long | Token.Kw_float | Token.Kw_double ->
-      let ty = Option.get (base_ty_of_kind (peek_kind st)) in
+      let ty =
+        match base_ty_of_kind (peek_kind st) with
+        | Some ty -> ty
+        | None ->
+            error (line st) "%S is not a base type keyword"
+              (Token.kind_to_string (peek_kind st))
+      in
       ignore (advance st);
       let name = expect_ident st in
       let init =

@@ -347,7 +347,13 @@ let parse_block st header : Block.t * int (* max reg id seen *) =
         end
         else error (lineno st) "unexpected line in block: %S" s
   done;
-  let term = Option.get !term in
+  let term =
+    match !term with
+    | Some t -> t
+    | None ->
+        error (lineno st) "block %d (%S) has no terminator (br/jmp/ret)" label
+          name
+  in
   let block = Block.create ~label ~name ~term in
   Block.set_instrs block (List.rev !instrs);
   (block, !max_reg)

@@ -1,0 +1,62 @@
+(** Retry and deadline policies for failure-prone simulated stages.
+
+    The CAD flow simulator can inject per-stage failures (see
+    [Jitise_cad.Faults]); this module provides the {e recovery} side: how
+    many attempts a candidate gets, how long to back off between attempts
+    (exponential with deterministic jitter, in {e simulated} seconds —
+    real CAD servers impose cool-down and queueing delays between
+    resubmissions), and how much total simulated time a single candidate
+    or a whole specialization run may burn before giving up.
+
+    Everything is deterministic: jitter is drawn from a [Prng] seeded by
+    the caller-supplied key and attempt number, so a parallel sweep
+    replays the exact backoff schedule of a serial one. *)
+
+type policy = {
+  max_attempts : int;
+      (** CAD attempts per data path (>= 1); attempt 1 is the initial
+          run, attempts 2.. are retries *)
+  backoff_seconds : float;
+      (** simulated cool-down after the first failed attempt *)
+  backoff_multiplier : float;
+      (** exponential growth factor applied per further failure *)
+  jitter : float;
+      (** uniform jitter as a fraction of the backoff, in [0, 1);
+          desynchronizes retry storms without losing determinism *)
+  candidate_deadline_seconds : float option;
+      (** simulated-time budget for one data path (attempts + backoffs);
+          [None] = unbounded *)
+  specialization_deadline_seconds : float option;
+      (** simulated-time budget for a whole specialization run, spent in
+          selection order; [None] = unbounded *)
+}
+
+val default : policy
+(** 3 attempts, 30 s base backoff doubling per failure with 25 % jitter,
+    no deadlines. *)
+
+val validate : policy -> unit
+(** @raise Invalid_argument on a non-positive attempt count, negative
+    backoff/jitter, or a non-positive deadline. *)
+
+val with_max_attempts : int -> policy -> policy
+val with_candidate_deadline : float option -> policy -> policy
+val with_specialization_deadline : float option -> policy -> policy
+
+val backoff_seconds : policy -> key:string -> attempt:int -> float
+(** [backoff_seconds p ~key ~attempt] is the simulated cool-down after
+    failed attempt [attempt] (1-based) of the data path identified by
+    [key].  Exponential in [attempt] with deterministic jitter: equal
+    [(key, attempt)] pairs always produce equal backoffs. *)
+
+(** A mutable simulated-seconds budget (e.g. the whole-specialization
+    deadline).  An unbounded budget never exhausts. *)
+type budget
+
+val budget : float option -> budget
+
+val spend : budget -> float -> unit
+(** Deduct; clamps at zero. *)
+
+val exhausted : budget -> bool
+val remaining : budget -> float option

@@ -33,6 +33,13 @@ let create ?(arch = Arch.default) () =
     evictions = 0;
   }
 
+exception Corrupt_bitstream of string
+(** Raised by {!load} when a bitstream fails its integrity check
+    (checksum mismatch — see [Cad.Bitstream.well_formed]).  The
+    reconfiguration controller refuses to configure fabric from a
+    corrupt image; the JIT manager treats this like any other CAD
+    failure and falls back to software execution. *)
+
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
@@ -50,8 +57,12 @@ let find t signature =
 
 (** Ensure [bitstream] is loaded; reconfigures (evicting the LRU slot if
     full) unless it is already resident.  Returns the slot index and
-    whether a reconfiguration happened. *)
+    whether a reconfiguration happened.
+    @raise Corrupt_bitstream when the image fails its checksum check
+    @raise Invalid_argument when the image exceeds the slot capacity *)
 let load t (bitstream : Cad.Bitstream.t) =
+  if not (Cad.Bitstream.well_formed bitstream) then
+    raise (Corrupt_bitstream bitstream.Cad.Bitstream.signature);
   let now = tick t in
   match find t bitstream.Cad.Bitstream.signature with
   | Some idx ->

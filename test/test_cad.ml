@@ -285,6 +285,195 @@ let test_flow_tracer_spans () =
       | None -> Alcotest.failf "no span named %s" name)
     run.Cad.Flow.stages
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every stage crashes: the very first attempt fails at Check_syntax. *)
+let always_crash = { (Cad.Faults.defaults ~seed:0) with Cad.Faults.crash_rate = 1.0 }
+
+let only_timing ~seed =
+  {
+    (Cad.Faults.defaults ~seed) with
+    Cad.Faults.crash_rate = 0.0;
+    congestion_rate = 0.0;
+    timing_rate = 1.0;
+    corruption_rate = 0.0;
+  }
+
+let test_faults_disabled_is_noop () =
+  let p = List.hd (Lazy.force projects) in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        ("no roll at " ^ stage) true
+        (Cad.Faults.roll Cad.Faults.none ~signature:"s" ~stage ~attempt:1
+           ~relaxed:false ~complexity:1.0
+        = None))
+    [ "syn"; "xst"; "tra"; "map"; "par"; "bitgen" ];
+  match Cad.Flow.implement_result ~faults:Cad.Faults.none db p with
+  | Ok run ->
+      Alcotest.(check (float 1e-9)) "same run as implement"
+        (implement p).Cad.Flow.total_seconds run.Cad.Flow.total_seconds
+  | Error _ -> Alcotest.fail "faults disabled must not fail"
+
+let test_faults_roll_deterministic () =
+  let c = Cad.Faults.defaults ~seed:42 in
+  let roll () =
+    List.map
+      (fun (stage, attempt) ->
+        Cad.Faults.roll c ~signature:"ci_abc" ~stage ~attempt ~relaxed:false
+          ~complexity:0.8)
+      [ ("syn", 1); ("map", 1); ("par", 1); ("bitgen", 1); ("par", 2) ]
+  in
+  Alcotest.(check bool) "same tuple, same outcome" true (roll () = roll ());
+  (* With defaults, a large population of signatures must show both
+     outcomes: some failing rolls and mostly clean ones. *)
+  let outcomes =
+    List.init 400 (fun i ->
+        Cad.Faults.roll c
+          ~signature:(Printf.sprintf "ci_%d" i)
+          ~stage:"par" ~attempt:1 ~relaxed:false ~complexity:0.8)
+  in
+  let failures = List.length (List.filter (( <> ) None) outcomes) in
+  Alcotest.(check bool) "some failures injected" true (failures > 10);
+  Alcotest.(check bool) "most runs clean" true (failures < 200)
+
+let test_faults_relaxed_skips_timing () =
+  (* Find a seed whose timing roll fails PAR, then check the relaxed
+     resynthesis of the same attempt cannot fail that way. *)
+  let seed =
+    let rec find s =
+      if s > 500 then Alcotest.fail "no timing failure in 500 seeds"
+      else
+        match
+          Cad.Faults.roll (only_timing ~seed:s) ~signature:"ci_t" ~stage:"par"
+            ~attempt:1 ~relaxed:false ~complexity:1.0
+        with
+        | Some Cad.Faults.Timing_failure -> s
+        | _ -> find (s + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "relaxed attempt skips the timing roll" true
+    (Cad.Faults.roll (only_timing ~seed) ~signature:"ci_t" ~stage:"par"
+       ~attempt:1 ~relaxed:true ~complexity:1.0
+    = None)
+
+let test_validation_before_syntax_check () =
+  (* Config validation must run before the VHDL syntax check, and both
+     speedup_factor and device_scale are validated. *)
+  let p = List.hd (Lazy.force projects) in
+  let broken =
+    { p with Hw.Project.vhdl = { p.Hw.Project.vhdl with Hw.Vhdl.source = "x" } }
+  in
+  let rejected config =
+    try
+      ignore (implement ~config broken);
+      `No_error
+    with
+    | Invalid_argument _ -> `Invalid_argument
+    | Cad.Flow.Syntax_error _ -> `Syntax_error
+  in
+  Alcotest.(check bool) "bad device_scale beats syntax error" true
+    (rejected { Cad.Flow.default_config with Cad.Flow.device_scale = 0.0 }
+    = `Invalid_argument);
+  Alcotest.(check bool) "bad speedup_factor beats syntax error" true
+    (rejected { Cad.Flow.default_config with Cad.Flow.speedup_factor = 1.0 }
+    = `Invalid_argument);
+  Alcotest.(check bool) "negative speedup_factor rejected" true
+    (rejected { Cad.Flow.default_config with Cad.Flow.speedup_factor = -0.1 }
+    = `Invalid_argument);
+  (* the documented top of the range is accepted *)
+  ignore
+    (implement
+       ~config:{ Cad.Flow.default_config with Cad.Flow.speedup_factor = 0.99 }
+       p)
+
+let test_implement_result_failure () =
+  let p = List.hd (Lazy.force projects) in
+  match Cad.Flow.implement_result ~faults:always_crash db p with
+  | Ok _ -> Alcotest.fail "crash_rate 1.0 must fail"
+  | Error f ->
+      Alcotest.(check bool) "fails at the first stage" true
+        (f.Cad.Flow.failed_stage = Cad.Flow.Check_syntax);
+      Alcotest.(check bool) "transient kind" true
+        (Cad.Faults.is_transient f.Cad.Flow.fault);
+      Alcotest.(check int) "attempt recorded" 1 f.Cad.Flow.failed_attempt;
+      let clean = implement p in
+      Alcotest.(check bool) "waste is positive and partial" true
+        (f.Cad.Flow.wasted_seconds > 0.0
+        && f.Cad.Flow.wasted_seconds < clean.Cad.Flow.total_seconds)
+
+let test_relaxed_run_costs_more () =
+  let p = List.hd (Lazy.force projects) in
+  let plain = implement p in
+  match Cad.Flow.implement_result ~relaxed:true db p with
+  | Error _ -> Alcotest.fail "no faults, no failure"
+  | Ok relaxed ->
+      let s r stage = Cad.Flow.stage_seconds r stage in
+      Alcotest.(check (float 1e-6)) "map costs 15 % extra"
+        (1.15 *. s plain Cad.Flow.Map)
+        (s relaxed Cad.Flow.Map);
+      Alcotest.(check (float 1e-6)) "par costs 15 % extra"
+        (1.15 *. s plain Cad.Flow.Place_and_route)
+        (s relaxed Cad.Flow.Place_and_route);
+      Alcotest.(check (float 1e-9)) "constants unchanged"
+        (Cad.Flow.constant_seconds plain)
+        (Cad.Flow.constant_seconds relaxed);
+      Alcotest.(check bool) "flagged as relaxed" true relaxed.Cad.Flow.relaxed
+
+let test_bitstream_integrity () =
+  let p = List.hd (Lazy.force projects) in
+  let b = (implement p).Cad.Flow.bitstream in
+  Alcotest.(check bool) "generated bitstreams are well-formed" true
+    (Cad.Bitstream.well_formed b);
+  Alcotest.(check bool) "corruption detected" false
+    (Cad.Bitstream.well_formed (Cad.Bitstream.corrupt b));
+  Alcotest.(check bool) "pp marks corruption" true
+    (let s =
+       Format.asprintf "%a" Cad.Bitstream.pp (Cad.Bitstream.corrupt b)
+     in
+     String.length s >= 9 && String.sub s (String.length s - 9) 9 = "[CORRUPT]")
+
+let test_cache_find_hit_probe () =
+  let cache = Cad.Cache.create () in
+  let p = List.hd (Lazy.force projects) in
+  let signature = p.Hw.Project.name in
+  let b = (implement p).Cad.Flow.bitstream in
+  Alcotest.check hit_opt "probe misses on empty cache" None
+    (Cad.Cache.find_hit cache ~app:"alpha" ~signature);
+  (* crucially, the probe did NOT insert: a subsequent note still
+     reports a miss and becomes the builder *)
+  Alcotest.check hit_opt "note after probe is still a miss" None
+    (Cad.Cache.note cache ~app:"alpha" ~signature ~bitstream:b);
+  Alcotest.check hit_opt "probe hits locally" (Some Cad.Cache.Local)
+    (Cad.Cache.find_hit cache ~app:"alpha" ~signature);
+  Alcotest.check hit_opt "probe hits shared" (Some Cad.Cache.Shared)
+    (Cad.Cache.find_hit cache ~app:"beta" ~signature);
+  let s = Cad.Cache.stats cache in
+  Alcotest.(check int) "probe hits counted" 1 s.Cad.Cache.local_hits;
+  Alcotest.(check int) "probe hits attributed" 1 s.Cad.Cache.shared_hits
+
+let test_cache_not_poisoned_by_failure () =
+  let cache = Cad.Cache.create () in
+  let p = List.hd (Lazy.force projects) in
+  (match Cad.Flow.implement_result ~cache ~app:"alpha" ~faults:always_crash db p with
+  | Ok _ -> Alcotest.fail "crash_rate 1.0 must fail"
+  | Error _ -> ());
+  Alcotest.(check int) "failed run not recorded" 0
+    (Cad.Cache.stats cache).Cad.Cache.entries;
+  Alcotest.check
+    Alcotest.(option string)
+    "failed signature not served" None
+    (Option.map
+       (fun (b : Cad.Bitstream.t) -> b.Cad.Bitstream.signature)
+       (Cad.Cache.find cache p.Hw.Project.name));
+  (* a later clean build does get recorded *)
+  ignore (implement ~cache ~app:"beta" p);
+  Alcotest.(check int) "clean run recorded" 1
+    (Cad.Cache.stats cache).Cad.Cache.entries
+
 let () =
   Alcotest.run "cad"
     [
@@ -314,5 +503,25 @@ let () =
           Alcotest.test_case "flow integration" `Quick
             test_flow_cache_integration;
           Alcotest.test_case "tracer spans" `Quick test_flow_tracer_spans;
+          Alcotest.test_case "find_hit probe" `Quick test_cache_find_hit_probe;
+          Alcotest.test_case "never poisoned by failure" `Quick
+            test_cache_not_poisoned_by_failure;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_faults_disabled_is_noop;
+          Alcotest.test_case "rolls deterministic" `Quick
+            test_faults_roll_deterministic;
+          Alcotest.test_case "relaxed skips timing" `Quick
+            test_faults_relaxed_skips_timing;
+          Alcotest.test_case "validation before syntax check" `Quick
+            test_validation_before_syntax_check;
+          Alcotest.test_case "implement_result failure" `Quick
+            test_implement_result_failure;
+          Alcotest.test_case "relaxed run costs more" `Quick
+            test_relaxed_run_costs_more;
+          Alcotest.test_case "bitstream integrity" `Quick
+            test_bitstream_integrity;
         ] );
     ]

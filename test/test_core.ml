@@ -335,6 +335,283 @@ let test_spec_builders () =
     (Invalid_argument "Spec.with_jobs: jobs must be >= 1 (got 0)") (fun () ->
       ignore (Core.Spec.with_jobs 0 Core.Spec.default))
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection and recovery                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Cad = Jitise_cad
+module U = Jitise_util
+
+let float_kernel = lazy (
+  let m = compile float_kernel_src in
+  let out = run m 200 in
+  (m, out))
+
+(* Two structurally different hot loops: the selection contains two
+   distinct data-path signatures, so a permanent CAD failure on one has
+   a next-ranked alternate to promote. *)
+let two_kernel_src =
+  "double a[64]; double b[64]; double out[64]; double out2[64];\n\
+   int main(int n) {\n\
+  \  int i;\n\
+  \  for (i = 0; i < 64; i = i + 1) { a[i] = i * 0.5 + 1.0; b[i] = i * 0.25 + 2.0; }\n\
+  \  int t;\n\
+  \  for (t = 0; t < n; t = t + 1) {\n\
+  \    for (i = 0; i < 64; i = i + 1) {\n\
+  \      out[i] = (a[i] * 1.5 + b[i] * 2.5) * (a[i] - b[i]) + out[i] * 0.5;\n\
+  \    }\n\
+  \    for (i = 0; i < 64; i = i + 1) {\n\
+  \      out2[i] = a[i] * b[i] * 0.75 + (b[i] - a[i] * 0.125) + out2[i] * 0.25;\n\
+  \    }\n\
+  \  }\n\
+  \  double s = 0.0;\n\
+  \  for (i = 0; i < 64; i = i + 1) { s = s + out[i] + out2[i]; }\n\
+  \  return s;\n\
+   }"
+
+let two_kernel = lazy (
+  let m = compile two_kernel_src in
+  let out = run m 200 in
+  (m, out))
+
+let faulted_report ?(kernel = float_kernel) ?(rates = fun c -> c)
+    ?(retries = 3) ?deadline ?select ~seed () =
+  let m, out = Lazy.force kernel in
+  let spec =
+    Core.Spec.default
+    |> Core.Spec.with_faults (rates (Cad.Faults.defaults ~seed))
+    |> Core.Spec.with_retry
+         (U.Retry.default
+         |> U.Retry.with_max_attempts retries
+         |> U.Retry.with_specialization_deadline deadline)
+  in
+  let spec =
+    match select with None -> spec | Some s -> Core.Spec.with_select s spec
+  in
+  Core.Asip_sp.run_spec ~spec db m out.Vm.Machine.profile
+    ~total_cycles:out.Vm.Machine.native_cycles
+
+let signature_of (s : Ise.Select.scored) =
+  s.Ise.Select.candidate.Ise.Candidate.signature
+
+(* Bounded deterministic seed scans: the fault model is a pure function
+   of (seed, signature, ...), so these always land on the same seed. *)
+let scan_seeds ~what p =
+  let rec go seed =
+    if seed > 80 then Alcotest.fail ("no seed produced " ^ what)
+    else match p seed with Some x -> x | None -> go (seed + 1)
+  in
+  go 0
+
+let test_faults_retry_then_success () =
+  let r =
+    scan_seeds ~what:"a retry-then-success" (fun seed ->
+        let r = faulted_report ~seed () in
+        if
+          r.Core.Asip_sp.failed_attempts > 0
+          && r.Core.Asip_sp.dropped = []
+          && r.Core.Asip_sp.degraded = 0
+        then Some r
+        else None)
+  in
+  let recovered =
+    List.filter
+      (fun (c : Core.Asip_sp.candidate_result) ->
+        c.Core.Asip_sp.failed_attempts > 0)
+      r.Core.Asip_sp.candidates
+  in
+  Alcotest.(check bool) "a candidate recovered" true (recovered <> []);
+  List.iter
+    (fun (c : Core.Asip_sp.candidate_result) ->
+      Alcotest.(check bool) "still implemented, not promoted" true
+        (c.Core.Asip_sp.outcome = Core.Asip_sp.Implemented);
+      Alcotest.(check bool) "retries counted" true
+        (c.Core.Asip_sp.attempts = c.Core.Asip_sp.failed_attempts + 1);
+      Alcotest.(check bool) "failed attempts cost simulated time" true
+        (c.Core.Asip_sp.wasted_seconds > 0.0))
+    recovered;
+  Alcotest.(check (float 1e-6)) "sum = const + map + par + wasted"
+    r.Core.Asip_sp.sum_seconds
+    (r.Core.Asip_sp.const_seconds +. r.Core.Asip_sp.map_seconds
+    +. r.Core.Asip_sp.par_seconds +. r.Core.Asip_sp.wasted_seconds);
+  Alcotest.(check bool) "report-level waste" true
+    (r.Core.Asip_sp.wasted_seconds > 0.0)
+
+let test_faults_deterministic () =
+  let seed = 20110516 in
+  let a = faulted_report ~seed () and b = faulted_report ~seed () in
+  Alcotest.(check (float 0.0)) "same total" a.Core.Asip_sp.sum_seconds
+    b.Core.Asip_sp.sum_seconds;
+  Alcotest.(check int) "same attempts" a.Core.Asip_sp.total_attempts
+    b.Core.Asip_sp.total_attempts;
+  Alcotest.(check (float 0.0)) "same waste" a.Core.Asip_sp.wasted_seconds
+    b.Core.Asip_sp.wasted_seconds
+
+let test_faults_off_report_is_clean () =
+  let m, out = Lazy.force float_kernel in
+  let r =
+    Core.Asip_sp.run_spec db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  Alcotest.(check int) "no failures" 0 r.Core.Asip_sp.failed_attempts;
+  Alcotest.(check (float 0.0)) "no waste" 0.0 r.Core.Asip_sp.wasted_seconds;
+  Alcotest.(check int) "nothing degraded" 0 r.Core.Asip_sp.degraded;
+  Alcotest.(check bool) "nothing dropped" true (r.Core.Asip_sp.dropped = []);
+  Alcotest.(check bool) "no deadline pressure" false
+    r.Core.Asip_sp.deadline_exceeded
+
+let cap1 =
+  { Ise.Select.default_config with Ise.Select.max_candidates = Some 1 }
+
+let harsh c = { c with Cad.Faults.crash_rate = 0.5 }
+
+let test_faults_promotion () =
+  let r =
+    scan_seeds ~what:"a promotion" (fun seed ->
+        let r =
+          faulted_report ~kernel:two_kernel ~rates:harsh ~retries:1
+            ~select:cap1 ~seed ()
+        in
+        if r.Core.Asip_sp.degraded >= 1 then Some r else None)
+  in
+  Alcotest.(check int) "exactly the capped slot degraded" 1
+    r.Core.Asip_sp.degraded;
+  Alcotest.(check bool) "nothing dropped" true (r.Core.Asip_sp.dropped = []);
+  match r.Core.Asip_sp.candidates with
+  | [ c ] -> (
+      match c.Core.Asip_sp.outcome with
+      | Core.Asip_sp.Promoted { from; from_failure } ->
+          Alcotest.(check bool) "promoted a different data path" true
+            (signature_of c.Core.Asip_sp.scored <> signature_of from);
+          Alcotest.(check bool) "failure evidence kept" true
+            (from_failure.Cad.Flow.wasted_seconds > 0.0);
+          Alcotest.(check bool) "all prior attempts accounted" true
+            (c.Core.Asip_sp.attempts = c.Core.Asip_sp.failed_attempts + 1
+            && c.Core.Asip_sp.failed_attempts >= 1)
+      | Core.Asip_sp.Implemented -> Alcotest.fail "expected a promotion")
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 slot, got %d" (List.length cs))
+
+let test_faults_retries_exhausted_drops () =
+  (* every stage crashes: no retry budget can save any slot *)
+  let always c = { c with Cad.Faults.crash_rate = 1.0 } in
+  let r = faulted_report ~rates:always ~retries:2 ~seed:0 () in
+  Alcotest.(check bool) "nothing implemented" true
+    (r.Core.Asip_sp.candidates = []);
+  Alcotest.(check bool) "every slot dropped" true (r.Core.Asip_sp.dropped <> []);
+  List.iter
+    (fun (d : Core.Asip_sp.dropped) ->
+      Alcotest.(check bool) "dropped for exhausted retries" true
+        (d.Core.Asip_sp.drop_reason = Core.Asip_sp.Retries_exhausted);
+      Alcotest.(check bool) "failure recorded" true
+        (d.Core.Asip_sp.drop_failure <> None);
+      Alcotest.(check bool) "waste recorded" true
+        (d.Core.Asip_sp.drop_wasted_seconds > 0.0))
+    r.Core.Asip_sp.dropped;
+  Alcotest.(check bool) "software fallback has no hardware speedup" true
+    (r.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio <= 1.0 +. 1e-9)
+
+let test_faults_specialization_deadline () =
+  (* find a fault-free seed, then give the whole specialization a budget
+     that only covers the first bitstream *)
+  let seed =
+    scan_seeds ~what:"a fault-free run" (fun seed ->
+        let r = faulted_report ~kernel:two_kernel ~seed () in
+        if r.Core.Asip_sp.failed_attempts = 0 && r.Core.Asip_sp.dropped = []
+        then Some seed
+        else None)
+  in
+  let r =
+    faulted_report ~kernel:two_kernel ~deadline:1.0 ~seed ()
+  in
+  Alcotest.(check bool) "deadline reported" true
+    r.Core.Asip_sp.deadline_exceeded;
+  Alcotest.(check bool) "some slots still made it (first build + hits)" true
+    (r.Core.Asip_sp.candidates <> []);
+  Alcotest.(check bool) "later slots dropped" true
+    (r.Core.Asip_sp.dropped <> []);
+  List.iter
+    (fun (d : Core.Asip_sp.dropped) ->
+      Alcotest.(check bool) "dropped by the deadline, not by a fault" true
+        (d.Core.Asip_sp.drop_reason = Core.Asip_sp.Specialization_deadline
+        && d.Core.Asip_sp.drop_failure = None))
+    r.Core.Asip_sp.dropped;
+  Alcotest.(check int) "slots partition the selection"
+    (List.length r.Core.Asip_sp.selection)
+    (List.length r.Core.Asip_sp.candidates
+    + List.length r.Core.Asip_sp.dropped)
+
+let test_spec_fault_builders () =
+  let spec =
+    Core.Spec.default
+    |> Core.Spec.with_faults (Cad.Faults.defaults ~seed:7)
+    |> Core.Spec.with_retry (U.Retry.with_max_attempts 5 U.Retry.default)
+  in
+  Alcotest.(check bool) "faults stored" true
+    spec.Core.Spec.faults.Cad.Faults.enabled;
+  Alcotest.(check int) "retry stored" 5
+    spec.Core.Spec.retry.U.Retry.max_attempts;
+  Alcotest.(check bool) "default has faults off" false
+    Core.Spec.default.Core.Spec.faults.Cad.Faults.enabled;
+  let invalid name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  invalid "bad fault rate rejected" (fun () ->
+      Core.Spec.with_faults
+        { (Cad.Faults.defaults ~seed:0) with Cad.Faults.crash_rate = 1.5 }
+        Core.Spec.default);
+  invalid "bad retry policy rejected" (fun () ->
+      Core.Spec.with_retry
+        { U.Retry.default with U.Retry.max_attempts = 0 }
+        Core.Spec.default)
+
+let test_timeline_jobs () =
+  let _, _, report = specialize float_kernel_src 200 in
+  let serial = Core.Jit_manager.timeline report in
+  let j1 = Core.Jit_manager.timeline ~jobs:1 report in
+  Alcotest.(check (float 1e-9)) "jobs:1 is the sequential schedule"
+    serial.Core.Jit_manager.specialization_seconds
+    j1.Core.Jit_manager.specialization_seconds;
+  let j4 = Core.Jit_manager.timeline ~jobs:4 report in
+  Alcotest.(check bool) "more lanes never slow the makespan" true
+    (j4.Core.Jit_manager.specialization_seconds
+    <= serial.Core.Jit_manager.specialization_seconds +. 1e-9);
+  Alcotest.(check bool) "makespan covers the search phase" true
+    (j4.Core.Jit_manager.specialization_seconds
+    >= report.Core.Asip_sp.search_wall_seconds);
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Jit_manager.timeline: jobs must be >= 1 (got 0)")
+    (fun () -> ignore (Core.Jit_manager.timeline ~jobs:0 report))
+
+let test_timeline_faulted_events () =
+  let r =
+    scan_seeds ~what:"a retry-then-success" (fun seed ->
+        let r = faulted_report ~seed () in
+        if
+          r.Core.Asip_sp.failed_attempts > 0
+          && r.Core.Asip_sp.dropped = []
+          && r.Core.Asip_sp.degraded = 0
+        then Some r
+        else None)
+  in
+  let t = Core.Jit_manager.timeline ~jobs:2 r in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "recovery surfaces in the timeline" true
+    (List.exists
+       (fun (e : Core.Jit_manager.event) ->
+         contains e.Core.Jit_manager.what "recovered after")
+       t.Core.Jit_manager.events);
+  Alcotest.(check bool) "waste delays readiness" true
+    (t.Core.Jit_manager.specialization_seconds
+    > r.Core.Asip_sp.search_wall_seconds)
+
 let () =
   Alcotest.run "core"
     [
@@ -355,6 +632,24 @@ let () =
           Alcotest.test_case "cad speedup" `Quick test_asip_sp_cad_speedup_config;
           Alcotest.test_case "candidate costs" `Quick test_candidate_costs_export;
           Alcotest.test_case "spec builders" `Quick test_spec_builders;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "retry then success" `Quick
+            test_faults_retry_then_success;
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "faults off is clean" `Quick
+            test_faults_off_report_is_clean;
+          Alcotest.test_case "promotion" `Quick test_faults_promotion;
+          Alcotest.test_case "retries exhausted drops" `Quick
+            test_faults_retries_exhausted_drops;
+          Alcotest.test_case "specialization deadline" `Quick
+            test_faults_specialization_deadline;
+          Alcotest.test_case "spec fault builders" `Quick
+            test_spec_fault_builders;
+          Alcotest.test_case "timeline jobs" `Quick test_timeline_jobs;
+          Alcotest.test_case "timeline faulted events" `Quick
+            test_timeline_faulted_events;
         ] );
       ( "experiment-tables",
         [

@@ -225,6 +225,56 @@ let test_parallel_sweep_deterministic () =
   Alcotest.(check bool) "at least one cross-application hit" true
     (ss.Cad.Cache.shared_hits >= 1)
 
+(* Fault injection composes with the parallel sweep engine: rolls are
+   keyed by candidate signature and attempt, never by scheduling, so a
+   faulted jobs:4 sweep reproduces the serial reports exactly.  The
+   assertions hold for any seed; CI pins one via JITISE_FAULT_SEED so
+   every push exercises the same recovery paths. *)
+let fault_seed =
+  match Sys.getenv_opt "JITISE_FAULT_SEED" with
+  | Some s -> int_of_string s
+  | None -> 20110516
+
+let test_faulted_parallel_sweep_deterministic () =
+  let sweep jobs cache =
+    let spec =
+      Core.Spec.default |> Core.Spec.with_jobs jobs
+      |> Core.Spec.with_cache cache
+      |> Core.Spec.with_faults (Cad.Faults.defaults ~seed:fault_seed)
+      |> Core.Spec.with_retry
+           (Jitise_util.Retry.with_max_attempts 3 Jitise_util.Retry.default)
+    in
+    Core.Experiment.sweep ~spec (Pp.Database.create ())
+  in
+  let serial = sweep 1 (Cad.Cache.create ())
+  and parallel = sweep 4 (Cad.Cache.create ()) in
+  let fault_stats (r : Core.Experiment.app_result) =
+    let rep = r.Core.Experiment.report in
+    ( rep.Core.Asip_sp.total_attempts,
+      rep.Core.Asip_sp.failed_attempts,
+      rep.Core.Asip_sp.degraded,
+      List.length rep.Core.Asip_sp.dropped,
+      rep.Core.Asip_sp.wasted_seconds )
+  in
+  List.iter2
+    (fun s p ->
+      Alcotest.(check bool)
+        ((project s).p_app ^ " faulted report identical under jobs:4")
+        true
+        (project s = project p);
+      Alcotest.(check bool)
+        ((project s).p_app ^ " fault accounting identical")
+        true
+        (fault_stats s = fault_stats p))
+    serial parallel;
+  let failed =
+    List.fold_left
+      (fun a (r : Core.Experiment.app_result) ->
+        a + r.Core.Experiment.report.Core.Asip_sp.failed_attempts)
+      0 serial
+  in
+  Alcotest.(check bool) "the sweep exercised the fault path" true (failed > 0)
+
 (* Two workloads with a common candidate signature share bitstreams. *)
 let test_shared_cache_across_two_workloads () =
   let cache = Cad.Cache.create () in
@@ -283,6 +333,8 @@ let () =
         [
           Alcotest.test_case "parallel determinism" `Slow
             test_parallel_sweep_deterministic;
+          Alcotest.test_case "faulted parallel determinism" `Slow
+            test_faulted_parallel_sweep_deterministic;
           Alcotest.test_case "shared cache across apps" `Slow
             test_shared_cache_across_two_workloads;
           Alcotest.test_case "legacy wrappers" `Slow test_legacy_wrappers_agree;

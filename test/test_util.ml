@@ -334,6 +334,72 @@ let test_trace_write () =
       Alcotest.(check bool) "looks like a chrome trace" true
         (contains ~needle:"\"traceEvents\"" written))
 
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_backoff_exponential () =
+  (* With jitter off the schedule is exactly base * mult^(attempt-1). *)
+  let p = { U.Retry.default with U.Retry.jitter = 0.0 } in
+  let b attempt = U.Retry.backoff_seconds p ~key:"ci_x" ~attempt in
+  Alcotest.(check (float 1e-9)) "attempt 1" 30.0 (b 1);
+  Alcotest.(check (float 1e-9)) "attempt 2" 60.0 (b 2);
+  Alcotest.(check (float 1e-9)) "attempt 3" 120.0 (b 3)
+
+let test_retry_backoff_deterministic_jitter () =
+  let p = U.Retry.default in
+  let b key attempt = U.Retry.backoff_seconds p ~key ~attempt in
+  Alcotest.(check (float 0.0)) "same key/attempt, same backoff"
+    (b "ci_a" 2) (b "ci_a" 2);
+  (* jittered value stays within [base, base * (1 + jitter)) *)
+  List.iter
+    (fun attempt ->
+      let base = 30.0 *. (2.0 ** float_of_int (attempt - 1)) in
+      let v = b "ci_a" attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in jitter band" attempt)
+        true
+        (v >= base && v < base *. 1.25))
+    [ 1; 2; 3; 4 ];
+  (* different keys decorrelate (desynchronized retry storm) *)
+  Alcotest.(check bool) "keys decorrelate" true (b "ci_a" 1 <> b "ci_b" 1)
+
+let test_retry_validate () =
+  let invalid name mk =
+    Alcotest.(check bool) name true
+      (try
+         U.Retry.validate (mk ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  U.Retry.validate U.Retry.default;
+  (* the builders validate eagerly too *)
+  invalid "zero attempts" (fun () ->
+      U.Retry.with_max_attempts 0 U.Retry.default);
+  invalid "negative backoff" (fun () ->
+      { U.Retry.default with U.Retry.backoff_seconds = -1.0 });
+  invalid "jitter >= 1" (fun () ->
+      { U.Retry.default with U.Retry.jitter = 1.0 });
+  invalid "non-positive deadline" (fun () ->
+      U.Retry.with_specialization_deadline (Some 0.0) U.Retry.default)
+
+let test_retry_budget () =
+  let b = U.Retry.budget (Some 100.0) in
+  Alcotest.(check bool) "fresh budget not exhausted" false (U.Retry.exhausted b);
+  U.Retry.spend b 60.0;
+  Alcotest.(check (option (float 1e-9))) "remaining tracked" (Some 40.0)
+    (U.Retry.remaining b);
+  U.Retry.spend b 75.0;
+  Alcotest.(check (option (float 1e-9))) "clamps at zero" (Some 0.0)
+    (U.Retry.remaining b);
+  Alcotest.(check bool) "exhausted after overspend" true (U.Retry.exhausted b);
+  let unbounded = U.Retry.budget None in
+  U.Retry.spend unbounded 1e12;
+  Alcotest.(check bool) "unbounded never exhausts" false
+    (U.Retry.exhausted unbounded);
+  Alcotest.(check (option (float 0.0))) "unbounded has no remaining" None
+    (U.Retry.remaining unbounded)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -390,6 +456,15 @@ let () =
           Alcotest.test_case "iter visits all" `Quick
             test_pool_all_elements_visited;
           Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "exponential backoff" `Quick
+            test_retry_backoff_exponential;
+          Alcotest.test_case "deterministic jitter" `Quick
+            test_retry_backoff_deterministic_jitter;
+          Alcotest.test_case "validation" `Quick test_retry_validate;
+          Alcotest.test_case "budget" `Quick test_retry_budget;
         ] );
       ( "trace",
         [

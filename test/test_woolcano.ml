@@ -5,13 +5,8 @@ module Cad = Jitise_cad
 module W = Jitise_woolcano
 
 let bitstream ?(luts = 500) signature =
-  {
-    Cad.Bitstream.signature;
-    size_bytes = 40_000;
-    frames = 60;
-    luts;
-    generation_seconds = 200.0;
-  }
+  Cad.Bitstream.make ~signature ~size_bytes:40_000 ~frames:60 ~luts
+    ~generation_seconds:200.0
 
 let test_arch_reconfiguration_time () =
   let b = bitstream "x" in
@@ -29,6 +24,15 @@ let test_asip_load_and_hit () =
   Alcotest.(check int) "one reconfiguration" 1 asip.W.Asip.reconfigurations;
   Alcotest.(check int) "occupancy" 1 (W.Asip.occupancy asip);
   Alcotest.(check bool) "time accounted" true (asip.W.Asip.reconfig_seconds > 0.0)
+
+let test_asip_rejects_corrupt_bitstream () =
+  let asip = W.Asip.create () in
+  let b = Cad.Bitstream.corrupt (bitstream "a") in
+  Alcotest.check_raises "checksum check guards the slot"
+    (W.Asip.Corrupt_bitstream "a") (fun () -> ignore (W.Asip.load asip b));
+  (* the failed load must leave the fabric untouched *)
+  Alcotest.(check int) "no slot occupied" 0 (W.Asip.occupancy asip);
+  Alcotest.(check int) "no reconfiguration" 0 asip.W.Asip.reconfigurations
 
 let test_asip_lru_eviction () =
   let arch = { W.Arch.default with W.Arch.udi_slots = 2 } in
@@ -72,6 +76,8 @@ let () =
       ( "asip",
         [
           Alcotest.test_case "load and hit" `Quick test_asip_load_and_hit;
+          Alcotest.test_case "rejects corrupt bitstream" `Quick
+            test_asip_rejects_corrupt_bitstream;
           Alcotest.test_case "lru eviction" `Quick test_asip_lru_eviction;
           Alcotest.test_case "capacity guard" `Quick test_asip_capacity_guard;
           Alcotest.test_case "slot count" `Quick test_asip_slot_count;
