@@ -278,8 +278,100 @@ let regenerate_tables ~spec () =
   print_endline "";
   print_string (Core.Diagrams.figure2 ())
 
+(* ------------------------------------------------------------------ *)
+(* Pipeline stage-cache report (BENCH_pipeline.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small selection-knob sweep against one shared artifact store,
+   reported as machine-readable JSON for CI.  This is the incremental
+   recomputation claim in numbers: across sweep points that only vary
+   the selection config, everything upstream of selection is a stage
+   hit.  Serial on purpose — hit/miss counters are scheduling-dependent
+   under jobs > 1 (values are not). *)
+let pipeline_report path =
+  let module U = Jitise_util in
+  let apps = [ "sor"; "fft" ] in
+  let variants =
+    [
+      ("default", Ise.Select.default_config);
+      ( "top2",
+        { Ise.Select.default_config with Ise.Select.max_candidates = Some 2 }
+      );
+      ( "top1",
+        { Ise.Select.default_config with Ise.Select.max_candidates = Some 1 }
+      );
+    ]
+  in
+  prerr_endline
+    "[bench] pipeline: selection sweep against a shared stage cache...";
+  let store = U.Artifact.create () in
+  let records =
+    List.concat_map
+      (fun (_label, sel) ->
+        List.concat_map
+          (fun name ->
+            let spec =
+              Core.Spec.default |> Core.Spec.with_select sel
+              |> Core.Spec.with_stage_cache store
+            in
+            let r = Core.Experiment.evaluate ~spec db (find_workload name) in
+            r.Core.Experiment.report.Core.Asip_sp.stage_records)
+          apps)
+      variants
+  in
+  let summaries = Core.Pipeline.summarize records in
+  let saved =
+    List.fold_left
+      (fun acc (s : Core.Pipeline.summary) ->
+        acc + s.Core.Pipeline.sum_local_hits + s.Core.Pipeline.sum_shared_hits)
+      0 summaries
+  in
+  let stats = U.Artifact.stats store in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"sweep\": {\"apps\": [%s], \"select_variants\": [%s], \"jobs\": 1},\n"
+       (String.concat ", " (List.map (Printf.sprintf "%S") apps))
+       (String.concat ", "
+          (List.map (fun (l, _) -> Printf.sprintf "%S" l) variants)));
+  Buffer.add_string buf "  \"stages\": [\n";
+  let nstages = List.length summaries in
+  List.iteri
+    (fun i (s : Core.Pipeline.summary) ->
+      let hits = s.Core.Pipeline.sum_local_hits + s.Core.Pipeline.sum_shared_hits in
+      let hit_rate =
+        if s.Core.Pipeline.sum_executions = 0 then 0.0
+        else float_of_int hits /. float_of_int s.Core.Pipeline.sum_executions
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stage\": %S, \"executions\": %d, \"computed\": %d, \
+            \"local_hits\": %d, \"shared_hits\": %d, \"hit_rate\": %.4f, \
+            \"wall_seconds\": %.6f}%s\n"
+           s.Core.Pipeline.sum_stage s.Core.Pipeline.sum_executions
+           s.Core.Pipeline.sum_computed s.Core.Pipeline.sum_local_hits
+           s.Core.Pipeline.sum_shared_hits hit_rate
+           s.Core.Pipeline.sum_wall_seconds
+           (if i = nstages - 1 then "" else ",")))
+    summaries;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"store\": {\"entries\": %d, \"computed\": %d, \"local_hits\": %d, \
+        \"shared_hits\": %d},\n"
+       stats.U.Artifact.total_entries stats.U.Artifact.total_computed
+       stats.U.Artifact.total_local_hits stats.U.Artifact.total_shared_hits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"executions_saved\": %d\n}\n" saved);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.eprintf "[bench] pipeline: wrote %s (%d stage executions saved)\n%!"
+    path saved
+
 (* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache,
-   --faults, --fault-seed SEED, --retries N, --deadline SECONDS, plus
+   --faults, --fault-seed SEED, --retries N, --deadline SECONDS,
+   --pipeline-json FILE (with --pipeline-only to skip the rest), plus
    the original --tables-only/--bench-only halves. *)
 let rec arg_value key = function
   | k :: v :: _ when k = key -> Some v
@@ -299,8 +391,18 @@ let int_arg key ~default ~min argv =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  let tables = not (List.mem "--bench-only" argv) in
-  let benches = not (List.mem "--tables-only" argv) in
+  let pipeline_only = List.mem "--pipeline-only" argv in
+  let pipeline_json =
+    match arg_value "--pipeline-json" argv with
+    | Some path -> Some path
+    | None -> if pipeline_only then Some "BENCH_pipeline.json" else None
+  in
+  let tables =
+    (not pipeline_only) && not (List.mem "--bench-only" argv)
+  in
+  let benches =
+    (not pipeline_only) && not (List.mem "--tables-only" argv)
+  in
   let trace = arg_value "--trace" argv in
   let jobs = int_arg "--jobs" ~default:1 ~min:1 argv in
   let spec = Core.Spec.with_jobs jobs Core.Spec.default in
@@ -342,6 +444,7 @@ let () =
   in
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();
+  Option.iter pipeline_report pipeline_json;
   (match (spec.Core.Spec.tracer, trace) with
   | Some t, Some path ->
       Jitise_util.Trace.write t path;

@@ -32,7 +32,7 @@ type fault_options = {
   deadline : float option;  (** whole-specialization budget, seconds *)
 }
 
-let mk_spec ~trace ~jobs ~shared_cache ~fault_options:fo =
+let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~fault_options:fo =
   (* Fail before the sweep, not after: a full run takes minutes and an
      unwritable trace path would otherwise only surface at the end. *)
   Option.iter
@@ -51,6 +51,10 @@ let mk_spec ~trace ~jobs ~shared_cache ~fault_options:fo =
     if shared_cache then Core.Spec.with_cache (Cad.Cache.create ()) spec
     else spec
   in
+  let spec =
+    if stage_cache then Core.Spec.with_stage_cache (U.Artifact.create ()) spec
+    else spec
+  in
   if not fo.faults then spec
   else
     spec
@@ -61,17 +65,22 @@ let mk_spec ~trace ~jobs ~shared_cache ~fault_options:fo =
          |> U.Retry.with_specialization_deadline fo.deadline)
 
 (* Write the trace and report cache statistics once the work is done. *)
-let finish_spec (spec : Core.Spec.t) trace =
+let finish_spec ?(stage_stats = false) (spec : Core.Spec.t) trace =
   (match (spec.Core.Spec.tracer, trace) with
   | Some t, Some path ->
       U.Trace.write t path;
       Printf.eprintf "[trace] wrote %s (%d spans)\n%!" path
         (List.length (U.Trace.events t))
   | _ -> ());
-  match spec.Core.Spec.cache with
+  (match spec.Core.Spec.cache with
   | Some c ->
       Format.eprintf "[cache] %a@." Cad.Cache.pp_stats (Cad.Cache.stats c)
-  | None -> ()
+  | None -> ());
+  match spec.Core.Spec.stage_cache with
+  | Some store when stage_stats ->
+      Format.eprintf "[stage-cache] %a@." U.Artifact.pp_stats
+        (U.Artifact.stats store)
+  | Some _ | None -> ()
 
 let render_table1 ~faults:_ results =
   print_string (Core.Tables.render_table1 (Core.Tables.table1 results))
@@ -122,10 +131,15 @@ let run_inspect name =
   let r = W.Workload.compile w in
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
-let run_specialize name trace jobs shared_cache fault_options =
+let run_specialize name trace jobs shared_cache stage_cache stage_stats
+    fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
-  let spec = mk_spec ~trace ~jobs ~shared_cache ~fault_options in
+  let spec =
+    mk_spec ~trace ~jobs ~shared_cache
+      ~stage_cache:(stage_cache || stage_stats)
+      ~fault_options
+  in
   let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
   Printf.printf "%s: %d candidate(s) selected, ASIP ratio %.2fx (max %.2fx)\n"
@@ -191,12 +205,15 @@ let run_specialize name trace jobs shared_cache fault_options =
     (match r.Core.Experiment.break_even with
     | Jitise_analysis.Breakeven.Never -> "never"
     | Jitise_analysis.Breakeven.After s -> U.Duration.to_dhms s);
-  finish_spec spec trace
+  finish_spec ~stage_stats spec trace
 
 let run_timeline name jobs fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
-  let spec = mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~fault_options in
+  let spec =
+    mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~stage_cache:false
+      ~fault_options
+  in
   let r = Core.Experiment.evaluate ~spec db w in
   let t = Core.Jit_manager.timeline ~jobs r.Core.Experiment.report in
   Format.printf "%a" Core.Jit_manager.pp_timeline t;
@@ -338,6 +355,25 @@ let shared_cache_arg =
           "Share the bitstream cache across applications (the Section VI-A \
            proposal) and report its local/shared hit statistics on stderr.")
 
+let stage_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "stage-cache" ]
+        ~doc:
+          "Keep a content-addressed store of every pipeline stage's output \
+           (keyed on the stage's input digest), so sweep points that only \
+           change downstream knobs reuse upstream artifacts instead of \
+           recomputing them.")
+
+let stage_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stage-stats" ]
+        ~doc:
+          "Report per-stage artifact-store statistics (entries, computed, \
+           local/shared hits) on stderr after the run.  Implies \
+           $(b,--stage-cache).")
+
 let faults_arg =
   Arg.(
     value & flag
@@ -383,14 +419,19 @@ let sweep_cmd name doc render =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun trace jobs shared_cache fault_options ->
-          let spec = mk_spec ~trace ~jobs ~shared_cache ~fault_options in
+      const (fun trace jobs shared_cache stage_cache stage_stats fault_options ->
+          let spec =
+            mk_spec ~trace ~jobs ~shared_cache
+              ~stage_cache:(stage_cache || stage_stats)
+              ~fault_options
+          in
           let results =
             Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
           in
           render ~faults:fault_options.faults results;
-          finish_spec spec trace)
-      $ trace_arg $ jobs_arg $ shared_cache_arg $ fault_options_term)
+          finish_spec ~stage_stats spec trace)
+      $ trace_arg $ jobs_arg $ shared_cache_arg $ stage_cache_arg
+      $ stage_stats_arg $ fault_options_term)
 
 let cmds =
   [
@@ -415,7 +456,8 @@ let cmds =
          ~doc:"Run the ASIP specialization process on a workload")
       Term.(
         const run_specialize $ workload_arg $ trace_arg $ jobs_arg
-        $ shared_cache_arg $ fault_options_term);
+        $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg
+        $ fault_options_term);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:

@@ -25,9 +25,16 @@ type candidate_cost = {
 let residual_overhead ?(trials = 32) ?(seed = 0x5EED) ~hit_rate ~cad_speedup
     (costs : candidate_cost list) : float =
   if hit_rate < 0.0 || hit_rate > 1.0 then
-    invalid_arg "Cache_model.residual_overhead: hit_rate out of range";
+    invalid_arg
+      (Printf.sprintf
+         "Cache_model.residual_overhead: hit_rate must be in [0, 1] (got %g)"
+         hit_rate);
   if cad_speedup < 0.0 || cad_speedup >= 1.0 then
-    invalid_arg "Cache_model.residual_overhead: cad_speedup out of range";
+    invalid_arg
+      (Printf.sprintf
+         "Cache_model.residual_overhead: cad_speedup must be in [0, 1) (got \
+          %g)"
+         cad_speedup);
   let n = List.length costs in
   if n = 0 then 0.0
   else begin

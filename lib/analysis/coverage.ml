@@ -38,7 +38,10 @@ type t = {
     @raise Invalid_argument with fewer than two profiles. *)
 let classify (m : Ir.Irmod.t) (profiles : Vm.Profile.t list) : t =
   if List.length profiles < 2 then
-    invalid_arg "Coverage.classify: needs at least two dataset profiles";
+    invalid_arg
+      (Printf.sprintf
+         "Coverage.classify: needs at least two dataset profiles (got %d)"
+         (List.length profiles));
   let blocks = ref [] in
   List.iter
     (fun (f : Ir.Func.t) ->

@@ -18,11 +18,18 @@
 
     Accounting is deterministic as long as [note] calls are sequenced in
     a fixed order (the sweep engine finalizes applications in registry
-    order precisely for this reason). *)
+    order precisely for this reason).
 
-type hit = Local | Shared
+    Since the staged-pipeline refactor this cache is the
+    bitstream-specialized instance of the general artifact model: the
+    hit type {e is} {!Jitise_util.Artifact.hit}, so bitstream-level and
+    stage-level reuse share one Local/Shared attribution vocabulary
+    (what differs is the key — structural signature here, canonical
+    input digest there — and the success gating around [note]). *)
 
-let hit_name = function Local -> "local" | Shared -> "shared"
+type hit = Jitise_util.Artifact.hit = Local | Shared
+
+let hit_name = Jitise_util.Artifact.hit_name
 
 type entry = {
   bitstream : Bitstream.t;

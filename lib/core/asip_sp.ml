@@ -16,6 +16,15 @@
 
     The report aggregates exactly the quantities Table II prints.
 
+    Since the staged-pipeline refactor this module is mostly {e stage
+    definitions}: each phase of the chain is a first-class
+    {!Pipeline.stage} with a digest function over its canonical inputs,
+    and {!Pipeline.exec} supplies tracing, execution records and —
+    when [spec.stage_cache] is set — content-addressed whole-stage
+    memoization, so a sweep point only re-runs stages whose inputs
+    changed.  What remains here besides the stage bodies is the
+    degradation ladder and the report aggregation.
+
     The process is split into two halves so a sweep over many
     applications can parallelize the expensive work while keeping the
     bitstream-cache accounting deterministic:
@@ -146,6 +155,13 @@ type report = {
       (** with pruning + selection, over the {e implemented} slots —
           degradation lowers it *)
   asip_ratio_max : Ise.Speedup.t;      (** all MAXMISOs, no pruning *)
+  (* Engine *)
+  stage_records : Pipeline.record list;
+      (** every pipeline-stage execution behind this report (search,
+          per-candidate hwgen/CAD, and — when staged through
+          {!Experiment} — the frontend/VM/analysis stages), with wall
+          time and computed/hit outcome.  Measured data: excluded from
+          report-identity comparisons. *)
 }
 
 let wall f =
@@ -298,75 +314,218 @@ type staged = {
   stg_alternates : staged_candidate list;
       (** promotion pool: profitable candidates the selection caps left
           out, best first; empty when fault injection is off *)
+  stg_records : Pipeline.record list;
+      (** stage-execution records accumulated so far (including any
+          upstream stages run under the same {!Pipeline.ctx}) *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Stage definitions.  Each stage's digest hashes exactly the canonical
+   inputs its output depends on: the IR text, the profile counts, and
+   the relevant Spec knobs (pruning filter, selection constraints, CAD
+   model, fault and retry configuration — seeds included).  The module
+   and profile digests are computed lazily once per staging so that the
+   default store-less configuration pays nothing for them. *)
+
+(** The per-application search environment threaded through the search
+    stages. *)
+type env = {
+  env_db : Pp.Database.t;
+  env_m : Ir.Irmod.t;
+  env_profile : Vm.Profile.t;
+  env_mdigest : U.Digest.t Lazy.t;
+  env_pdigest : U.Digest.t Lazy.t;
+}
+
+let make_env db m profile =
+  {
+    env_db = db;
+    env_m = m;
+    env_profile = profile;
+    env_mdigest = lazy (Pipeline.digest_module m);
+    env_pdigest = lazy (Pipeline.digest_profile profile);
+  }
+
+(* Open digest context over (module, profile) — the prefix every search
+   stage extends with its own knobs. *)
+let base_digest env =
+  let c = U.Digest.create () in
+  U.Digest.add_digest c (Lazy.force env.env_mdigest);
+  U.Digest.add_digest c (Lazy.force env.env_pdigest);
+  c
+
+let add_candidate c (cd : Ise.Candidate.t) =
+  U.Digest.add_string c cd.Ise.Candidate.func;
+  U.Digest.add_int c cd.Ise.Candidate.block;
+  U.Digest.add_string c cd.Ise.Candidate.signature
+
+(* Phase 1a: reference search without pruning (for the efficiency
+   metric and the ASIP-ratio upper bound of Table I).  Depends on the
+   module and profile only — the selection config is the fixed
+   default. *)
+let reference_stage : (env, Ise.Select.scored list) Pipeline.stage =
+  Pipeline.stage ~cat:"search" "search-reference"
+    ~digest:(fun _spec env -> U.Digest.finish (base_digest env))
+    (fun _ctx env ->
+      let all_blocks =
+        List.concat_map
+          (fun (f : Ir.Func.t) ->
+            List.init (Ir.Func.num_blocks f) (fun l -> (f.Ir.Func.name, l)))
+          env.env_m.Ir.Irmod.funcs
+      in
+      snd
+        (search_blocks env.env_db env.env_m env.env_profile
+           ~select_config:Ise.Select.default_config all_blocks))
+
+(* Phase 1b, step 1: the [@{p}pS{k}L] pruning filter. *)
+let prune_stage : (env, Ise.Prune.selection) Pipeline.stage =
+  Pipeline.stage ~cat:"search" "prune"
+    ~digest:(fun spec env ->
+      let c = base_digest env in
+      Pipeline.add_prune c spec.Spec.prune;
+      U.Digest.finish c)
+    (fun ctx env ->
+      Ise.Prune.apply ctx.Pipeline.spec.Spec.prune env.env_m env.env_profile)
+
+(* Phase 1b, step 2: MAXMISO identification over the surviving blocks.
+   Digested on the block list itself, so any pruning configuration that
+   selects the same blocks shares the artifact. *)
+let maxmiso_stage :
+    (env * Ise.Prune.selection, Ise.Candidate.t list) Pipeline.stage =
+  Pipeline.stage ~cat:"search" "maxmiso"
+    ~digest:(fun _spec (env, pruning) ->
+      let c = base_digest env in
+      U.Digest.add_list c
+        (fun (fn, l) ->
+          U.Digest.add_string c fn;
+          U.Digest.add_int c l)
+        pruning.Ise.Prune.blocks;
+      U.Digest.finish c)
+    (fun _ctx (env, pruning) -> identify env.env_m pruning.Ise.Prune.blocks)
+
+(* Phase 1b, step 3: PivPav estimation + profitability selection. *)
+let select_digest spec (env, candidates) =
+  let c = base_digest env in
+  Pipeline.add_select c spec.Spec.select;
+  U.Digest.add_list c (add_candidate c) candidates;
+  U.Digest.finish c
+
+let select_stage :
+    (env * Ise.Candidate.t list, Ise.Select.scored list) Pipeline.stage =
+  Pipeline.stage ~cat:"search" "select" ~digest:select_digest
+    (fun ctx (env, candidates) ->
+      Ise.Select.select ~config:ctx.Pipeline.spec.Spec.select env.env_db
+        env.env_m env.env_profile candidates)
+
+(* Promotion pool (only needed when failures can demand it): rank the
+   same candidate set without the selection caps and keep whatever the
+   caps excluded, best first. *)
+let alternates_stage :
+    ( env * Ise.Candidate.t list * Ise.Select.scored list,
+      Ise.Select.scored list )
+    Pipeline.stage =
+  Pipeline.stage ~cat:"search" "alternates"
+    ~digest:(fun spec (env, candidates, _selection) ->
+      let c = base_digest env in
+      Pipeline.add_select c spec.Spec.select;
+      U.Digest.add_list c (add_candidate c) candidates;
+      U.Digest.add_bool c spec.Spec.faults.Cad.Faults.enabled;
+      U.Digest.finish c)
+    (fun ctx (env, candidates, selection) ->
+      let spec = ctx.Pipeline.spec in
+      if not spec.Spec.faults.Cad.Faults.enabled then []
+      else
+        let unconstrained =
+          {
+            spec.Spec.select with
+            Ise.Select.max_candidates = None;
+            lut_budget = None;
+          }
+        in
+        let full =
+          Ise.Select.select ~config:unconstrained env.env_db env.env_m
+            env.env_profile candidates
+        in
+        let key (s : Ise.Select.scored) =
+          let c = s.Ise.Select.candidate in
+          ( c.Ise.Candidate.func,
+            c.Ise.Candidate.block,
+            c.Ise.Candidate.signature )
+        in
+        let chosen = List.map key selection in
+        List.filter (fun s -> not (List.mem (key s) chosen)) full)
+
+(* Phase 2: data-path VHDL + netlist + CAD project.  Depends on the IR
+   structure and the candidate identity, not on the profile — a
+   retuned profile reuses every data path. *)
+let vhdl_stage : (env * Ise.Select.scored, Hw.Project.t) Pipeline.stage =
+  Pipeline.stage ~cat:"hwgen" "vhdl"
+    ~digest:(fun _spec (env, s) ->
+      let c = U.Digest.create () in
+      U.Digest.add_digest c (Lazy.force env.env_mdigest);
+      add_candidate c s.Ise.Select.candidate;
+      U.Digest.finish c)
+    (fun _ctx (env, s) ->
+      let cd = s.Ise.Select.candidate in
+      let f = find_func_exn env.env_m cd.Ise.Candidate.func in
+      let dfg = Ir.Dfg.of_block f (Ir.Func.block f cd.Ise.Candidate.block) in
+      Hw.Project.create env.env_db dfg cd)
+
+(* Phase 3: the candidate's full CAD retry chain plus its (speedup-
+   scaled) C2V constant.  The chain is a pure function of the project,
+   the CAD model and the fault/retry configuration (rolls are keyed by
+   fault seed + signature + stage + attempt), so it memoizes cleanly —
+   but it must be recomputed whenever any of those knobs move, hence
+   the widest digest of the chain. *)
+let chain_stage :
+    (env * Ise.Select.scored * Hw.Project.t, float * chain) Pipeline.stage =
+  Pipeline.stage ~cat:"cad" "implement"
+    ~digest:(fun spec (env, s, _project) ->
+      let c = U.Digest.create () in
+      U.Digest.add_digest c (Lazy.force env.env_mdigest);
+      add_candidate c s.Ise.Select.candidate;
+      Pipeline.add_cad c spec.Spec.cad;
+      Pipeline.add_faults c spec.Spec.faults;
+      Pipeline.add_retry c spec.Spec.retry;
+      U.Digest.finish c)
+    (fun ctx (env, _s, project) ->
+      let spec = ctx.Pipeline.spec in
+      let c2v = Cad.Flow.c2v_seconds project in
+      let c2v = c2v *. (1.0 -. spec.Spec.cad.Cad.Flow.speedup_factor) in
+      let chain =
+        build_chain ?tracer:spec.Spec.tracer ~config:spec.Spec.cad
+          ~faults:spec.Spec.faults ~policy:spec.Spec.retry ~c2v env.env_db
+          project
+      in
+      (c2v, chain))
+
 (** Phase 1 + the per-candidate hardware generation, with no shared
-    state beyond the (thread-safe) PivPav database: safe to run for
-    many applications concurrently.  [spec.jobs] also parallelizes the
-    per-candidate CAD simulation within this one application.  [app]
-    labels the trace spans. *)
-let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
-    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : staged =
-  let tr = spec.Spec.tracer in
-  let lbl stage = if app = "" then stage else stage ^ ":" ^ app in
-  (* Phase 1a: reference search without pruning (for the efficiency
-     metric and the ASIP-ratio upper bound of Table I). *)
-  let all_blocks =
-    List.concat_map
-      (fun (f : Ir.Func.t) ->
-        List.init (Ir.Func.num_blocks f) (fun l -> (f.Ir.Func.name, l)))
-      m.Ir.Irmod.funcs
+    state beyond the (thread-safe) PivPav database and the (thread-safe)
+    artifact store: safe to run for many applications concurrently.
+    [ctx.spec.jobs] also parallelizes the per-candidate CAD simulation
+    within this one application.  Use this entry point to share a
+    {!Pipeline.ctx} (and its record log) with upstream stages, as
+    {!Experiment.prepare} does; {!stage} wraps it for standalone use. *)
+let stage_in (ctx : Pipeline.ctx) (db : Pp.Database.t) (m : Ir.Irmod.t)
+    (profile : Vm.Profile.t) ~total_cycles : staged =
+  let spec = ctx.Pipeline.spec in
+  let env = make_env db m profile in
+  let selection_nopruning, nopruning_wall =
+    wall (fun () -> Pipeline.exec ctx reference_stage env)
   in
-  let (_, selection_nopruning), nopruning_wall =
+  let (pruning, candidates, selection), search_wall =
     wall (fun () ->
-        U.Trace.span tr ~cat:"search" (lbl "search-reference") (fun () ->
-            search_blocks db m profile
-              ~select_config:Ise.Select.default_config all_blocks))
-  in
-  (* Phase 1b: the pruned search the JIT flow actually uses. *)
-  let (pruning, all_candidates, selection), search_wall =
-    wall (fun () ->
-        let pruning =
-          U.Trace.span tr ~cat:"search" (lbl "prune") (fun () ->
-              Ise.Prune.apply spec.Spec.prune m profile)
-        in
-        let candidates =
-          U.Trace.span tr ~cat:"search" (lbl "maxmiso") (fun () ->
-              identify m pruning.Ise.Prune.blocks)
-        in
-        let selection =
-          U.Trace.span tr ~cat:"search" (lbl "select") (fun () ->
-              Ise.Select.select ~config:spec.Spec.select db m profile
-                candidates)
-        in
+        let pruning = Pipeline.exec ctx prune_stage env in
+        let candidates = Pipeline.exec ctx maxmiso_stage (env, pruning) in
+        let selection = Pipeline.exec ctx select_stage (env, candidates) in
         (pruning, candidates, selection))
   in
   let asip_ratio = Ise.Speedup.of_selection ~total_cycles selection in
   let asip_ratio_max =
     Ise.Speedup.of_selection ~total_cycles selection_nopruning
   in
-  (* Promotion pool (only needed when failures can demand it): rank the
-     same candidate set without the selection caps and keep whatever
-     the caps excluded, best first. *)
   let alternates =
-    if not spec.Spec.faults.Cad.Faults.enabled then []
-    else
-      let unconstrained =
-        {
-          spec.Spec.select with
-          Ise.Select.max_candidates = None;
-          lut_budget = None;
-        }
-      in
-      let full =
-        Ise.Select.select ~config:unconstrained db m profile all_candidates
-      in
-      let key (s : Ise.Select.scored) =
-        let c = s.Ise.Select.candidate in
-        (c.Ise.Candidate.func, c.Ise.Candidate.block, c.Ise.Candidate.signature)
-      in
-      let chosen = List.map key selection in
-      List.filter (fun s -> not (List.mem (key s) chosen)) full
+    Pipeline.exec ctx alternates_stage (env, candidates, selection)
   in
   (* Phases 2 and 3 for every selected candidate (and staged alternate).
      The flow simulation and its fault chain are deterministically
@@ -375,24 +534,9 @@ let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
   let implemented =
     U.Pool.map ~jobs:spec.Spec.jobs
       (fun (s : Ise.Select.scored) ->
-        let c = s.Ise.Select.candidate in
-        let f = find_func_exn m c.Ise.Candidate.func in
-        let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
-        let project =
-          U.Trace.span tr ~cat:"hwgen"
-            (lbl ("vhdl:" ^ c.Ise.Candidate.signature))
-            (fun () -> Hw.Project.create db dfg c)
-        in
-        let c2v = Cad.Flow.c2v_seconds project in
-        let c2v = c2v *. (1.0 -. spec.Spec.cad.Cad.Flow.speedup_factor) in
-        let chain =
-          U.Trace.span tr ~cat:"cad"
-            (lbl ("implement:" ^ c.Ise.Candidate.signature))
-            (fun () ->
-              build_chain ?tracer:tr ~config:spec.Spec.cad
-                ~faults:spec.Spec.faults ~policy:spec.Spec.retry ~c2v db
-                project)
-        in
+        let detail = s.Ise.Select.candidate.Ise.Candidate.signature in
+        let project = Pipeline.exec ctx ~detail vhdl_stage (env, s) in
+        let c2v, chain = Pipeline.exec ctx ~detail chain_stage (env, s, project) in
         { sc_scored = s; sc_project = project; sc_c2v = c2v; sc_chain = chain })
       (selection @ alternates)
   in
@@ -403,14 +547,21 @@ let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
     stg_search_wall = search_wall;
     stg_nopruning_wall = nopruning_wall;
     stg_pruning = pruning;
-    stg_all_candidates = List.length all_candidates;
+    stg_all_candidates = List.length candidates;
     stg_selection = selection;
     stg_total_cycles = total_cycles;
     stg_asip_ratio = asip_ratio;
     stg_asip_ratio_max = asip_ratio_max;
     stg_candidates;
     stg_alternates;
+    stg_records = Pipeline.records ctx;
   }
+
+(** Standalone staging: a fresh {!Pipeline.ctx} from [spec] and [app]
+    (trace-span labels and artifact-store attribution). *)
+let stage ?(spec = Spec.default) ?(app = "") (db : Pp.Database.t)
+    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : staged =
+  stage_in (Pipeline.context ~spec ~app ()) db m profile ~total_cycles
 
 (* What finalization decides about one slot of the selection. *)
 type resolution =
@@ -679,6 +830,7 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
     deadline_exceeded;
     asip_ratio;
     asip_ratio_max = st.stg_asip_ratio_max;
+    stage_records = st.stg_records;
   }
 
 (** Run the complete specialization process on a profiled module.

@@ -50,34 +50,75 @@ type prepared = {
   pre_staged : Asip_sp.staged;
 }
 
+(* The frontend/VM/analysis stages, digested on the workload identity:
+   name, domain, sources and datasets pin everything their outputs
+   depend on (compilation and the VM are deterministic), so across
+   sweep points that vary only downstream knobs every one of these is
+   an artifact-store hit. *)
+let workload_digest (w : W.Workload.t) =
+  let c = U.Digest.create () in
+  U.Digest.add_string c w.W.Workload.name;
+  U.Digest.add_string c (W.Workload.domain_to_string w.W.Workload.domain);
+  U.Digest.add_list c
+    (fun (file, src) ->
+      U.Digest.add_string c file;
+      U.Digest.add_string c src)
+    w.W.Workload.sources;
+  U.Digest.add_list c
+    (fun (d : W.Workload.dataset) ->
+      U.Digest.add_string c d.W.Workload.label;
+      U.Digest.add_int c d.W.Workload.n)
+    w.W.Workload.datasets;
+  U.Digest.finish c
+
+let compile_stage : (W.Workload.t, F.Compiler.result) Pipeline.stage =
+  Pipeline.stage ~cat:"frontend" "compile"
+    ~digest:(fun _spec w -> workload_digest w)
+    (fun _ctx w -> W.Workload.compile w)
+
+let profile_stage :
+    ( W.Workload.t * F.Compiler.result,
+      (W.Workload.dataset * Vm.Machine.outcome) list )
+    Pipeline.stage =
+  Pipeline.stage ~cat:"vm" "profile"
+    ~digest:(fun _spec (w, _compiled) -> workload_digest w)
+    (fun _ctx (w, compiled) -> W.Workload.run_all compiled w)
+
+let coverage_stage :
+    ( W.Workload.t * Ir.Irmod.t * Vm.Profile.t list,
+      An.Coverage.t )
+    Pipeline.stage =
+  Pipeline.stage ~cat:"analysis" "coverage"
+    ~digest:(fun _spec (w, _m, _ps) -> workload_digest w)
+    (fun _ctx (_w, modul, profiles) -> An.Coverage.classify modul profiles)
+
+let kernel_stage :
+    (W.Workload.t * Ir.Irmod.t * Vm.Profile.t, An.Kernel.t) Pipeline.stage =
+  Pipeline.stage ~cat:"analysis" "kernel"
+    ~digest:(fun _spec (w, _m, _p) -> workload_digest w)
+    (fun _ctx (_w, modul, profile) -> An.Kernel.compute modul profile)
+
 (** Compile, execute, analyze and stage one workload.  Touches no
-    shared mutable state (the PivPav database is thread-safe), so many
-    applications can be prepared concurrently. *)
+    shared mutable state (the PivPav database and the artifact store
+    are thread-safe), so many applications can be prepared
+    concurrently.  All stages of one application run under one
+    {!Pipeline.ctx}, so the staged report's [stage_records] cover the
+    whole chain from [compile] to [implement]. *)
 let prepare ~(spec : Spec.t) (db : Pp.Database.t) (w : W.Workload.t) :
     prepared =
-  let tr = spec.Spec.tracer in
   let app = w.W.Workload.name in
-  let compiled =
-    U.Trace.span tr ~cat:"frontend" ("compile:" ^ app) (fun () ->
-        W.Workload.compile w)
-  in
-  let outcomes =
-    U.Trace.span tr ~cat:"vm" ("profile:" ^ app) (fun () ->
-        W.Workload.run_all compiled w)
-  in
+  let ctx = Pipeline.context ~spec ~app () in
+  let compiled = Pipeline.exec ctx compile_stage w in
+  let outcomes = Pipeline.exec ctx profile_stage (w, compiled) in
   let modul = compiled.F.Compiler.modul in
   let profiles = List.map (fun (_, o) -> o.Vm.Machine.profile) outcomes in
-  let coverage =
-    U.Trace.span tr ~cat:"analysis" ("coverage:" ^ app) (fun () ->
-        An.Coverage.classify modul profiles)
-  in
+  let coverage = Pipeline.exec ctx coverage_stage (w, modul, profiles) in
   let train = snd (List.hd outcomes) in
   let kernel =
-    U.Trace.span tr ~cat:"analysis" ("kernel:" ^ app) (fun () ->
-        An.Kernel.compute modul train.Vm.Machine.profile)
+    Pipeline.exec ctx kernel_stage (w, modul, train.Vm.Machine.profile)
   in
   let staged =
-    Asip_sp.stage ~spec ~app db modul train.Vm.Machine.profile
+    Asip_sp.stage_in ctx db modul train.Vm.Machine.profile
       ~total_cycles:train.Vm.Machine.native_cycles
   in
   {

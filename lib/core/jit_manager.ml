@@ -77,6 +77,23 @@ let timeline ?(arch = Wool.Arch.default) ?(jobs = 1)
     s.Ise.Select.candidate.Ise.Candidate.signature
   in
   emit 0.0 "profiling complete; candidate search starts";
+  (* The staged engine's execution records replace the old ad-hoc
+     search tuple: each search stage (prune, MAXMISO, select) becomes
+     its own event inside the measured search window, and a
+     stage-cache hit is visible as such. *)
+  let search_stages = [ "prune"; "maxmiso"; "select" ] in
+  let t_search = ref 0.0 in
+  List.iter
+    (fun (r : Pipeline.record) ->
+      if List.mem r.Pipeline.rec_stage search_stages then begin
+        t_search :=
+          Float.min report.Asip_sp.search_wall_seconds
+            (!t_search +. r.Pipeline.rec_wall_seconds);
+        emit !t_search "search stage %s: %s (%.2f ms)" r.Pipeline.rec_stage
+          (Pipeline.outcome_name r.Pipeline.rec_outcome)
+          (1000.0 *. r.Pipeline.rec_wall_seconds)
+      end)
+    report.Asip_sp.stage_records;
   emit (report.Asip_sp.search_wall_seconds)
     "candidate search done: %d candidates selected"
     (List.length report.Asip_sp.selection);

@@ -1,0 +1,282 @@
+(** The staged pipeline engine.
+
+    The ASIP specialization process is an explicit stage chain (profile
+    → prune → MAXMISO → estimate/select → netlist → CAD implement), and
+    PRs 1–2 hand-wove tracing, retry, fault handling and bitstream
+    caching into each call site of that chain.  This module makes the
+    stages first-class instead: a [('i, 'o) stage] bundles a name, an
+    optional {e digest function} over its canonical inputs and a run
+    function, and {!exec} wraps every stage uniformly with
+
+    - a {!Jitise_util.Trace} span (same [stage:detail:app] labels the
+      monolithic orchestrator used),
+    - a {!record} of wall time and outcome for
+      [Jit_manager.timeline]/[Experiment]/bench consumption, and
+    - optional memoization through a content-addressed
+      {!Jitise_util.Artifact} store ([spec.stage_cache]).
+
+    The digest function hashes exactly the inputs the stage's output
+    depends on — IR text, profile counts, the relevant [Spec] knobs,
+    fault/retry configuration and seeds — so a sweep point re-runs only
+    the stages whose inputs actually changed: varying only the
+    selection config across twenty sweep points reuses the
+    compile/profile/prune/MAXMISO artifacts outright.  This generalizes
+    the bitstream-only [Cad.Cache] of PR 1 to per-stage reuse with the
+    same Local/Shared hit attribution.
+
+    With [spec.stage_cache = None] (the default) the engine degrades to
+    pure tracing + recording: no digests are computed and behaviour is
+    identical to the pre-refactor orchestrator.  Stage bodies must be
+    deterministic functions of their inputs for memoization to be
+    sound; everything measured (wall clocks) lives outside the stage
+    values, in {!record}s. *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module Ise = Jitise_ise
+module Cad = Jitise_cad
+module U = Jitise_util
+
+(** How one stage execution was satisfied. *)
+type outcome =
+  | Computed  (** the stage body ran *)
+  | Hit of U.Artifact.hit
+      (** served from the artifact store; [Local] if this application
+          built it, [Shared] if another one did *)
+
+let outcome_name = function
+  | Computed -> "computed"
+  | Hit h -> U.Artifact.hit_name h ^ " stage-cache hit"
+
+(** One stage execution, as consumed by [Jit_manager.timeline] and the
+    bench's [BENCH_pipeline.json]. *)
+type record = {
+  rec_stage : string;
+  rec_app : string;
+  rec_wall_seconds : float;  (** measured; ~0 on a hit *)
+  rec_outcome : outcome;
+}
+
+(** Per-application execution context: the spec, the app label for
+    trace spans and cache attribution, and the record log.  The log is
+    mutex-protected because [spec.jobs] parallelizes the per-candidate
+    stages within one application. *)
+type ctx = {
+  spec : Spec.t;
+  app : string;
+  records : record list ref;
+  lock : Mutex.t;
+}
+
+let context ?(spec = Spec.default) ?(app = "") () =
+  { spec; app; records = ref []; lock = Mutex.create () }
+
+(** Records in execution order.  Sequential stages appear in program
+    order; per-candidate stages under [jobs > 1] appear in completion
+    order (consumers must not rely on their relative order). *)
+let records ctx = List.rev !(ctx.records)
+
+type ('i, 'o) stage = {
+  stage_name : string;
+  stage_cat : string;  (** trace-span category *)
+  stage_digest : (Spec.t -> 'i -> U.Digest.t) option;
+      (** digest of the canonical inputs; [None] = never memoized
+          (e.g. a stage whose output is not worth storing) *)
+  stage_key : 'o U.Artifact.key;
+  stage_body : ctx -> 'i -> 'o;
+}
+
+(** Define a stage.  Call once, at module initialization: the stage
+    value owns the typed artifact-store slot for its name, and the name
+    must be unique across the program. *)
+let stage ?(cat = "pipeline") ?digest name body =
+  {
+    stage_name = name;
+    stage_cat = cat;
+    stage_digest = digest;
+    stage_key = U.Artifact.key name;
+    stage_body = body;
+  }
+
+let name s = s.stage_name
+
+(** Execute a stage: trace span, artifact-store probe (when both a
+    store and a digest function exist), body on miss, record either
+    way.  [detail] extends the span label ([name:detail:app]) for
+    per-candidate stages without splintering the stats key. *)
+let exec ?detail ctx (s : ('i, 'o) stage) (input : 'i) : 'o =
+  let label =
+    let base =
+      match detail with None -> s.stage_name | Some d -> s.stage_name ^ ":" ^ d
+    in
+    if ctx.app = "" then base else base ^ ":" ^ ctx.app
+  in
+  U.Trace.span ctx.spec.Spec.tracer ~cat:s.stage_cat label (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let note rec_outcome =
+        let r =
+          {
+            rec_stage = s.stage_name;
+            rec_app = ctx.app;
+            rec_wall_seconds = Unix.gettimeofday () -. t0;
+            rec_outcome;
+          }
+        in
+        Mutex.protect ctx.lock (fun () -> ctx.records := r :: !(ctx.records))
+      in
+      match (ctx.spec.Spec.stage_cache, s.stage_digest) with
+      | Some store, Some digest_of -> (
+          let digest = digest_of ctx.spec input in
+          match U.Artifact.find store s.stage_key ~app:ctx.app ~digest with
+          | Some (v, h) ->
+              note (Hit h);
+              v
+          | None ->
+              let v = s.stage_body ctx input in
+              U.Artifact.put store s.stage_key ~app:ctx.app ~digest v;
+              note Computed;
+              v)
+      | _ ->
+          let v = s.stage_body ctx input in
+          note Computed;
+          v)
+
+(** Sequential composition.  The composite has no digest of its own —
+    each constituent stage still probes the store individually, which
+    is what makes partial reuse (prefix hits, suffix recomputed)
+    work. *)
+let compose a b =
+  let nm = a.stage_name ^ ">>" ^ b.stage_name in
+  {
+    stage_name = nm;
+    stage_cat = a.stage_cat;
+    stage_digest = None;
+    stage_key = U.Artifact.key nm;
+    stage_body = (fun ctx x -> exec ctx b (exec ctx a x));
+  }
+
+let ( >>> ) = compose
+
+(* ------------------------------------------------------------------ *)
+(* Per-stage aggregation of records, for tests and BENCH_pipeline.json *)
+
+type summary = {
+  sum_stage : string;
+  sum_executions : int;
+  sum_computed : int;
+  sum_local_hits : int;
+  sum_shared_hits : int;
+  sum_wall_seconds : float;
+}
+
+(** Aggregate records per stage name, sorted by stage name. *)
+let summarize (rs : record list) : summary list =
+  let tbl : (string, summary ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let s =
+        match Hashtbl.find_opt tbl r.rec_stage with
+        | Some s -> s
+        | None ->
+            let s =
+              ref
+                {
+                  sum_stage = r.rec_stage;
+                  sum_executions = 0;
+                  sum_computed = 0;
+                  sum_local_hits = 0;
+                  sum_shared_hits = 0;
+                  sum_wall_seconds = 0.0;
+                }
+            in
+            Hashtbl.replace tbl r.rec_stage s;
+            s
+      in
+      s :=
+        {
+          !s with
+          sum_executions = !s.sum_executions + 1;
+          sum_computed =
+            (!s.sum_computed + match r.rec_outcome with Computed -> 1 | _ -> 0);
+          sum_local_hits =
+            (!s.sum_local_hits
+            + match r.rec_outcome with Hit U.Artifact.Local -> 1 | _ -> 0);
+          sum_shared_hits =
+            (!s.sum_shared_hits
+            + match r.rec_outcome with Hit U.Artifact.Shared -> 1 | _ -> 0);
+          sum_wall_seconds = !s.sum_wall_seconds +. r.rec_wall_seconds;
+        })
+    rs;
+  Hashtbl.fold (fun _ s acc -> !s :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.sum_stage b.sum_stage)
+
+(** Executions of [stage] in [rs] that were served from the store. *)
+let hits_of (rs : record list) stage =
+  List.length
+    (List.filter
+       (fun r ->
+         r.rec_stage = stage
+         && match r.rec_outcome with Hit _ -> true | Computed -> false)
+       rs)
+
+(** Executions of [stage] in [rs] that actually ran the body. *)
+let computed_of (rs : record list) stage =
+  List.length
+    (List.filter
+       (fun r -> r.rec_stage = stage && r.rec_outcome = Computed)
+       rs)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-input digest helpers shared by the stage definitions in
+   Asip_sp and Experiment.  Everything a stage's output depends on must
+   be fed; nothing measured may be. *)
+
+module D = U.Digest
+
+(** Digest of a module's canonical text (the printer round-trips, so
+    structurally equal modules digest equally). *)
+let digest_module (m : Ir.Irmod.t) = D.of_string (Ir.Printer.module_to_string m)
+
+(** Digest of a profile's sorted (func, label, count) triples plus the
+    dynamic instruction count. *)
+let digest_profile (p : Vm.Profile.t) =
+  let c = D.create () in
+  List.iter
+    (fun (fn, l, n) ->
+      D.add_string c fn;
+      D.add_int c l;
+      D.add_int64 c n)
+    (Vm.Profile.to_list p);
+  D.add_int64 c p.Vm.Profile.executed_instrs;
+  D.finish c
+
+let add_prune c (p : Ise.Prune.t) =
+  D.add_float c p.Ise.Prune.coverage_percent;
+  D.add_int c p.Ise.Prune.top_blocks
+
+let add_select c (s : Ise.Select.config) =
+  D.add_int c s.Ise.Select.max_inputs;
+  D.add_bool c s.Ise.Select.split_wide;
+  D.add_option c (D.add_int c) s.Ise.Select.max_candidates;
+  D.add_option c (D.add_int c) s.Ise.Select.lut_budget
+
+let add_cad c (cfg : Cad.Flow.config) =
+  D.add_float c cfg.Cad.Flow.speedup_factor;
+  D.add_bool c cfg.Cad.Flow.eapr;
+  D.add_float c cfg.Cad.Flow.device_scale
+
+let add_faults c (f : Cad.Faults.config) =
+  D.add_bool c f.Cad.Faults.enabled;
+  D.add_int c f.Cad.Faults.seed;
+  D.add_float c f.Cad.Faults.crash_rate;
+  D.add_float c f.Cad.Faults.congestion_rate;
+  D.add_float c f.Cad.Faults.timing_rate;
+  D.add_float c f.Cad.Faults.corruption_rate
+
+let add_retry c (p : U.Retry.policy) =
+  D.add_int c p.U.Retry.max_attempts;
+  D.add_float c p.U.Retry.backoff_seconds;
+  D.add_float c p.U.Retry.backoff_multiplier;
+  D.add_float c p.U.Retry.jitter;
+  D.add_option c (D.add_float c) p.U.Retry.candidate_deadline_seconds;
+  D.add_option c (D.add_float c) p.U.Retry.specialization_deadline_seconds

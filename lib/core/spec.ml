@@ -37,6 +37,14 @@ type t = {
   tracer : U.Trace.t option;
       (** when set, every pipeline stage records a span; export with
           {!U.Trace.write} *)
+  stage_cache : U.Artifact.t option;
+      (** content-addressed artifact store for whole-stage memoization
+          ([None], the default, recomputes every stage).  [Some store]
+          lets a sweep point reuse any stage artifact whose input
+          digest is unchanged — e.g. a sweep varying only [select]
+          re-executes zero compile/profile/prune/MAXMISO stages.
+          Orthogonal to [cache], which shares {e bitstreams} across
+          applications at a finer grain. *)
   faults : Cad.Faults.config;
       (** CAD fault-injection model; {!Cad.Faults.none} (the default)
           reproduces the failure-free flow byte for byte *)
@@ -54,6 +62,7 @@ let default =
     jobs = 1;
     cache = None;
     tracer = None;
+    stage_cache = None;
     faults = Cad.Faults.none;
     retry = U.Retry.default;
   }
@@ -69,6 +78,7 @@ let with_jobs jobs t =
 
 let with_cache cache t = { t with cache = Some cache }
 let with_tracer tracer t = { t with tracer = Some tracer }
+let with_stage_cache store t = { t with stage_cache = Some store }
 
 let with_faults faults t =
   Cad.Faults.validate faults;

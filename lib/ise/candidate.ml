@@ -113,7 +113,9 @@ let signature_of (dfg : Ir.Dfg.t) nodes =
     @raise Invalid_argument if the set is empty or has multiple
     outputs. *)
 let make (dfg : Ir.Dfg.t) ~func nodes =
-  if nodes = [] then invalid_arg "Candidate.make: empty node set";
+  if nodes = [] then
+    invalid_arg
+      (Printf.sprintf "Candidate.make: empty node set (function %S)" func);
   let nodes = List.sort_uniq compare nodes in
   let root =
     match output_nodes dfg nodes with
@@ -122,7 +124,11 @@ let make (dfg : Ir.Dfg.t) ~func nodes =
         (* A value consumed nowhere: treat the last node as root (can
            arise in synthetic tests). *)
         List.fold_left max 0 nodes
-    | _ -> invalid_arg "Candidate.make: multiple output nodes"
+    | outs ->
+        invalid_arg
+          (Printf.sprintf
+             "Candidate.make: multiple output nodes (got %d in function %S)"
+             (List.length outs) func)
   in
   let opcodes =
     List.map

@@ -37,7 +37,12 @@ let of_name s =
   else
     try Scanf.sscanf s "@%fpS%dL" (fun coverage_percent top_blocks ->
         if coverage_percent <= 0.0 || coverage_percent > 100.0 || top_blocks <= 0
-        then invalid_arg "Prune.of_name: out-of-range parameters"
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Prune.of_name: out-of-range parameters (got %g%% coverage, \
+                %d blocks)"
+               coverage_percent top_blocks)
         else { coverage_percent; top_blocks })
     with Scanf.Scan_failure _ | End_of_file | Failure _ ->
       invalid_arg (Printf.sprintf "Prune.of_name: cannot parse %S" s)

@@ -39,7 +39,10 @@ let default_config =
     into exactly this graph). *)
 let dfg_of (m : Ir.Irmod.t) (c : Candidate.t) =
   match Ir.Irmod.find_func m c.Candidate.func with
-  | None -> invalid_arg ("Select: unknown function " ^ c.Candidate.func)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Select.dfg_of: unknown function %S (candidate %s)"
+           c.Candidate.func c.Candidate.signature)
   | Some f -> Ir.Dfg.of_block f (Ir.Func.block f c.Candidate.block)
 
 (** Score and filter candidates. *)

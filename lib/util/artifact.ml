@@ -1,0 +1,138 @@
+type hit = Local | Shared
+
+let hit_name = function Local -> "local" | Shared -> "shared"
+
+(* Universal type: each key mints a private constructor, so injection and
+   projection only match for values stored through the same key.  This is
+   the standard extensible-variant encoding of a heterogeneous store. *)
+type univ = ..
+
+type 'a key = {
+  key_name : string;
+  inj : 'a -> univ;
+  proj : univ -> 'a option;
+}
+
+let key (type a) name : a key =
+  let module M = struct
+    type univ += V of a
+  end in
+  {
+    key_name = name;
+    inj = (fun x -> M.V x);
+    proj = (function M.V x -> Some x | _ -> None);
+  }
+
+let key_name k = k.key_name
+
+type entry = { value : univ; builder : string }
+
+type counter = {
+  mutable computed : int;
+  mutable local_hits : int;
+  mutable shared_hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  table : (string * string, entry) Hashtbl.t;
+  (* keyed by stage name; stats survive even for stages whose entries all
+     turned out to be duplicate puts *)
+  counters : (string, counter) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () =
+  { table = Hashtbl.create 64; counters = Hashtbl.create 16; lock = Mutex.create () }
+
+let counter_of t stage =
+  match Hashtbl.find_opt t.counters stage with
+  | Some c -> c
+  | None ->
+      let c = { computed = 0; local_hits = 0; shared_hits = 0; misses = 0 } in
+      Hashtbl.replace t.counters stage c;
+      c
+
+let find t k ~app ~digest =
+  Mutex.protect t.lock (fun () ->
+      let c = counter_of t k.key_name in
+      match Hashtbl.find_opt t.table (k.key_name, Digest.to_hex digest) with
+      | None ->
+          c.misses <- c.misses + 1;
+          None
+      | Some e -> (
+          match k.proj e.value with
+          | None ->
+              (* Same stage name registered twice with different keys;
+                 treat as a miss rather than return a foreign value. *)
+              c.misses <- c.misses + 1;
+              None
+          | Some v ->
+              let hit = if String.equal e.builder app then Local else Shared in
+              (match hit with
+              | Local -> c.local_hits <- c.local_hits + 1
+              | Shared -> c.shared_hits <- c.shared_hits + 1);
+              Some (v, hit)))
+
+let put t k ~app ~digest v =
+  Mutex.protect t.lock (fun () ->
+      let c = counter_of t k.key_name in
+      c.computed <- c.computed + 1;
+      let tk = (k.key_name, Digest.to_hex digest) in
+      if not (Hashtbl.mem t.table tk) then
+        Hashtbl.replace t.table tk { value = k.inj v; builder = app })
+
+type stage_stats = {
+  stage : string;
+  entries : int;
+  computed : int;
+  local_hits : int;
+  shared_hits : int;
+}
+
+type stats = {
+  total_entries : int;
+  total_computed : int;
+  total_local_hits : int;
+  total_shared_hits : int;
+  by_stage : stage_stats list;
+}
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      let entries_by_stage = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (stage, _) _ ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt entries_by_stage stage) in
+          Hashtbl.replace entries_by_stage stage (n + 1))
+        t.table;
+      let by_stage =
+        Hashtbl.fold
+          (fun stage (c : counter) acc ->
+            {
+              stage;
+              entries = Option.value ~default:0 (Hashtbl.find_opt entries_by_stage stage);
+              computed = c.computed;
+              local_hits = c.local_hits;
+              shared_hits = c.shared_hits;
+            }
+            :: acc)
+          t.counters []
+        |> List.sort (fun a b -> String.compare a.stage b.stage)
+      in
+      {
+        total_entries = Hashtbl.length t.table;
+        total_computed = List.fold_left (fun n s -> n + s.computed) 0 by_stage;
+        total_local_hits = List.fold_left (fun n s -> n + s.local_hits) 0 by_stage;
+        total_shared_hits = List.fold_left (fun n s -> n + s.shared_hits) 0 by_stage;
+        by_stage;
+      })
+
+let pp_stats ppf s =
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "  %-18s %4d entries  %4d computed  %4d local  %4d shared@."
+        st.stage st.entries st.computed st.local_hits st.shared_hits)
+    s.by_stage;
+  Format.fprintf ppf "  %-18s %4d entries  %4d computed  %4d local  %4d shared@."
+    "total" s.total_entries s.total_computed s.total_local_hits s.total_shared_hits

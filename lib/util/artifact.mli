@@ -1,0 +1,71 @@
+(** Thread-safe content-addressed artifact store for the staged pipeline.
+
+    Stage outputs are stored under [(stage name, input digest)] and shared
+    between sweep points and between worker domains, generalizing the
+    bitstream-only [Cad.Cache] of PR 1 to every pipeline stage.  Hits carry
+    the same Local/Shared attribution: [Local] when the artifact was first
+    built under the same application, [Shared] when another application
+    built it.
+
+    Values are heterogeneous: each stage owns a typed {!key} created once
+    with {!key}, and the store guarantees that a value stored under a key
+    can only be read back through that same key (a universal-type embedding
+    per key, no [Obj.magic]).
+
+    Counter caveat: under [jobs > 1] two workers can miss on the same
+    digest concurrently and both compute; the first {!put} wins and the
+    duplicate value is dropped.  Stored values and hits therefore stay
+    deterministic, but hit/miss {e counts} are scheduling-dependent in
+    parallel runs — tests asserting exact counters must run serially. *)
+
+type t
+
+type hit = Local | Shared
+
+val hit_name : hit -> string
+(** ["local"] or ["shared"]. *)
+
+type 'a key
+
+val key : string -> 'a key
+(** [key stage_name] mints the typed slot for one stage.  Call it once per
+    stage, at module initialization: two keys made from the same name do
+    not unify, and the name is the unit of stats aggregation, so it must be
+    globally unique across the program. *)
+
+val key_name : _ key -> string
+
+val create : unit -> t
+(** An empty store.  No eviction: entries live as long as the store, which
+    is what makes re-evaluation against a warm store deterministic. *)
+
+val find : t -> 'a key -> app:string -> digest:Digest.t -> ('a * hit) option
+(** Probe for a stage artifact.  A hit is counted and attributed ([Local]
+    if [app] matches the builder recorded at {!put} time); a miss is
+    counted as such.  Never inserts. *)
+
+val put : t -> 'a key -> app:string -> digest:Digest.t -> 'a -> unit
+(** Record a freshly computed artifact.  First writer wins; a concurrent
+    duplicate is ignored so that every reader observes one value per
+    digest. *)
+
+type stage_stats = {
+  stage : string;
+  entries : int;  (** distinct artifacts stored for this stage *)
+  computed : int;  (** {!put} calls, including dropped duplicates *)
+  local_hits : int;
+  shared_hits : int;
+}
+
+type stats = {
+  total_entries : int;
+  total_computed : int;
+  total_local_hits : int;
+  total_shared_hits : int;
+  by_stage : stage_stats list;  (** sorted by stage name *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line per stage plus a totals line, for [--stage-stats]. *)

@@ -85,12 +85,20 @@ let is_intrinsic = function
 
 (* Per-block static data, computed once per run.  [exec_count] is the
    run-local profile counter (folded into a Profile at the end — much
-   cheaper than a hashtable update per block execution). *)
+   cheaper than a hashtable update per block execution).  The phi
+   prologue is pre-resolved: [phi_incoming.(k).(pred)] is the operand
+   phi [k] takes when entered from block [pred], so the hot loop does
+   two array reads per phi instead of scanning an association list on
+   every block execution. *)
 type block_info = {
   instrs : Ir.Instr.t array;
   term : Ir.Instr.terminator;
   ninstrs : int;
   static_cycles : int;  (* excludes user-call callees and CI latencies *)
+  phi_count : int;  (* leading phis; a phi past them still faults *)
+  phi_dests : int array;  (* destination register of each leading phi *)
+  phi_incoming : Ir.Instr.operand option array array;
+      (* per leading phi, indexed by predecessor block label *)
   mutable exec_count : int64;
 }
 
@@ -109,6 +117,7 @@ let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
       if i.Ir.Instr.id < Array.length reg_tys then
         reg_tys.(i.Ir.Instr.id) <- i.Ir.Instr.ty)
     f;
+  let nblocks = Array.length f.Ir.Func.blocks in
   let blocks =
     Array.map
       (fun (b : Ir.Block.t) ->
@@ -125,11 +134,48 @@ let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
             0 instrs
           + Ir.Cost.terminator_cycles b.Ir.Block.term
         in
+        let n = Array.length instrs in
+        let phi_count =
+          let rec go k =
+            if
+              k < n
+              &&
+              match instrs.(k).Ir.Instr.kind with
+              | Ir.Instr.Phi _ -> true
+              | _ -> false
+            then go (k + 1)
+            else k
+          in
+          go 0
+        in
+        let phi_dests =
+          Array.init phi_count (fun k -> instrs.(k).Ir.Instr.id)
+        in
+        let phi_incoming =
+          Array.init phi_count (fun k ->
+              match instrs.(k).Ir.Instr.kind with
+              | Ir.Instr.Phi incoming ->
+                  let row = Array.make nblocks None in
+                  (* first match wins, like List.assoc_opt did; labels
+                     outside the function are unreachable dead entries *)
+                  List.iter
+                    (fun (pred, op) ->
+                      if pred >= 0 && pred < nblocks then
+                        match row.(pred) with
+                        | None -> row.(pred) <- Some op
+                        | Some _ -> ())
+                    incoming;
+                  row
+              | _ -> assert false)
+        in
         {
           instrs;
           term = b.Ir.Block.term;
-          ninstrs = Array.length instrs;
+          ninstrs = n;
           static_cycles;
+          phi_count;
+          phi_dests;
+          phi_incoming;
           exec_count = 0L;
         })
       f.Ir.Func.blocks
@@ -197,34 +243,28 @@ let rec exec_func st (fi : func_info) (args : Ir.Eval.value array) :
       st.vm
       +. Jit_model.block_execution_cycles st.jit ~prior ~ninstrs:bi.ninstrs
            ~native_cycles:bi.static_cycles;
-    (* Phis first, read atomically. *)
-    let n = Array.length bi.instrs in
-    let phi_count = ref 0 in
-    (try
-       while !phi_count < n do
-         match bi.instrs.(!phi_count).Ir.Instr.kind with
-         | Ir.Instr.Phi _ -> incr phi_count
-         | _ -> raise Exit
-       done
-     with Exit -> ());
-    if !phi_count > 0 then begin
-      let staged = Array.make !phi_count (Ir.Eval.VInt 0L) in
-      for k = 0 to !phi_count - 1 do
-        match bi.instrs.(k).Ir.Instr.kind with
-        | Ir.Instr.Phi incoming -> (
-            match List.assoc_opt !prev incoming with
-            | Some op -> staged.(k) <- value_of_operand regs op
-            | None ->
-                fault "@%s/bb%d: phi has no entry for predecessor bb%d"
-                  f.Ir.Func.name !cur !prev)
-        | _ -> assert false
+    (* Phis first, read atomically: the incoming operand per
+       predecessor was pre-resolved into an array in [prepare_func]. *)
+    let n = bi.ninstrs in
+    let nphi = bi.phi_count in
+    if nphi > 0 then begin
+      let staged = Array.make nphi (Ir.Eval.VInt 0L) in
+      for k = 0 to nphi - 1 do
+        let row = bi.phi_incoming.(k) in
+        match
+          if !prev >= 0 && !prev < Array.length row then row.(!prev) else None
+        with
+        | Some op -> staged.(k) <- value_of_operand regs op
+        | None ->
+            fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+              f.Ir.Func.name !cur !prev
       done;
-      for k = 0 to !phi_count - 1 do
-        regs.(bi.instrs.(k).Ir.Instr.id) <- staged.(k)
+      for k = 0 to nphi - 1 do
+        regs.(bi.phi_dests.(k)) <- staged.(k)
       done
     end;
     (* Straight-line body. *)
-    for k = !phi_count to n - 1 do
+    for k = nphi to n - 1 do
       let i = bi.instrs.(k) in
       let v op = value_of_operand regs op in
       let set x = regs.(i.Ir.Instr.id) <- x in

@@ -323,10 +323,15 @@ let test_spec_builders () =
   let spec =
     Core.Spec.default |> Core.Spec.with_jobs 4
     |> Core.Spec.with_cache (Jitise_cad.Cache.create ())
+    |> Core.Spec.with_stage_cache (Jitise_util.Artifact.create ())
     |> Core.Spec.with_tracer (Jitise_util.Trace.create ())
   in
   Alcotest.(check int) "jobs set" 4 spec.Core.Spec.jobs;
   Alcotest.(check bool) "cache set" true (spec.Core.Spec.cache <> None);
+  Alcotest.(check bool) "stage cache set" true
+    (spec.Core.Spec.stage_cache <> None);
+  Alcotest.(check bool) "stage cache off by default" true
+    (Core.Spec.default.Core.Spec.stage_cache = None);
   Alcotest.(check bool) "tracer set" true (spec.Core.Spec.tracer <> None);
   Alcotest.(check int) "default is serial" 1 Core.Spec.default.Core.Spec.jobs;
   Alcotest.(check bool) "default has no cache" true

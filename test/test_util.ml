@@ -400,6 +400,174 @@ let test_retry_budget () =
   Alcotest.(check (option (float 0.0))) "unbounded has no remaining" None
     (U.Retry.remaining unbounded)
 
+(* ------------------------------------------------------------------ *)
+(* Digest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_pinned () =
+  (* Pins the algorithm (FNV-1a/64, tagged + length-prefixed): a change
+     to the encoding silently invalidates every stored artifact, so it
+     must show up here first. *)
+  Alcotest.(check string) "of_string" "f748aa8bb2994bea"
+    (U.Digest.to_hex (U.Digest.of_string "jitise"));
+  let c = U.Digest.create () in
+  U.Digest.add_int c 42;
+  U.Digest.add_string c "x";
+  Alcotest.(check string) "int + string" "662becd93e401b9a"
+    (U.Digest.to_hex (U.Digest.finish c))
+
+let test_digest_stable_across_runs () =
+  let build () =
+    let c = U.Digest.create () in
+    U.Digest.add_string c "module";
+    U.Digest.add_int c 7;
+    U.Digest.add_int64 c 123456789012345L;
+    U.Digest.add_float c 3.25;
+    U.Digest.add_bool c true;
+    U.Digest.add_option c (U.Digest.add_int c) (Some 9);
+    U.Digest.add_option c (U.Digest.add_int c) None;
+    U.Digest.add_list c (U.Digest.add_string c) [ "a"; "bc" ];
+    U.Digest.finish c
+  in
+  Alcotest.(check bool) "identical inputs, identical digest" true
+    (U.Digest.equal (build ()) (build ()));
+  Alcotest.(check string) "hex is 16 chars" "16"
+    (string_of_int (String.length (U.Digest.to_hex (build ()))))
+
+let test_digest_distinguishes () =
+  let d f =
+    let c = U.Digest.create () in
+    f c;
+    U.Digest.finish c
+  in
+  let ne msg a b =
+    Alcotest.(check bool) msg false (U.Digest.equal a b)
+  in
+  ne "field boundaries"
+    (d (fun c ->
+         U.Digest.add_string c "ab";
+         U.Digest.add_string c ""))
+    (d (fun c ->
+         U.Digest.add_string c "a";
+         U.Digest.add_string c "b"));
+  ne "list structure"
+    (d (fun c -> U.Digest.add_list c (U.Digest.add_string c) [ "ab" ]))
+    (d (fun c -> U.Digest.add_list c (U.Digest.add_string c) [ "a"; "b" ]));
+  ne "None vs Some"
+    (d (fun c -> U.Digest.add_option c (U.Digest.add_int c) None))
+    (d (fun c -> U.Digest.add_option c (U.Digest.add_int c) (Some 0)));
+  ne "float sign of zero"
+    (d (fun c -> U.Digest.add_float c 0.0))
+    (d (fun c -> U.Digest.add_float c (-0.0)));
+  ne "int vs int64 tags"
+    (d (fun c -> U.Digest.add_int c 5))
+    (d (fun c -> U.Digest.add_int64 c 5L));
+  ne "composition"
+    (d (fun c -> U.Digest.add_digest c (U.Digest.of_string "a")))
+    (d (fun c -> U.Digest.add_string c "a"))
+
+let test_digest_finish_nondestructive () =
+  let c = U.Digest.create () in
+  U.Digest.add_string c "prefix";
+  let snap = U.Digest.finish c in
+  U.Digest.add_int c 1;
+  let extended = U.Digest.finish c in
+  Alcotest.(check bool) "snapshot unchanged by extension" true
+    (U.Digest.equal snap (U.Digest.of_string "prefix"));
+  Alcotest.(check bool) "extension differs" false (U.Digest.equal snap extended)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact store                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let akey_int : int U.Artifact.key = U.Artifact.key "test-int"
+let akey_str : string U.Artifact.key = U.Artifact.key "test-str"
+
+let test_artifact_put_find () =
+  let t = U.Artifact.create () in
+  let d = U.Digest.of_string "d1" in
+  Alcotest.(check bool) "miss before put" true
+    (U.Artifact.find t akey_int ~app:"a" ~digest:d = None);
+  U.Artifact.put t akey_int ~app:"a" ~digest:d 42;
+  (match U.Artifact.find t akey_int ~app:"a" ~digest:d with
+  | Some (42, U.Artifact.Local) -> ()
+  | Some (v, h) ->
+      Alcotest.failf "wrong hit: %d / %s" v (U.Artifact.hit_name h)
+  | None -> Alcotest.fail "expected a hit");
+  (* Same digest under a different stage key stays independent. *)
+  Alcotest.(check bool) "keys are independent slots" true
+    (U.Artifact.find t akey_str ~app:"a" ~digest:d = None)
+
+let test_artifact_hit_attribution () =
+  let t = U.Artifact.create () in
+  let d = U.Digest.of_string "shared-digest" in
+  U.Artifact.put t akey_str ~app:"fft" ~digest:d "payload";
+  (match U.Artifact.find t akey_str ~app:"fft" ~digest:d with
+  | Some (_, U.Artifact.Local) -> ()
+  | _ -> Alcotest.fail "builder app must get a Local hit");
+  (match U.Artifact.find t akey_str ~app:"sor" ~digest:d with
+  | Some ("payload", U.Artifact.Shared) -> ()
+  | _ -> Alcotest.fail "other app must get a Shared hit");
+  let s = U.Artifact.stats t in
+  Alcotest.(check int) "one entry" 1 s.U.Artifact.total_entries;
+  Alcotest.(check int) "one computed" 1 s.U.Artifact.total_computed;
+  Alcotest.(check int) "one local hit" 1 s.U.Artifact.total_local_hits;
+  Alcotest.(check int) "one shared hit" 1 s.U.Artifact.total_shared_hits
+
+let test_artifact_first_put_wins () =
+  let t = U.Artifact.create () in
+  let d = U.Digest.of_string "dup" in
+  U.Artifact.put t akey_int ~app:"a" ~digest:d 1;
+  U.Artifact.put t akey_int ~app:"b" ~digest:d 2;
+  (match U.Artifact.find t akey_int ~app:"c" ~digest:d with
+  | Some (1, U.Artifact.Shared) -> ()
+  | _ -> Alcotest.fail "first writer's value must survive");
+  let s = U.Artifact.stats t in
+  Alcotest.(check int) "duplicate put still counted as computed" 2
+    s.U.Artifact.total_computed;
+  Alcotest.(check int) "but only one entry stored" 1 s.U.Artifact.total_entries
+
+let test_artifact_stage_stats () =
+  let t = U.Artifact.create () in
+  let d1 = U.Digest.of_string "1" and d2 = U.Digest.of_string "2" in
+  U.Artifact.put t akey_int ~app:"a" ~digest:d1 1;
+  U.Artifact.put t akey_int ~app:"a" ~digest:d2 2;
+  U.Artifact.put t akey_str ~app:"a" ~digest:d1 "s";
+  ignore (U.Artifact.find t akey_int ~app:"a" ~digest:d1);
+  ignore (U.Artifact.find t akey_str ~app:"b" ~digest:d1);
+  ignore (U.Artifact.find t akey_str ~app:"b" ~digest:d2) (* miss *);
+  let s = U.Artifact.stats t in
+  let by name =
+    List.find (fun st -> st.U.Artifact.stage = name) s.U.Artifact.by_stage
+  in
+  Alcotest.(check int) "int entries" 2 (by "test-int").U.Artifact.entries;
+  Alcotest.(check int) "int local" 1 (by "test-int").U.Artifact.local_hits;
+  Alcotest.(check int) "str shared" 1 (by "test-str").U.Artifact.shared_hits;
+  Alcotest.(check bool) "stats render" true
+    (String.length (Format.asprintf "%a" U.Artifact.pp_stats s) > 0);
+  (* Stage list is sorted by name. *)
+  Alcotest.(check (list string)) "sorted stages" [ "test-int"; "test-str" ]
+    (List.map (fun st -> st.U.Artifact.stage) s.U.Artifact.by_stage)
+
+let test_artifact_parallel_consistency () =
+  (* Many domains hammering one (key, digest): every reader must
+     observe the first-stored value, whatever the interleaving. *)
+  let t = U.Artifact.create () in
+  let d = U.Digest.of_string "contended" in
+  let results =
+    U.Pool.map ~jobs:4
+      (fun i ->
+        match U.Artifact.find t akey_int ~app:"a" ~digest:d with
+        | Some (v, _) -> v
+        | None ->
+            U.Artifact.put t akey_int ~app:"a" ~digest:d 7;
+            ignore i;
+            7)
+      (List.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "all observe the stored value" true
+    (List.for_all (fun v -> v = 7) results)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -477,5 +645,26 @@ let () =
             test_trace_synthetic_events_sorted;
           Alcotest.test_case "chrome json" `Quick test_trace_json_export;
           Alcotest.test_case "write" `Quick test_trace_write;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "pinned values" `Quick test_digest_pinned;
+          Alcotest.test_case "stable across runs" `Quick
+            test_digest_stable_across_runs;
+          Alcotest.test_case "distinguishes inputs" `Quick
+            test_digest_distinguishes;
+          Alcotest.test_case "finish non-destructive" `Quick
+            test_digest_finish_nondestructive;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "put/find" `Quick test_artifact_put_find;
+          Alcotest.test_case "hit attribution" `Quick
+            test_artifact_hit_attribution;
+          Alcotest.test_case "first put wins" `Quick
+            test_artifact_first_put_wins;
+          Alcotest.test_case "stage stats" `Quick test_artifact_stage_stats;
+          Alcotest.test_case "parallel consistency" `Quick
+            test_artifact_parallel_consistency;
         ] );
     ]
