@@ -369,10 +369,137 @@ let pipeline_report path =
   Printf.eprintf "[bench] pipeline: wrote %s (%d stage executions saved)\n%!"
     path saved
 
+(* ------------------------------------------------------------------ *)
+(* VM engine microbenchmark (BENCH_vm.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Dynamic-instructions/second of both VM execution engines over the
+   whole workload registry, reported as machine-readable JSON for CI.
+   Each workload's train dataset runs [reps] times per engine — the
+   engines alternate within one rep loop, so slow drift (frequency
+   scaling, a noisy neighbour) hits both equally — and the best wall
+   time counts (the usual minimum-of-repetitions noise filter), with a
+   major GC slice collected before each timing so one run's garbage is
+   not billed to the next.  The two outcomes are also cross-checked — a
+   semantics divergence here fails the benchmark rather than producing
+   a meaningless speedup number. *)
+let vm_report path =
+  let reps = 5 in
+  prerr_endline "[bench] vm: reference vs threaded over the registry...";
+  let check_identical name (a : Vm.Machine.outcome) (b : Vm.Machine.outcome) =
+    let same_ret =
+      match (a.Vm.Machine.ret, b.Vm.Machine.ret) with
+      | None, None -> true
+      | Some x, Some y -> Ir.Eval.equal_value x y
+      | _ -> false
+    in
+    if
+      not
+        (same_ret
+        && a.Vm.Machine.native_cycles = b.Vm.Machine.native_cycles
+        && a.Vm.Machine.vm_cycles = b.Vm.Machine.vm_cycles
+        && Vm.Profile.to_list a.Vm.Machine.profile
+           = Vm.Profile.to_list b.Vm.Machine.profile)
+    then begin
+      Printf.eprintf
+        "bench: vm engines disagree on %s (ret/cycles/profile)\n" name;
+      exit 1
+    end
+  in
+  let time_once compiled d engine =
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let out = W.Workload.run ~engine compiled d in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let w = find_workload name in
+        let compiled = W.Workload.compile w in
+        let d = List.hd w.W.Workload.datasets in
+        let best_ref = ref infinity and best_thr = ref infinity in
+        let ref_out = ref None and thr_out = ref None in
+        for _ = 1 to reps do
+          let o, dt = time_once compiled d Vm.Machine.Reference in
+          if dt < !best_ref then best_ref := dt;
+          ref_out := Some o;
+          let o, dt = time_once compiled d Vm.Machine.Threaded in
+          if dt < !best_thr then best_thr := dt;
+          thr_out := Some o
+        done;
+        let ref_out = Option.get !ref_out and thr_out = Option.get !thr_out in
+        let ref_s = !best_ref and thr_s = !best_thr in
+        check_identical name ref_out thr_out;
+        let instrs =
+          Int64.to_float ref_out.Vm.Machine.profile.Vm.Profile.executed_instrs
+        in
+        let ref_ips = instrs /. ref_s and thr_ips = instrs /. thr_s in
+        Printf.eprintf
+          "[bench] vm: %-12s %10.0f instrs  ref %8.2f Mi/s  thr %8.2f Mi/s  \
+           (%.2fx)\n\
+           %!"
+          name instrs (ref_ips /. 1e6) (thr_ips /. 1e6) (thr_ips /. ref_ips);
+        (name, instrs, ref_s, thr_s, ref_ips, thr_ips))
+      W.Registry.names
+  in
+  let total_instrs =
+    List.fold_left (fun acc (_, i, _, _, _, _) -> acc +. i) 0.0 rows
+  in
+  let total_ref = List.fold_left (fun a (_, _, r, _, _, _) -> a +. r) 0.0 rows in
+  let total_thr = List.fold_left (fun a (_, _, _, t, _, _) -> a +. t) 0.0 rows in
+  let agg_speedup = total_instrs /. total_thr /. (total_instrs /. total_ref) in
+  let geomean =
+    let n = List.length rows in
+    exp
+      (List.fold_left
+         (fun acc (_, _, _, _, r, t) -> acc +. log (t /. r))
+         0.0 rows
+      /. float_of_int n)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"engines\": [%s], \"reps\": %d,\n"
+       (String.concat ", "
+          (List.map
+             (fun e -> Printf.sprintf "%S" (Vm.Machine.engine_name e))
+             Vm.Machine.engines))
+       reps);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, instrs, ref_s, thr_s, ref_ips, thr_ips) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"dynamic_instrs\": %.0f, \
+            \"reference_seconds\": %.6f, \"threaded_seconds\": %.6f, \
+            \"reference_ips\": %.0f, \"threaded_ips\": %.0f, \"speedup\": \
+            %.4f}%s\n"
+           name instrs ref_s thr_s ref_ips thr_ips (thr_ips /. ref_ips)
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"aggregate\": {\"dynamic_instrs\": %.0f, \"reference_seconds\": \
+        %.6f, \"threaded_seconds\": %.6f, \"speedup\": %.4f, \
+        \"geomean_speedup\": %.4f}\n"
+       total_instrs total_ref total_thr agg_speedup geomean);
+  Buffer.add_string buf "}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.eprintf
+    "[bench] vm: wrote %s (aggregate %.2fx, geomean %.2fx threaded over \
+     reference)\n\
+     %!"
+    path agg_speedup geomean
+
 (* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache,
    --faults, --fault-seed SEED, --retries N, --deadline SECONDS,
-   --pipeline-json FILE (with --pipeline-only to skip the rest), plus
-   the original --tables-only/--bench-only halves. *)
+   --pipeline-json FILE (with --pipeline-only to skip the rest),
+   --vm-json FILE (with --vm-only to skip the rest), plus the original
+   --tables-only/--bench-only halves. *)
 let rec arg_value key = function
   | k :: v :: _ when k = key -> Some v
   | _ :: rest -> arg_value key rest
@@ -397,12 +524,15 @@ let () =
     | Some path -> Some path
     | None -> if pipeline_only then Some "BENCH_pipeline.json" else None
   in
-  let tables =
-    (not pipeline_only) && not (List.mem "--bench-only" argv)
+  let vm_only = List.mem "--vm-only" argv in
+  let vm_json =
+    match arg_value "--vm-json" argv with
+    | Some path -> Some path
+    | None -> if vm_only then Some "BENCH_vm.json" else None
   in
-  let benches =
-    (not pipeline_only) && not (List.mem "--tables-only" argv)
-  in
+  let skip_main = pipeline_only || vm_only in
+  let tables = (not skip_main) && not (List.mem "--bench-only" argv) in
+  let benches = (not skip_main) && not (List.mem "--tables-only" argv) in
   let trace = arg_value "--trace" argv in
   let jobs = int_arg "--jobs" ~default:1 ~min:1 argv in
   let spec = Core.Spec.with_jobs jobs Core.Spec.default in
@@ -444,7 +574,8 @@ let () =
   in
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();
-  Option.iter pipeline_report pipeline_json;
+  (if not vm_only then Option.iter pipeline_report pipeline_json);
+  Option.iter vm_report vm_json;
   (match (spec.Core.Spec.tracer, trace) with
   | Some t, Some path ->
       Jitise_util.Trace.write t path;

@@ -32,7 +32,8 @@ type fault_options = {
   deadline : float option;  (** whole-specialization budget, seconds *)
 }
 
-let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~fault_options:fo =
+let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~vm_engine ~fault_options:fo
+    =
   (* Fail before the sweep, not after: a full run takes minutes and an
      unwritable trace path would otherwise only surface at the end. *)
   Option.iter
@@ -42,7 +43,10 @@ let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~fault_options:fo =
         Printf.eprintf "jitise: cannot write trace file: %s\n" msg;
         exit 1)
     trace;
-  let spec = Core.Spec.with_jobs jobs Core.Spec.default in
+  let spec =
+    Core.Spec.default |> Core.Spec.with_jobs jobs
+    |> Core.Spec.with_vm_engine vm_engine
+  in
   let spec =
     if trace <> None then Core.Spec.with_tracer (U.Trace.create ()) spec
     else spec
@@ -132,13 +136,13 @@ let run_inspect name =
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
 let run_specialize name trace jobs shared_cache stage_cache stage_stats
-    fault_options =
+    vm_engine fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace ~jobs ~shared_cache
       ~stage_cache:(stage_cache || stage_stats)
-      ~fault_options
+      ~vm_engine ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
@@ -212,7 +216,7 @@ let run_timeline name jobs fault_options =
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~stage_cache:false
-      ~fault_options
+      ~vm_engine:Vm.Machine.default_engine ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let t = Core.Jit_manager.timeline ~jobs r.Core.Experiment.report in
@@ -284,7 +288,7 @@ let run_compile path no_opt =
       Printf.eprintf "%s\n" m;
       exit 1
 
-let run_run path n =
+let run_run path n engine =
   let src = read_file path in
   match F.Compiler.compile ~module_name:path [ (path, src) ] with
   | exception F.Compiler.Error m ->
@@ -292,7 +296,7 @@ let run_run path n =
       exit 1
   | r -> (
       match
-        Vm.Machine.run r.F.Compiler.modul ~entry:"main"
+        Vm.Machine.run ~engine r.F.Compiler.modul ~entry:"main"
           ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
       with
       | exception Vm.Machine.Fault m ->
@@ -374,6 +378,32 @@ let stage_stats_arg =
            local/shared hits) on stderr after the run.  Implies \
            $(b,--stage-cache).")
 
+let vm_engine_conv =
+  let parse s =
+    match Vm.Machine.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "expected one of %s, got %S"
+                (String.concat ", "
+                   (List.map Vm.Machine.engine_name Vm.Machine.engines))
+                s))
+  in
+  Arg.conv
+    (parse, fun ppf e -> Format.pp_print_string ppf (Vm.Machine.engine_name e))
+
+let vm_engine_arg =
+  Arg.(
+    value
+    & opt vm_engine_conv Vm.Machine.default_engine
+    & info [ "vm-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "VM execution engine: $(b,threaded) (the default; per-block closure \
+           compilation with pre-decoded operands) or $(b,reference) (the \
+           AST-walking baseline).  Profiles, reports and stage digests are \
+           identical either way.")
+
 let faults_arg =
   Arg.(
     value & flag
@@ -419,11 +449,13 @@ let sweep_cmd name doc render =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun trace jobs shared_cache stage_cache stage_stats fault_options ->
+      const
+        (fun trace jobs shared_cache stage_cache stage_stats vm_engine
+             fault_options ->
           let spec =
             mk_spec ~trace ~jobs ~shared_cache
               ~stage_cache:(stage_cache || stage_stats)
-              ~fault_options
+              ~vm_engine ~fault_options
           in
           let results =
             Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
@@ -431,7 +463,7 @@ let sweep_cmd name doc render =
           render ~faults:fault_options.faults results;
           finish_spec ~stage_stats spec trace)
       $ trace_arg $ jobs_arg $ shared_cache_arg $ stage_cache_arg
-      $ stage_stats_arg $ fault_options_term)
+      $ stage_stats_arg $ vm_engine_arg $ fault_options_term)
 
 let cmds =
   [
@@ -456,7 +488,7 @@ let cmds =
          ~doc:"Run the ASIP specialization process on a workload")
       Term.(
         const run_specialize $ workload_arg $ trace_arg $ jobs_arg
-        $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg
+        $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg $ vm_engine_arg
         $ fault_options_term);
     Cmd.v
       (Cmd.info "timeline"
@@ -479,7 +511,8 @@ let cmds =
         const run_run $ path_arg
         $ Arg.(
             value & opt int 10
-            & info [ "n" ] ~docv:"N" ~doc:"Argument passed to main"));
+            & info [ "n" ] ~docv:"N" ~doc:"Argument passed to main")
+        $ vm_engine_arg);
   ]
 
 let () =

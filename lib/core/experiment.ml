@@ -81,8 +81,12 @@ let profile_stage :
       (W.Workload.dataset * Vm.Machine.outcome) list )
     Pipeline.stage =
   Pipeline.stage ~cat:"vm" "profile"
+    (* The digest deliberately excludes [spec.vm_engine]: both engines
+       produce byte-identical outcomes (pinned by the differential
+       suite in test_vm), so artifacts stay valid across engines. *)
     ~digest:(fun _spec (w, _compiled) -> workload_digest w)
-    (fun _ctx (w, compiled) -> W.Workload.run_all compiled w)
+    (fun ctx (w, compiled) ->
+      W.Workload.run_all ~engine:ctx.Pipeline.spec.Spec.vm_engine compiled w)
 
 let coverage_stage :
     ( W.Workload.t * Ir.Irmod.t * Vm.Profile.t list,

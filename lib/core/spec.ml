@@ -21,6 +21,7 @@
 module Ise = Jitise_ise
 module Cad = Jitise_cad
 module U = Jitise_util
+module Vm = Jitise_vm
 
 type t = {
   prune : Ise.Prune.t;  (** block filter, default the paper's [@50pS3L] *)
@@ -52,6 +53,11 @@ type t = {
       (** recovery policy for injected CAD failures: attempts, backoff,
           per-candidate and whole-specialization deadlines.  Only
           consulted when [faults] is enabled. *)
+  vm_engine : Vm.Machine.engine;
+      (** VM execution engine used by the profiling stage (default
+          {!Vm.Machine.Threaded}).  Outcomes — and therefore reports
+          and stage digests — are engine-invariant; the knob exists for
+          semantics cross-checks and benchmarking. *)
 }
 
 let default =
@@ -65,6 +71,7 @@ let default =
     stage_cache = None;
     faults = Cad.Faults.none;
     retry = U.Retry.default;
+    vm_engine = Vm.Machine.default_engine;
   }
 
 let with_prune prune t = { t with prune }
@@ -87,6 +94,8 @@ let with_faults faults t =
 let with_retry retry t =
   U.Retry.validate retry;
   { t with retry }
+
+let with_vm_engine vm_engine t = { t with vm_engine }
 
 (** Bridge for the deprecated optional-argument entry points: fold the
     old scattered arguments into a spec, defaulting each to

@@ -12,7 +12,24 @@
     custom-instruction calls ([Ci_call]) through a registry that charges
     the hardware latency of the reconfigurable functional unit instead
     of the software cycles — which is how adapted binaries are timed on
-    the Woolcano model. *)
+    the Woolcano model.
+
+    Two execution engines produce byte-identical outcomes:
+
+    - {!Reference} walks the instruction AST, re-matching every
+      [Ir.Instr.kind] and re-resolving every operand on each dynamic
+      instruction — the semantics baseline;
+    - {!Threaded} (the default) compiles each basic block once, at
+      prepare time, into an array of pre-decoded operation closures:
+      operands are resolved to register slots or immediate values,
+      operators to specialized {!Jitise_ir.Eval} closures, callees /
+      custom instructions / intrinsics are bound ahead of time, and
+      terminators (including [Switch] case tables) are pre-resolved to
+      block indices.  The hot loop is then an array walk of closure
+      calls with no AST dispatch.
+
+    Cycle accounting, fuel, profiles and fault messages are identical
+    across engines (pinned by the differential suite in test_vm). *)
 
 module Ir = Jitise_ir
 
@@ -40,48 +57,89 @@ let empty_cis () : ci_registry = Hashtbl.create 8
 (* Intrinsics                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let intrinsic name (args : Ir.Eval.value array) : Ir.Eval.value =
-  let f1 op =
-    if Array.length args <> 1 then fault "intrinsic %s: arity" name
-    else Ir.Eval.VFloat (op (Ir.Eval.as_float args.(0)))
+(* One table holds every intrinsic: the name list and the dispatcher
+   cannot drift apart (they used to be separate [intrinsic] /
+   [is_intrinsic] matches), and the threaded engine binds the
+   implementation closure directly at block-compile time. *)
+let intrinsic_table : (string, Ir.Eval.value array -> Ir.Eval.value) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let f1 name op =
+    Hashtbl.replace tbl name (fun args ->
+        if Array.length args <> 1 then fault "intrinsic %s: arity" name
+        else Ir.Eval.VFloat (op (Ir.Eval.as_float args.(0))))
   in
-  let i1 op =
-    if Array.length args <> 1 then fault "intrinsic %s: arity" name
-    else Ir.Eval.VInt (op (Ir.Eval.as_int args.(0)))
+  let i1 name op =
+    Hashtbl.replace tbl name (fun args ->
+        if Array.length args <> 1 then fault "intrinsic %s: arity" name
+        else Ir.Eval.VInt (op (Ir.Eval.as_int args.(0))))
   in
-  let i2 op =
-    if Array.length args <> 2 then fault "intrinsic %s: arity" name
-    else
-      Ir.Eval.VInt (op (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1)))
+  let i2 name op =
+    Hashtbl.replace tbl name (fun args ->
+        if Array.length args <> 2 then fault "intrinsic %s: arity" name
+        else
+          Ir.Eval.VInt
+            (op (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1))))
   in
-  match name with
-  | "sqrt" -> f1 sqrt
-  | "sin" -> f1 sin
-  | "cos" -> f1 cos
-  | "atan" -> f1 atan
-  | "exp" -> f1 exp
-  | "log" -> f1 log
-  | "fabs" -> f1 abs_float
-  | "floor" -> f1 floor
-  | "pow" ->
+  f1 "sqrt" sqrt;
+  f1 "sin" sin;
+  f1 "cos" cos;
+  f1 "atan" atan;
+  f1 "exp" exp;
+  f1 "log" log;
+  f1 "fabs" abs_float;
+  f1 "floor" floor;
+  Hashtbl.replace tbl "pow" (fun args ->
       if Array.length args <> 2 then fault "intrinsic pow: arity"
       else
         Ir.Eval.VFloat
-          (Float.pow (Ir.Eval.as_float args.(0)) (Ir.Eval.as_float args.(1)))
-  | "abs" -> i1 Int64.abs
-  | "min" -> i2 min
-  | "max" -> i2 max
-  | _ -> fault "unknown function @%s" name
+          (Float.pow (Ir.Eval.as_float args.(0)) (Ir.Eval.as_float args.(1))));
+  i1 "abs" Int64.abs;
+  i2 "min" min;
+  i2 "max" max;
+  tbl
 
-let is_intrinsic = function
-  | "sqrt" | "sin" | "cos" | "atan" | "exp" | "log" | "fabs" | "floor"
-  | "pow" | "abs" | "min" | "max" ->
-      true
-  | _ -> false
+let find_intrinsic name = Hashtbl.find_opt intrinsic_table name
+let is_intrinsic name = Hashtbl.mem intrinsic_table name
+
+let intrinsic name (args : Ir.Eval.value array) : Ir.Eval.value =
+  match find_intrinsic name with
+  | Some impl -> impl args
+  | None -> fault "unknown function @%s" name
+
+(* ------------------------------------------------------------------ *)
+(* Execution engines                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type engine =
+  | Reference  (** AST-walking interpreter (the semantics baseline) *)
+  | Threaded  (** per-block closure compilation with pre-decoded operands *)
+
+let default_engine = Threaded
+let engines = [ Reference; Threaded ]
+
+let engine_name = function Reference -> "reference" | Threaded -> "threaded"
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "threaded" -> Some Threaded
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Prepared module                                                     *)
 (* ------------------------------------------------------------------ *)
+
+(* A pre-decoded operand: either an immediate already converted to an
+   {!Ir.Eval.value} or a register slot index.  The threaded engine's
+   closures fetch through this, never through [Ir.Instr.operand]. *)
+type src = Imm of Ir.Eval.value | Slot of int
+
+let fetch regs = function Imm v -> v | Slot r -> regs.(r)
+
+(* A pre-decoded phi source: like [src option] but flat, so the phi
+   prologue — which runs for every phi on every dynamic iteration of a
+   loop header — does a single match instead of an [Option] match
+   followed by a [src] match. *)
+type psrc = P_slot of int | P_imm of Ir.Eval.value | P_missing
 
 (* Per-block static data, computed once per run.  [exec_count] is the
    run-local profile counter (folded into a Profile at the end — much
@@ -89,7 +147,10 @@ let is_intrinsic = function
    prologue is pre-resolved: [phi_incoming.(k).(pred)] is the operand
    phi [k] takes when entered from block [pred], so the hot loop does
    two array reads per phi instead of scanning an association list on
-   every block execution. *)
+   every block execution.  [switch_cases] pre-resolves a [Switch]
+   terminator's case list into a hashtable (first entry wins for
+   duplicate case values, like [List.assoc_opt] did), shared by both
+   engines. *)
 type block_info = {
   instrs : Ir.Instr.t array;
   term : Ir.Instr.terminator;
@@ -99,13 +160,72 @@ type block_info = {
   phi_dests : int array;  (* destination register of each leading phi *)
   phi_incoming : Ir.Instr.operand option array array;
       (* per leading phi, indexed by predecessor block label *)
-  mutable exec_count : int64;
+  switch_cases : (int64, Ir.Instr.label) Hashtbl.t option;
+      (* case value -> target, when [term] is a [Switch] *)
+  mutable exec_count : int;
+      (* an immediate int, not an int64: incrementing it must not
+         allocate (it happens once per dynamic block).  Fuel bounds the
+         total far below [max_int]. *)
 }
+
+(* A pre-decoded terminator: targets are block indices, scrutinees and
+   return operands are [src]s, switch tables are shared with
+   [block_info.switch_cases]. *)
+type tterm =
+  | T_halt  (** [ret] of void *)
+  | T_ret of src
+  | T_br of int
+  | T_cond of src * int * int
+  | T_cond_s of int * int * int
+      (** the common slot-scrutinee conditional, pre-split so the hot
+          loop skips the [src] match *)
+  | T_switch of src * int * (int64, Ir.Instr.label) Hashtbl.t
 
 type func_info = {
   func : Ir.Func.t;
   blocks : block_info array;
   reg_tys : Ir.Ty.t array;  (* type of each register, Void if undefined *)
+  mutable tblocks : tblock array;
+      (* threaded code, [||] until {!compile_func} runs for this
+         function (the reference engine never compiles) *)
+}
+
+(* One compiled block of the threaded engine.  Blocks are compiled per
+   run, after the run's [state] exists, so op closures capture the
+   state (and the memory, the CI registry, callee [func_info]s, ...)
+   directly instead of receiving them as arguments.  The cycle charges
+   of {!Jit_model.block_execution_cycles} only depend on whether the
+   block is past warm-up, so both branches are precomputed here — the
+   identical float operations, performed once. *)
+and tblock = {
+  t_info : block_info;  (* shared counters and static cycle data *)
+  t_ops : (Ir.Eval.value array -> unit) array;
+      (* non-phi body, one pre-decoded closure per instruction *)
+  t_phi_dests : int array;
+  t_phi_srcs : psrc array array;
+  t_phi_scratch : Ir.Eval.value array;
+      (* staging buffer for the parallel phi assignment; safe to reuse
+         because the phi prologue cannot re-enter this function *)
+  t_term : tterm;
+  t_sync : bool;
+      (* block contains a resolved user call or custom instruction, so
+         the interpreter's local fuel / clock accumulators must be
+         written back to the shared [state] before the body runs and
+         re-read after *)
+  t_fuel : int;  (* ninstrs + 1 *)
+  t_native : float;  (* float_of_int static_cycles *)
+  t_hot : float;  (* post-warm-up VM charge per execution *)
+  t_cold : float;  (* interpreted VM charge per execution *)
+}
+
+and state = {
+  funcs : (string, func_info) Hashtbl.t;
+  memory : Memory.t;
+  jit : Jit_model.t;
+  cis : ci_registry;
+  mutable native : float;
+  mutable vm : float;
+  mutable fuel : int64;  (* remaining dynamic instructions; negative = out *)
 }
 
 let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
@@ -168,6 +288,17 @@ let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
                   row
               | _ -> assert false)
         in
+        let switch_cases =
+          match b.Ir.Block.term with
+          | Ir.Instr.Switch (_, _, cases) ->
+              let tbl = Hashtbl.create (max 4 (List.length cases)) in
+              (* first match wins, like List.assoc_opt did *)
+              List.iter
+                (fun (v, l) -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v l)
+                cases;
+              Some tbl
+          | _ -> None
+        in
         {
           instrs;
           term = b.Ir.Block.term;
@@ -176,14 +307,15 @@ let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
           phi_count;
           phi_dests;
           phi_incoming;
-          exec_count = 0L;
+          switch_cases;
+          exec_count = 0;
         })
       f.Ir.Func.blocks
   in
-  { func = f; blocks; reg_tys }
+  { func = f; blocks; reg_tys; tblocks = [||] }
 
 (* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
+(* Reference engine                                                    *)
 (* ------------------------------------------------------------------ *)
 
 type outcome = {
@@ -197,21 +329,11 @@ type outcome = {
 (** Simulated seconds for a cycle count, at the PowerPC 405 clock. *)
 let seconds_of_cycles c = c *. Ir.Cost.cycle_time
 
-type state = {
-  funcs : (string, func_info) Hashtbl.t;
-  memory : Memory.t;
-  jit : Jit_model.t;
-  cis : ci_registry;
-  mutable native : float;
-  mutable vm : float;
-  mutable fuel : int64;  (* remaining dynamic instructions; negative = out *)
-}
-
 let value_of_operand regs = function
   | Ir.Instr.Const c -> Ir.Eval.of_const c
   | Ir.Instr.Reg r -> regs.(r)
 
-let rec exec_func st (fi : func_info) (args : Ir.Eval.value array) :
+let rec exec_func (st : state) (fi : func_info) (args : Ir.Eval.value array) :
     Ir.Eval.value option =
   let f = fi.func in
   if Array.length args <> List.length f.Ir.Func.params then
@@ -237,12 +359,12 @@ let rec exec_func st (fi : func_info) (args : Ir.Eval.value array) :
     (* Profile and clocks.  [prior] is the pre-increment count used by
        the JIT warm-up model. *)
     let prior = bi.exec_count in
-    bi.exec_count <- Int64.add prior 1L;
+    bi.exec_count <- prior + 1;
     st.native <- st.native +. float_of_int bi.static_cycles;
     st.vm <-
       st.vm
-      +. Jit_model.block_execution_cycles st.jit ~prior ~ninstrs:bi.ninstrs
-           ~native_cycles:bi.static_cycles;
+      +. Jit_model.block_execution_cycles st.jit ~prior:(Int64.of_int prior)
+           ~ninstrs:bi.ninstrs ~native_cycles:bi.static_cycles;
     (* Phis first, read atomically: the incoming operand per
        predecessor was pre-resolved into an array in [prepare_func]. *)
     let n = bi.ninstrs in
@@ -332,22 +454,702 @@ let rec exec_func st (fi : func_info) (args : Ir.Eval.value array) :
     | Ir.Instr.Cond_br (c, a, b) ->
         prev := !cur;
         cur := (if Ir.Eval.is_true (value_of_operand regs c) then a else b)
-    | Ir.Instr.Switch (s, default, cases) ->
+    | Ir.Instr.Switch (s, default, _) ->
         let sv = Ir.Eval.as_int (value_of_operand regs s) in
+        let tbl =
+          match bi.switch_cases with Some tbl -> tbl | None -> assert false
+        in
         prev := !cur;
-        cur :=
-          (match List.assoc_opt sv cases with Some l -> l | None -> default))
+        cur := (match Hashtbl.find_opt tbl sv with Some l -> l | None -> default))
   done;
   finish !result
+
+(* ------------------------------------------------------------------ *)
+(* Threaded engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Closure-shape helpers: specialize the four slot/immediate operand
+   combinations so the hot path never matches a [src] constructor.
+   Every function call executes on a fresh register file of [nregs]
+   slots, so slot indices can be bounds-checked once at compile time
+   and the hot path can use unchecked accesses.  A block that somehow
+   references an out-of-range slot (the builder and verifier exclude
+   this) falls back to checked accesses, which raise the same
+   [Invalid_argument] the reference engine's [regs.(r)] would. *)
+let slot_ok nregs = function
+  | Slot r -> r >= 0 && r < nregs
+  | Imm _ -> true
+
+let bin_closure ~nregs (f : Ir.Eval.value -> Ir.Eval.value -> Ir.Eval.value) d
+    sa sb : Ir.Eval.value array -> unit =
+  if d >= 0 && d < nregs && slot_ok nregs sa && slot_ok nregs sb then
+    match (sa, sb) with
+    | Slot ra, Slot rb ->
+        fun regs ->
+          Array.unsafe_set regs d
+            (f (Array.unsafe_get regs ra) (Array.unsafe_get regs rb))
+    | Slot ra, Imm vb ->
+        fun regs -> Array.unsafe_set regs d (f (Array.unsafe_get regs ra) vb)
+    | Imm va, Slot rb ->
+        fun regs -> Array.unsafe_set regs d (f va (Array.unsafe_get regs rb))
+    | Imm va, Imm vb -> fun regs -> Array.unsafe_set regs d (f va vb)
+  else
+    match (sa, sb) with
+    | Slot ra, Slot rb -> fun regs -> regs.(d) <- f regs.(ra) regs.(rb)
+    | Slot ra, Imm vb -> fun regs -> regs.(d) <- f regs.(ra) vb
+    | Imm va, Slot rb -> fun regs -> regs.(d) <- f va regs.(rb)
+    | Imm va, Imm vb -> fun regs -> regs.(d) <- f va vb
+
+(* [f] is applied per execution even for immediates: evaluating it at
+   compile time would move a fault (a [Type_error] on a malformed
+   constant, say) from execution to compilation — and compilation also
+   covers blocks that never execute. *)
+let un_closure ~nregs (f : Ir.Eval.value -> Ir.Eval.value) d sa :
+    Ir.Eval.value array -> unit =
+  if d >= 0 && d < nregs && slot_ok nregs sa then
+    match sa with
+    | Slot ra ->
+        fun regs -> Array.unsafe_set regs d (f (Array.unsafe_get regs ra))
+    | Imm va -> fun regs -> Array.unsafe_set regs d (f va)
+  else
+    match sa with
+    | Slot ra -> fun regs -> regs.(d) <- f regs.(ra)
+    | Imm va -> fun regs -> regs.(d) <- f va
+
+let decode_operand : Ir.Instr.operand -> src = function
+  | Ir.Instr.Const c -> Imm (Ir.Eval.of_const c)
+  | Ir.Instr.Reg r -> Slot r
+
+(* ------------------------------------------------------------------ *)
+(* Fused fast paths                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* For the hottest operator x operand-shape combinations the op closure
+   embeds the scalar semantics directly instead of calling the closure
+   {!Ir.Eval.binop_fn} & co. would build, so the hot path makes one
+   closure call instead of two.  The bodies are the same expressions
+   the [Ir.Eval.*_fn] arms evaluate, composed from the same inlined
+   Eval primitives ([as_int], [renorm], [umask], ...), with per-type
+   constants ([norm_shift], shift and width masks) resolved at compile
+   time.  Each fast path is gated on compile-time-validated slots and
+   immediates whose conversion cannot fault; every other combination
+   falls back to the generic closures, which keep the exact
+   per-execution fault behavior.  The differential suite pins both
+   engines to identical outcomes, so a semantic drift here cannot land
+   silently. *)
+
+module E = Ir.Eval
+
+let[@inline] geti regs r = E.as_int (Array.unsafe_get regs r)
+let[@inline] getf regs r = E.as_float (Array.unsafe_get regs r)
+let[@inline] seti regs d (v : int64) = Array.unsafe_set regs d (E.VInt v)
+let[@inline] setf regs d (v : float) = Array.unsafe_set regs d (E.VFloat v)
+
+(* Comparison results are shared preallocated values (they are
+   immutable and compared structurally everywhere), so a fused compare
+   does not allocate at all. *)
+let vtrue = E.VInt 1L
+let vfalse = E.VInt 0L
+let[@inline] setb regs d b = Array.unsafe_set regs d (if b then vtrue else vfalse)
+
+let compile_binop ~nregs (ty : Ir.Ty.t) (op : Ir.Instr.binop) d sa sb :
+    E.value array -> unit =
+  let generic () = bin_closure ~nregs (E.binop_fn ty op) d sa sb in
+  let ok r = r >= 0 && r < nregs in
+  if not (ok d) then generic ()
+  else
+    let sh = E.norm_shift ty in
+    (* [shift_amount]'s and [umask]'s masks, recovered by feeding them
+       all-ones — keeps Eval the single source of the bit arithmetic. *)
+    let sm = E.shift_amount ty (-1L) in
+    let um = E.umask ty (-1L) in
+    match (op, sa, sb) with
+    | Ir.Instr.Add, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.add (geti regs a) (geti regs b)))
+    | Ir.Instr.Add, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.add (geti regs a) ib))
+    | Ir.Instr.Sub, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.sub (geti regs a) (geti regs b)))
+    | Ir.Instr.Sub, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.sub (geti regs a) ib))
+    | Ir.Instr.Mul, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.mul (geti regs a) (geti regs b)))
+    | Ir.Instr.Mul, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.mul (geti regs a) ib))
+    | Ir.Instr.And, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.logand (geti regs a) (geti regs b)))
+    | Ir.Instr.And, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.logand (geti regs a) ib))
+    | Ir.Instr.Or, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.logor (geti regs a) (geti regs b)))
+    | Ir.Instr.Or, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.logor (geti regs a) ib))
+    | Ir.Instr.Xor, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.logxor (geti regs a) (geti regs b)))
+    | Ir.Instr.Xor, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> seti regs d (E.renorm sh (Int64.logxor (geti regs a) ib))
+    | Ir.Instr.Shl, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d
+            (E.renorm sh
+               (Int64.shift_left (geti regs a)
+                  (Int64.to_int (geti regs b) land sm)))
+    | Ir.Instr.Shl, Slot a, Imm (E.VInt ib) when ok a ->
+        let n = E.shift_amount ty ib in
+        fun regs -> seti regs d (E.renorm sh (Int64.shift_left (geti regs a) n))
+    | Ir.Instr.Lshr, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d
+            (E.renorm sh
+               (Int64.shift_right_logical
+                  (Int64.logand (geti regs a) um)
+                  (Int64.to_int (geti regs b) land sm)))
+    | Ir.Instr.Lshr, Slot a, Imm (E.VInt ib) when ok a ->
+        let n = E.shift_amount ty ib in
+        fun regs ->
+          seti regs d
+            (E.renorm sh
+               (Int64.shift_right_logical (Int64.logand (geti regs a) um) n))
+    | Ir.Instr.Ashr, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          seti regs d
+            (E.renorm sh
+               (Int64.shift_right (geti regs a)
+                  (Int64.to_int (geti regs b) land sm)))
+    | Ir.Instr.Ashr, Slot a, Imm (E.VInt ib) when ok a ->
+        let n = E.shift_amount ty ib in
+        fun regs ->
+          seti regs d (E.renorm sh (Int64.shift_right (geti regs a) n))
+    | Ir.Instr.Fadd, Slot a, Slot b when ty <> Ir.Ty.F32 && ok a && ok b ->
+        fun regs -> setf regs d (getf regs a +. getf regs b)
+    | Ir.Instr.Fadd, Slot a, Imm (E.VFloat fb) when ty <> Ir.Ty.F32 && ok a ->
+        fun regs -> setf regs d (getf regs a +. fb)
+    | Ir.Instr.Fsub, Slot a, Slot b when ty <> Ir.Ty.F32 && ok a && ok b ->
+        fun regs -> setf regs d (getf regs a -. getf regs b)
+    | Ir.Instr.Fsub, Slot a, Imm (E.VFloat fb) when ty <> Ir.Ty.F32 && ok a ->
+        fun regs -> setf regs d (getf regs a -. fb)
+    | Ir.Instr.Fmul, Slot a, Slot b when ty <> Ir.Ty.F32 && ok a && ok b ->
+        fun regs -> setf regs d (getf regs a *. getf regs b)
+    | Ir.Instr.Fmul, Slot a, Imm (E.VFloat fb) when ty <> Ir.Ty.F32 && ok a ->
+        fun regs -> setf regs d (getf regs a *. fb)
+    | Ir.Instr.Fdiv, Slot a, Slot b when ty <> Ir.Ty.F32 && ok a && ok b ->
+        fun regs -> setf regs d (getf regs a /. getf regs b)
+    | Ir.Instr.Fdiv, Slot a, Imm (E.VFloat fb) when ty <> Ir.Ty.F32 && ok a ->
+        fun regs -> setf regs d (getf regs a /. fb)
+    | _ -> generic ()
+
+let compile_icmp ~nregs (p : Ir.Instr.icmp_pred) d sa sb :
+    E.value array -> unit =
+  let generic () = bin_closure ~nregs (E.icmp_fn p) d sa sb in
+  let ok r = r >= 0 && r < nregs in
+  if not (ok d) then generic ()
+  else
+    match (p, sa, sb) with
+    | Ir.Instr.Ieq, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (Int64.equal (geti regs a) (geti regs b))
+    | Ir.Instr.Ieq, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.equal (geti regs a) ib)
+    | Ir.Instr.Ine, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (not (Int64.equal (geti regs a) (geti regs b)))
+    | Ir.Instr.Ine, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (not (Int64.equal (geti regs a) ib))
+    | Ir.Instr.Islt, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) (geti regs b) < 0)
+    | Ir.Instr.Islt, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) ib < 0)
+    | Ir.Instr.Isle, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) (geti regs b) <= 0)
+    | Ir.Instr.Isle, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) ib <= 0)
+    | Ir.Instr.Isgt, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) (geti regs b) > 0)
+    | Ir.Instr.Isgt, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) ib > 0)
+    | Ir.Instr.Isge, Slot a, Slot b when ok a && ok b ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) (geti regs b) >= 0)
+    | Ir.Instr.Isge, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.compare (geti regs a) ib >= 0)
+    | Ir.Instr.Iult, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          setb regs d (Int64.unsigned_compare (geti regs a) (geti regs b) < 0)
+    | Ir.Instr.Iult, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.unsigned_compare (geti regs a) ib < 0)
+    | Ir.Instr.Iule, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          setb regs d (Int64.unsigned_compare (geti regs a) (geti regs b) <= 0)
+    | Ir.Instr.Iule, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.unsigned_compare (geti regs a) ib <= 0)
+    | Ir.Instr.Iugt, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          setb regs d (Int64.unsigned_compare (geti regs a) (geti regs b) > 0)
+    | Ir.Instr.Iugt, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.unsigned_compare (geti regs a) ib > 0)
+    | Ir.Instr.Iuge, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          setb regs d (Int64.unsigned_compare (geti regs a) (geti regs b) >= 0)
+    | Ir.Instr.Iuge, Slot a, Imm (E.VInt ib) when ok a ->
+        fun regs -> setb regs d (Int64.unsigned_compare (geti regs a) ib >= 0)
+    | _ -> generic ()
+
+let compile_fcmp ~nregs (p : Ir.Instr.fcmp_pred) d sa sb :
+    E.value array -> unit =
+  let generic () = bin_closure ~nregs (E.fcmp_fn p) d sa sb in
+  let ok r = r >= 0 && r < nregs in
+  let[@inline] ord x y = not (Float.is_nan x || Float.is_nan y) in
+  if not (ok d) then generic ()
+  else
+    match (p, sa, sb) with
+    | Ir.Instr.Foeq, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x = y)
+    | Ir.Instr.Foeq, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x = fb)
+    | Ir.Instr.Fone, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x <> y)
+    | Ir.Instr.Fone, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x <> fb)
+    | Ir.Instr.Folt, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x < y)
+    | Ir.Instr.Folt, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x < fb)
+    | Ir.Instr.Fole, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x <= y)
+    | Ir.Instr.Fole, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x <= fb)
+    | Ir.Instr.Fogt, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x > y)
+    | Ir.Instr.Fogt, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x > fb)
+    | Ir.Instr.Foge, Slot a, Slot b when ok a && ok b ->
+        fun regs ->
+          let x = getf regs a and y = getf regs b in
+          setb regs d (ord x y && x >= y)
+    | Ir.Instr.Foge, Slot a, Imm (E.VFloat fb) when ok a ->
+        fun regs ->
+          let x = getf regs a in
+          setb regs d (ord x fb && x >= fb)
+    | _ -> generic ()
+
+(* Argument evaluation for calls and custom instructions, specialized
+   by arity: the generic [Array.map] version allocates a fresh
+   intermediate closure on every dynamic call. *)
+let args_fn (srcs : src array) : E.value array -> E.value array =
+  match srcs with
+  | [||] -> fun _ -> [||]
+  | [| s0 |] -> fun regs -> [| fetch regs s0 |]
+  | [| s0; s1 |] -> fun regs -> [| fetch regs s0; fetch regs s1 |]
+  | [| s0; s1; s2 |] ->
+      fun regs -> [| fetch regs s0; fetch regs s1; fetch regs s2 |]
+  | [| s0; s1; s2; s3 |] ->
+      fun regs ->
+        [| fetch regs s0; fetch regs s1; fetch regs s2; fetch regs s3 |]
+  | srcs -> fun regs -> Array.map (fun s -> fetch regs s) srcs
+
+let compile_cast ~nregs (c : Ir.Instr.cast) ~from_ ~to_ d sa :
+    E.value array -> unit =
+  let generic () = un_closure ~nregs (E.cast_fn c ~from_ ~to_) d sa in
+  let ok r = r >= 0 && r < nregs in
+  if not (ok d) then generic ()
+  else
+    match (c, sa) with
+    | (Ir.Instr.Trunc | Ir.Instr.Sext), Slot a when ok a ->
+        let sh = E.norm_shift to_ in
+        fun regs -> seti regs d (E.renorm sh (geti regs a))
+    | Ir.Instr.Zext, Slot a when ok a ->
+        let sh = E.norm_shift to_ in
+        let um = E.umask from_ (-1L) in
+        fun regs -> seti regs d (E.renorm sh (Int64.logand (geti regs a) um))
+    | Ir.Instr.Fptosi, Slot a when ok a ->
+        let sh = E.norm_shift to_ in
+        fun regs ->
+          let f = getf regs a in
+          Array.unsafe_set regs d
+            (if Float.is_nan f then E.VInt 0L
+             else E.VInt (E.renorm sh (Int64.of_float f)))
+    | Ir.Instr.Sitofp, Slot a when ok a && to_ <> Ir.Ty.F32 ->
+        fun regs -> setf regs d (Int64.to_float (geti regs a))
+    | Ir.Instr.Fpext, Slot a when ok a ->
+        fun regs -> setf regs d (getf regs a)
+    | _ -> generic ()
+
+(* Clamp an int64 to the native int range.  Fuel budgets and the
+   warm-up threshold are kept as immediate ints inside the threaded
+   interpreter so the per-block bookkeeping never allocates; a budget
+   beyond [max_int] (4.6e18 dynamic instructions — centuries of
+   simulated execution) is indistinguishable from unlimited. *)
+let int_of_int64_clamped v =
+  if Int64.compare v (Int64.of_int max_int) > 0 then max_int
+  else if Int64.compare v (Int64.of_int min_int) < 0 then min_int
+  else Int64.to_int v
+
+(* [exec_threaded] runs a function's compiled blocks; [compile_func] /
+   [compile_block] build them.  They are mutually recursive because a
+   pre-bound [Call] closure invokes [exec_threaded] on the captured
+   callee's [func_info]. *)
+let rec exec_threaded (st : state) (fi : func_info) (args : Ir.Eval.value array)
+    :
+    Ir.Eval.value option =
+  let f = fi.func in
+  if Array.length args <> List.length f.Ir.Func.params then
+    fault "@%s: expected %d arguments, got %d" f.Ir.Func.name
+      (List.length f.Ir.Func.params)
+      (Array.length args);
+  let regs = Array.make (max 1 f.Ir.Func.next_reg) (Ir.Eval.VInt 0L) in
+  Array.iteri (fun i v -> regs.(i) <- v) args;
+  let frame_mark = Memory.mark st.memory in
+  let tblocks = fi.tblocks in
+  let warmup = int_of_int64_clamped st.jit.Jit_model.warmup_threshold in
+  (* Per-block bookkeeping lives in non-allocating locals: an immediate
+     int counts fuel spent by this invocation against an immediate-int
+     limit, and a flat float array holds the two clocks (a float-array
+     store is an unboxed write; a mutable record field store boxes).
+     They are synced with the shared [state] only around blocks that
+     contain resolved calls ([t_sync]) and at function exit.  The
+     arithmetic and its order are unchanged from the reference engine,
+     so results stay byte-identical — only the boxed per-block stores
+     into [st] are gone. *)
+  let spent = ref 0 in
+  let limit = ref (int_of_int64_clamped st.fuel) in
+  let clocks = [| st.native; st.vm |] in
+  let cur = ref Ir.Func.entry_label in
+  let prev = ref (-1) in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    let tb = tblocks.(!cur) in
+    let bi = tb.t_info in
+    (* Fuel, profile and clocks: same arithmetic, in the same order, as
+       the reference engine — the clocks are float sums, so the order
+       of additions must match for byte-identical outcomes.  The two
+       possible {!Jit_model.block_execution_cycles} charges were
+       precomputed at compile time. *)
+    spent := !spent + tb.t_fuel;
+    if !spent > !limit then
+      fault "execution budget exhausted in @%s" f.Ir.Func.name;
+    let prior = bi.exec_count in
+    bi.exec_count <- prior + 1;
+    Array.unsafe_set clocks 0 (Array.unsafe_get clocks 0 +. tb.t_native);
+    Array.unsafe_set clocks 1
+      (Array.unsafe_get clocks 1
+      +. (if prior >= warmup then tb.t_hot else tb.t_cold));
+    (* Phi prologue over pre-decoded sources.  A single phi needs no
+       staging (parallel-assignment semantics are trivial); multiple
+       phis stage into the scratch buffer first. *)
+    let nphi = Array.length tb.t_phi_dests in
+    if nphi > 0 then begin
+      let srcs = tb.t_phi_srcs and p = !prev in
+      if nphi = 1 then (
+        let row = srcs.(0) in
+        match if p >= 0 && p < Array.length row then row.(p) else P_missing with
+        | P_slot r -> regs.(tb.t_phi_dests.(0)) <- regs.(r)
+        | P_imm v -> regs.(tb.t_phi_dests.(0)) <- v
+        | P_missing ->
+            fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+              f.Ir.Func.name !cur p)
+      else begin
+        let staged = tb.t_phi_scratch in
+        for k = 0 to nphi - 1 do
+          let row = srcs.(k) in
+          match
+            if p >= 0 && p < Array.length row then row.(p) else P_missing
+          with
+          | P_slot r -> staged.(k) <- regs.(r)
+          | P_imm v -> staged.(k) <- v
+          | P_missing ->
+              fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+                f.Ir.Func.name !cur p
+        done;
+        for k = 0 to nphi - 1 do
+          regs.(tb.t_phi_dests.(k)) <- staged.(k)
+        done
+      end
+    end;
+    (* Straight-line body: an array walk of pre-decoded closures.  The
+       runtime faults an instruction can raise carry the same context
+       the reference engine attaches per instruction.  Around a block
+       with resolved calls, the local fuel/clock accumulators are
+       flushed to [st] (the callee continues from them) and re-read
+       after the body. *)
+    (try
+       let ops = tb.t_ops in
+       if tb.t_sync then begin
+         st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+         spent := 0;
+         st.native <- Array.unsafe_get clocks 0;
+         st.vm <- Array.unsafe_get clocks 1;
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) regs
+         done;
+         limit := int_of_int64_clamped st.fuel;
+         Array.unsafe_set clocks 0 st.native;
+         Array.unsafe_set clocks 1 st.vm
+       end
+       else
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) regs
+         done
+     with
+    | Ir.Eval.Division_by_zero ->
+        fault "@%s/bb%d: division by zero" f.Ir.Func.name !cur
+    | Ir.Eval.Type_error m -> fault "@%s/bb%d: %s" f.Ir.Func.name !cur m
+    | Memory.Bad_address a ->
+        fault "@%s/bb%d: bad address %d" f.Ir.Func.name !cur a
+    | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name);
+    (* Terminator, pre-resolved. *)
+    match tb.t_term with
+    | T_halt -> running := false
+    | T_ret s ->
+        result := Some (fetch regs s);
+        running := false
+    | T_br l ->
+        prev := !cur;
+        cur := l
+    | T_cond (c, a, b) ->
+        prev := !cur;
+        cur := (if Ir.Eval.is_true (fetch regs c) then a else b)
+    | T_cond_s (r, a, b) ->
+        prev := !cur;
+        cur := (if Ir.Eval.is_true regs.(r) then a else b)
+    | T_switch (s, default, tbl) ->
+        let sv = Ir.Eval.as_int (fetch regs s) in
+        prev := !cur;
+        cur := (match Hashtbl.find_opt tbl sv with Some l -> l | None -> default)
+  done;
+  st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+  st.native <- Array.unsafe_get clocks 0;
+  st.vm <- Array.unsafe_get clocks 1;
+  Memory.release st.memory frame_mark;
+  !result
+
+(** Compile one function's blocks to threaded code.  All of the
+    module's functions must already be prepared in [st.funcs] so callee
+    [func_info]s can be captured; their own [tblocks] may be compiled
+    later (the closure reads them at call time). *)
+and compile_func (st : state) (fi : func_info) : tblock array =
+  Array.mapi (fun bnum bi -> compile_block st fi bnum bi) fi.blocks
+
+and compile_block (st : state) (fi : func_info) (bnum : int) (bi : block_info) :
+    tblock =
+  let fname = fi.func.Ir.Func.name in
+  let nphi = bi.phi_count in
+  let t_phi_srcs =
+    Array.init nphi (fun k ->
+        Array.map
+          (function
+            | None -> P_missing
+            | Some op -> (
+                match decode_operand op with
+                | Slot r -> P_slot r
+                | Imm v -> P_imm v))
+          bi.phi_incoming.(k))
+  in
+  let mem = st.memory in
+  let nregs = max 1 fi.func.Ir.Func.next_reg in
+  let compile_instr (i : Ir.Instr.t) : Ir.Eval.value array -> unit =
+    let d = i.Ir.Instr.id in
+    let ty = i.Ir.Instr.ty in
+    match i.Ir.Instr.kind with
+    | Ir.Instr.Phi _ ->
+        (* Mirrors the reference engine: a phi after a non-phi is a
+           runtime fault of the block, not a compile error. *)
+        fun _ -> fault "@%s/bb%d: phi after non-phi" fname bnum
+    | Ir.Instr.Binop (op, a, b) ->
+        compile_binop ~nregs ty op d (decode_operand a) (decode_operand b)
+    | Ir.Instr.Icmp (p, a, b) ->
+        compile_icmp ~nregs p d (decode_operand a) (decode_operand b)
+    | Ir.Instr.Fcmp (p, a, b) ->
+        compile_fcmp ~nregs p d (decode_operand a) (decode_operand b)
+    | Ir.Instr.Cast (c, a) ->
+        let from_ =
+          match a with
+          | Ir.Instr.Const cst -> Ir.Instr.const_ty cst
+          | Ir.Instr.Reg r -> fi.reg_tys.(r)
+        in
+        compile_cast ~nregs c ~from_ ~to_:ty d (decode_operand a)
+    | Ir.Instr.Select (c, a, b) -> (
+        let sc = decode_operand c
+        and sa = decode_operand a
+        and sb = decode_operand b in
+        let ok r = r >= 0 && r < nregs in
+        match (sc, sa, sb) with
+        | Slot rc, Slot ra, Slot rb when ok d && ok rc && ok ra && ok rb ->
+            fun regs ->
+              Array.unsafe_set regs d
+                (if Ir.Eval.is_true (Array.unsafe_get regs rc) then
+                   Array.unsafe_get regs ra
+                 else Array.unsafe_get regs rb)
+        | _ ->
+            (* all three operands are read strictly, like the reference
+               engine's [eval_select] call *)
+            fun regs ->
+              let vc = fetch regs sc
+              and va = fetch regs sa
+              and vb = fetch regs sb in
+              regs.(d) <- (if Ir.Eval.is_true vc then va else vb))
+    | Ir.Instr.Alloca (_, count) ->
+        fun regs -> regs.(d) <- Ir.Eval.VPtr (Memory.alloc mem count)
+    | Ir.Instr.Load a -> (
+        match decode_operand a with
+        | Slot ra when d >= 0 && d < nregs && ra >= 0 && ra < nregs ->
+            fun regs ->
+              Array.unsafe_set regs d
+                (Memory.load mem (Ir.Eval.as_ptr (Array.unsafe_get regs ra)))
+        | Slot ra ->
+            fun regs -> regs.(d) <- Memory.load mem (Ir.Eval.as_ptr regs.(ra))
+        | Imm va -> fun regs -> regs.(d) <- Memory.load mem (Ir.Eval.as_ptr va)
+        )
+    | Ir.Instr.Store (x, a) -> (
+        match (decode_operand x, decode_operand a) with
+        | Slot rx, Slot ra when rx < nregs && ra < nregs && rx >= 0 && ra >= 0
+          ->
+            fun regs ->
+              Memory.store mem
+                (Ir.Eval.as_ptr (Array.unsafe_get regs ra))
+                (Array.unsafe_get regs rx)
+        | sx, sa ->
+            fun regs ->
+              Memory.store mem (Ir.Eval.as_ptr (fetch regs sa)) (fetch regs sx)
+        )
+    | Ir.Instr.Gep (base, idx) -> (
+        let sb = decode_operand base and si = decode_operand idx in
+        let ok r = r >= 0 && r < nregs in
+        match (sb, si) with
+        | Slot a, Slot b when ok d && ok a && ok b ->
+            fun regs ->
+              Array.unsafe_set regs d
+                (Ir.Eval.VPtr
+                   (Ir.Eval.as_ptr (Array.unsafe_get regs a)
+                   + Int64.to_int (Ir.Eval.as_int (Array.unsafe_get regs b))))
+        | Slot a, Imm (Ir.Eval.VInt ib) when ok d && ok a ->
+            let n = Int64.to_int ib in
+            fun regs ->
+              Array.unsafe_set regs d
+                (Ir.Eval.VPtr (Ir.Eval.as_ptr (Array.unsafe_get regs a) + n))
+        | _ ->
+            bin_closure ~nregs
+              (fun vb vi ->
+                Ir.Eval.VPtr
+                  (Ir.Eval.as_ptr vb + Int64.to_int (Ir.Eval.as_int vi)))
+              d sb si)
+    | Ir.Instr.Gaddr g ->
+        (* Left as a per-execution lookup on purpose: resolving at
+           compile time would turn an unknown global in never-executed
+           code into an eager error the reference engine doesn't raise. *)
+        fun regs -> regs.(d) <- Ir.Eval.VPtr (Memory.global_base mem g)
+    | Ir.Instr.Call (name, argops) -> (
+        let srcs = Array.of_list (List.map decode_operand argops) in
+        let eval_args = args_fn srcs in
+        match Hashtbl.find_opt st.funcs name with
+        | Some callee -> (
+            fun regs ->
+              match exec_threaded st callee (eval_args regs) with
+              | Some r -> regs.(d) <- r
+              | None -> ())
+        | None -> (
+            match find_intrinsic name with
+            | Some impl -> fun regs -> regs.(d) <- impl (eval_args regs)
+            | None -> fun _ -> fault "call to unknown function @%s" name))
+    | Ir.Instr.Ci_call (ci, argops) -> (
+        let srcs = Array.of_list (List.map decode_operand argops) in
+        let eval_args = args_fn srcs in
+        match Hashtbl.find_opt st.cis ci with
+        | Some impl ->
+            let cyc = float_of_int impl.ci_cycles in
+            fun regs ->
+              regs.(d) <- impl.ci_eval (eval_args regs);
+              st.native <- st.native +. cyc;
+              st.vm <- st.vm +. cyc
+        | None -> fun _ -> fault "custom instruction #%d is not configured" ci)
+  in
+  let t_ops =
+    Array.init (bi.ninstrs - nphi) (fun j -> compile_instr bi.instrs.(nphi + j))
+  in
+  let t_term =
+    match bi.term with
+    | Ir.Instr.Ret None -> T_halt
+    | Ir.Instr.Ret (Some op) -> T_ret (decode_operand op)
+    | Ir.Instr.Br l -> T_br l
+    | Ir.Instr.Cond_br (c, a, b) -> (
+        match decode_operand c with
+        | Slot r -> T_cond_s (r, a, b)
+        | s -> T_cond (s, a, b))
+    | Ir.Instr.Switch (s, default, _) ->
+        let tbl =
+          match bi.switch_cases with Some tbl -> tbl | None -> assert false
+        in
+        T_switch (decode_operand s, default, tbl)
+  in
+  (* A block needs fuel/clock synchronization only when its body can
+     reach the shared [state]: a call that resolves to a user function
+     (the callee runs on [st]) or a configured custom instruction
+     (charges [st] clocks).  Intrinsic calls and the fault closures for
+     unresolved names touch only the register file. *)
+  let t_sync =
+    Array.exists
+      (fun (i : Ir.Instr.t) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Call (name, _) -> Hashtbl.mem st.funcs name
+        | Ir.Instr.Ci_call (ci, _) -> Hashtbl.mem st.cis ci
+        | _ -> false)
+      bi.instrs
+  in
+  {
+    t_info = bi;
+    t_ops;
+    t_phi_dests = bi.phi_dests;
+    t_phi_srcs;
+    t_phi_scratch = Array.make (max 1 nphi) (Ir.Eval.VInt 0L);
+    t_term;
+    t_sync;
+    t_fuel = bi.ninstrs + 1;
+    t_native = float_of_int bi.static_cycles;
+    (* The exact float expressions [Jit_model.block_execution_cycles]
+       evaluates on each branch, performed once. *)
+    t_hot = st.jit.Jit_model.hot_factor *. float_of_int bi.static_cycles;
+    t_cold =
+      float_of_int
+        (bi.static_cycles + (Ir.Cost.vm_dispatch_cycles * bi.ninstrs));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
 
 (** Run [entry] with scalar [args].
 
     @param fuel maximum dynamic instructions (default 4e9)
     @param jit VM cost model (default {!Jit_model.default})
     @param cis configured custom instructions (default none)
+    @param engine execution engine (default {!Threaded}); outcomes are
+      identical across engines
     @raise Fault on any runtime error. *)
 let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
-    ?(cis = empty_cis ()) (m : Ir.Irmod.t) ~entry
+    ?(cis = empty_cis ()) ?(engine = default_engine) (m : Ir.Irmod.t) ~entry
     ~(args : Ir.Eval.value list) : outcome =
   let memory = Memory.create () in
   Memory.load_globals memory m;
@@ -367,16 +1169,22 @@ let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
     | Some fi -> fi
     | None -> fault "entry function @%s not found" entry
   in
-  let ret = exec_func st fi (Array.of_list args) in
+  let ret =
+    match engine with
+    | Reference -> exec_func st fi (Array.of_list args)
+    | Threaded ->
+        Hashtbl.iter (fun _ fi -> fi.tblocks <- compile_func st fi) funcs;
+        exec_threaded st fi (Array.of_list args)
+  in
   (* Fold the run-local counters into a profile. *)
   let profile = Profile.create () in
   Hashtbl.iter
     (fun name (fi : func_info) ->
       Array.iteri
         (fun label bi ->
-          if bi.exec_count > 0L then
-            Profile.record profile ~func:name ~label ~count:bi.exec_count
-              ~instrs:bi.ninstrs)
+          if bi.exec_count > 0 then
+            Profile.record profile ~func:name ~label
+              ~count:(Int64.of_int bi.exec_count) ~instrs:bi.ninstrs)
         fi.blocks)
     funcs;
   { ret; native_cycles = st.native; vm_cycles = st.vm; profile; memory }

@@ -1,0 +1,96 @@
+(** The bitcode virtual machine.
+
+    An SSA interpreter with cycle accounting.  One run simultaneously
+    accumulates two clocks: [native_cycles], the cost of the program
+    under static compilation, and [vm_cycles], the cost under the VM's
+    JIT execution model ({!Jit_model}).  The machine also records the
+    block-frequency {!Profile} and executes custom-instruction calls
+    through a registry that charges the hardware latency of the
+    reconfigurable functional unit.
+
+    Two execution engines produce byte-identical outcomes: {!Reference}
+    walks the instruction AST (the semantics baseline), {!Threaded}
+    (the default) compiles each basic block once into an array of
+    pre-decoded operation closures.  See DESIGN.md §9. *)
+
+module Ir = Jitise_ir
+
+(** Raised on any runtime error: type errors, division by zero, bad
+    addresses, fuel exhaustion, calls to unknown functions or
+    unconfigured custom instructions. *)
+exception Fault of string
+
+(* ------------------------------------------------------------------ *)
+(* Custom instruction registry                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ci_impl = {
+  ci_eval : Ir.Eval.value array -> Ir.Eval.value;
+      (** functional semantics of the custom instruction *)
+  ci_cycles : int;
+      (** CPU cycles one invocation takes on the custom functional
+          unit, including the instruction-interface overhead *)
+}
+
+type ci_registry = (int, ci_impl) Hashtbl.t
+
+val empty_cis : unit -> ci_registry
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate intrinsic [name] (sqrt, sin, pow, abs, min, ...).
+    @raise Fault on an unknown name or wrong arity. *)
+val intrinsic : string -> Ir.Eval.value array -> Ir.Eval.value
+
+val find_intrinsic : string -> (Ir.Eval.value array -> Ir.Eval.value) option
+val is_intrinsic : string -> bool
+
+(* ------------------------------------------------------------------ *)
+(* Execution engines                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type engine =
+  | Reference  (** AST-walking interpreter (the semantics baseline) *)
+  | Threaded  (** per-block closure compilation with pre-decoded operands *)
+
+val default_engine : engine
+(** {!Threaded}. *)
+
+val engines : engine list
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  ret : Ir.Eval.value option;
+  native_cycles : float;
+  vm_cycles : float;
+  profile : Profile.t;
+  memory : Memory.t;
+}
+
+(** Simulated seconds for a cycle count, at the PowerPC 405 clock. *)
+val seconds_of_cycles : float -> float
+
+(** Run [entry] with scalar [args].
+
+    @param fuel maximum dynamic instructions (default 4e9)
+    @param jit VM cost model (default {!Jit_model.default})
+    @param cis configured custom instructions (default none)
+    @param engine execution engine (default {!default_engine});
+      outcomes are identical across engines
+    @raise Fault on any runtime error. *)
+val run :
+  ?fuel:int64 ->
+  ?jit:Jit_model.t ->
+  ?cis:ci_registry ->
+  ?engine:engine ->
+  Ir.Irmod.t ->
+  entry:string ->
+  args:Ir.Eval.value list ->
+  outcome

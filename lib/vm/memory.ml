@@ -39,14 +39,27 @@ let ensure t addr =
     t.cells <- cells
   end
 
-let load t addr =
-  if addr <= 0 || addr >= t.stack_pointer then raise (Bad_address addr);
-  if addr < Array.length t.cells then t.cells.(addr) else Ir.Eval.VInt 0L
+(* [load] and [store] sit on the hottest interpreter path; the address
+   has already been validated against [stack_pointer] (and 0), so the
+   backing-array access can skip the second bounds check.  [alloc]
+   always [ensure]s up to the stack pointer, so the slow store path only
+   exists for robustness against future layout changes. *)
 
-let store t addr v =
+let[@inline] load t addr =
   if addr <= 0 || addr >= t.stack_pointer then raise (Bad_address addr);
+  let cells = t.cells in
+  if addr < Array.length cells then Array.unsafe_get cells addr
+  else Ir.Eval.VInt 0L
+
+let store_slow t addr v =
   ensure t addr;
   t.cells.(addr) <- v
+
+let[@inline] store t addr v =
+  if addr <= 0 || addr >= t.stack_pointer then raise (Bad_address addr);
+  let cells = t.cells in
+  if addr < Array.length cells then Array.unsafe_set cells addr v
+  else store_slow t addr v
 
 (** Reserve [n] cells and return their base address. *)
 let alloc t n =

@@ -1,0 +1,44 @@
+(** Execution profiles.
+
+    The VM records how often every basic block executes.  Profiles
+    drive everything downstream: the pruning filter ranks blocks by
+    dynamic cost, the coverage analysis classifies code as
+    live/dead/constant across datasets, and the break-even model weighs
+    candidate savings by block frequency. *)
+
+module Ir = Jitise_ir
+
+type key = string * Ir.Instr.label  (** function name, block label *)
+
+type t = {
+  counts : (key, int64) Hashtbl.t;
+  mutable executed_instrs : int64;  (** dynamic IR instruction count *)
+}
+
+val create : unit -> t
+
+(** Add one execution of block [label] of [func], containing [instrs]
+    instructions. *)
+val bump : t -> func:string -> label:Ir.Instr.label -> instrs:int -> unit
+
+(** Add [count] executions of a block at once (bulk import from the
+    VM's run-local counters). *)
+val record :
+  t -> func:string -> label:Ir.Instr.label -> count:int64 -> instrs:int -> unit
+
+val count : t -> func:string -> label:Ir.Instr.label -> int64
+
+val iter :
+  (func:string -> label:Ir.Instr.label -> count:int64 -> unit) -> t -> unit
+
+(** All profiled (function, label, count) triples, sorted for
+    determinism. *)
+val to_list : t -> (string * Ir.Instr.label * int64) list
+
+(** Merge [src] into [dst] (summing counts). *)
+val merge : into:t -> t -> unit
+
+(** Total software cycles attributed to each block of [m] under this
+    profile: [freq * block_cycles].  Returns a sorted association list
+    from (func, label) to cycles, heaviest first. *)
+val block_costs : t -> Ir.Irmod.t -> ((string * Ir.Instr.label) * int64) list

@@ -201,9 +201,9 @@ let test_machine_deterministic () =
   Alcotest.(check (float 1e-9)) "same cycles" a.Vm.Machine.native_cycles
     b.Vm.Machine.native_cycles
 
-let test_machine_ci_call () =
-  (* Hand-build a module with a Ci_call and check the registry path:
-     main(n) = ci0(n, 7) where ci0(a, b) = a * b, at 2 cycles. *)
+(* Hand-build a module with a Ci_call: main(n) = ci0(n, 7).  Shared
+   with the engine-differential suite below. *)
+let ci_module () =
   let f = Ir.Func.create ~name:"main" ~params:[ (0, Ir.Ty.I32) ] ~ret_ty:Ir.Ty.I32 in
   let b = Ir.Builder.create f in
   let bb = Ir.Builder.new_block b ~name:"entry" in
@@ -216,6 +216,9 @@ let test_machine_ci_call () =
   let f = Ir.Builder.finish b in
   let m = Ir.Irmod.create ~name:"ci" in
   Ir.Irmod.add_func m f;
+  m
+
+let mul_ci_registry () =
   let cis = Vm.Machine.empty_cis () in
   Hashtbl.replace cis 0
     {
@@ -225,6 +228,12 @@ let test_machine_ci_call () =
             (Int64.mul (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1))));
       ci_cycles = 2;
     };
+  cis
+
+let test_machine_ci_call () =
+  (* The registry path: ci0(a, b) = a * b, at 2 cycles. *)
+  let m = ci_module () in
+  let cis = mul_ci_registry () in
   Alcotest.(check int) "ci computes" 42 (ret_int (run ~cis ~n:6 m));
   (* without the registry the call faults *)
   Alcotest.(check bool) "unconfigured ci faults" true
@@ -259,6 +268,415 @@ let test_seconds_of_cycles () =
   Alcotest.(check (float 1e-12)) "300 MHz" 1.0
     (Vm.Machine.seconds_of_cycles Ir.Cost.clock_hz)
 
+(* ------------------------------------------------------------------ *)
+(* Engine differential: Reference vs Threaded                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The threaded engine's whole contract is "byte-identical outcomes".
+   These tests run the same module under both engines and require equal
+   return values, EXACT clock equality (same float-addition order, so
+   0.0 tolerance), equal executed-instruction counts and equal
+   block-frequency profiles. *)
+
+module W = Jitise_workloads
+module Core = Jitise_core
+module Pp = Jitise_pivpav
+module Cad = Jitise_cad
+module An = Jitise_analysis
+module Ise = Jitise_ise
+module U = Jitise_util
+
+let check_outcomes_equal what (a : Vm.Machine.outcome) (b : Vm.Machine.outcome)
+    =
+  (match (a.ret, b.ret) with
+  | None, None -> ()
+  | Some x, Some y when Ir.Eval.equal_value x y -> ()
+  | _ -> Alcotest.fail (what ^ ": return values differ"));
+  Alcotest.(check (float 0.0))
+    (what ^ ": native cycles") a.native_cycles b.native_cycles;
+  Alcotest.(check (float 0.0)) (what ^ ": vm cycles") a.vm_cycles b.vm_cycles;
+  Alcotest.(check int64)
+    (what ^ ": executed instrs") a.profile.Vm.Profile.executed_instrs
+    b.profile.Vm.Profile.executed_instrs;
+  Alcotest.(check bool)
+    (what ^ ": profiles equal") true
+    (Vm.Profile.to_list a.profile = Vm.Profile.to_list b.profile)
+
+(* Run [m] under both engines and return (reference, threaded) after
+   checking the outcomes are identical. *)
+let diff ?fuel ?cis ?(entry = "main") ~args what m =
+  let go engine = Vm.Machine.run ?fuel ?cis ~engine m ~entry ~args in
+  let r = go Vm.Machine.Reference and t = go Vm.Machine.Threaded in
+  check_outcomes_equal what r t;
+  (r, t)
+
+let diff_n ?fuel ?cis ~n what m =
+  diff ?fuel ?cis ~args:[ Ir.Eval.VInt (Int64.of_int n) ] what m
+
+(* Compare [len] cells of global [name] across the two outcomes. *)
+let check_global_equal what name len (a : Vm.Machine.outcome)
+    (b : Vm.Machine.outcome) =
+  let base_a = Vm.Memory.global_base a.memory name
+  and base_b = Vm.Memory.global_base b.memory name in
+  for i = 0 to len - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s[%d]" what name i)
+      true
+      (Ir.Eval.equal_value
+         (Vm.Memory.load a.memory (base_a + i))
+         (Vm.Memory.load b.memory (base_b + i)))
+  done
+
+let test_diff_mode_family () =
+  (* Generated SPEC-shaped program: cold config code, a live dispatcher,
+     dead modes — lots of branchy integer control flow. *)
+  let src =
+    W.Gen.mode_family ~app:"dx" ~live:6 ~cfg:5 ~dead:4
+    ^ "int main(int n) {\n\
+      \  int acc = dx_startup();\n\
+      \  int t;\n\
+      \  for (t = 0; t < n; t = t + 1) { acc = acc + dx_step(t); }\n\
+      \  return acc;\n\
+       }\n"
+  in
+  let m = compile src in
+  List.iter
+    (fun n -> ignore (diff_n ~n (Printf.sprintf "mode n=%d" n) m))
+    [ 0; 1; 37; 500 ]
+
+let test_diff_phase_family () =
+  (* Float kernel with global arrays: checks the float fast paths and
+     that memory ends up identical, not just the return value. *)
+  let src =
+    W.Gen.phase_family ~prefix:"px" ~phases:3 ~width:24 ~float_ops:true
+    ^ W.Gen.float_helper_family ~prefix:"fh" ~count:4
+    ^ "int main(int n) {\n\
+      \  px_seed(n);\n\
+      \  int r;\n\
+      \  for (r = 0; r < 5; r = r + 1) { px_run(); }\n\
+      \  double v = fh_eval(n - (n / 4) * 4, px_a[0] + px_b[23]);\n\
+      \  if (v > 0.5) { return 1; }\n\
+      \  return 0;\n\
+       }\n"
+  in
+  let m = compile src in
+  List.iter
+    (fun n ->
+      let r, t = diff_n ~n (Printf.sprintf "phase n=%d" n) m in
+      check_global_equal "phase" "px_a" 24 r t;
+      check_global_equal "phase" "px_b" 24 r t)
+    [ 0; 3; 11 ]
+
+let test_diff_intrinsics () =
+  (* Every MiniC-reachable intrinsic, plus implicit int->double
+     promotion on the way in. *)
+  let src =
+    "int main(int n) {\n\
+    \  double x = 0.5 + n;\n\
+    \  double s = sqrt(x) + sin(x) * cos(x) + atan(x) + exp(0.1 * x)\n\
+    \    + log(x + 1.0) + fabs(0.0 - x) + floor(x) + pow(x, 2.0);\n\
+    \  int i = abs(0 - n) + min(n, 3) + max(n, 7);\n\
+    \  if (s > 100.0) { return i + 1000; }\n\
+    \  return i;\n\
+     }\n"
+  in
+  let m = compile src in
+  List.iter
+    (fun n -> ignore (diff_n ~n (Printf.sprintf "intrinsics n=%d" n) m))
+    [ 0; 4; 50 ]
+
+let test_diff_recursion () =
+  let m =
+    compile
+      "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - \
+       2); }\n\
+       int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; \
+       } return a; }\n\
+       int main(int n) { return fib(n) * 100 + gcd(n * 12, 18); }\n"
+  in
+  List.iter
+    (fun n -> ignore (diff_n ~n (Printf.sprintf "recursion n=%d" n) m))
+    [ 0; 1; 10; 15 ]
+
+(* Hand-built Switch with a duplicate case value: both engines must
+   honor first-match-wins on the textual case order. *)
+let switch_module () =
+  let f =
+    Ir.Func.create ~name:"main" ~params:[ (0, Ir.Ty.I32) ] ~ret_ty:Ir.Ty.I32
+  in
+  let b = Ir.Builder.create f in
+  let entry = Ir.Builder.new_block b ~name:"entry" in
+  let bb1 = Ir.Builder.new_block b ~name:"one" in
+  let bb2 = Ir.Builder.new_block b ~name:"one_dup" in
+  let bb3 = Ir.Builder.new_block b ~name:"two" in
+  let bbd = Ir.Builder.new_block b ~name:"default" in
+  Ir.Builder.position_at b entry;
+  Ir.Builder.set_term b
+    (Ir.Instr.Switch
+       ( Ir.Builder.reg 0,
+         bbd.Ir.Block.label,
+         [
+           (1L, bb1.Ir.Block.label);
+           (1L, bb2.Ir.Block.label);
+           (2L, bb3.Ir.Block.label);
+         ] ));
+  let ret_const bb v =
+    Ir.Builder.position_at b bb;
+    Ir.Builder.ret b (Some (Ir.Builder.ci32 v))
+  in
+  ret_const bb1 10;
+  ret_const bb2 20;
+  ret_const bb3 30;
+  ret_const bbd 99;
+  let m = Ir.Irmod.create ~name:"sw" in
+  Ir.Irmod.add_func m (Ir.Builder.finish b);
+  m
+
+let test_diff_switch () =
+  let m = switch_module () in
+  List.iter
+    (fun (n, expect) ->
+      let r, _ = diff_n ~n (Printf.sprintf "switch n=%d" n) m in
+      Alcotest.(check int) (Printf.sprintf "switch %d -> %d" n expect) expect
+        (Int64.to_int
+           (match r.Vm.Machine.ret with
+           | Some (Ir.Eval.VInt v) -> v
+           | _ -> Alcotest.fail "int expected")))
+    [ (1, 10); (2, 30); (7, 99); (0, 99) ]
+
+let test_diff_ci_call () =
+  let m = ci_module () in
+  let cis = mul_ci_registry () in
+  ignore (diff_n ~cis ~n:6 "ci" m);
+  ignore (diff_n ~cis ~n:(-3) "ci negative" m)
+
+(* Fault parity: both engines must fault on the same inputs with the
+   SAME message (messages embed block names and budgets, so this pins
+   the threaded engine's error paths, not just its happy path). *)
+let fault_msg ?fuel ?cis ~engine ~n m =
+  try
+    ignore
+      (Vm.Machine.run ?fuel ?cis ~engine m ~entry:"main"
+         ~args:[ Ir.Eval.VInt (Int64.of_int n) ]);
+    None
+  with Vm.Machine.Fault msg -> Some msg
+
+let check_fault_parity ?fuel ?cis what ~n m =
+  let r = fault_msg ?fuel ?cis ~engine:Vm.Machine.Reference ~n m
+  and t = fault_msg ?fuel ?cis ~engine:Vm.Machine.Threaded ~n m in
+  Alcotest.(check bool) (what ^ ": faulted") true (r <> None);
+  Alcotest.(check (option string)) (what ^ ": same message") r t
+
+let unknown_callee_module () =
+  let f =
+    Ir.Func.create ~name:"main" ~params:[ (0, Ir.Ty.I32) ] ~ret_ty:Ir.Ty.I32
+  in
+  let b = Ir.Builder.create f in
+  let bb = Ir.Builder.new_block b ~name:"entry" in
+  Ir.Builder.position_at b bb;
+  let r = Ir.Builder.call b Ir.Ty.I32 "nope" [ Ir.Builder.reg 0 ] in
+  Ir.Builder.ret b (Some (Ir.Builder.reg r));
+  let m = Ir.Irmod.create ~name:"unk" in
+  Ir.Irmod.add_func m (Ir.Builder.finish b);
+  m
+
+let test_diff_fault_parity () =
+  check_fault_parity "div by zero" ~n:0
+    (compile "int main(int n) { return 10 / n; }");
+  check_fault_parity "wild index" ~n:5000
+    (compile "int a[4]; int main(int n) { return a[n]; }");
+  check_fault_parity "fuel" ~fuel:10_000L ~n:0
+    (compile
+       "int main(int n) { while (1 == 1) { n = n + 1; } return n; }");
+  check_fault_parity "unknown callee" ~n:1 (unknown_callee_module ());
+  check_fault_parity "unconfigured ci" ~n:6 (ci_module ())
+
+let test_diff_registry_workloads () =
+  (* Full differential over real workloads from the registry, every
+     dataset each. *)
+  List.iter
+    (fun name ->
+      let w = Option.get (W.Registry.find name) in
+      let compiled = W.Workload.compile w in
+      let outs engine = W.Workload.run_all ~engine compiled w in
+      List.iter2
+        (fun (d, r) (_, t) ->
+          check_outcomes_equal
+            (Printf.sprintf "%s/%s" name d.W.Workload.label)
+            r t)
+        (outs Vm.Machine.Reference)
+        (outs Vm.Machine.Threaded))
+    [ "fft"; "sor"; "whetstone"; "adpcm" ]
+
+let qcheck_diff_generated =
+  let open QCheck in
+  let gen =
+    Gen.(
+      quad (1 -- 4) (4 -- 24) bool (0 -- 30))
+  in
+  Test.make ~name:"random phase kernels: engines agree" ~count:10 (make gen)
+    (fun (phases, width, float_ops, n) ->
+      let prefix = "qx" in
+      let src =
+        W.Gen.phase_family ~prefix ~phases ~width ~float_ops
+        ^ Printf.sprintf
+            "int main(int n) {\n\
+            \  %s_seed(n);\n\
+            \  int r;\n\
+            \  for (r = 0; r < 3; r = r + 1) { %s_run(); }\n\
+            \  return n;\n\
+             }\n"
+            prefix prefix
+      in
+      let m = compile src in
+      let r, t =
+        diff_n ~n
+          (Printf.sprintf "qcheck p=%d w=%d f=%b n=%d" phases width float_ops
+             n)
+          m
+      in
+      check_global_equal "qcheck" (prefix ^ "_a") width r t;
+      check_global_equal "qcheck" (prefix ^ "_b") width r t;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine golden: full Experiment reports are engine-invariant         *)
+(* ------------------------------------------------------------------ *)
+
+(* Same projection idea as test_pipeline: the report minus measured
+   wall clocks and the stage-record log. *)
+type app_projection = {
+  p_app : string;
+  p_selection : string list;
+  p_candidates : (string * float * float * int * float) list;
+  p_dropped : int;
+  p_const : float;
+  p_map : float;
+  p_par : float;
+  p_sum : float;
+  p_attempts_total : int;
+  p_failed : int;
+  p_degraded : int;
+  p_ratio : float;
+  p_ratio_max : float;
+  p_break_even : An.Breakeven.result;
+}
+
+let project (r : Core.Experiment.app_result) : app_projection =
+  let rep = r.Core.Experiment.report in
+  let signature (s : Ise.Select.scored) =
+    s.Ise.Select.candidate.Ise.Candidate.signature
+  in
+  {
+    p_app = r.Core.Experiment.workload.W.Workload.name;
+    p_selection = List.map signature rep.Core.Asip_sp.selection;
+    p_candidates =
+      List.map
+        (fun (c : Core.Asip_sp.candidate_result) ->
+          ( signature c.Core.Asip_sp.scored,
+            c.Core.Asip_sp.c2v_seconds,
+            c.Core.Asip_sp.total_seconds,
+            c.Core.Asip_sp.attempts,
+            c.Core.Asip_sp.wasted_seconds ))
+        rep.Core.Asip_sp.candidates;
+    p_dropped = List.length rep.Core.Asip_sp.dropped;
+    p_const = rep.Core.Asip_sp.const_seconds;
+    p_map = rep.Core.Asip_sp.map_seconds;
+    p_par = rep.Core.Asip_sp.par_seconds;
+    p_sum = rep.Core.Asip_sp.sum_seconds;
+    p_attempts_total = rep.Core.Asip_sp.total_attempts;
+    p_failed = rep.Core.Asip_sp.failed_attempts;
+    p_degraded = rep.Core.Asip_sp.degraded;
+    p_ratio = rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio;
+    p_ratio_max = rep.Core.Asip_sp.asip_ratio_max.Ise.Speedup.ratio;
+    p_break_even = r.Core.Experiment.break_even;
+  }
+
+let golden_apps = [ "sor"; "fft" ]
+
+let eval_apps ~spec db =
+  List.map
+    (fun n ->
+      Core.Experiment.evaluate ~spec db (Option.get (W.Registry.find n)))
+    golden_apps
+
+let check_reports_identical what a b =
+  List.iter2
+    (fun x y ->
+      let x = project x and y = project y in
+      Alcotest.(check bool) (x.p_app ^ " " ^ what) true (x = y))
+    a b
+
+let with_engine engine spec = Core.Spec.with_vm_engine engine spec
+
+let fault_seed =
+  match Sys.getenv_opt "JITISE_FAULT_SEED" with
+  | Some s -> int_of_string s
+  | None -> 20110516
+
+let test_golden_engine_serial () =
+  let db = Pp.Database.create () in
+  let threaded =
+    eval_apps ~spec:(with_engine Vm.Machine.Threaded Core.Spec.default) db
+  in
+  let reference =
+    eval_apps ~spec:(with_engine Vm.Machine.Reference Core.Spec.default) db
+  in
+  check_reports_identical "report engine-invariant (serial)" threaded
+    reference
+
+let test_golden_engine_jobs4 () =
+  let db = Pp.Database.create () in
+  let spec = Core.Spec.with_jobs 4 Core.Spec.default in
+  let threaded = eval_apps ~spec:(with_engine Vm.Machine.Threaded spec) db in
+  let reference = eval_apps ~spec:(with_engine Vm.Machine.Reference spec) db in
+  check_reports_identical "report engine-invariant (jobs:4)" threaded
+    reference
+
+let test_golden_engine_faults () =
+  let db = Pp.Database.create () in
+  let spec =
+    Core.Spec.default
+    |> Core.Spec.with_faults (Cad.Faults.defaults ~seed:fault_seed)
+    |> Core.Spec.with_retry (U.Retry.with_max_attempts 3 U.Retry.default)
+  in
+  let threaded = eval_apps ~spec:(with_engine Vm.Machine.Threaded spec) db in
+  let reference = eval_apps ~spec:(with_engine Vm.Machine.Reference spec) db in
+  check_reports_identical "report engine-invariant (faults on)" threaded
+    reference
+
+let test_golden_engine_digests () =
+  (* Stage digests exclude the engine knob, so a store warmed under one
+     engine serves the other: re-evaluating under Reference against a
+     Threaded-warmed store recomputes NO profile stage. *)
+  let db = Pp.Database.create () in
+  let store = U.Artifact.create () in
+  let warm_spec =
+    Core.Spec.default
+    |> Core.Spec.with_stage_cache store
+    |> with_engine Vm.Machine.Threaded
+  in
+  let warm = eval_apps ~spec:warm_spec db in
+  let cold_spec =
+    Core.Spec.default
+    |> Core.Spec.with_stage_cache store
+    |> with_engine Vm.Machine.Reference
+  in
+  let again = eval_apps ~spec:cold_spec db in
+  check_reports_identical "warm-store report engine-invariant" warm again;
+  List.iter
+    (fun r ->
+      let records = r.Core.Experiment.report.Core.Asip_sp.stage_records in
+      List.iter
+        (fun (s : Core.Pipeline.summary) ->
+          if s.Core.Pipeline.sum_stage = "profile" then
+            Alcotest.(check int)
+              ((project r).p_app
+             ^ ": profile served from the other engine's store")
+              0 s.Core.Pipeline.sum_computed)
+        (Core.Pipeline.summarize records))
+    again
+
 let () =
   Alcotest.run "vm"
     [
@@ -292,5 +710,26 @@ let () =
           Alcotest.test_case "translation" `Quick test_jit_model_translation;
           Alcotest.test_case "block cycles" `Quick test_jit_model_block_cycles;
           Alcotest.test_case "clock" `Quick test_seconds_of_cycles;
+        ] );
+      ( "engine differential",
+        [
+          Alcotest.test_case "mode family" `Quick test_diff_mode_family;
+          Alcotest.test_case "phase family" `Quick test_diff_phase_family;
+          Alcotest.test_case "intrinsics" `Quick test_diff_intrinsics;
+          Alcotest.test_case "recursion" `Quick test_diff_recursion;
+          Alcotest.test_case "switch first-match" `Quick test_diff_switch;
+          Alcotest.test_case "ci call" `Quick test_diff_ci_call;
+          Alcotest.test_case "fault parity" `Quick test_diff_fault_parity;
+          Alcotest.test_case "registry workloads" `Slow
+            test_diff_registry_workloads;
+          QCheck_alcotest.to_alcotest qcheck_diff_generated;
+        ] );
+      ( "engine golden",
+        [
+          Alcotest.test_case "serial" `Slow test_golden_engine_serial;
+          Alcotest.test_case "jobs:4" `Slow test_golden_engine_jobs4;
+          Alcotest.test_case "faults on" `Slow test_golden_engine_faults;
+          Alcotest.test_case "digest invariance" `Slow
+            test_golden_engine_digests;
         ] );
     ]
