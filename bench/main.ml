@@ -495,11 +495,152 @@ let vm_report path =
      %!"
     path agg_speedup geomean
 
+(* ------------------------------------------------------------------ *)
+(* Persistent-store report (BENCH_store.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold-vs-warm timing of the disk store backend, reported as
+   machine-readable JSON for CI.  The cold half evaluates a couple of
+   workloads against a fresh on-disk store; the warm half builds a NEW
+   artifact front-end over the same root — a simulated process restart,
+   so every hit really crosses the serialization boundary — and must
+   recompute zero stages while producing a byte-identical report
+   projection (the deterministic tables; measured wall clocks are
+   excluded by construction).  Per-stage serialized sizes come from
+   walking the store directory.  Serial on purpose, like the pipeline
+   report: exact counter values are only meaningful at jobs = 1. *)
+let store_report ?store_dir path =
+  let module U = Jitise_util in
+  let apps = [ "sor"; "fft" ] in
+  let made_tmp = store_dir = None in
+  let root =
+    match store_dir with
+    | Some d -> d
+    | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "jitise-bench-store-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then rm_rf p else Sys.remove p)
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  if made_tmp then rm_rf root;
+  prerr_endline "[bench] store: cold vs warm against a disk-backed store...";
+  let run_once () =
+    (* A fresh spec per run: [with_store_dir] builds a new in-process
+       front-end each time, so the warm run's hits all come through the
+       disk backend, exactly as after a process restart. *)
+    let spec = Core.Spec.with_store_dir root Core.Spec.default in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.map
+        (fun name -> Core.Experiment.evaluate ~spec db (find_workload name))
+        apps
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let records =
+      List.concat_map
+        (fun r -> r.Core.Experiment.report.Core.Asip_sp.stage_records)
+        results
+    in
+    (spec, results, Core.Pipeline.summarize records, wall)
+  in
+  let _, cold_results, cold_sum, cold_wall = run_once () in
+  let warm_spec, warm_results, warm_sum, warm_wall = run_once () in
+  let proj rs =
+    Core.Tables.render_table1 (Core.Tables.table1 rs)
+    ^ Core.Tables.render_table3 (Core.Tables.table3 rs)
+  in
+  if proj cold_results <> proj warm_results then begin
+    prerr_endline "bench: store: warm report differs from the cold report";
+    exit 1
+  end;
+  let warm_computed =
+    List.fold_left
+      (fun acc (s : Core.Pipeline.summary) -> acc + s.Core.Pipeline.sum_computed)
+      0 warm_sum
+  in
+  if warm_computed <> 0 then begin
+    Printf.eprintf "bench: store: warm run recomputed %d stage executions\n"
+      warm_computed;
+    exit 1
+  end;
+  let entries =
+    match warm_spec.Core.Spec.stage_cache with
+    | Some store -> U.Artifact.backend_entries store
+    | None -> []
+  in
+  let total_bytes =
+    List.fold_left (fun acc (_, _, bytes) -> acc + bytes) 0 entries
+  in
+  let emit_stages buf summaries =
+    let n = List.length summaries in
+    List.iteri
+      (fun i (s : Core.Pipeline.summary) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "      {\"stage\": %S, \"executions\": %d, \"computed\": %d, \
+              \"local_hits\": %d, \"shared_hits\": %d}%s\n"
+             s.Core.Pipeline.sum_stage s.Core.Pipeline.sum_executions
+             s.Core.Pipeline.sum_computed s.Core.Pipeline.sum_local_hits
+             s.Core.Pipeline.sum_shared_hits
+             (if i = n - 1 then "" else ",")))
+      summaries
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"sweep\": {\"apps\": [%s], \"jobs\": 1, \"backend\": \"disk\"},\n"
+       (String.concat ", " (List.map (Printf.sprintf "%S") apps)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cold\": {\"wall_seconds\": %.6f,\n    \"stages\": [\n"
+       cold_wall);
+  emit_stages buf cold_sum;
+  Buffer.add_string buf "  ]},\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm\": {\"wall_seconds\": %.6f,\n    \"stages\": [\n"
+       warm_wall);
+  emit_stages buf warm_sum;
+  Buffer.add_string buf "  ]},\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_speedup\": %.4f,\n"
+       (if warm_wall > 0.0 then cold_wall /. warm_wall else 0.0));
+  Buffer.add_string buf "  \"serialized\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (stage, count, bytes) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stage\": %S, \"entries\": %d, \"bytes\": %d}%s\n" stage
+           count bytes
+           (if i = n - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"serialized_total_bytes\": %d,\n  \"reports_identical\": true\n}\n"
+       total_bytes);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.eprintf
+    "[bench] store: wrote %s (cold %.3fs, warm %.3fs, %d bytes on disk)\n%!"
+    path cold_wall warm_wall total_bytes;
+  if made_tmp then rm_rf root
+
 (* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache,
    --faults, --fault-seed SEED, --retries N, --deadline SECONDS,
    --pipeline-json FILE (with --pipeline-only to skip the rest),
-   --vm-json FILE (with --vm-only to skip the rest), plus the original
-   --tables-only/--bench-only halves. *)
+   --vm-json FILE (with --vm-only to skip the rest), --store-json FILE
+   with --store-dir DIR (and --store-only to skip the rest), plus the
+   original --tables-only/--bench-only halves. *)
 let rec arg_value key = function
   | k :: v :: _ when k = key -> Some v
   | _ :: rest -> arg_value key rest
@@ -530,7 +671,14 @@ let () =
     | Some path -> Some path
     | None -> if vm_only then Some "BENCH_vm.json" else None
   in
-  let skip_main = pipeline_only || vm_only in
+  let store_only = List.mem "--store-only" argv in
+  let store_json =
+    match arg_value "--store-json" argv with
+    | Some path -> Some path
+    | None -> if store_only then Some "BENCH_store.json" else None
+  in
+  let store_dir = arg_value "--store-dir" argv in
+  let skip_main = pipeline_only || vm_only || store_only in
   let tables = (not skip_main) && not (List.mem "--bench-only" argv) in
   let benches = (not skip_main) && not (List.mem "--tables-only" argv) in
   let trace = arg_value "--trace" argv in
@@ -574,8 +722,10 @@ let () =
   in
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();
-  (if not vm_only then Option.iter pipeline_report pipeline_json);
-  Option.iter vm_report vm_json;
+  (if not (vm_only || store_only) then
+     Option.iter pipeline_report pipeline_json);
+  (if not (pipeline_only || store_only) then Option.iter vm_report vm_json);
+  Option.iter (store_report ?store_dir) store_json;
   (match (spec.Core.Spec.tracer, trace) with
   | Some t, Some path ->
       Jitise_util.Trace.write t path;

@@ -32,8 +32,8 @@ type fault_options = {
   deadline : float option;  (** whole-specialization budget, seconds *)
 }
 
-let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~vm_engine ~fault_options:fo
-    =
+let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~store_dir ~vm_engine
+    ~fault_options:fo =
   (* Fail before the sweep, not after: a full run takes minutes and an
      unwritable trace path would otherwise only surface at the end. *)
   Option.iter
@@ -56,8 +56,12 @@ let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~vm_engine ~fault_options:fo
     else spec
   in
   let spec =
-    if stage_cache then Core.Spec.with_stage_cache (U.Artifact.create ()) spec
-    else spec
+    match store_dir with
+    | Some dir -> Core.Spec.with_store_dir dir spec
+    | None ->
+        if stage_cache then
+          Core.Spec.with_stage_cache (U.Artifact.create ()) spec
+        else spec
   in
   if not fo.faults then spec
   else
@@ -136,13 +140,13 @@ let run_inspect name =
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
 let run_specialize name trace jobs shared_cache stage_cache stage_stats
-    vm_engine fault_options =
+    store_dir vm_engine fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace ~jobs ~shared_cache
       ~stage_cache:(stage_cache || stage_stats)
-      ~vm_engine ~fault_options
+      ~store_dir ~vm_engine ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
@@ -216,7 +220,7 @@ let run_timeline name jobs fault_options =
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~stage_cache:false
-      ~vm_engine:Vm.Machine.default_engine ~fault_options
+      ~store_dir:None ~vm_engine:Vm.Machine.default_engine ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let t = Core.Jit_manager.timeline ~jobs r.Core.Experiment.report in
@@ -378,6 +382,18 @@ let stage_stats_arg =
            local/shared hits) on stderr after the run.  Implies \
            $(b,--stage-cache).")
 
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the stage artifact store to a content-addressed on-disk \
+           layout rooted at $(docv) (created if missing), and warm-start \
+           from whatever a previous run left there.  A second run against \
+           the same $(docv) re-executes zero cacheable stages.  Implies \
+           $(b,--stage-cache).")
+
 let vm_engine_conv =
   let parse s =
     match Vm.Machine.engine_of_string s with
@@ -450,12 +466,12 @@ let sweep_cmd name doc render =
     (Cmd.info name ~doc)
     Term.(
       const
-        (fun trace jobs shared_cache stage_cache stage_stats vm_engine
-             fault_options ->
+        (fun trace jobs shared_cache stage_cache stage_stats store_dir
+             vm_engine fault_options ->
           let spec =
             mk_spec ~trace ~jobs ~shared_cache
               ~stage_cache:(stage_cache || stage_stats)
-              ~vm_engine ~fault_options
+              ~store_dir ~vm_engine ~fault_options
           in
           let results =
             Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
@@ -463,7 +479,7 @@ let sweep_cmd name doc render =
           render ~faults:fault_options.faults results;
           finish_spec ~stage_stats spec trace)
       $ trace_arg $ jobs_arg $ shared_cache_arg $ stage_cache_arg
-      $ stage_stats_arg $ vm_engine_arg $ fault_options_term)
+      $ stage_stats_arg $ store_dir_arg $ vm_engine_arg $ fault_options_term)
 
 let cmds =
   [
@@ -488,8 +504,8 @@ let cmds =
          ~doc:"Run the ASIP specialization process on a workload")
       Term.(
         const run_specialize $ workload_arg $ trace_arg $ jobs_arg
-        $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg $ vm_engine_arg
-        $ fault_options_term);
+        $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg $ store_dir_arg
+        $ vm_engine_arg $ fault_options_term);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:

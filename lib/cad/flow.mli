@@ -1,0 +1,150 @@
+(** Simulator of the Xilinx ISE 12.2 EAPR CAD tool flow.
+
+    The physical tool chain is the one component of the paper's system
+    that cannot run here, so its {e runtime behaviour} is modelled
+    instead: per-stage durations are drawn from distributions
+    calibrated to the paper's measurements (Table III for the constant
+    stages, Section V-C for map and place-and-route),
+    deterministically seeded by the candidate's structural signature.
+    Everything downstream — overhead aggregation, break-even analysis,
+    caching — consumes only these durations, which is exactly what the
+    paper measures.
+
+    Failure model: commodity CAD tools fail routinely, so
+    {!implement_result} can inject per-stage failures from a
+    {!Faults.config} and returns [(run, failure) result]; a failure
+    reports the stage it hit and the simulated seconds wasted up to
+    it.  {!implement} is the never-failing entry point (faults
+    disabled). *)
+
+module Pp = Jitise_pivpav
+module Hw = Jitise_hwgen
+
+type stage = Check_syntax | Synthesis | Translate | Map | Place_and_route | Bitgen
+
+val stage_name : stage -> string
+(** Three-letter tool name: ["syn"], ["xst"], ["tra"], ["map"],
+    ["par"], ["bitgen"]. *)
+
+type config = {
+  speedup_factor : float;
+      (** fraction of CAD time removed by a faster tool flow, 0.0-0.99
+          (Section VI-B); 0.30 models the paper's "30 % faster" column *)
+  eapr : bool;
+      (** early-access partial reconfiguration tools; [false] models the
+          regular flow whose bitgen is ~41 s but which cannot produce
+          partial bitstreams *)
+  device_scale : float;
+      (** relative capacity of the target device, 0 < scale <= 1; the
+          constant stages (and the bitstream size) shrink roughly with
+          device capacity, while map/PAR depend on the design, not the
+          device (Section VI-B) *)
+}
+
+val default_config : config
+
+val small_device_config : config
+(** Section VI-B's "use a smaller FPGA device": a Virtex-4 FX60-sized
+    target with roughly 60 % of the FX100's frames. *)
+
+val validate_config : config -> unit
+(** @raise Invalid_argument on an out-of-range configuration. *)
+
+type stage_report = { stage : stage; seconds : float }
+
+type run = {
+  project : Hw.Project.t;
+  stages : stage_report list;
+  total_seconds : float;
+      (** what the flow {e would} cost; on a cache hit the caller
+          decides whether the cost is actually paid *)
+  bitstream : Bitstream.t;
+  cache_hit : Cache.hit option;
+      (** [Some _] when a [?cache] passed to {!implement} already held
+          this data path — [Local] from the same application, [Shared]
+          from another one *)
+  syntax_problems : string list;  (** non-empty = flow aborted *)
+  relaxed : bool;
+      (** the run was resynthesized with relaxed timing constraints
+          (the recovery move after a {!Faults.Timing_failure}); costs
+          ~15 % extra map/PAR time *)
+}
+
+(** One failed CAD attempt: the stage that failed, why, and the
+    simulated seconds burnt getting there (every stage up to and
+    including the failing one ran to completion or abort). *)
+type failure = {
+  failed_stage : stage;
+  fault : Faults.kind;
+  wasted_seconds : float;
+  failed_attempt : int;  (** 1-based attempt number of this failure *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+exception Syntax_error of string list
+
+val c2v_seconds : Hw.Project.t -> float
+(** Simulated seconds of the Netlist Generation phase for one candidate
+    (Generate VHDL + Extract Netlists + Create Project — the paper's
+    C2V column: 3.22 s, sd 0.10). *)
+
+val implement_result :
+  ?cache:Cache.t ->
+  ?app:string ->
+  ?tracer:Jitise_util.Trace.t ->
+  ?config:config ->
+  ?faults:Faults.config ->
+  ?attempt:int ->
+  ?relaxed:bool ->
+  Pp.Database.t ->
+  Hw.Project.t ->
+  (run, failure) result
+(** Run the implementation flow on a prepared project, with optional
+    fault injection.
+
+    The six stages run in order; before each stage completes, the
+    {!Faults} model is rolled for this [(signature, stage, attempt)]
+    tuple.  On a failure the attempt aborts: the result is [Error f]
+    where [f.wasted_seconds] covers every stage up to and including the
+    failing one, and nothing is recorded in [?cache] — failed runs must
+    never be served to other applications.  With [faults] disabled
+    (default) the result is always [Ok].
+
+    @param attempt 1-based CAD attempt number; seeds the fault rolls so
+    a retry of the same data path fails (or succeeds) differently
+    @param relaxed resynthesize with relaxed timing constraints: timing
+    failures cannot occur, map/PAR cost ~15 % extra (the recovery move
+    for {!Faults.Timing_failure})
+    @param cache a shared bitstream cache (Section VI-A); the produced
+    bitstream is recorded in it under the project's structural
+    signature, and [run.cache_hit] reports whether it was already there
+    @param app the application the data path belongs to, for the
+    cache's local/shared hit attribution
+    @param tracer records one synthetic span per CAD stage (the
+    durations are simulated, so the spans carry the modelled seconds,
+    not wall-clock time)
+    @raise Syntax_error when the generated VHDL fails the syntax check
+    (indicates a data-path generator bug — tests assert this never
+    fires on MAXMISO output). *)
+
+val implement :
+  ?cache:Cache.t ->
+  ?app:string ->
+  ?tracer:Jitise_util.Trace.t ->
+  ?config:config ->
+  Pp.Database.t ->
+  Hw.Project.t ->
+  run
+(** {!implement_result} with fault injection disabled: always succeeds
+    (or raises {!Syntax_error} / [Invalid_argument], as documented
+    there). *)
+
+val stage_seconds : run -> stage -> float
+(** Seconds spent in a given stage of a run. *)
+
+val constant_seconds : run -> float
+(** The constant-time portion of a run (everything but map and PAR),
+    as aggregated in the paper's "const" column of Table II.  The C2V
+    project-creation time must be added by the caller (it happens
+    before [implement]). *)

@@ -227,6 +227,53 @@ let chain_wasted_seconds ch =
       | Some f -> acc +. f.Cad.Flow.wasted_seconds +. a.att_backoff_seconds)
     0.0 ch.ch_attempts
 
+(* Binary codec for the implement stage's artifact, composed here next
+   to the types from the shared pieces in {!Codecs}. *)
+module B = U.Binio
+
+let drop_reason_codec : drop_reason B.codec =
+  B.enum ~name:"drop_reason"
+    [ Retries_exhausted; Candidate_deadline; Specialization_deadline ]
+
+let attempt_info_codec : attempt_info B.codec =
+  B.codec
+    (fun b a ->
+      B.w_int b a.att_number;
+      B.w_bool b a.att_relaxed;
+      B.w_option Codecs.flow_failure.B.enc b a.att_failure;
+      B.w_float b a.att_backoff_seconds)
+    (fun r ->
+      let att_number = B.r_int r in
+      let att_relaxed = B.r_bool r in
+      let att_failure = B.r_option Codecs.flow_failure.B.dec r in
+      let att_backoff_seconds = B.r_float r in
+      { att_number; att_relaxed; att_failure; att_backoff_seconds })
+
+let chain_codec : chain B.codec =
+  B.codec
+    (fun b ch ->
+      B.w_list attempt_info_codec.B.enc b ch.ch_attempts;
+      match ch.ch_result with
+      | Ok run ->
+          B.w_byte b 0;
+          Codecs.flow_run.B.enc b run
+      | Error (f, reason) ->
+          B.w_byte b 1;
+          Codecs.flow_failure.B.enc b f;
+          drop_reason_codec.B.enc b reason)
+    (fun r ->
+      let ch_attempts = B.r_list attempt_info_codec.B.dec r in
+      let ch_result =
+        match B.r_byte r with
+        | 0 -> Ok (Codecs.flow_run.B.dec r)
+        | 1 ->
+            let f = Codecs.flow_failure.B.dec r in
+            let reason = drop_reason_codec.B.dec r in
+            Error (f, reason)
+        | n -> B.corrupt "bad chain result tag %d" n
+      in
+      { ch_attempts; ch_result })
+
 (* Run a candidate's CAD chain under the retry policy.  Pure in
    (project, config, faults, policy): safe in the parallel phase.  The
    candidate deadline covers C2V, failed attempts, backoffs and is
@@ -366,6 +413,7 @@ let add_candidate c (cd : Ise.Candidate.t) =
 let reference_stage : (env, Ise.Select.scored list) Pipeline.stage =
   Pipeline.stage ~cat:"search" "search-reference"
     ~digest:(fun _spec env -> U.Digest.finish (base_digest env))
+    ~codec:Codecs.scored_list
     (fun _ctx env ->
       let all_blocks =
         List.concat_map
@@ -384,6 +432,7 @@ let prune_stage : (env, Ise.Prune.selection) Pipeline.stage =
       let c = base_digest env in
       Pipeline.add_prune c spec.Spec.prune;
       U.Digest.finish c)
+    ~codec:Codecs.prune_selection
     (fun ctx env ->
       Ise.Prune.apply ctx.Pipeline.spec.Spec.prune env.env_m env.env_profile)
 
@@ -401,6 +450,7 @@ let maxmiso_stage :
           U.Digest.add_int c l)
         pruning.Ise.Prune.blocks;
       U.Digest.finish c)
+    ~codec:Codecs.candidates
     (fun _ctx (env, pruning) -> identify env.env_m pruning.Ise.Prune.blocks)
 
 (* Phase 1b, step 3: PivPav estimation + profitability selection. *)
@@ -413,6 +463,7 @@ let select_digest spec (env, candidates) =
 let select_stage :
     (env * Ise.Candidate.t list, Ise.Select.scored list) Pipeline.stage =
   Pipeline.stage ~cat:"search" "select" ~digest:select_digest
+    ~codec:Codecs.scored_list
     (fun ctx (env, candidates) ->
       Ise.Select.select ~config:ctx.Pipeline.spec.Spec.select env.env_db
         env.env_m env.env_profile candidates)
@@ -431,6 +482,7 @@ let alternates_stage :
       U.Digest.add_list c (add_candidate c) candidates;
       U.Digest.add_bool c spec.Spec.faults.Cad.Faults.enabled;
       U.Digest.finish c)
+    ~codec:Codecs.scored_list
     (fun ctx (env, candidates, selection) ->
       let spec = ctx.Pipeline.spec in
       if not spec.Spec.faults.Cad.Faults.enabled then []
@@ -465,6 +517,7 @@ let vhdl_stage : (env * Ise.Select.scored, Hw.Project.t) Pipeline.stage =
       U.Digest.add_digest c (Lazy.force env.env_mdigest);
       add_candidate c s.Ise.Select.candidate;
       U.Digest.finish c)
+    ~codec:Codecs.project
     (fun _ctx (env, s) ->
       let cd = s.Ise.Select.candidate in
       let f = find_func_exn env.env_m cd.Ise.Candidate.func in
@@ -488,6 +541,7 @@ let chain_stage :
       Pipeline.add_faults c spec.Spec.faults;
       Pipeline.add_retry c spec.Spec.retry;
       U.Digest.finish c)
+    ~codec:(B.pair B.float chain_codec)
     (fun ctx (env, _s, project) ->
       let spec = ctx.Pipeline.spec in
       let c2v = Cad.Flow.c2v_seconds project in
@@ -847,14 +901,6 @@ let run_spec ?(spec = Spec.default) ?app (db : Pp.Database.t)
     (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : report =
   let app = match app with Some a -> a | None -> m.Ir.Irmod.mname in
   finalize ~spec ~app (stage ~spec ~app db m profile ~total_cycles)
-
-(** @deprecated Old scattered-optional-argument entry point; use
-    {!run_spec} with a {!Spec.t} instead. *)
-let run ?prune ?select_config ?cad_config (db : Pp.Database.t)
-    (m : Ir.Irmod.t) (profile : Vm.Profile.t) ~total_cycles : report =
-  run_spec
-    ~spec:(Spec.of_options ?prune ?select:select_config ?cad:cad_config ())
-    db m profile ~total_cycles
 
 (** Per-application local and shared bitstream-cache hit counts of a
     report. *)

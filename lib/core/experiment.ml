@@ -74,6 +74,7 @@ let workload_digest (w : W.Workload.t) =
 let compile_stage : (W.Workload.t, F.Compiler.result) Pipeline.stage =
   Pipeline.stage ~cat:"frontend" "compile"
     ~digest:(fun _spec w -> workload_digest w)
+    ~codec:Codecs.compiler_result
     (fun _ctx w -> W.Workload.compile w)
 
 let profile_stage :
@@ -85,6 +86,7 @@ let profile_stage :
        produce byte-identical outcomes (pinned by the differential
        suite in test_vm), so artifacts stay valid across engines. *)
     ~digest:(fun _spec (w, _compiled) -> workload_digest w)
+    ~codec:Codecs.profile_outcomes
     (fun ctx (w, compiled) ->
       W.Workload.run_all ~engine:ctx.Pipeline.spec.Spec.vm_engine compiled w)
 
@@ -94,12 +96,14 @@ let coverage_stage :
     Pipeline.stage =
   Pipeline.stage ~cat:"analysis" "coverage"
     ~digest:(fun _spec (w, _m, _ps) -> workload_digest w)
+    ~codec:Codecs.coverage
     (fun _ctx (_w, modul, profiles) -> An.Coverage.classify modul profiles)
 
 let kernel_stage :
     (W.Workload.t * Ir.Irmod.t * Vm.Profile.t, An.Kernel.t) Pipeline.stage =
   Pipeline.stage ~cat:"analysis" "kernel"
     ~digest:(fun _spec (w, _m, _p) -> workload_digest w)
+    ~codec:Codecs.kernel
     (fun _ctx (_w, modul, profile) -> An.Kernel.compute modul profile)
 
 (** Compile, execute, analyze and stage one workload.  Touches no
@@ -183,18 +187,6 @@ let sweep ?(verbose = false) ?(spec = Spec.default) (db : Pp.Database.t) :
       W.Registry.all
   in
   List.map (finish ~spec) prepared
-
-(** @deprecated Old scattered-optional-argument entry point; use
-    {!evaluate} with a {!Spec.t} instead. *)
-let run_app ?prune ?cad_config (db : Pp.Database.t) (w : W.Workload.t) :
-    app_result =
-  evaluate ~spec:(Spec.of_options ?prune ?cad:cad_config ()) db w
-
-(** @deprecated Old scattered-optional-argument entry point; use
-    {!sweep} with a {!Spec.t} instead. *)
-let run_all ?(verbose = false) ?prune ?cad_config (db : Pp.Database.t) :
-    app_result list =
-  sweep ~verbose ~spec:(Spec.of_options ?prune ?cad:cad_config ()) db
 
 let is_scientific r = r.workload.W.Workload.domain = W.Workload.Scientific
 let is_embedded r = r.workload.W.Workload.domain = W.Workload.Embedded

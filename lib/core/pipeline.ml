@@ -88,13 +88,16 @@ type ('i, 'o) stage = {
 
 (** Define a stage.  Call once, at module initialization: the stage
     value owns the typed artifact-store slot for its name, and the name
-    must be unique across the program. *)
-let stage ?(cat = "pipeline") ?digest name body =
+    must be unique across the program.  [codec] makes the stage's
+    artifacts persistable through a byte backend (see
+    {!Jitise_util.Artifact} and {!Codecs}); without one the stage is
+    memoized in-process only. *)
+let stage ?(cat = "pipeline") ?digest ?codec name body =
   {
     stage_name = name;
     stage_cat = cat;
     stage_digest = digest;
-    stage_key = U.Artifact.key name;
+    stage_key = U.Artifact.key ?codec name;
     stage_body = body;
   }
 

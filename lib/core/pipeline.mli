@@ -1,0 +1,130 @@
+(** The staged pipeline engine.
+
+    The ASIP specialization process is an explicit stage chain (profile
+    → prune → MAXMISO → estimate/select → netlist → CAD implement); a
+    [('i, 'o) stage] bundles a name, an optional {e digest function}
+    over its canonical inputs, an optional artifact {e codec}, and a
+    run function.  {!exec} wraps every stage uniformly with a trace
+    span, a {!record} of wall time and outcome, and — when
+    [spec.stage_cache] is set and the stage has a digest — memoization
+    through the content-addressed {!Jitise_util.Artifact} store.  With
+    a persistent store backend ([Spec.with_store_dir]) stages whose
+    keys carry a codec are also served across process restarts.
+
+    Stage bodies must be deterministic functions of their inputs for
+    memoization to be sound; everything measured (wall clocks) lives
+    outside the stage values, in {!record}s. *)
+
+module Ir = Jitise_ir
+module Vm = Jitise_vm
+module Ise = Jitise_ise
+module Cad = Jitise_cad
+module U = Jitise_util
+
+(** How one stage execution was satisfied. *)
+type outcome =
+  | Computed  (** the stage body ran *)
+  | Hit of U.Artifact.hit
+      (** served from the artifact store; [Local] if this application
+          built it, [Shared] if another one did *)
+
+val outcome_name : outcome -> string
+
+(** One stage execution, as consumed by [Jit_manager.timeline] and the
+    bench's [BENCH_pipeline.json]. *)
+type record = {
+  rec_stage : string;
+  rec_app : string;
+  rec_wall_seconds : float;  (** measured; ~0 on a hit *)
+  rec_outcome : outcome;
+}
+
+(** Per-application execution context: the spec, the app label for
+    trace spans and cache attribution, and the record log.  The log is
+    mutex-protected because [spec.jobs] parallelizes the per-candidate
+    stages within one application. *)
+type ctx = {
+  spec : Spec.t;
+  app : string;
+  records : record list ref;
+  lock : Mutex.t;
+}
+
+val context : ?spec:Spec.t -> ?app:string -> unit -> ctx
+
+val records : ctx -> record list
+(** Records in execution order.  Sequential stages appear in program
+    order; per-candidate stages under [jobs > 1] appear in completion
+    order (consumers must not rely on their relative order). *)
+
+type ('i, 'o) stage
+
+val stage :
+  ?cat:string ->
+  ?digest:(Spec.t -> 'i -> U.Digest.t) ->
+  ?codec:'o U.Binio.codec ->
+  string ->
+  (ctx -> 'i -> 'o) ->
+  ('i, 'o) stage
+(** Define a stage.  Call once, at module initialization: the stage
+    value owns the typed artifact-store slot for its name, and the name
+    must be unique across the program.  Without [digest] the stage is
+    never memoized; [codec] additionally makes its artifacts
+    persistable through a byte backend (see {!Jitise_util.Artifact} and
+    {!Codecs}) — without one the stage is memoized in-process only. *)
+
+val name : _ stage -> string
+
+val exec : ?detail:string -> ctx -> ('i, 'o) stage -> 'i -> 'o
+(** Execute a stage: trace span, artifact-store probe (when both a
+    store and a digest function exist), body on miss, record either
+    way.  [detail] extends the span label ([name:detail:app]) for
+    per-candidate stages without splintering the stats key. *)
+
+val compose : ('a, 'b) stage -> ('b, 'c) stage -> ('a, 'c) stage
+(** Sequential composition.  The composite has no digest of its own —
+    each constituent stage still probes the store individually, which
+    is what makes partial reuse (prefix hits, suffix recomputed)
+    work. *)
+
+val ( >>> ) : ('a, 'b) stage -> ('b, 'c) stage -> ('a, 'c) stage
+
+(** {1 Per-stage aggregation of records} *)
+
+type summary = {
+  sum_stage : string;
+  sum_executions : int;
+  sum_computed : int;
+  sum_local_hits : int;
+  sum_shared_hits : int;
+  sum_wall_seconds : float;
+}
+
+val summarize : record list -> summary list
+(** Aggregate records per stage name, sorted by stage name. *)
+
+val hits_of : record list -> string -> int
+(** Executions of the stage that were served from the store. *)
+
+val computed_of : record list -> string -> int
+(** Executions of the stage that actually ran the body. *)
+
+(** {1 Canonical-input digest helpers}
+
+    Shared by the stage definitions in {!Asip_sp} and {!Experiment}.
+    Everything a stage's output depends on must be fed; nothing
+    measured may be. *)
+
+val digest_module : Ir.Irmod.t -> U.Digest.t
+(** Digest of a module's canonical text (the printer round-trips, so
+    structurally equal modules digest equally). *)
+
+val digest_profile : Vm.Profile.t -> U.Digest.t
+(** Digest of a profile's sorted (func, label, count) triples plus the
+    dynamic instruction count. *)
+
+val add_prune : U.Digest.ctx -> Ise.Prune.t -> unit
+val add_select : U.Digest.ctx -> Ise.Select.config -> unit
+val add_cad : U.Digest.ctx -> Cad.Flow.config -> unit
+val add_faults : U.Digest.ctx -> Cad.Faults.config -> unit
+val add_retry : U.Digest.ctx -> U.Retry.policy -> unit

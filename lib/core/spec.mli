@@ -1,10 +1,9 @@
 (** Unified pipeline configuration.
 
     One value configures the whole sweep engine: the pruning filter,
-    candidate-selection constraints and CAD model (previously threaded
-    as scattered [?prune ?select_config ?cad_config] optional
-    arguments), plus the engine knobs the parallel redesign added — the
-    domain count, the shared bitstream cache, and the span tracer.
+    candidate-selection constraints and CAD model, plus the engine
+    knobs — domain count, shared bitstream cache, span tracer, stage
+    cache (and its backend) and fault/retry model.
 
     Build a spec from {!default} with the [with_*] setters:
 
@@ -13,7 +12,7 @@
         Spec.default
         |> Spec.with_jobs 4
         |> Spec.with_cache (Jitise_cad.Cache.create ())
-        |> Spec.with_tracer (Jitise_util.Trace.create ())
+        |> Spec.with_store_dir "/var/cache/jitise"
       in
       Experiment.sweep ~spec db
     ]} *)
@@ -72,54 +71,33 @@ type t = {
           semantics cross-checks and benchmarking. *)
 }
 
-let default =
-  {
-    prune = Ise.Prune.at_50p_s3l;
-    select = Ise.Select.default_config;
-    cad = Cad.Flow.default_config;
-    jobs = 1;
-    cache = None;
-    tracer = None;
-    stage_cache = None;
-    store_backend = Memory_store;
-    faults = Cad.Faults.none;
-    retry = U.Retry.default;
-    vm_engine = Vm.Machine.default_engine;
-  }
+val default : t
 
-let with_prune prune t = { t with prune }
-let with_select select t = { t with select }
-let with_cad cad t = { t with cad }
+val with_prune : Ise.Prune.t -> t -> t
+val with_select : Ise.Select.config -> t -> t
+val with_cad : Cad.Flow.config -> t -> t
 
-let with_jobs jobs t =
-  if jobs < 1 then
-    invalid_arg (Printf.sprintf "Spec.with_jobs: jobs must be >= 1 (got %d)" jobs)
-  else { t with jobs }
+val with_jobs : int -> t -> t
+(** @raise Invalid_argument when [jobs < 1]. *)
 
-let with_cache cache t = { t with cache = Some cache }
-let with_tracer tracer t = { t with tracer = Some tracer }
+val with_cache : Cad.Cache.t -> t -> t
+val with_tracer : U.Trace.t -> t -> t
 
-(* Recover the backend variant from the store's self-description, so a
-   caller handing us a disk-backed store they built themselves still
-   gets accurate reporting. *)
-let backend_of_store store =
-  match U.Artifact.backend_kind store with
-  | Some k when String.length k > 5 && String.equal (String.sub k 0 5) "disk:" ->
-      Disk_store (String.sub k 5 (String.length k - 5))
-  | _ -> Memory_store
+val with_stage_cache : U.Artifact.t -> t -> t
+(** Memoize stages through [store].  [store_backend] is derived from
+    the store's own backend description, so handing over a disk-backed
+    store reports as {!Disk_store}. *)
 
-let with_stage_cache store t =
-  { t with stage_cache = Some store; store_backend = backend_of_store store }
+val with_store_dir : string -> t -> t
+(** [with_store_dir dir t] builds a fresh artifact store over
+    {!U.Store_disk} rooted at [dir] (created if missing) and installs
+    it as [stage_cache] — the one-call way to get persistent, warm-
+    restartable stage memoization. *)
 
-let with_store_dir dir t =
-  with_stage_cache (U.Artifact.create ~backend:(U.Store_disk.backend ~root:dir) ()) t
+val with_faults : Cad.Faults.config -> t -> t
+(** @raise Invalid_argument on an out-of-range fault configuration. *)
 
-let with_faults faults t =
-  Cad.Faults.validate faults;
-  { t with faults }
+val with_retry : U.Retry.policy -> t -> t
+(** @raise Invalid_argument on an invalid retry policy. *)
 
-let with_retry retry t =
-  U.Retry.validate retry;
-  { t with retry }
-
-let with_vm_engine vm_engine t = { t with vm_engine }
+val with_vm_engine : Vm.Machine.engine -> t -> t

@@ -1,0 +1,88 @@
+(** Compact length-prefixed binary serialization.
+
+    The byte format used by the persistent artifact-store backend
+    ({!Store_disk}).  Primitive writers append to a [Buffer.t]; readers
+    consume a bounds-checked cursor over a string.  Any malformed input
+    — short reads, varint overflow, bad tags, trailing bytes — raises
+    {!Corrupt}, which the store layer maps to a cache miss (recompute),
+    never an error.
+
+    Wire format summary:
+    - ints: zigzag + LEB128 varint (small magnitudes are one byte)
+    - int64: fixed 8-byte little-endian
+    - float: IEEE-754 bits as a fixed 8-byte little-endian int64
+    - bool/option tags: one byte (0/1), other values are corrupt
+    - string: varint length + raw bytes
+    - list: varint count + elements *)
+
+exception Corrupt of string
+
+(** Raise {!Corrupt} with a formatted message. *)
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+
+(** {1 Readers} *)
+
+type reader
+
+val reader : string -> reader
+val remaining : reader -> int
+
+(** {1 Primitive writers and readers} *)
+
+val w_byte : Buffer.t -> int -> unit
+val r_byte : reader -> int
+val w_int : Buffer.t -> int -> unit
+val r_int : reader -> int
+val w_int64 : Buffer.t -> int64 -> unit
+val r_int64 : reader -> int64
+val w_float : Buffer.t -> float -> unit
+val r_float : reader -> float
+val w_bool : Buffer.t -> bool -> unit
+val r_bool : reader -> bool
+
+(** Non-negative length prefix.  [r_len] rejects lengths larger than
+    the remaining input, bounding allocations for hostile inputs. *)
+val w_len : Buffer.t -> int -> unit
+
+val r_len : reader -> int
+val w_string : Buffer.t -> string -> unit
+val r_string : reader -> string
+val w_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val r_option : (reader -> 'a) -> reader -> 'a option
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val r_list : (reader -> 'a) -> reader -> 'a list
+
+(** {1 Codecs} *)
+
+type 'a codec = { enc : Buffer.t -> 'a -> unit; dec : reader -> 'a }
+
+val codec : (Buffer.t -> 'a -> unit) -> (reader -> 'a) -> 'a codec
+val int : int codec
+val int64 : int64 codec
+val float : float codec
+val bool : bool codec
+val string : string codec
+val option : 'a codec -> 'a option codec
+val list : 'a codec -> 'a list codec
+val pair : 'a codec -> 'b codec -> ('a * 'b) codec
+val triple : 'a codec -> 'b codec -> 'c codec -> ('a * 'b * 'c) codec
+
+(** Map a codec through a bijection, e.g. to (de)construct records or
+    variants from tuples.  [dec] may raise {!Corrupt} on values that
+    have no preimage. *)
+val map : enc:('b -> 'a) -> dec:('a -> 'b) -> 'a codec -> 'b codec
+
+(** Codec for a finite enumeration given its exhaustive value list;
+    values are encoded as their index in the list.  Decoding an
+    out-of-range index raises {!Corrupt}. *)
+val enum : name:string -> 'a list -> 'a codec
+
+(** [encode c v] serializes [v] to bytes. *)
+val encode : 'a codec -> 'a -> string
+
+(** [decode c s] parses [s], raising {!Corrupt} on malformed input,
+    including trailing bytes. *)
+val decode : 'a codec -> string -> 'a
+
+(** [decode_opt c s] is [decode] with {!Corrupt} mapped to [None]. *)
+val decode_opt : 'a codec -> string -> 'a option

@@ -1,0 +1,142 @@
+(** Persistent content-addressed artifact backend.
+
+    On-disk layout, one file per artifact:
+
+    {v <root>/<stage>/<digest-hex> v}
+
+    where [stage] is the pipeline stage name (stage names are
+    path-safe by construction: lowercase words and dashes) and
+    [digest-hex] the 16-character hex input digest.
+
+    Each file is a small envelope around the codec payload:
+
+    {v "JTSE" magic | version byte | builder string | payload digest
+       (hex, for integrity) | payload bytes v}
+
+    with the three fields after the version Binio-framed.  Writers are
+    crash-safe: the envelope is written to a unique [.tmp] sibling and
+    [rename]d into place, so readers never observe a half-written
+    entry, and the first completed write wins.  Readers treat {e any}
+    defect — missing file, short read, bad magic or version, framing
+    errors, checksum mismatch — as a cache miss: the pipeline
+    recomputes and (re)writes the entry.  Bumping [version] therefore
+    invalidates old stores safely rather than breaking them. *)
+
+let magic = "JTSE"
+let version = 1
+
+(* Unique tmp-file suffixes within one process; the pid namespaces
+   concurrent processes sharing a store root. *)
+let tmp_seq = Atomic.make 0
+
+let mkdir_p dir =
+  let rec mk d =
+    if not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let entry_path ~root ~stage ~digest = Filename.concat (Filename.concat root stage) digest
+
+let encode_envelope ~builder ~payload =
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Binio.w_byte b version;
+  Binio.w_string b builder;
+  Binio.w_string b Digest.(to_hex (of_string payload));
+  Binio.w_string b payload;
+  Buffer.contents b
+
+(* Returns [(builder, payload)], raising [Binio.Corrupt] on any defect. *)
+let decode_envelope bytes =
+  let r = Binio.reader bytes in
+  let m = try String.sub bytes 0 (String.length magic) with Invalid_argument _ ->
+    Binio.corrupt "store entry shorter than magic"
+  in
+  if not (String.equal m magic) then Binio.corrupt "bad store magic";
+  for _ = 1 to String.length magic do
+    ignore (Binio.r_byte r)
+  done;
+  let v = Binio.r_byte r in
+  if v <> version then Binio.corrupt "unsupported store version %d" v;
+  let builder = Binio.r_string r in
+  let checksum = Binio.r_string r in
+  let payload = Binio.r_string r in
+  if Binio.remaining r <> 0 then Binio.corrupt "trailing bytes in store entry";
+  if not (String.equal checksum Digest.(to_hex (of_string payload))) then
+    Binio.corrupt "store entry checksum mismatch";
+  (builder, payload)
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+let get ~root ~stage ~digest =
+  match read_file (entry_path ~root ~stage ~digest) with
+  | None -> None
+  | Some bytes -> (
+      try Some (decode_envelope bytes) with Binio.Corrupt _ -> None)
+
+let put ~root ~stage ~digest ~builder ~payload =
+  let target = entry_path ~root ~stage ~digest in
+  if not (Sys.file_exists target) then begin
+    mkdir_p (Filename.dirname target);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" target (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
+    (* Best effort: a full disk or permission problem degrades the
+       store to pass-through rather than failing the pipeline. *)
+    try
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc (encode_envelope ~builder ~payload));
+      Sys.rename tmp target
+    with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
+  end
+
+let is_hex_name name =
+  String.length name > 0
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       name
+
+let entries ~root () =
+  let stage_dirs =
+    match Sys.readdir root with
+    | exception Sys_error _ -> []
+    | names ->
+        Array.to_list names
+        |> List.filter (fun n -> Sys.is_directory (Filename.concat root n))
+  in
+  List.filter_map
+    (fun stage ->
+      let dir = Filename.concat root stage in
+      match Sys.readdir dir with
+      | exception Sys_error _ -> None
+      | names ->
+          let count = ref 0 and bytes = ref 0 in
+          Array.iter
+            (fun n ->
+              if is_hex_name n then
+                match Unix.stat (Filename.concat dir n) with
+                | exception Unix.Unix_error _ -> ()
+                | st ->
+                    incr count;
+                    bytes := !bytes + st.Unix.st_size)
+            names;
+          if !count = 0 then None else Some (stage, !count, !bytes))
+    stage_dirs
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let backend ~root : Artifact.backend =
+  mkdir_p root;
+  {
+    Artifact.backend_kind = "disk:" ^ root;
+    backend_get = (fun ~stage ~digest -> get ~root ~stage ~digest);
+    backend_put =
+      (fun ~stage ~digest ~builder ~payload ->
+        put ~root ~stage ~digest ~builder ~payload);
+    backend_entries = entries ~root;
+  }

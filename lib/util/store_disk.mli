@@ -1,0 +1,25 @@
+(** Persistent content-addressed artifact backend.
+
+    Stores one file per artifact under [<root>/<stage>/<digest-hex>],
+    wrapped in a small versioned envelope (magic, format version,
+    builder application, payload checksum, payload).  Writes go through
+    a unique temp file plus [rename], so readers never observe a
+    half-written entry and the first completed write wins; readers
+    treat any defect (missing, truncated, bad magic/version/checksum)
+    as a cache miss.  See the implementation header for the exact
+    layout and the versioning policy. *)
+
+val backend : root:string -> Artifact.backend
+(** A backend rooted at [root] (created if missing).  Multiple
+    processes and stores may share one root concurrently. *)
+
+val entry_path : root:string -> stage:string -> digest:string -> string
+(** Path of the entry file for [(stage, digest-hex)] — exposed so tests
+    can truncate or corrupt specific entries. *)
+
+val get : root:string -> stage:string -> digest:string -> (string * string) option
+(** Low-level read, returning [(builder, payload)] for a valid entry. *)
+
+val put :
+  root:string -> stage:string -> digest:string -> builder:string -> payload:string -> unit
+(** Low-level crash-safe first-put-wins write. *)

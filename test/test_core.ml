@@ -36,8 +36,13 @@ let float_kernel_src =
 let specialize ?prune src n =
   let m = compile src in
   let out = run m n in
+  let spec =
+    match prune with
+    | None -> Core.Spec.default
+    | Some p -> Core.Spec.with_prune p Core.Spec.default
+  in
   let report =
-    Core.Asip_sp.run ?prune db m out.Vm.Machine.profile
+    Core.Asip_sp.run_spec ~spec db m out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
   (m, out, report)
@@ -82,7 +87,7 @@ let test_adapt_on_workload () =
   let d = { (List.hd w.W.Workload.datasets) with W.Workload.n = 10 } in
   let out = W.Workload.run r d in
   let report =
-    Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+    Core.Asip_sp.run_spec db r.F.Compiler.modul out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
   let adapted = Core.Adapt.apply r.F.Compiler.modul report.Core.Asip_sp.selection in
@@ -153,13 +158,17 @@ let test_asip_sp_cad_speedup_config () =
   let m = compile float_kernel_src in
   let out = run m 200 in
   let slow =
-    Core.Asip_sp.run db m out.Vm.Machine.profile
+    Core.Asip_sp.run_spec db m out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
+  let fast_spec =
+    Core.Spec.with_cad
+      { Jitise_cad.Flow.default_config with Jitise_cad.Flow.speedup_factor = 0.5 }
+      Core.Spec.default
+  in
   let fast =
-    Core.Asip_sp.run
-      ~cad_config:{ Jitise_cad.Flow.default_config with Jitise_cad.Flow.speedup_factor = 0.5 }
-      db m out.Vm.Machine.profile ~total_cycles:out.Vm.Machine.native_cycles
+    Core.Asip_sp.run_spec ~spec:fast_spec db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
   in
   Alcotest.(check bool) "half the CAD time" true
     (abs_float ((fast.Core.Asip_sp.sum_seconds /. slow.Core.Asip_sp.sum_seconds) -. 0.5)
@@ -186,7 +195,7 @@ let test_candidate_costs_export () =
 let sor_result =
   lazy
     (let w = Option.get (W.Registry.find "sor") in
-     Core.Experiment.run_app db w)
+     Core.Experiment.evaluate db w)
 
 let test_experiment_structure () =
   let r = Lazy.force sor_result in

@@ -31,7 +31,7 @@ let test_full_pipeline_fft () =
     (Vm.Profile.to_list out.Vm.Machine.profile <> []);
   (* 3. ASIP specialization *)
   let report =
-    Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+    Core.Asip_sp.run_spec db r.F.Compiler.modul out.Vm.Machine.profile
       ~total_cycles:out.Vm.Machine.native_cycles
   in
   Alcotest.(check bool) "candidates implemented" true
@@ -72,7 +72,7 @@ let test_adaptation_equivalence_sweep () =
       let d = { d0 with W.Workload.n = max 1 (d0.W.Workload.n / 20) } in
       let out = W.Workload.run r d in
       let report =
-        Core.Asip_sp.run db r.F.Compiler.modul out.Vm.Machine.profile
+        Core.Asip_sp.run_spec db r.F.Compiler.modul out.Vm.Machine.profile
           ~total_cycles:out.Vm.Machine.native_cycles
       in
       let adapted =
@@ -90,7 +90,7 @@ let test_adaptation_equivalence_sweep () =
 (* The three analyses agree with each other on a full app result. *)
 let test_cross_analysis_consistency () =
   let w = Option.get (W.Registry.find "whetstone") in
-  let r = Core.Experiment.run_app db w in
+  let r = Core.Experiment.evaluate db w in
   (* kernel time coverage >= 90 *)
   Alcotest.(check bool) "kernel covers 90%" true
     (r.Core.Experiment.kernel.An.Kernel.time_percent >= 90.0);
@@ -118,7 +118,7 @@ let test_cross_analysis_consistency () =
    applications reach break-even, and pruning pays for itself. *)
 let test_embedded_break_even_exists () =
   let w = Option.get (W.Registry.find "sor") in
-  let r = Core.Experiment.run_app db w in
+  let r = Core.Experiment.evaluate db w in
   (match r.Core.Experiment.break_even with
   | An.Breakeven.After t ->
       Alcotest.(check bool) "sor amortizes within a day" true (t < 86_400.0)
@@ -130,7 +130,7 @@ let test_pruning_efficiency_worthwhile () =
   (* identification over the pruned blocks must be faster than over the
      whole program *)
   let w = Option.get (W.Registry.find "458.sjeng") in
-  let r = Core.Experiment.run_app db w in
+  let r = Core.Experiment.evaluate db w in
   let rep = r.Core.Experiment.report in
   Alcotest.(check bool) "pruned search faster than full search" true
     (rep.Core.Asip_sp.search_wall_seconds
@@ -304,14 +304,6 @@ let test_shared_cache_across_two_workloads () =
             (c.Core.Asip_sp.total_seconds > 0.0))
     second.Core.Experiment.report.Core.Asip_sp.candidates
 
-(* The deprecated optional-argument wrappers agree with the Spec API. *)
-let test_legacy_wrappers_agree () =
-  let w = Option.get (W.Registry.find "sor") in
-  let via_spec = Core.Experiment.evaluate (Pp.Database.create ()) w in
-  let via_legacy = Core.Experiment.run_app (Pp.Database.create ()) w in
-  Alcotest.(check bool) "run_app equals evaluate" true
-    (project via_spec = project via_legacy)
-
 let () =
   Alcotest.run "integration"
     [
@@ -337,6 +329,5 @@ let () =
             test_faulted_parallel_sweep_deterministic;
           Alcotest.test_case "shared cache across apps" `Slow
             test_shared_cache_across_two_workloads;
-          Alcotest.test_case "legacy wrappers" `Slow test_legacy_wrappers_agree;
         ] );
     ]

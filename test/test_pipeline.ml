@@ -171,6 +171,133 @@ let test_golden_faults () =
     parallel
 
 (* ------------------------------------------------------------------ *)
+(* Golden: the disk backend changes nothing but persistence            *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_root () =
+  let path = Filename.temp_file "jitise-pipeline-store" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name ->
+        let p = Filename.concat dir name in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_root f =
+  let root = tmp_root () in
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+
+let total_computed rs =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (s : Core.Pipeline.summary) ->
+          acc + s.Core.Pipeline.sum_computed)
+        acc
+        (Core.Pipeline.summarize (records r)))
+    0 rs
+
+let test_golden_disk_serial () =
+  with_root (fun root ->
+      let db = Pp.Database.create () in
+      let plain = eval_apps ~spec:Core.Spec.default db in
+      let cold = eval_apps ~spec:(Core.Spec.with_store_dir root Core.Spec.default) db in
+      check_identical "report identical with disk store (cold)" plain cold;
+      (* The warm-restart contract: a NEW spec over the same root is a
+         fresh process as far as the store is concerned — every hit
+         crosses the serialization boundary — and must recompute ZERO
+         stages while reproducing the report. *)
+      let warm = eval_apps ~spec:(Core.Spec.with_store_dir root Core.Spec.default) db in
+      check_identical "report identical after warm restart" cold warm;
+      Alcotest.(check int) "warm restart computes nothing" 0
+        (total_computed warm))
+
+let test_golden_disk_jobs4 () =
+  with_root (fun root ->
+      let db = Pp.Database.create () in
+      let plain = eval_apps ~spec:Core.Spec.default db in
+      let spec dir =
+        Core.Spec.default |> Core.Spec.with_jobs 4
+        |> Core.Spec.with_store_dir dir
+      in
+      let cold = eval_apps ~spec:(spec root) db in
+      check_identical "report identical with disk store (jobs:4)" plain cold;
+      let warm = eval_apps ~spec:(spec root) db in
+      check_identical "report identical after warm restart (jobs:4)" plain
+        warm)
+
+let test_golden_disk_faults () =
+  with_root (fun root ->
+      let with_faults spec =
+        spec
+        |> Core.Spec.with_faults (Cad.Faults.defaults ~seed:fault_seed)
+        |> Core.Spec.with_retry (U.Retry.with_max_attempts 3 U.Retry.default)
+      in
+      let db = Pp.Database.create () in
+      let plain = eval_apps ~spec:(with_faults Core.Spec.default) db in
+      let spec () = with_faults (Core.Spec.with_store_dir root Core.Spec.default) in
+      let cold = eval_apps ~spec:(spec ()) db in
+      check_identical "faulted report identical with disk store" plain cold;
+      let warm = eval_apps ~spec:(spec ()) db in
+      check_identical "faulted report identical after warm restart" plain warm;
+      Alcotest.(check int) "faulted warm restart computes nothing" 0
+        (total_computed warm))
+
+(* Corrupt and truncate store files under a warm root: the affected
+   stages silently recompute, the report does not change, and the
+   defective entries are the only extra computes. *)
+let test_disk_corruption_degrades_to_recompute () =
+  with_root (fun root ->
+      let db = Pp.Database.create () in
+      let spec () = Core.Spec.with_store_dir root Core.Spec.default in
+      let cold = eval_apps ~spec:(spec ()) db in
+      (* Damage every entry of two stages, differently. *)
+      let damage stage f =
+        let dir = Filename.concat root stage in
+        Array.iter (fun name -> f (Filename.concat dir name)) (Sys.readdir dir)
+      in
+      damage "compile" (fun path ->
+          let len = (Unix.stat path).Unix.st_size in
+          Unix.truncate path (len / 3));
+      damage "coverage" (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc "JTSEgarbage that is no envelope"));
+      let warm = eval_apps ~spec:(spec ()) db in
+      check_identical "report identical despite corrupt entries" cold warm;
+      List.iter
+        (fun r ->
+          let app = (project r).p_app in
+          List.iter
+            (fun stage ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s recomputes damaged %s" app stage)
+                1
+                (Core.Pipeline.computed_of (records r) stage))
+            [ "compile"; "coverage" ];
+          List.iter
+            (fun stage ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s still hits intact %s" app stage)
+                0
+                (Core.Pipeline.computed_of (records r) stage))
+            [ "profile"; "kernel"; "prune"; "maxmiso"; "select" ])
+        warm;
+      (* The recomputed artifacts do not replace the damaged files (first
+         put wins only for *valid* entries — the byte layer sees the
+         corrupt file as present), so a THIRD run must behave like the
+         second: recompute the damaged stages, hit everything else,
+         report unchanged. *)
+      let third = eval_apps ~spec:(spec ()) db in
+      check_identical "third run still identical" cold third)
+
+(* ------------------------------------------------------------------ *)
 (* Incremental recomputation                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +446,17 @@ let () =
           Alcotest.test_case "serial" `Slow test_golden_serial;
           Alcotest.test_case "jobs:4" `Slow test_golden_jobs4;
           Alcotest.test_case "faults on" `Slow test_golden_faults;
+        ] );
+      ( "disk backend",
+        [
+          Alcotest.test_case "serial + warm restart" `Slow
+            test_golden_disk_serial;
+          Alcotest.test_case "jobs:4 + warm restart" `Slow
+            test_golden_disk_jobs4;
+          Alcotest.test_case "faults + warm restart" `Slow
+            test_golden_disk_faults;
+          Alcotest.test_case "corruption degrades to recompute" `Slow
+            test_disk_corruption_degrades_to_recompute;
         ] );
       ( "incremental",
         [

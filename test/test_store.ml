@@ -1,0 +1,479 @@
+(* The persistence layer of the artifact store: Binio wire format,
+   domain codecs, the on-disk backend, and the store front-end over it.
+
+   Three law families, per the redesign's acceptance bar:
+   - every codec round-trips (qcheck for the combinators, encode/
+     decode/encode stability for the domain codecs over real pipeline
+     values);
+   - the disk backend is crash-safe and first-put-wins, and ANY defect
+     in a stored file — truncation, bad magic, bad version, a flipped
+     payload byte — reads as a miss, never an error;
+   - a fresh store front-end over a warm root serves every persistent
+     key (the warm-restart contract), with correct Local/Shared
+     attribution carried through the envelope's builder field. *)
+
+module Ir = Jitise_ir
+module F = Jitise_frontend
+module Vm = Jitise_vm
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Hw = Jitise_hwgen
+module Cad = Jitise_cad
+module Core = Jitise_core
+module U = Jitise_util
+module B = U.Binio
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_root () =
+  let path = Filename.temp_file "jitise-store-test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name ->
+        let p = Filename.concat dir name in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_root f =
+  let root = tmp_root () in
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+
+let rt codec v = B.decode codec (B.encode codec v)
+
+(* The universal codec law usable for values containing hashtables or
+   arrays (where [=] is unreliable): encoding is a fixpoint of one
+   decode/encode cycle. *)
+let stable name codec v =
+  let bytes = B.encode codec v in
+  Alcotest.(check string)
+    (name ^ " encode/decode/encode stable")
+    bytes
+    (B.encode codec (B.decode codec bytes))
+
+let raises_corrupt name f =
+  match f () with
+  | exception B.Corrupt _ -> ()
+  | _ -> Alcotest.failf "%s: expected Binio.Corrupt" name
+
+(* ------------------------------------------------------------------ *)
+(* Binio: qcheck round-trip laws for every combinator                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"binio int round trip" ~count:1000 QCheck.int (fun v ->
+      rt B.int v = v)
+
+let prop_int64_roundtrip =
+  QCheck.Test.make ~name:"binio int64 round trip" ~count:1000 QCheck.int64
+    (fun v -> rt B.int64 v = v)
+
+(* Bit-level comparison so NaN payloads and signed zeros count too. *)
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"binio float round trip" ~count:1000 QCheck.float
+    (fun v -> Int64.bits_of_float (rt B.float v) = Int64.bits_of_float v)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"binio string round trip" ~count:1000
+    QCheck.(string_gen Gen.char)
+    (fun v -> rt B.string v = v)
+
+let prop_bool_roundtrip =
+  QCheck.Test.make ~name:"binio bool round trip" ~count:20 QCheck.bool (fun v ->
+      rt B.bool v = v)
+
+let prop_option_roundtrip =
+  QCheck.Test.make ~name:"binio option round trip" ~count:500
+    QCheck.(option int)
+    (fun v -> rt (B.option B.int) v = v)
+
+let prop_list_roundtrip =
+  QCheck.Test.make ~name:"binio list round trip" ~count:500
+    QCheck.(list (pair string int))
+    (fun v -> rt (B.list (B.pair B.string B.int)) v = v)
+
+let prop_nested_roundtrip =
+  QCheck.Test.make ~name:"binio nested round trip" ~count:300
+    QCheck.(list (triple (option string) (list int) bool))
+    (fun v ->
+      let c = B.list (B.triple (B.option B.string) (B.list B.int) B.bool) in
+      rt c v = v)
+
+let prop_varint_compact =
+  QCheck.Test.make ~name:"binio small ints are one byte" ~count:200
+    QCheck.(int_range (-64) 63)
+    (fun v -> String.length (B.encode B.int v) = 1)
+
+let test_int_boundaries () =
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (rt B.int v))
+    [ 0; 1; -1; 63; 64; -64; -65; max_int; min_int ];
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) (Int64.to_string v) v (rt B.int64 v))
+    [ 0L; Int64.max_int; Int64.min_int; -1L ]
+
+let test_enum_roundtrip () =
+  let c = B.enum ~name:"abc" [ `A; `B; `C ] in
+  List.iter (fun v -> assert (rt c v = v)) [ `A; `B; `C ];
+  (* Out-of-range index is corrupt, not a crash. *)
+  raises_corrupt "enum index 3" (fun () ->
+      B.decode c (B.encode B.int 3));
+  (* A value outside the enumeration cannot be encoded (a programming
+     error, not a data defect: Invalid_argument, not Corrupt). *)
+  match B.encode c `D with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoding an unknown enum value must raise"
+
+let test_corrupt_inputs () =
+  raises_corrupt "trailing bytes" (fun () ->
+      B.decode B.int (B.encode B.int 7 ^ "x"));
+  raises_corrupt "truncated string" (fun () ->
+      let s = B.encode B.string "hello world" in
+      B.decode B.string (String.sub s 0 (String.length s - 3)));
+  raises_corrupt "truncated int64" (fun () -> B.decode B.int64 "abc");
+  raises_corrupt "bad bool tag" (fun () -> B.decode B.bool "\x07");
+  raises_corrupt "bad option tag" (fun () ->
+      B.decode (B.option B.int) "\x09");
+  raises_corrupt "length past end" (fun () ->
+      (* a length prefix claiming more bytes than remain *)
+      B.decode B.string (B.encode B.int 1000));
+  raises_corrupt "unterminated varint" (fun () ->
+      B.decode B.int "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff");
+  Alcotest.(check (option int)) "decode_opt maps Corrupt to None" None
+    (B.decode_opt B.int "\xff");
+  Alcotest.(check (option int)) "decode_opt passes valid input" (Some 42)
+    (B.decode_opt B.int (B.encode B.int 42))
+
+(* ------------------------------------------------------------------ *)
+(* Domain codecs over real pipeline values                             *)
+(* ------------------------------------------------------------------ *)
+
+let db = Pp.Database.create ()
+let sor = Option.get (W.Registry.find "sor")
+let compiled = lazy (W.Workload.compile sor)
+
+let profiled =
+  lazy
+    (let r = Lazy.force compiled in
+     (r.F.Compiler.modul, W.Workload.run r { label = "t"; n = 12 }))
+
+let report =
+  lazy
+    (let m, out = Lazy.force profiled in
+     Core.Asip_sp.run_spec db m out.Vm.Machine.profile
+       ~total_cycles:out.Vm.Machine.native_cycles)
+
+let flow_run =
+  lazy
+    (let m, _ = Lazy.force profiled in
+     let r = Lazy.force report in
+     let s = List.hd r.Core.Asip_sp.selection in
+     let c = s.Ise.Select.candidate in
+     let f = Option.get (Ir.Irmod.find_func m c.Ise.Candidate.func) in
+     let dfg = Ir.Dfg.of_block f (Ir.Func.block f c.Ise.Candidate.block) in
+     let p = Hw.Project.create db dfg c in
+     (p, Cad.Flow.implement db p))
+
+let test_codec_compiler_result () =
+  let r = Lazy.force compiled in
+  stable "compiler_result" Core.Codecs.compiler_result r;
+  let r' = rt Core.Codecs.compiler_result r in
+  (* The module survives as re-parsed text... *)
+  Alcotest.(check string) "module text survives"
+    (Ir.Printer.module_to_string r.F.Compiler.modul)
+    (Ir.Printer.module_to_string r'.F.Compiler.modul);
+  (* ...and the stats (including the measured compile time, which is
+     part of the artifact, not of the record log) survive exactly. *)
+  Alcotest.(check bool) "stats survive" true
+    (r.F.Compiler.stats = r'.F.Compiler.stats)
+
+let test_codec_profile_outcomes () =
+  let r = Lazy.force compiled in
+  let outcomes = W.Workload.run_all r sor in
+  stable "profile_outcomes" Core.Codecs.profile_outcomes outcomes;
+  let outcomes' = rt Core.Codecs.profile_outcomes outcomes in
+  List.iter2
+    (fun (d, (o : Vm.Machine.outcome)) (d', (o' : Vm.Machine.outcome)) ->
+      Alcotest.(check string) "dataset label" d.W.Workload.label
+        d'.W.Workload.label;
+      Alcotest.(check (float 0.0)) "native cycles" o.Vm.Machine.native_cycles
+        o'.Vm.Machine.native_cycles;
+      Alcotest.(check (float 0.0)) "vm cycles" o.Vm.Machine.vm_cycles
+        o'.Vm.Machine.vm_cycles;
+      Alcotest.(check bool) "profile entries" true
+        (Vm.Profile.to_list o.Vm.Machine.profile
+        = Vm.Profile.to_list o'.Vm.Machine.profile);
+      Alcotest.(check int64) "executed instrs"
+        o.Vm.Machine.profile.Vm.Profile.executed_instrs
+        o'.Vm.Machine.profile.Vm.Profile.executed_instrs)
+    outcomes outcomes'
+
+let test_codec_analyses () =
+  let m, out = Lazy.force profiled in
+  let out2 = W.Workload.run (Lazy.force compiled) { label = "t2"; n = 8 } in
+  let cov =
+    Jitise_analysis.Coverage.classify m
+      [ out.Vm.Machine.profile; out2.Vm.Machine.profile ]
+  in
+  stable "coverage" Core.Codecs.coverage cov;
+  let k = Jitise_analysis.Kernel.compute m out.Vm.Machine.profile in
+  stable "kernel" Core.Codecs.kernel k
+
+let test_codec_search_artifacts () =
+  let m, out = Lazy.force profiled in
+  let pruning =
+    Ise.Prune.apply Ise.Prune.at_50p_s3l m out.Vm.Machine.profile
+  in
+  stable "prune_selection" Core.Codecs.prune_selection pruning;
+  let cands =
+    List.concat_map
+      (fun (fname, label) ->
+        match Ir.Irmod.find_func m fname with
+        | None -> []
+        | Some f ->
+            let dfg = Ir.Dfg.of_block f (Ir.Func.block f label) in
+            Ise.Maxmiso.of_block dfg ~func:fname)
+      pruning.Ise.Prune.blocks
+  in
+  stable "candidates" Core.Codecs.candidates cands;
+  let r = Lazy.force report in
+  stable "scored_list" Core.Codecs.scored_list r.Core.Asip_sp.selection
+
+let test_codec_hw_and_cad () =
+  let p, run = Lazy.force flow_run in
+  stable "project" Core.Codecs.project p;
+  stable "flow_run" Core.Codecs.flow_run run;
+  (* The bitstream checksum is carried verbatim: a well-formed one stays
+     well-formed, and a corrupted one must NOT be healed by the codec. *)
+  let bs = run.Cad.Flow.bitstream in
+  Alcotest.(check bool) "round-tripped bitstream well-formed" true
+    (Cad.Bitstream.well_formed (rt Core.Codecs.bitstream bs));
+  let bad = { bs with Cad.Bitstream.checksum = bs.Cad.Bitstream.checksum + 1 } in
+  Alcotest.(check bool) "corrupt bitstream stays corrupt" false
+    (Cad.Bitstream.well_formed (rt Core.Codecs.bitstream bad))
+
+(* ------------------------------------------------------------------ *)
+(* Store_disk: envelope, crash-safety, defect tolerance                *)
+(* ------------------------------------------------------------------ *)
+
+let digest_hex s = U.Digest.to_hex (U.Digest.of_string s)
+
+let test_disk_put_get () =
+  with_root (fun root ->
+      let digest = digest_hex "a" in
+      Alcotest.(check (option (pair string string)))
+        "absent entry" None
+        (U.Store_disk.get ~root ~stage:"compile" ~digest);
+      U.Store_disk.put ~root ~stage:"compile" ~digest ~builder:"sor"
+        ~payload:"PAYLOAD\x00\xff bytes";
+      Alcotest.(check (option (pair string string)))
+        "round trip"
+        (Some ("sor", "PAYLOAD\x00\xff bytes"))
+        (U.Store_disk.get ~root ~stage:"compile" ~digest))
+
+let test_disk_first_put_wins () =
+  with_root (fun root ->
+      let digest = digest_hex "b" in
+      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"first" ~payload:"one";
+      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"second"
+        ~payload:"two";
+      Alcotest.(check (option (pair string string)))
+        "first write wins"
+        (Some ("first", "one"))
+        (U.Store_disk.get ~root ~stage:"s" ~digest))
+
+let test_disk_defects_read_as_misses () =
+  with_root (fun root ->
+      let stage = "s" in
+      let write_entry name payload =
+        let digest = digest_hex name in
+        U.Store_disk.put ~root ~stage ~digest ~builder:"app" ~payload;
+        (digest, U.Store_disk.entry_path ~root ~stage ~digest)
+      in
+      let mutate path f =
+        let s = In_channel.with_open_bin path In_channel.input_all in
+        let b = Bytes.of_string s in
+        f b;
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_bytes oc b)
+      in
+      let check_miss what digest =
+        Alcotest.(check (option (pair string string)))
+          (what ^ " reads as a miss") None
+          (U.Store_disk.get ~root ~stage ~digest)
+      in
+      (* Truncation: a crash mid-write would leave a short file only if
+         rename were not atomic; readers must still survive one. *)
+      let d, path = write_entry "trunc" "some payload" in
+      let len = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (len / 2);
+      check_miss "truncated entry" d;
+      (* Empty file. *)
+      let d, path = write_entry "empty" "x" in
+      Unix.truncate path 0;
+      check_miss "empty entry" d;
+      (* Bad magic. *)
+      let d, path = write_entry "magic" "payload" in
+      mutate path (fun b -> Bytes.set b 0 'X');
+      check_miss "bad magic" d;
+      (* Unknown format version. *)
+      let d, path = write_entry "version" "payload" in
+      mutate path (fun b -> Bytes.set b 4 '\xf7');
+      check_miss "bad version" d;
+      (* A flipped payload byte fails the checksum. *)
+      let d, path = write_entry "flip" "payload-payload-payload" in
+      mutate path (fun b ->
+          let i = Bytes.length b - 3 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41)));
+      check_miss "flipped payload byte" d;
+      (* Trailing garbage after the envelope. *)
+      let d, path = write_entry "trail" "payload" in
+      let s = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (s ^ "garbage"));
+      check_miss "trailing bytes" d;
+      (* And an intact neighbour is still served. *)
+      let d, _ = write_entry "intact" "good" in
+      Alcotest.(check (option (pair string string)))
+        "intact entry unaffected"
+        (Some ("app", "good"))
+        (U.Store_disk.get ~root ~stage ~digest:d))
+
+let test_disk_entries () =
+  with_root (fun root ->
+      U.Store_disk.put ~root ~stage:"a" ~digest:(digest_hex "1")
+        ~builder:"x" ~payload:"12345";
+      U.Store_disk.put ~root ~stage:"a" ~digest:(digest_hex "2")
+        ~builder:"x" ~payload:"12345";
+      U.Store_disk.put ~root ~stage:"b" ~digest:(digest_hex "3")
+        ~builder:"x" ~payload:"1";
+      let entries = (U.Store_disk.backend ~root).U.Artifact.backend_entries () in
+      Alcotest.(check int) "two stages" 2 (List.length entries);
+      let a_stage, a_count, a_bytes = List.hd entries in
+      Alcotest.(check string) "sorted by stage" "a" a_stage;
+      Alcotest.(check int) "entry count" 2 a_count;
+      Alcotest.(check bool) "bytes include the envelope" true
+        (a_bytes > 2 * 5))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact front-end over the disk backend                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_artifact_warm_restart () =
+  with_root (fun root ->
+      let key = U.Artifact.key ~codec:B.string "warm-stage" in
+      let digest = U.Digest.of_string "input" in
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      U.Artifact.put store key ~app:"sor" ~digest "the artifact";
+      (* A NEW front-end over the same root: a simulated restart, so the
+         hit must cross serialization and still attribute correctly. *)
+      let fresh () =
+        U.Artifact.create ~backend:(U.Store_disk.backend ~root) ()
+      in
+      (match U.Artifact.find (fresh ()) key ~app:"sor" ~digest with
+      | Some (v, U.Artifact.Local) ->
+          Alcotest.(check string) "value survives restart" "the artifact" v
+      | Some (_, U.Artifact.Shared) -> Alcotest.fail "expected Local"
+      | None -> Alcotest.fail "expected a warm hit");
+      (match U.Artifact.find (fresh ()) key ~app:"fft" ~digest with
+      | Some (_, U.Artifact.Shared) -> ()
+      | Some (_, U.Artifact.Local) ->
+          Alcotest.fail "another app must see Shared"
+      | None -> Alcotest.fail "expected a warm hit");
+      (* Backend hits are promoted to L1: the second probe through ONE
+         front-end must not re-read the disk (observable via stats — the
+         promoted entry counts as an in-process entry). *)
+      let store2 = fresh () in
+      ignore (U.Artifact.find store2 key ~app:"sor" ~digest);
+      let stats = U.Artifact.stats store2 in
+      Alcotest.(check int) "promoted into L1" 1 stats.U.Artifact.total_entries)
+
+let test_artifact_codecless_key_stays_local () =
+  with_root (fun root ->
+      let key = U.Artifact.key "ephemeral-stage" in
+      Alcotest.(check bool) "no codec, not persistent" false
+        (U.Artifact.key_persistent key);
+      let digest = U.Digest.of_string "input" in
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      U.Artifact.put store key ~app:"a" ~digest 42;
+      Alcotest.(check bool) "nothing persisted" true
+        (U.Artifact.backend_entries store = []);
+      let fresh = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      Alcotest.(check bool) "miss after restart" true
+        (U.Artifact.find fresh key ~app:"a" ~digest = None))
+
+let test_artifact_undecodable_payload_is_a_miss () =
+  with_root (fun root ->
+      let key = U.Artifact.key ~codec:(B.pair B.int B.string) "typed-stage" in
+      let digest = U.Digest.of_string "input" in
+      (* A valid envelope whose payload the codec rejects: must degrade
+         to a miss at the front-end, not raise. *)
+      U.Store_disk.put ~root ~stage:"typed-stage"
+        ~digest:(U.Digest.to_hex digest) ~builder:"a" ~payload:"not binio";
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      Alcotest.(check bool) "undecodable payload misses" true
+        (U.Artifact.find store key ~app:"a" ~digest = None);
+      (* The recompute then overwrites nothing (first put wins at the
+         byte layer) but L1 serves the fresh value from now on. *)
+      U.Artifact.put store key ~app:"a" ~digest (7, "fresh");
+      match U.Artifact.find store key ~app:"a" ~digest with
+      | Some ((7, "fresh"), _) -> ()
+      | _ -> Alcotest.fail "recomputed value must be served")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "binio",
+        [
+          Alcotest.test_case "int boundaries" `Quick test_int_boundaries;
+          Alcotest.test_case "enum" `Quick test_enum_roundtrip;
+          Alcotest.test_case "corrupt inputs" `Quick test_corrupt_inputs;
+        ]
+        @ qsuite
+            [
+              prop_int_roundtrip; prop_int64_roundtrip; prop_float_roundtrip;
+              prop_string_roundtrip; prop_bool_roundtrip;
+              prop_option_roundtrip; prop_list_roundtrip;
+              prop_nested_roundtrip; prop_varint_compact;
+            ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "compiler_result" `Quick
+            test_codec_compiler_result;
+          Alcotest.test_case "profile_outcomes" `Quick
+            test_codec_profile_outcomes;
+          Alcotest.test_case "coverage/kernel" `Quick test_codec_analyses;
+          Alcotest.test_case "search artifacts" `Quick
+            test_codec_search_artifacts;
+          Alcotest.test_case "project/flow_run/bitstream" `Quick
+            test_codec_hw_and_cad;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "put/get" `Quick test_disk_put_get;
+          Alcotest.test_case "first put wins" `Quick test_disk_first_put_wins;
+          Alcotest.test_case "defects read as misses" `Quick
+            test_disk_defects_read_as_misses;
+          Alcotest.test_case "entries walk" `Quick test_disk_entries;
+        ] );
+      ( "front-end",
+        [
+          Alcotest.test_case "warm restart" `Quick test_artifact_warm_restart;
+          Alcotest.test_case "codec-less key stays local" `Quick
+            test_artifact_codecless_key_stays_local;
+          Alcotest.test_case "undecodable payload is a miss" `Quick
+            test_artifact_undecodable_payload_is_a_miss;
+        ] );
+    ]
