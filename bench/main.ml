@@ -635,12 +635,266 @@ let store_report ?store_dir path =
     path cold_wall warm_wall total_bytes;
   if made_tmp then rm_rf root
 
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign (BENCH_chaos.json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Storm randomized fault mixes over registry workloads and assert the
+   supervision contract: every run completes (no hangs — wall-clock
+   protection is the CI timeout), no corrupt artifact is ever accepted,
+   every degradation is flagged and waste-billed, and each seed replays
+   byte-identically — cold vs warm against the same store root, and
+   serial vs [jobs:4] against a fresh one. *)
+let chaos_report ~seeds ~base_seed path =
+  let module U = Jitise_util in
+  (* Small-to-medium workloads keep a multi-seed campaign tractable;
+     together they exercise every pipeline stage and both fan-out
+     shapes (few and many selected candidates). *)
+  let apps = [ "adpcm"; "sor"; "fft"; "183.equake"; "429.mcf"; "whetstone" ] in
+  let tmp_root what seed =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jitise-chaos-%s-%d-%d" what (Unix.getpid ()) seed)
+  in
+  let rec rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then rm_rf p else Sys.remove p)
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let violations = ref [] in
+  let violate seed fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "bench: chaos: seed %d: %s\n%!" seed msg;
+        violations := (seed, msg) :: !violations)
+      fmt
+  in
+  (* Everything deterministic a faulted run decides, rendered as one
+     string: replay passes must agree byte for byte.  Wall-measured
+     fields (search wall clock) are excluded by construction. *)
+  let projection outcome =
+    let b = Buffer.create 1024 in
+    (match outcome with
+    | Error (f : U.Supervisor.failure) ->
+        Buffer.add_string b
+          (Printf.sprintf "run-failed %s %s %d %.6f\n" f.U.Supervisor.f_site
+             (U.Supervisor.error_name f.U.Supervisor.f_error)
+             f.U.Supervisor.f_attempts f.U.Supervisor.f_wasted_seconds)
+    | Ok (r : Core.Experiment.app_result) ->
+        let rep = r.Core.Experiment.report in
+        Buffer.add_string b
+          (Printf.sprintf "ratio %.6f/%.6f sum %.6f attempts %d/%d waste %.6f\n"
+             rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio
+             rep.Core.Asip_sp.asip_ratio_max.Ise.Speedup.ratio
+             rep.Core.Asip_sp.sum_seconds rep.Core.Asip_sp.total_attempts
+             rep.Core.Asip_sp.failed_attempts rep.Core.Asip_sp.wasted_seconds);
+        Buffer.add_string b
+          (Printf.sprintf "degraded %d stage-failed %d deadline %b\n"
+             rep.Core.Asip_sp.degraded rep.Core.Asip_sp.stage_failures
+             rep.Core.Asip_sp.deadline_exceeded);
+        List.iter
+          (fun (c : Core.Asip_sp.candidate_result) ->
+            Buffer.add_string b
+              (Printf.sprintf "cand %s total %.6f att %d/%d waste %.6f %s\n"
+                 c.Core.Asip_sp.scored.Ise.Select.candidate
+                   .Ise.Candidate.signature
+                 c.Core.Asip_sp.total_seconds c.Core.Asip_sp.attempts
+                 c.Core.Asip_sp.failed_attempts c.Core.Asip_sp.wasted_seconds
+                 (match c.Core.Asip_sp.outcome with
+                 | Core.Asip_sp.Implemented -> "implemented"
+                 | Core.Asip_sp.Promoted { from; _ } ->
+                     "promoted-from "
+                     ^ from.Ise.Select.candidate.Ise.Candidate.signature)))
+          rep.Core.Asip_sp.candidates;
+        List.iter
+          (fun (d : Core.Asip_sp.dropped) ->
+            Buffer.add_string b
+              (Printf.sprintf "drop %s %s att %d waste %.6f at %d\n"
+                 d.Core.Asip_sp.drop_scored.Ise.Select.candidate
+                   .Ise.Candidate.signature
+                 (Core.Asip_sp.drop_reason_name d.Core.Asip_sp.drop_reason)
+                 d.Core.Asip_sp.drop_attempts
+                 d.Core.Asip_sp.drop_wasted_seconds
+                 d.Core.Asip_sp.drop_at_index))
+          rep.Core.Asip_sp.dropped);
+    Buffer.contents b
+  in
+  let policy =
+    {
+      U.Supervisor.default_policy with
+      U.Supervisor.stage_deadline_seconds = Some 60.0;
+    }
+  in
+  let evaluate_one ~seed ~chaos ~jobs ~root name =
+    let spec =
+      Core.Spec.default |> Core.Spec.with_jobs jobs
+      |> Core.Spec.with_supervisor policy
+      |> Core.Spec.with_chaos chaos
+      |> Core.Spec.with_store_dir root
+      |> Core.Spec.with_faults (Cad.Faults.defaults ~seed)
+      |> Core.Spec.with_retry Jitise_util.Retry.default
+    in
+    match Core.Experiment.evaluate ~spec db (find_workload name) with
+    | r -> Ok r
+    | exception U.Supervisor.Stage_failed f -> Error f
+  in
+  let check_invariants seed name outcome =
+    match outcome with
+    | Error _ -> ()
+    | Ok (r : Core.Experiment.app_result) ->
+        let rep = r.Core.Experiment.report in
+        let n_sel = List.length rep.Core.Asip_sp.selection in
+        let n_cand = List.length rep.Core.Asip_sp.candidates in
+        let n_drop = List.length rep.Core.Asip_sp.dropped in
+        if n_cand + n_drop <> n_sel then
+          violate seed "%s: %d candidates + %d dropped <> %d selected" name
+            n_cand n_drop n_sel;
+        List.iter
+          (fun (c : Core.Asip_sp.candidate_result) ->
+            let run = c.Core.Asip_sp.run in
+            if not (Cad.Bitstream.well_formed run.Cad.Flow.bitstream) then
+              violate seed "%s: accepted candidate %s has a corrupt bitstream"
+                name
+                c.Core.Asip_sp.scored.Ise.Select.candidate
+                  .Ise.Candidate.signature;
+            if run.Cad.Flow.syntax_problems <> [] then
+              violate seed "%s: accepted candidate carries syntax problems"
+                name;
+            if c.Core.Asip_sp.wasted_seconds < 0.0 then
+              violate seed "%s: negative waste on a candidate" name)
+          rep.Core.Asip_sp.candidates;
+        List.iter
+          (fun (d : Core.Asip_sp.dropped) ->
+            if d.Core.Asip_sp.drop_wasted_seconds < 0.0 then
+              violate seed "%s: negative waste on a drop" name;
+            if
+              d.Core.Asip_sp.drop_reason = Core.Asip_sp.Stage_failure
+              && d.Core.Asip_sp.drop_failure <> None
+            then
+              violate seed "%s: stage-failure drop carries a CAD failure" name)
+          rep.Core.Asip_sp.dropped;
+        let flagged =
+          List.length
+            (List.filter
+               (fun (d : Core.Asip_sp.dropped) ->
+                 d.Core.Asip_sp.drop_reason = Core.Asip_sp.Stage_failure)
+               rep.Core.Asip_sp.dropped)
+        in
+        if flagged <> rep.Core.Asip_sp.stage_failures then
+          violate seed "%s: stage_failures %d but %d flagged drops" name
+            rep.Core.Asip_sp.stage_failures flagged
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"campaign\": {\"seeds\": %d, \"base_seed\": %d, \"apps\": [%s],\n\
+       \   \"stage_deadline_seconds\": 60.0},\n"
+       seeds base_seed
+       (String.concat ", " (List.map (Printf.sprintf "%S") apps)));
+  Buffer.add_string buf "  \"seeds\": [\n";
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to seeds - 1 do
+    let seed = base_seed + i in
+    let chaos = U.Chaos.storm ~seed in
+    Printf.eprintf "[bench] chaos: seed %d (%d/%d)...\n%!" seed (i + 1) seeds;
+    let root1 = tmp_root "a" seed and root2 = tmp_root "b" seed in
+    rm_rf root1;
+    rm_rf root2;
+    let cold =
+      List.map (fun n -> evaluate_one ~seed ~chaos ~jobs:1 ~root:root1 n) apps
+    in
+    (* Warm replay over the same (possibly torn) store: corrupt entries
+       must degrade to recomputation, never change the outcome. *)
+    let warm =
+      List.map (fun n -> evaluate_one ~seed ~chaos ~jobs:1 ~root:root1 n) apps
+    in
+    (* Parallel replay against a fresh root: scheduling independence. *)
+    let par =
+      List.map (fun n -> evaluate_one ~seed ~chaos ~jobs:4 ~root:root2 n) apps
+    in
+    List.iteri
+      (fun j name ->
+        let c = List.nth cold j in
+        check_invariants seed name c;
+        let pc = projection c in
+        if pc <> projection (List.nth warm j) then
+          violate seed "%s: warm replay diverged from the cold run" name;
+        if pc <> projection (List.nth par j) then
+          violate seed "%s: jobs:4 replay diverged from the serial run" name)
+      apps;
+    let orphans = U.Store_disk.sweep_orphans ~root:root1 in
+    if orphans <> 0 then
+      violate seed "%d orphan temp files survived the store's own sweep"
+        orphans;
+    let agg f =
+      List.fold_left
+        (fun acc o -> match o with Ok r -> acc + f r | Error _ -> acc)
+        0 cold
+    in
+    let rep_of (r : Core.Experiment.app_result) = r.Core.Experiment.report in
+    let run_failures =
+      List.length (List.filter (function Error _ -> true | Ok _ -> false) cold)
+    in
+    let stage_failures =
+      agg (fun r -> (rep_of r).Core.Asip_sp.stage_failures)
+    in
+    let degraded = agg (fun r -> (rep_of r).Core.Asip_sp.degraded) in
+    let dropped =
+      agg (fun r -> List.length (rep_of r).Core.Asip_sp.dropped)
+    in
+    let failed_attempts =
+      agg (fun r -> (rep_of r).Core.Asip_sp.failed_attempts)
+    in
+    let wasted =
+      List.fold_left
+        (fun acc -> function
+          | Ok r -> acc +. (rep_of r).Core.Asip_sp.wasted_seconds
+          | Error (f : U.Supervisor.failure) ->
+              acc +. f.U.Supervisor.f_wasted_seconds)
+        0.0 cold
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    {\"seed\": %d, \"run_failures\": %d, \"stage_failures\": %d,\n\
+         \     \"promoted\": %d, \"dropped\": %d, \"failed_attempts\": %d,\n\
+         \     \"wasted_seconds\": %.3f, \"replay_identical\": %b}%s\n"
+         seed run_failures stage_failures degraded dropped failed_attempts
+         wasted
+         (not (List.exists (fun (s, _) -> s = seed) !violations))
+         (if i = seeds - 1 then "" else ","));
+    rm_rf root1;
+    rm_rf root2
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wall_seconds\": %.3f,\n  \"violations\": %d,\n  \"ok\": %b\n}\n"
+       wall
+       (List.length !violations)
+       (!violations = []));
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.eprintf "[bench] chaos: wrote %s (%d seeds, %d violations, %.1fs)\n%!"
+    path seeds
+    (List.length !violations)
+    wall;
+  if !violations <> [] then exit 1
+
 (* Minimal flag parsing: --trace FILE, --jobs N, --shared-cache,
    --faults, --fault-seed SEED, --retries N, --deadline SECONDS,
    --pipeline-json FILE (with --pipeline-only to skip the rest),
    --vm-json FILE (with --vm-only to skip the rest), --store-json FILE
-   with --store-dir DIR (and --store-only to skip the rest), plus the
-   original --tables-only/--bench-only halves. *)
+   with --store-dir DIR (and --store-only to skip the rest),
+   --chaos [--chaos-seeds N] [--chaos-base-seed SEED] [--chaos-json FILE]
+   to run the chaos campaign alone, plus the original
+   --tables-only/--bench-only halves. *)
 let rec arg_value key = function
   | k :: v :: _ when k = key -> Some v
   | _ :: rest -> arg_value key rest
@@ -678,7 +932,13 @@ let () =
     | None -> if store_only then Some "BENCH_store.json" else None
   in
   let store_dir = arg_value "--store-dir" argv in
-  let skip_main = pipeline_only || vm_only || store_only in
+  let chaos = List.mem "--chaos" argv in
+  let chaos_json =
+    match arg_value "--chaos-json" argv with
+    | Some path -> path
+    | None -> "BENCH_chaos.json"
+  in
+  let skip_main = pipeline_only || vm_only || store_only || chaos in
   let tables = (not skip_main) && not (List.mem "--bench-only" argv) in
   let benches = (not skip_main) && not (List.mem "--tables-only" argv) in
   let trace = arg_value "--trace" argv in
@@ -720,6 +980,11 @@ let () =
            |> Jitise_util.Retry.with_specialization_deadline deadline)
     end
   in
+  if chaos then
+    chaos_report
+      ~seeds:(int_arg "--chaos-seeds" ~default:10 ~min:1 argv)
+      ~base_seed:(int_arg "--chaos-base-seed" ~default:4207 ~min:0 argv)
+      chaos_json;
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();
   (if not (vm_only || store_only) then

@@ -24,12 +24,18 @@ let db = lazy (Pp.Database.create ())
 (* ------------------------------------------------------------------ *)
 
 (* Everything the [--faults]/[--fault-seed]/[--retries]/[--deadline]
-   flags decide, bundled so every command threads one value. *)
+   and [--chaos]/[--chaos-seed]/[--stage-*]/[--run-deadline] flags
+   decide, bundled so every command threads one value. *)
 type fault_options = {
   faults : bool;
   fault_seed : int;
   retries : int;
   deadline : float option;  (** whole-specialization budget, seconds *)
+  chaos : bool;
+  chaos_seed : int;
+  stage_attempts : int;  (** supervised attempts per stage execution *)
+  stage_deadline : float option;  (** simulated stall budget per attempt *)
+  run_deadline : float option;  (** simulated supervision budget per run *)
 }
 
 let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~store_dir ~vm_engine
@@ -43,9 +49,25 @@ let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~store_dir ~vm_engine
         Printf.eprintf "jitise: cannot write trace file: %s\n" msg;
         exit 1)
     trace;
+  let supervisor =
+    {
+      U.Supervisor.default_policy with
+      U.Supervisor.max_attempts = fo.stage_attempts;
+      stage_deadline_seconds = fo.stage_deadline;
+      run_deadline_seconds = fo.run_deadline;
+    }
+  in
   let spec =
     Core.Spec.default |> Core.Spec.with_jobs jobs
     |> Core.Spec.with_vm_engine vm_engine
+    |> Core.Spec.with_supervisor supervisor
+  in
+  (* Chaos before the store: {!Core.Spec.with_store_dir} wires the
+     store fault planes from the spec's chaos config. *)
+  let spec =
+    if fo.chaos then
+      Core.Spec.with_chaos (U.Chaos.defaults ~seed:fo.chaos_seed) spec
+    else spec
   in
   let spec =
     if trace <> None then Core.Spec.with_tracer (U.Trace.create ()) spec
@@ -185,7 +207,7 @@ let run_specialize name trace jobs shared_cache stage_cache stage_stats
                  from.Ise.Select.candidate.Ise.Candidate.signature
            | Core.Asip_sp.Implemented -> retry))
     rep.Core.Asip_sp.candidates;
-  if fault_options.faults then begin
+  if fault_options.faults || fault_options.chaos then begin
     List.iter
       (fun (d : Core.Asip_sp.dropped) ->
         Printf.printf "  %s  abandoned: %s, %d failed attempt(s), %s wasted\n"
@@ -202,7 +224,11 @@ let run_specialize name trace jobs shared_cache stage_cache stage_stats
       (U.Duration.to_min_sec rep.Core.Asip_sp.wasted_seconds)
       rep.Core.Asip_sp.degraded
       (List.length rep.Core.Asip_sp.dropped)
-      (if rep.Core.Asip_sp.deadline_exceeded then "; deadline exceeded" else "")
+      ((if rep.Core.Asip_sp.stage_failures > 0 then
+          Printf.sprintf "; %d stage-failed" rep.Core.Asip_sp.stage_failures
+        else "")
+      ^
+      if rep.Core.Asip_sp.deadline_exceeded then "; deadline exceeded" else "")
   end;
   Printf.printf "total ASIP-SP overhead: %s (const %s, map %s, par %s)\n"
     (U.Duration.to_min_sec rep.Core.Asip_sp.sum_seconds)
@@ -454,11 +480,74 @@ let deadline_arg =
           "Simulated-time budget for a whole specialization run (with \
            $(b,--faults)); candidates past it are left in software.")
 
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Inject deterministic cross-layer chaos (stage crashes and \
+           stalls, pool worker crashes, store read/write errors, torn \
+           envelopes, latency spikes) with the default fault mix; the \
+           supervisor degrades affected candidates to software instead \
+           of aborting the sweep.  Off by default, which reproduces the \
+           chaos-free pipeline byte for byte.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 4207
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the chaos model.  The same seed replays the same \
+           faults on every plane, whatever $(b,--jobs) is.")
+
+let stage_attempts_arg =
+  Arg.(
+    value & opt positive_int 3
+    & info [ "stage-attempts" ] ~docv:"N"
+        ~doc:
+          "Supervised attempts per pipeline-stage execution before the \
+           candidate degrades to software (transient chaos crashes are \
+           retried with deterministic backoff).")
+
+let stage_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stage-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Simulated stall budget per stage attempt; an attempt whose \
+           injected stalls overrun it is killed and retried (the killed \
+           attempt billed at the full deadline).")
+
+let run_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "run-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Simulated supervision budget (stalls + backoffs) for all \
+           sequential stage executions of one run; past it, further \
+           stages are refused and their candidates stay in software.")
+
 let fault_options_term =
   Term.(
-    const (fun faults fault_seed retries deadline ->
-        { faults; fault_seed; retries; deadline })
-    $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg)
+    const
+      (fun faults fault_seed retries deadline chaos chaos_seed stage_attempts
+           stage_deadline run_deadline ->
+        {
+          faults;
+          fault_seed;
+          retries;
+          deadline;
+          chaos;
+          chaos_seed;
+          stage_attempts;
+          stage_deadline;
+          run_deadline;
+        })
+    $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg $ chaos_arg
+    $ chaos_seed_arg $ stage_attempts_arg $ stage_deadline_arg
+    $ run_deadline_arg)
 
 (* A command that runs the full sweep once and renders from it. *)
 let sweep_cmd name doc render =

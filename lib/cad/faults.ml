@@ -96,16 +96,14 @@ let validate c =
 
 (* One independent PRNG per (seed, signature, stage, attempt, roll)
    tuple: rolls never share a stream, so adding a roll site cannot
-   perturb unrelated draws. *)
+   perturb unrelated draws.  The CAD flow is one plane of the general
+   chaos model; the "fault:" key format predates [Chaos] and is kept
+   verbatim so existing fault seeds replay old runs bit for bit. *)
 let roll_prng c ~signature ~stage ~attempt what =
-  Jitise_util.Prng.create
-    ~seed:
-      (Jitise_util.Prng.hash_string
-         (Printf.sprintf "fault:%d:%s:%s:%d:%s" c.seed signature stage attempt
-            what)
-      lxor c.seed)
+  Jitise_util.Chaos.key_prng ~seed:c.seed
+    (Printf.sprintf "fault:%d:%s:%s:%d:%s" c.seed signature stage attempt what)
 
-let bernoulli prng p = p > 0.0 && Jitise_util.Prng.float prng 1.0 < p
+let bernoulli = Jitise_util.Chaos.bernoulli
 
 (** Congestion/timing probabilities grow with data-path complexity;
     [complexity] is the LUT-area fraction of a large design, clamped to

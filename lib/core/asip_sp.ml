@@ -70,11 +70,17 @@ type drop_reason =
   | Specialization_deadline
       (** the whole-specialization budget was already exhausted, so no
           CAD attempt was even started *)
+  | Stage_failure
+      (** the supervision layer gave up on one of the candidate's
+          pipeline stages (chaos crashes exhausted the retry budget, a
+          stall overran the stage deadline, or the run was cancelled) —
+          the candidate was poisoned before any CAD chain existed *)
 
 let drop_reason_name = function
   | Retries_exhausted -> "retries exhausted"
   | Candidate_deadline -> "candidate deadline"
   | Specialization_deadline -> "specialization deadline"
+  | Stage_failure -> "stage failure"
 
 (** How a slot in the selection came to be implemented. *)
 type outcome =
@@ -148,6 +154,8 @@ type report = {
   total_attempts : int;    (** CAD attempts run (successes + failures) *)
   failed_attempts : int;
   degraded : int;          (** slots implemented via promotion *)
+  stage_failures : int;
+      (** slots dropped by the supervision layer ({!Stage_failure}) *)
   deadline_exceeded : bool;
       (** the specialization deadline expired during this run *)
   (* Speedups *)
@@ -232,8 +240,13 @@ let chain_wasted_seconds ch =
 module B = U.Binio
 
 let drop_reason_codec : drop_reason B.codec =
+  (* Appended constructors keep old stores decodable (enum codecs
+     encode by list index); [Stage_failure] never actually appears in
+     persisted chains — supervision failures happen outside the CAD
+     chain — but the codec must cover the type. *)
   B.enum ~name:"drop_reason"
-    [ Retries_exhausted; Candidate_deadline; Specialization_deadline ]
+    [ Retries_exhausted; Candidate_deadline; Specialization_deadline;
+      Stage_failure ]
 
 let attempt_info_codec : attempt_info B.codec =
   B.codec
@@ -343,6 +356,26 @@ type staged_candidate = {
   sc_project : Hw.Project.t;
   sc_c2v : float;
   sc_chain : chain;
+  sc_sup_wasted : float;
+      (** simulated seconds of chaos stalls and supervision backoffs
+          survived while staging this candidate's stages; 0 with chaos
+          off.  Billed against the specialization budget in
+          {!finalize}, in selection order. *)
+}
+
+(** What the supervision layer left of one candidate slot after the
+    parallel fan-out: either its staged result, or the failure that
+    poisoned it (that slot alone — the rest of the batch is kept). *)
+type slot =
+  | Slot_ok of staged_candidate
+  | Slot_failed of slot_failure
+
+and slot_failure = {
+  sf_scored : Ise.Select.scored;
+  sf_error : string;  (** printable supervision/chaos error *)
+  sf_attempts : int;  (** supervised attempts at the failing site *)
+  sf_wasted_seconds : float;
+      (** simulated stalls and backoffs burnt before giving up *)
 }
 
 (** Output of the parallel-safe half of the process: everything up to
@@ -357,8 +390,8 @@ type staged = {
   stg_total_cycles : float;
   stg_asip_ratio : Ise.Speedup.t;
   stg_asip_ratio_max : Ise.Speedup.t;
-  stg_candidates : staged_candidate list;  (** in selection order *)
-  stg_alternates : staged_candidate list;
+  stg_candidates : slot list;  (** in selection order *)
+  stg_alternates : slot list;
       (** promotion pool: profitable candidates the selection caps left
           out, best first; empty when fault injection is off *)
   stg_records : Pipeline.record list;
@@ -584,19 +617,71 @@ let stage_in (ctx : Pipeline.ctx) (db : Pp.Database.t) (m : Ir.Irmod.t)
   (* Phases 2 and 3 for every selected candidate (and staged alternate).
      The flow simulation and its fault chain are deterministically
      seeded by the candidate signature, so the parallel map commutes
-     with the serial one. *)
-  let implemented =
-    U.Pool.map ~jobs:spec.Spec.jobs
-      (fun (s : Ise.Select.scored) ->
-        let detail = s.Ise.Select.candidate.Ise.Candidate.signature in
-        let project = Pipeline.exec ctx ~detail vhdl_stage (env, s) in
-        let c2v, chain = Pipeline.exec ctx ~detail chain_stage (env, s, project) in
-        { sc_scored = s; sc_project = project; sc_c2v = c2v; sc_chain = chain })
+     with the serial one.  [Pool.map_result] isolates failures per
+     slot: a candidate whose stages the supervisor gave up on (or
+     whose pool worker the chaos model poisoned) degrades that one
+     slot to [Slot_failed] — everyone else's completed work is kept.
+     Each item gets its own waste meter so the simulated cost of
+     surviving (or not) chaos is billed later, sequentially.  Real
+     bugs — exceptions that are neither chaos injections, supervision
+     verdicts nor cancellations — re-raise exactly as [Pool.map]
+     did. *)
+  let inputs =
+    List.map
+      (fun s -> (s, U.Supervisor.meter ()))
       (selection @ alternates)
   in
+  let chaos = spec.Spec.chaos in
+  let implemented =
+    U.Pool.map_result
+      ~token:(U.Supervisor.token_of ctx.Pipeline.sup)
+      ~jobs:spec.Spec.jobs
+      (fun ((s : Ise.Select.scored), meter) ->
+        let detail = s.Ise.Select.candidate.Ise.Candidate.signature in
+        if U.Chaos.pool_crash chaos ~site:(ctx.Pipeline.app ^ "/" ^ detail)
+        then U.Chaos.inject "pool" detail;
+        let project = Pipeline.exec ctx ~detail ~meter vhdl_stage (env, s) in
+        let c2v, chain =
+          Pipeline.exec ctx ~detail ~meter chain_stage (env, s, project)
+        in
+        {
+          sc_scored = s;
+          sc_project = project;
+          sc_c2v = c2v;
+          sc_chain = chain;
+          sc_sup_wasted = U.Supervisor.spent meter;
+        })
+      inputs
+  in
+  let slots =
+    List.map2
+      (fun ((s : Ise.Select.scored), meter) result ->
+        match result with
+        | Ok sc -> Slot_ok sc
+        | Error (exn, bt) ->
+            let failed ~attempts error =
+              Slot_failed
+                {
+                  sf_scored = s;
+                  sf_error = error;
+                  sf_attempts = attempts;
+                  sf_wasted_seconds = U.Supervisor.spent meter;
+                }
+            in
+            (match exn with
+            | U.Supervisor.Stage_failed f ->
+                failed ~attempts:f.U.Supervisor.f_attempts
+                  (U.Supervisor.error_name f.U.Supervisor.f_error)
+            | U.Chaos.Injected what ->
+                failed ~attempts:1 ("worker crash: " ^ what)
+            | U.Supervisor.Cancelled reason ->
+                failed ~attempts:0 ("cancelled: " ^ reason)
+            | _ -> Printexc.raise_with_backtrace exn bt))
+      inputs implemented
+  in
   let n = List.length selection in
-  let stg_candidates = List.filteri (fun i _ -> i < n) implemented in
-  let stg_alternates = List.filteri (fun i _ -> i >= n) implemented in
+  let stg_candidates = List.filteri (fun i _ -> i < n) slots in
+  let stg_alternates = List.filteri (fun i _ -> i >= n) slots in
   {
     stg_search_wall = search_wall;
     stg_nopruning_wall = nopruning_wall;
@@ -623,6 +708,9 @@ type resolution =
   | R_no_budget
   | R_failed of Cad.Flow.failure * drop_reason * int * float
       (* final failure, reason, attempts run, wasted (incl. C2V) *)
+  | R_stage_failed of slot_failure
+      (* the supervision layer poisoned the slot before any CAD chain
+         existed; its simulated waste has been spent on the budget *)
 
 (** Replay the staged candidates against the bitstream cache (the
     shared one from [spec.cache] if present, a run-local one
@@ -667,14 +755,28 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
          spec.Spec.retry.U.Retry.specialization_deadline_seconds
        else None)
   in
-  (* Decide one staged candidate: cache hit (free, always allowed),
-     successful chain (billed against the budget, recorded in the
-     cache), or permanent failure (waste billed, nothing recorded). *)
-  let resolve (sc : staged_candidate) : resolution =
+  (* Decide one slot: supervision failure (waste billed, software
+     fallback), cache hit (free, always allowed; survived chaos stalls
+     still billed), successful chain (billed against the budget,
+     recorded in the cache), or permanent CAD failure (waste billed,
+     nothing recorded). *)
+  let resolve (slot : slot) : resolution =
+    match slot with
+    | Slot_failed sf ->
+        if U.Retry.exhausted budget then R_no_budget
+        else begin
+          U.Retry.spend budget sf.sf_wasted_seconds;
+          R_stage_failed sf
+        end
+    | Slot_ok sc -> (
     let s = sc.sc_scored in
     let signature = s.Ise.Select.candidate.Ise.Candidate.signature in
     let bitstream_of run = run.Cad.Flow.bitstream in
     let mk_hit hit run =
+      (* The bitstream is free, but the chaos stalls survived while
+         staging this candidate's stages were still simulated time:
+         bill them (a hit is always taken, even past the deadline). *)
+      U.Retry.spend budget sc.sc_sup_wasted;
       R_built
         {
           scored = s;
@@ -685,7 +787,7 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
           total_seconds = 0.0;
           attempts = 0;
           failed_attempts = 0;
-          wasted_seconds = 0.0;
+          wasted_seconds = sc.sc_sup_wasted;
           outcome = Implemented;
         }
     in
@@ -696,7 +798,9 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
         | None ->
             if U.Retry.exhausted budget then R_no_budget
             else begin
-              let wasted = chain_wasted_seconds sc.sc_chain in
+              let wasted =
+                chain_wasted_seconds sc.sc_chain +. sc.sc_sup_wasted
+              in
               let total = sc.sc_c2v +. run.Cad.Flow.total_seconds in
               U.Retry.spend budget (total +. wasted);
               record_built signature (bitstream_of run);
@@ -721,11 +825,13 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
            recorded — the probe would be a guaranteed miss. *)
         if U.Retry.exhausted budget then R_no_budget
         else begin
-          let wasted = sc.sc_c2v +. chain_wasted_seconds sc.sc_chain in
+          let wasted =
+            sc.sc_c2v +. chain_wasted_seconds sc.sc_chain +. sc.sc_sup_wasted
+          in
           U.Retry.spend budget wasted;
           R_failed
             (f, reason, List.length sc.sc_chain.ch_attempts, wasted)
-        end
+        end)
   in
   (* Walk the selection in order, promoting alternates on permanent
      failure.  Each alternate is consumed at most once. *)
@@ -737,30 +843,49 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
         alternates := rest;
         Some a
   in
+  let scored_of = function
+    | Slot_ok sc -> sc.sc_scored
+    | Slot_failed sf -> sf.sf_scored
+  in
   let results =
     List.mapi
-      (fun idx (sc : staged_candidate) ->
-        match resolve sc with
+      (fun idx (slot : slot) ->
+        match resolve slot with
         | R_built c -> Either.Left c
         | R_no_budget ->
             Either.Right
               {
-                drop_scored = sc.sc_scored;
+                drop_scored = scored_of slot;
                 drop_reason = Specialization_deadline;
                 drop_failure = None;
                 drop_attempts = 0;
                 drop_wasted_seconds = 0.0;
                 drop_at_index = idx;
               }
+        | R_stage_failed sf ->
+            (* Last rung of the ladder for a supervision-poisoned slot:
+               the instruction stays in software, explicitly flagged and
+               waste-billed.  No promotion — there is no CAD failure to
+               promote from, the candidate never reached the flow. *)
+            Either.Right
+              {
+                drop_scored = sf.sf_scored;
+                drop_reason = Stage_failure;
+                drop_failure = None;
+                drop_attempts = sf.sf_attempts;
+                drop_wasted_seconds = sf.sf_wasted_seconds;
+                drop_at_index = idx;
+              }
         | R_failed (f, reason, n_att, wasted_p) ->
             (* Degradation ladder, last rung: promote the next-ranked
                profitable candidate; failing that, stay in software. *)
+            let from_scored = scored_of slot in
             let rec promote extra_att extra_failed extra_wasted =
               match take_alternate () with
               | None ->
                   Either.Right
                     {
-                      drop_scored = sc.sc_scored;
+                      drop_scored = from_scored;
                       drop_reason = reason;
                       drop_failure = Some f;
                       drop_attempts = n_att + extra_att;
@@ -778,12 +903,12 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
                             c.failed_attempts + n_att + extra_failed;
                           wasted_seconds =
                             c.wasted_seconds +. wasted_p +. extra_wasted;
-                          outcome = Promoted { from = sc.sc_scored; from_failure = f };
+                          outcome = Promoted { from = from_scored; from_failure = f };
                         }
                   | R_no_budget ->
                       Either.Right
                         {
-                          drop_scored = sc.sc_scored;
+                          drop_scored = from_scored;
                           drop_reason = reason;
                           drop_failure = Some f;
                           drop_attempts = n_att + extra_att;
@@ -792,7 +917,13 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
                         }
                   | R_failed (_, _, a_att, a_wasted) ->
                       promote (extra_att + a_att) (extra_failed + a_att)
-                        (extra_wasted +. a_wasted))
+                        (extra_wasted +. a_wasted)
+                  | R_stage_failed sf ->
+                      (* A poisoned alternate is skipped — its waste and
+                         attempts still count toward this slot's bill. *)
+                      promote (extra_att + sf.sf_attempts)
+                        (extra_failed + sf.sf_attempts)
+                        (extra_wasted +. sf.sf_wasted_seconds))
             in
             promote 0 0 0.0)
       st.stg_candidates
@@ -843,6 +974,9 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
          (fun c -> match c.outcome with Promoted _ -> true | _ -> false)
          candidates)
   in
+  let stage_failures =
+    List.length (List.filter (fun d -> d.drop_reason = Stage_failure) dropped)
+  in
   let deadline_exceeded =
     U.Retry.exhausted budget
     || List.exists (fun d -> d.drop_reason = Specialization_deadline) dropped
@@ -881,6 +1015,7 @@ let finalize ?(spec = Spec.default) ~app (st : staged) : report =
     total_attempts;
     failed_attempts;
     degraded;
+    stage_failures;
     deadline_exceeded;
     asip_ratio;
     asip_ratio_max = st.stg_asip_ratio_max;

@@ -43,10 +43,15 @@ type outcome =
   | Hit of U.Artifact.hit
       (** served from the artifact store; [Local] if this application
           built it, [Shared] if another one did *)
+  | Failed of string
+      (** the supervisor gave up on the execution ({!U.Supervisor}
+          error name); the matching {!U.Supervisor.Stage_failed}
+          exception was re-raised to the caller *)
 
 let outcome_name = function
   | Computed -> "computed"
   | Hit h -> U.Artifact.hit_name h ^ " stage-cache hit"
+  | Failed e -> "failed: " ^ e
 
 (** One stage execution, as consumed by [Jit_manager.timeline] and the
     bench's [BENCH_pipeline.json]. *)
@@ -66,10 +71,19 @@ type ctx = {
   app : string;
   records : record list ref;
   lock : Mutex.t;
+  sup : U.Supervisor.t;
+      (** the run's supervisor: policy from [spec.supervisor], one
+          cancellation token and one run budget per context *)
 }
 
-let context ?(spec = Spec.default) ?(app = "") () =
-  { spec; app; records = ref []; lock = Mutex.create () }
+let context ?(spec = Spec.default) ?(app = "") ?token () =
+  {
+    spec;
+    app;
+    records = ref [];
+    lock = Mutex.create ();
+    sup = U.Supervisor.create ~policy:spec.Spec.supervisor ?token ();
+  }
 
 (** Records in execution order.  Sequential stages appear in program
     order; per-candidate stages under [jobs > 1] appear in completion
@@ -103,11 +117,27 @@ let stage ?(cat = "pipeline") ?digest ?codec name body =
 
 let name s = s.stage_name
 
-(** Execute a stage: trace span, artifact-store probe (when both a
-    store and a digest function exist), body on miss, record either
-    way.  [detail] extends the span label ([name:detail:app]) for
-    per-candidate stages without splintering the stats key. *)
-let exec ?detail ctx (s : ('i, 'o) stage) (input : 'i) : 'o =
+(** Execute a stage under supervision: trace span, chaos stage-plane
+    injection, artifact-store probe (when both a store and a digest
+    function exist), body on miss, record either way.  [detail]
+    extends the span label ([name:detail:app]) for per-candidate
+    stages without splintering the stats key.
+
+    The span label doubles as the supervision {e site}: chaos stalls
+    and crashes are rolled per (site, attempt) {e before} the store
+    probe, so warm and cold runs see identical injections, and a
+    chaos-injected crash is retried by the supervisor (with the
+    deterministic backoff of the site key) up to the policy's attempt
+    budget.  [meter] redirects the execution's simulated waste into a
+    per-item account — per-candidate fan-outs use one meter per
+    candidate so the waste can be billed sequentially in
+    [Asip_sp.finalize]; without it the waste charges the context's run
+    budget directly.
+
+    On terminal supervision failure a {!Failed} record is noted and
+    {!U.Supervisor.Stage_failed} propagates; non-transient exceptions
+    propagate unchanged (bugs stay visible). *)
+let exec ?detail ?meter ctx (s : ('i, 'o) stage) (input : 'i) : 'o =
   let label =
     let base =
       match detail with None -> s.stage_name | Some d -> s.stage_name ^ ":" ^ d
@@ -127,22 +157,34 @@ let exec ?detail ctx (s : ('i, 'o) stage) (input : 'i) : 'o =
         in
         Mutex.protect ctx.lock (fun () -> ctx.records := r :: !(ctx.records))
       in
-      match (ctx.spec.Spec.stage_cache, s.stage_digest) with
-      | Some store, Some digest_of -> (
-          let digest = digest_of ctx.spec input in
-          match U.Artifact.find store s.stage_key ~app:ctx.app ~digest with
-          | Some (v, h) ->
-              note (Hit h);
-              v
-          | None ->
-              let v = s.stage_body ctx input in
-              U.Artifact.put store s.stage_key ~app:ctx.app ~digest v;
-              note Computed;
-              v)
-      | _ ->
-          let v = s.stage_body ctx input in
-          note Computed;
-          v)
+      let chaos = ctx.spec.Spec.chaos in
+      let attempt_body ~attempt ~stall =
+        (match U.Chaos.stage_stall chaos ~site:label ~attempt with
+        | Some seconds -> stall seconds
+        | None -> ());
+        if U.Chaos.stage_crash chaos ~site:label ~attempt then
+          U.Chaos.inject "stage" label;
+        match (ctx.spec.Spec.stage_cache, s.stage_digest) with
+        | Some store, Some digest_of -> (
+            let digest = digest_of ctx.spec input in
+            match U.Artifact.find store s.stage_key ~app:ctx.app ~digest with
+            | Some (v, h) -> (Hit h, v)
+            | None ->
+                let v = s.stage_body ctx input in
+                U.Artifact.put store s.stage_key ~app:ctx.app ~digest v;
+                (Computed, v))
+        | _ -> (Computed, s.stage_body ctx input)
+      in
+      match
+        U.Supervisor.supervise ctx.sup ~site:label
+          ~transient:U.Chaos.is_injected ?meter attempt_body
+      with
+      | outcome, v ->
+          note outcome;
+          v
+      | exception (U.Supervisor.Stage_failed f as e) ->
+          note (Failed (U.Supervisor.error_name f.U.Supervisor.f_error));
+          raise e)
 
 (** Sequential composition.  The composite has no digest of its own —
     each constituent stage still probes the store individually, which
@@ -169,6 +211,7 @@ type summary = {
   sum_computed : int;
   sum_local_hits : int;
   sum_shared_hits : int;
+  sum_failed : int;
   sum_wall_seconds : float;
 }
 
@@ -189,6 +232,7 @@ let summarize (rs : record list) : summary list =
                   sum_computed = 0;
                   sum_local_hits = 0;
                   sum_shared_hits = 0;
+                  sum_failed = 0;
                   sum_wall_seconds = 0.0;
                 }
             in
@@ -207,6 +251,8 @@ let summarize (rs : record list) : summary list =
           sum_shared_hits =
             (!s.sum_shared_hits
             + match r.rec_outcome with Hit U.Artifact.Shared -> 1 | _ -> 0);
+          sum_failed =
+            (!s.sum_failed + match r.rec_outcome with Failed _ -> 1 | _ -> 0);
           sum_wall_seconds = !s.sum_wall_seconds +. r.rec_wall_seconds;
         })
     rs;
@@ -219,7 +265,7 @@ let hits_of (rs : record list) stage =
     (List.filter
        (fun r ->
          r.rec_stage = stage
-         && match r.rec_outcome with Hit _ -> true | Computed -> false)
+         && match r.rec_outcome with Hit _ -> true | _ -> false)
        rs)
 
 (** Executions of [stage] in [rs] that actually ran the body. *)

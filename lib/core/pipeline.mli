@@ -27,6 +27,10 @@ type outcome =
   | Hit of U.Artifact.hit
       (** served from the artifact store; [Local] if this application
           built it, [Shared] if another one did *)
+  | Failed of string
+      (** the supervisor gave up on the execution ({!U.Supervisor}
+          error name); the matching {!U.Supervisor.Stage_failed}
+          exception was re-raised to the caller *)
 
 val outcome_name : outcome -> string
 
@@ -48,9 +52,14 @@ type ctx = {
   app : string;
   records : record list ref;
   lock : Mutex.t;
+  sup : U.Supervisor.t;
+      (** the run's supervisor: policy from [spec.supervisor], one
+          cancellation token and one run budget per context *)
 }
 
-val context : ?spec:Spec.t -> ?app:string -> unit -> ctx
+val context : ?spec:Spec.t -> ?app:string -> ?token:U.Supervisor.token -> unit -> ctx
+(** A fresh per-run context.  [token] (default: a fresh one) lets a
+    caller cancel the run cooperatively from outside. *)
 
 val records : ctx -> record list
 (** Records in execution order.  Sequential stages appear in program
@@ -75,11 +84,23 @@ val stage :
 
 val name : _ stage -> string
 
-val exec : ?detail:string -> ctx -> ('i, 'o) stage -> 'i -> 'o
-(** Execute a stage: trace span, artifact-store probe (when both a
-    store and a digest function exist), body on miss, record either
-    way.  [detail] extends the span label ([name:detail:app]) for
-    per-candidate stages without splintering the stats key. *)
+val exec :
+  ?detail:string -> ?meter:U.Supervisor.meter -> ctx -> ('i, 'o) stage -> 'i -> 'o
+(** Execute a stage under supervision ([ctx.sup]): trace span, chaos
+    stage-plane injection (stalls and transient crashes, rolled per
+    (span label, attempt) {e before} the store probe so warm and cold
+    runs replay identically), artifact-store probe (when both a store
+    and a digest function exist), body on miss, record either way.
+    [detail] extends the span label ([name:detail:app]) for
+    per-candidate stages without splintering the stats key; [meter]
+    redirects simulated supervision waste into a per-item account
+    instead of the context's run budget (per-candidate fan-outs bill
+    it sequentially later).
+
+    @raise U.Supervisor.Stage_failed when retries, the stage deadline
+    or the run deadline give out; a {!Failed} record is noted first.
+    Non-transient exceptions from the stage body propagate
+    unchanged. *)
 
 val compose : ('a, 'b) stage -> ('b, 'c) stage -> ('a, 'c) stage
 (** Sequential composition.  The composite has no digest of its own —
@@ -97,6 +118,7 @@ type summary = {
   sum_computed : int;
   sum_local_hits : int;
   sum_shared_hits : int;
+  sum_failed : int;
   sum_wall_seconds : float;
 }
 

@@ -70,6 +70,16 @@ type t = {
           {!Vm.Machine.Threaded}).  Outcomes — and therefore reports
           and stage digests — are engine-invariant; the knob exists for
           semantics cross-checks and benchmarking. *)
+  chaos : U.Chaos.config;
+      (** multi-plane chaos model (stage crashes/stalls, pool worker
+          poisoning, store I/O faults); {!U.Chaos.none} (the default)
+          reproduces the chaos-free pipeline byte for byte.  The CAD
+          fault plane stays separate, under [faults]. *)
+  supervisor : U.Supervisor.policy;
+      (** supervision policy for pipeline-stage executions: transient
+          retry, per-stage stall deadline, whole-run waste deadline.
+          With the default policy and [chaos] off, supervision is
+          behaviour-neutral. *)
 }
 
 let default =
@@ -85,6 +95,8 @@ let default =
     faults = Cad.Faults.none;
     retry = U.Retry.default;
     vm_engine = Vm.Machine.default_engine;
+    chaos = U.Chaos.none;
+    supervisor = U.Supervisor.default_policy;
   }
 
 let with_prune prune t = { t with prune }
@@ -111,8 +123,15 @@ let backend_of_store store =
 let with_stage_cache store t =
   { t with stage_cache = Some store; store_backend = backend_of_store store }
 
+(* The store chaos planes ride on the spec's chaos config, so set
+   [with_chaos] BEFORE [with_store_dir] when combining them: the
+   backend is wrapped at construction time. *)
 let with_store_dir dir t =
-  with_stage_cache (U.Artifact.create ~backend:(U.Store_disk.backend ~root:dir) ()) t
+  let backend =
+    U.Chaos.wrap_backend t.chaos
+      (U.Store_disk.backend ~chaos:t.chaos ~root:dir ())
+  in
+  with_stage_cache (U.Artifact.create ~backend ()) t
 
 let with_faults faults t =
   Cad.Faults.validate faults;
@@ -123,3 +142,11 @@ let with_retry retry t =
   { t with retry }
 
 let with_vm_engine vm_engine t = { t with vm_engine }
+
+let with_chaos chaos t =
+  U.Chaos.validate chaos;
+  { t with chaos }
+
+let with_supervisor supervisor t =
+  U.Supervisor.validate_policy supervisor;
+  { t with supervisor }

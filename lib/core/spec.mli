@@ -69,6 +69,16 @@ type t = {
           {!Vm.Machine.Threaded}).  Outcomes — and therefore reports
           and stage digests — are engine-invariant; the knob exists for
           semantics cross-checks and benchmarking. *)
+  chaos : U.Chaos.config;
+      (** multi-plane chaos model (stage crashes/stalls, pool worker
+          poisoning, store I/O faults); {!U.Chaos.none} (the default)
+          reproduces the chaos-free pipeline byte for byte.  The CAD
+          fault plane stays separate, under [faults]. *)
+  supervisor : U.Supervisor.policy;
+      (** supervision policy for pipeline-stage executions: transient
+          retry, per-stage stall deadline, whole-run waste deadline.
+          With the default policy and [chaos] off, supervision is
+          behaviour-neutral. *)
 }
 
 val default : t
@@ -92,7 +102,9 @@ val with_store_dir : string -> t -> t
 (** [with_store_dir dir t] builds a fresh artifact store over
     {!U.Store_disk} rooted at [dir] (created if missing) and installs
     it as [stage_cache] — the one-call way to get persistent, warm-
-    restartable stage memoization. *)
+    restartable stage memoization.  The store chaos planes are wired
+    in from [t.chaos] at construction time, so apply {!with_chaos}
+    {e before} this when combining them. *)
 
 val with_faults : Cad.Faults.config -> t -> t
 (** @raise Invalid_argument on an out-of-range fault configuration. *)
@@ -101,3 +113,9 @@ val with_retry : U.Retry.policy -> t -> t
 (** @raise Invalid_argument on an invalid retry policy. *)
 
 val with_vm_engine : Vm.Machine.engine -> t -> t
+
+val with_chaos : U.Chaos.config -> t -> t
+(** @raise Invalid_argument on an out-of-range chaos configuration. *)
+
+val with_supervisor : U.Supervisor.policy -> t -> t
+(** @raise Invalid_argument on an invalid supervision policy. *)

@@ -75,3 +75,59 @@ let map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
 (** [iter ~jobs f xs] is [map ~jobs f xs] with unit results. *)
 let iter ?jobs (f : 'a -> unit) (xs : 'a list) : unit =
   ignore (map ?jobs f xs)
+
+(** [map_result ?token ~jobs f xs] is [map] with per-item isolation: a
+    raising application poisons {e its own slot} only, as
+    [Error (exn, backtrace)] — every other element's completed work is
+    kept.  Order-preserving like [map].
+
+    [token] makes the fan-out cooperatively cancellable: the token is
+    checked before starting each item, and once cancelled the remaining
+    unstarted items resolve to [Error (Supervisor.Cancelled _, _)]
+    (items already running complete normally — cancellation is a drain,
+    not a kill). *)
+let map_result ?token ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) :
+    ('b, exn * Printexc.raw_backtrace) result list =
+  let one x =
+    match
+      (match token with Some t -> Supervisor.check t | None -> ());
+      f x
+    with
+    | r -> Ok r
+    | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+  in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map one xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n None in
+    let next = ref 0 in
+    let lock = Mutex.create () in
+    let take () =
+      Mutex.protect lock (fun () ->
+          if !next >= n then None
+          else begin
+            let i = !next in
+            incr next;
+            Some i
+          end)
+    in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+          results.(i) <- Some (one inputs.(i));
+          worker ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some r -> r
+           | None ->
+               (* unreachable: [one] never raises *)
+               failwith (Printf.sprintf "Pool.map_result: slot %d not filled" i))
+         results)
+  end

@@ -79,7 +79,7 @@ let get ~root ~stage ~digest =
   | Some bytes -> (
       try Some (decode_envelope bytes) with Binio.Corrupt _ -> None)
 
-let put ~root ~stage ~digest ~builder ~payload =
+let put ?(chaos = Chaos.none) ~root ~stage ~digest ~builder ~payload () =
   let target = entry_path ~root ~stage ~digest in
   if not (Sys.file_exists target) then begin
     mkdir_p (Filename.dirname target);
@@ -87,11 +87,24 @@ let put ~root ~stage ~digest ~builder ~payload =
       Printf.sprintf "%s.tmp.%d.%d" target (Unix.getpid ())
         (Atomic.fetch_and_add tmp_seq 1)
     in
+    let envelope = encode_envelope ~builder ~payload in
+    (* The torn-write fault plane truncates the envelope bytes at rest —
+       below the payload checksum — so every later read of this entry
+       detects the tear and degrades to a miss.  Keyed per (stage,
+       digest): under one chaos seed a site is either always or never
+       torn, whatever the scheduling. *)
+    let site = stage ^ "/" ^ digest in
+    let envelope =
+      if Chaos.store_torn chaos ~site then
+        String.sub envelope 0
+          (Chaos.torn_length chaos ~site ~len:(String.length envelope))
+      else envelope
+    in
     (* Best effort: a full disk or permission problem degrades the
        store to pass-through rather than failing the pipeline. *)
     try
       Out_channel.with_open_bin tmp (fun oc ->
-          Out_channel.output_string oc (encode_envelope ~builder ~payload));
+          Out_channel.output_string oc envelope);
       Sys.rename tmp target
     with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
   end
@@ -130,13 +143,52 @@ let entries ~root () =
     stage_dirs
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
-let backend ~root : Artifact.backend =
+let is_tmp_name name =
+  (* "<digest>.tmp.<pid>.<seq>" — match on the marker, not the exact
+     shape, so orphans from older layouts are swept too. *)
+  let marker = ".tmp." in
+  let nl = String.length name and ml = String.length marker in
+  let rec scan i =
+    i + ml <= nl && (String.equal (String.sub name i ml) marker || scan (i + 1))
+  in
+  scan 0
+
+(* A crash between temp-write and [rename] leaks the temp file; nothing
+   on the read or write path ever looks at it again, so without this
+   sweep orphans accumulate forever.  Removing a {e live} concurrent
+   writer's temp file is harmless: its [rename] fails with [Sys_error]
+   and the write degrades to a skip, which first-put-wins tolerates. *)
+let sweep_orphans ~root =
+  let removed = ref 0 in
+  (match Sys.readdir root with
+  | exception Sys_error _ -> ()
+  | stage_dirs ->
+      Array.iter
+        (fun stage ->
+          let dir = Filename.concat root stage in
+          if (try Sys.is_directory dir with Sys_error _ -> false) then
+            match Sys.readdir dir with
+            | exception Sys_error _ -> ()
+            | names ->
+                Array.iter
+                  (fun n ->
+                    if is_tmp_name n then
+                      try
+                        Sys.remove (Filename.concat dir n);
+                        incr removed
+                      with Sys_error _ -> ())
+                  names)
+        stage_dirs);
+  !removed
+
+let backend ?chaos ~root () : Artifact.backend =
   mkdir_p root;
+  ignore (sweep_orphans ~root);
   {
     Artifact.backend_kind = "disk:" ^ root;
     backend_get = (fun ~stage ~digest -> get ~root ~stage ~digest);
     backend_put =
       (fun ~stage ~digest ~builder ~payload ->
-        put ~root ~stage ~digest ~builder ~payload);
+        put ?chaos ~root ~stage ~digest ~builder ~payload ());
     backend_entries = entries ~root;
   }

@@ -9,9 +9,29 @@
     as a cache miss.  See the implementation header for the exact
     layout and the versioning policy. *)
 
-val backend : root:string -> Artifact.backend
+val backend : ?chaos:Chaos.config -> root:string -> unit -> Artifact.backend
 (** A backend rooted at [root] (created if missing).  Multiple
-    processes and stores may share one root concurrently. *)
+    processes and stores may share one root concurrently.
+
+    Opening the backend sweeps stale [*.tmp.*] orphans left under
+    [root] by writers that crashed between temp-write and rename —
+    without the sweep they would leak forever.  A live writer's temp
+    file can be swept too (the pid in the name only namespaces
+    {e concurrent} processes); that writer's [rename] then fails and
+    degrades to a skipped write, which first-put-wins tolerates.
+
+    [chaos] (default {!Chaos.none}) injects the torn-envelope fault
+    plane: a [put] whose [(stage, digest)] site rolls
+    {!Chaos.store_torn} truncates the envelope bytes on disk, below
+    the payload checksum, so every later read detects the tear and
+    degrades to a miss — modelling a partial write that the crash-safe
+    rename protocol cannot see.  The other store planes (read errors,
+    dropped writes, latency) live above the envelope; inject them with
+    {!Chaos.wrap_backend}. *)
+
+val sweep_orphans : root:string -> int
+(** Remove stale [*.tmp.*] files under [root]'s stage directories,
+    returning how many were removed.  Called by {!backend}. *)
 
 val entry_path : root:string -> stage:string -> digest:string -> string
 (** Path of the entry file for [(stage, digest-hex)] — exposed so tests
@@ -21,5 +41,7 @@ val get : root:string -> stage:string -> digest:string -> (string * string) opti
 (** Low-level read, returning [(builder, payload)] for a valid entry. *)
 
 val put :
-  root:string -> stage:string -> digest:string -> builder:string -> payload:string -> unit
-(** Low-level crash-safe first-put-wins write. *)
+  ?chaos:Chaos.config ->
+  root:string -> stage:string -> digest:string -> builder:string -> payload:string -> unit -> unit
+(** Low-level crash-safe first-put-wins write; [chaos] injects the
+    torn-envelope plane (see {!backend}). *)

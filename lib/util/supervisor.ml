@@ -1,0 +1,209 @@
+(** Supervised stage execution — see the interface for the model. *)
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation tokens                                     *)
+
+type token = { cell : string option Atomic.t; parent : token option }
+
+exception Cancelled of string
+
+let token ?parent () = { cell = Atomic.make None; parent }
+
+let cancel ?(reason = "cancelled") t =
+  ignore (Atomic.compare_and_set t.cell None (Some reason))
+
+let rec cancel_reason t =
+  match Atomic.get t.cell with
+  | Some _ as r -> r
+  | None -> ( match t.parent with None -> None | Some p -> cancel_reason p)
+
+let cancelled t = cancel_reason t <> None
+
+let check t =
+  match cancel_reason t with Some r -> raise (Cancelled r) | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+
+type policy = {
+  max_attempts : int;
+  backoff : Retry.policy;
+  stage_deadline_seconds : float option;
+  run_deadline_seconds : float option;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    backoff = Retry.default;
+    stage_deadline_seconds = None;
+    run_deadline_seconds = None;
+  }
+
+let validate_policy p =
+  if p.max_attempts < 1 then
+    invalid_arg
+      (Printf.sprintf "Supervisor: max_attempts must be >= 1 (got %d)"
+         p.max_attempts);
+  Retry.validate p.backoff;
+  let check_deadline what = function
+    | Some d when d <= 0.0 ->
+        invalid_arg
+          (Printf.sprintf "Supervisor: %s deadline must be positive" what)
+    | _ -> ()
+  in
+  check_deadline "stage" p.stage_deadline_seconds;
+  check_deadline "run" p.run_deadline_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+
+type error =
+  | Stage_deadline of float
+  | Run_deadline
+  | Cancel of string
+  | Crash of string
+
+let error_name = function
+  | Stage_deadline d -> Printf.sprintf "stage deadline (%gs)" d
+  | Run_deadline -> "run deadline"
+  | Cancel reason -> "cancelled: " ^ reason
+  | Crash what -> "crash: " ^ what
+
+type failure = {
+  f_site : string;
+  f_attempts : int;
+  f_wasted_seconds : float;
+  f_error : error;
+}
+
+exception Stage_failed of failure
+
+(* ------------------------------------------------------------------ *)
+(* Stats and per-item meters                                           *)
+
+type stats = {
+  sup_executions : int;
+  sup_retries : int;
+  sup_stall_seconds : float;
+  sup_deadline_kills : int;
+  sup_failures : int;
+}
+
+type meter = { mutable m_spent : float }
+
+let meter () = { m_spent = 0.0 }
+let spent m = m.m_spent
+
+(* ------------------------------------------------------------------ *)
+(* The supervisor proper                                               *)
+
+type t = {
+  policy : policy;
+  tok : token;
+  run_budget : Retry.budget;
+  lock : Mutex.t;
+  mutable executions : int;
+  mutable retries : int;
+  mutable stall_seconds : float;
+  mutable deadline_kills : int;
+  mutable failures : int;
+}
+
+let create ?(policy = default_policy) ?token:tok () =
+  validate_policy policy;
+  let tok = match tok with Some t -> t | None -> token () in
+  {
+    policy;
+    tok;
+    run_budget = Retry.budget policy.run_deadline_seconds;
+    lock = Mutex.create ();
+    executions = 0;
+    retries = 0;
+    stall_seconds = 0.0;
+    deadline_kills = 0;
+    failures = 0;
+  }
+
+let token_of t = t.tok
+let cancel_run ?reason t = cancel ?reason t.tok
+let run_remaining t = Retry.remaining t.run_budget
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        sup_executions = t.executions;
+        sup_retries = t.retries;
+        sup_stall_seconds = t.stall_seconds;
+        sup_deadline_kills = t.deadline_kills;
+        sup_failures = t.failures;
+      })
+
+(* Internal: the stall hook overran the per-stage deadline. *)
+exception Stage_timeout
+
+let supervise (type a) t ~site ?(transient = fun _ -> false) ?meter
+    (body : attempt:int -> stall:(float -> unit) -> a) : a =
+  Mutex.protect t.lock (fun () -> t.executions <- t.executions + 1);
+  (* Simulated-waste accounting: per-item meters (parallel fan-outs)
+     collect their waste for the caller to bill sequentially; meter-less
+     (sequential) sites charge the run budget directly, so the budget's
+     spending order is deterministic. *)
+  let bill cost =
+    match meter with
+    | Some m -> m.m_spent <- m.m_spent +. cost
+    | None -> Retry.spend t.run_budget cost
+  in
+  let fail attempts wasted error =
+    Mutex.protect t.lock (fun () -> t.failures <- t.failures + 1);
+    raise (Stage_failed { f_site = site; f_attempts = attempts; f_wasted_seconds = wasted; f_error = error })
+  in
+  let rec attempt_loop attempt wasted =
+    (match cancel_reason t.tok with
+    | Some reason -> fail (attempt - 1) wasted (Cancel reason)
+    | None -> ());
+    if meter = None && Retry.exhausted t.run_budget then
+      fail (attempt - 1) wasted Run_deadline;
+    (* One attempt.  [stall] is the simulated-latency hook: chaos (or
+       any slow dependency model) reports how long the attempt waited,
+       and the hook kills the attempt once the per-stage deadline is
+       overrun. *)
+    let cost = ref 0.0 in
+    let stall s =
+      if s < 0.0 then invalid_arg "Supervisor: negative stall";
+      Mutex.protect t.lock (fun () ->
+          t.stall_seconds <- t.stall_seconds +. s);
+      cost := !cost +. s;
+      match t.policy.stage_deadline_seconds with
+      | Some d when !cost > d -> raise Stage_timeout
+      | _ -> ()
+    in
+    let retry_or_fail ~attempt_cost error =
+      if attempt >= t.policy.max_attempts then begin
+        bill attempt_cost;
+        fail attempt (wasted +. attempt_cost) error
+      end
+      else begin
+        Mutex.protect t.lock (fun () -> t.retries <- t.retries + 1);
+        let backoff = Retry.backoff_seconds t.policy.backoff ~key:site ~attempt in
+        bill (attempt_cost +. backoff);
+        attempt_loop (attempt + 1) (wasted +. attempt_cost +. backoff)
+      end
+    in
+    match body ~attempt ~stall with
+    | v ->
+        (* Stalls survived on the way to success still consumed
+           (simulated) time: bill them. *)
+        bill !cost;
+        v
+    | exception Stage_timeout ->
+        Mutex.protect t.lock (fun () ->
+            t.deadline_kills <- t.deadline_kills + 1);
+        let d = Option.get t.policy.stage_deadline_seconds in
+        (* The attempt waited out the whole deadline before being
+           killed, so the deadline is the attempt's cost. *)
+        retry_or_fail ~attempt_cost:d (Stage_deadline d)
+    | exception e when transient e ->
+        retry_or_fail ~attempt_cost:!cost (Crash (Printexc.to_string e))
+  in
+  attempt_loop 1 0.0

@@ -1,0 +1,144 @@
+(** Supervised stage execution: deadlines, cancellation and bounded
+    retry for the staged pipeline.
+
+    PR 2 made the {e CAD flow} recover from injected failures; this
+    module is the same idea one level up, for {e any} pipeline-stage
+    execution.  A supervisor wraps each execution in a guarded context:
+
+    - {b transient retry}: an attempt that raises an exception the
+      [transient] predicate accepts (chaos injections, by convention —
+      see {!Chaos.is_injected}) is retried up to [max_attempts] times
+      with the deterministic exponential backoff of {!Retry},
+      keyed by the site label so replays are exact;
+    - {b per-stage deadline}: simulated stalls reported through the
+      [stall] hook are accumulated per attempt; once they overrun
+      [stage_deadline_seconds] the attempt is killed (and retried, the
+      killed attempt costing the full deadline);
+    - {b whole-run deadline}: sequential (meter-less) sites charge
+      their simulated waste — stalls and backoffs — against a shared
+      run budget; once it exhausts, further sequential stages refuse to
+      start ({!error.Run_deadline});
+    - {b cooperative cancellation}: every attempt first checks the
+      supervisor's {!token}; {!Pool.map_result} checks the same token
+      before starting each work item, so cancelling the token drains a
+      parallel fan-out at the next item boundary.
+
+    All deadlines operate on {e simulated} seconds — the same clock as
+    the CAD model and {!Retry} — so supervision decisions are
+    deterministic and replayable.  Wall-clock hang protection is the
+    job of an outer watchdog (CI runs the test step under a hard
+    timeout).
+
+    A terminal failure raises {!Stage_failed} carrying the site, the
+    attempts run and the simulated waste: per-candidate callers catch
+    it (via {!Pool.map_result}) and degrade that one candidate —
+    software fallback, waste billed like PR 2 — instead of aborting
+    the sweep. *)
+
+(** {1 Cancellation tokens} *)
+
+type token
+(** A cooperative cancellation flag, shareable across domains.
+    Tokens form a tree: a child created with [~parent] observes the
+    parent's cancellation too. *)
+
+exception Cancelled of string
+
+val token : ?parent:token -> unit -> token
+val cancel : ?reason:string -> token -> unit
+(** First cancellation wins; later reasons are ignored. *)
+
+val cancelled : token -> bool
+val cancel_reason : token -> string option
+
+val check : token -> unit
+(** @raise Cancelled when the token (or an ancestor) is cancelled. *)
+
+(** {1 Policy} *)
+
+type policy = {
+  max_attempts : int;  (** attempts per stage execution (>= 1) *)
+  backoff : Retry.policy;
+      (** backoff schedule between transient-failure retries (only its
+          backoff fields are consulted, not its CAD deadlines) *)
+  stage_deadline_seconds : float option;
+      (** simulated stall budget per attempt; [None] = unbounded *)
+  run_deadline_seconds : float option;
+      (** simulated waste budget for all {e sequential} stage
+          executions of one run; [None] = unbounded *)
+}
+
+val default_policy : policy
+(** 3 attempts, {!Retry.default} backoff, no deadlines. *)
+
+val validate_policy : policy -> unit
+(** @raise Invalid_argument on a non-positive attempt count or
+    deadline. *)
+
+(** {1 Failures} *)
+
+type error =
+  | Stage_deadline of float  (** an attempt overran the stall budget *)
+  | Run_deadline  (** the run budget was exhausted before starting *)
+  | Cancel of string  (** the token was cancelled *)
+  | Crash of string  (** transient crashes exhausted [max_attempts] *)
+
+val error_name : error -> string
+
+type failure = {
+  f_site : string;
+  f_attempts : int;  (** attempts run (0 when refused before any) *)
+  f_wasted_seconds : float;
+      (** simulated stalls + backoffs burnt at this site *)
+  f_error : error;
+}
+
+exception Stage_failed of failure
+
+(** {1 Stats and meters} *)
+
+type stats = {
+  sup_executions : int;  (** {!supervise} calls *)
+  sup_retries : int;  (** failed attempts that were retried *)
+  sup_stall_seconds : float;  (** simulated stalls observed (all sites) *)
+  sup_deadline_kills : int;  (** attempts killed by the stage deadline *)
+  sup_failures : int;  (** terminal {!Stage_failed}s raised *)
+}
+
+type meter
+(** A per-work-item simulated-waste account.  Parallel fan-outs give
+    each item its own meter so waste can be billed later, sequentially
+    and in a deterministic order (the PR 2 pattern); meter-less sites
+    charge the shared run budget directly. *)
+
+val meter : unit -> meter
+val spent : meter -> float
+
+(** {1 The supervisor} *)
+
+type t
+
+val create : ?policy:policy -> ?token:token -> unit -> t
+(** A fresh supervisor (one per pipeline context / run).  [token]
+    defaults to a fresh one.
+    @raise Invalid_argument on an invalid policy. *)
+
+val token_of : t -> token
+val cancel_run : ?reason:string -> t -> unit
+val run_remaining : t -> float option
+(** Remaining run budget; [None] = unbounded. *)
+
+val stats : t -> stats
+
+val supervise :
+  t ->
+  site:string ->
+  ?transient:(exn -> bool) ->
+  ?meter:meter ->
+  (attempt:int -> stall:(float -> unit) -> 'a) ->
+  'a
+(** Run one guarded stage execution.  [body] is called with the
+    1-based attempt number and a [stall] hook for reporting simulated
+    latency; exceptions for which [transient] holds are retried with
+    backoff, everything else propagates unchanged (bugs stay
+    visible).  @raise Stage_failed on terminal failure. *)

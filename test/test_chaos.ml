@@ -1,0 +1,231 @@
+(* Supervised stage execution under the cross-layer chaos model.
+
+   The robustness contract, verified end to end through
+   Experiment/Asip_sp/Pipeline:
+
+   - chaos off reproduces the chaos-free pipeline byte for byte (the
+     supervisor with the default policy is a pass-through);
+   - a chaotic run is deterministic: serial and jobs:4 evaluations of
+     the same seed produce identical reports, and a warm replay over
+     the same (possibly torn) store root changes nothing;
+   - degradation is per-candidate: a poisoned fan-out slot drops that
+     one candidate to software, flagged [Stage_failure] and
+     waste-billed, while the sweep completes;
+   - a poisoned sequential stage fails the run with
+     [Supervisor.Stage_failed] after bounded retries — never a hang,
+     never a silent wrong answer. *)
+
+module W = Jitise_workloads
+module Ise = Jitise_ise
+module Pp = Jitise_pivpav
+module Cad = Jitise_cad
+module Core = Jitise_core
+module U = Jitise_util
+
+let find_workload name = Option.get (W.Registry.find name)
+let db = Pp.Database.create ()
+
+(* Everything deterministic a chaotic run decides — the report minus
+   measured wall clocks and the stage-record log. *)
+let project (r : Core.Experiment.app_result) =
+  let rep = r.Core.Experiment.report in
+  let signature (s : Ise.Select.scored) =
+    s.Ise.Select.candidate.Ise.Candidate.signature
+  in
+  ( List.map signature rep.Core.Asip_sp.selection,
+    List.map
+      (fun (c : Core.Asip_sp.candidate_result) ->
+        ( signature c.Core.Asip_sp.scored,
+          c.Core.Asip_sp.total_seconds,
+          c.Core.Asip_sp.attempts,
+          c.Core.Asip_sp.failed_attempts,
+          c.Core.Asip_sp.wasted_seconds ))
+      rep.Core.Asip_sp.candidates,
+    List.map
+      (fun (d : Core.Asip_sp.dropped) ->
+        ( signature d.Core.Asip_sp.drop_scored,
+          Core.Asip_sp.drop_reason_name d.Core.Asip_sp.drop_reason,
+          d.Core.Asip_sp.drop_attempts,
+          d.Core.Asip_sp.drop_wasted_seconds ))
+      rep.Core.Asip_sp.dropped,
+    ( rep.Core.Asip_sp.sum_seconds,
+      rep.Core.Asip_sp.wasted_seconds,
+      rep.Core.Asip_sp.stage_failures,
+      rep.Core.Asip_sp.degraded,
+      rep.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio ) )
+
+let evaluate ?(jobs = 1) ?(chaos = U.Chaos.none)
+    ?(policy = U.Supervisor.default_policy) name =
+  let spec =
+    Core.Spec.default |> Core.Spec.with_jobs jobs
+    |> Core.Spec.with_supervisor policy
+    |> Core.Spec.with_chaos chaos
+  in
+  Core.Experiment.evaluate ~spec db (find_workload name)
+
+(* CI pins the chaos seed via JITISE_CHAOS_SEED; every assertion holds
+   for any seed. *)
+let chaos_seed =
+  match Sys.getenv_opt "JITISE_CHAOS_SEED" with
+  | Some s -> int_of_string s
+  | None -> 4207
+
+let test_chaos_off_is_golden () =
+  let plain = Core.Experiment.evaluate ~spec:Core.Spec.default db
+      (find_workload "sor")
+  in
+  let supervised = evaluate "sor" in
+  Alcotest.(check bool) "chaos-off run is byte-identical" true
+    (project plain = project supervised)
+
+let test_chaos_deterministic_across_jobs () =
+  let chaos = U.Chaos.storm ~seed:chaos_seed in
+  let policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.stage_deadline_seconds = Some 60.0 }
+  in
+  let serial = evaluate ~chaos ~policy "fft" in
+  let parallel = evaluate ~jobs:4 ~chaos ~policy "fft" in
+  Alcotest.(check bool) "serial and jobs:4 agree" true
+    (project serial = project parallel)
+
+let test_pool_crash_degrades_per_candidate () =
+  (* Every fan-out worker crashes: each selected candidate degrades to
+     software — flagged and billed — and the sweep still completes. *)
+  let chaos =
+    { U.Chaos.none with U.Chaos.enabled = true; seed = 1; pool_crash_rate = 1.0 }
+  in
+  let r = evaluate ~jobs:4 ~chaos "sor" in
+  let rep = r.Core.Experiment.report in
+  let n_sel = List.length rep.Core.Asip_sp.selection in
+  Alcotest.(check bool) "candidates were selected" true (n_sel > 0);
+  Alcotest.(check int) "no candidate reached hardware" 0
+    (List.length rep.Core.Asip_sp.candidates);
+  Alcotest.(check int) "every slot dropped" n_sel
+    (List.length rep.Core.Asip_sp.dropped);
+  Alcotest.(check int) "every drop flagged as a stage failure" n_sel
+    rep.Core.Asip_sp.stage_failures;
+  List.iter
+    (fun (d : Core.Asip_sp.dropped) ->
+      Alcotest.(check bool) "flagged" true
+        (d.Core.Asip_sp.drop_reason = Core.Asip_sp.Stage_failure);
+      Alcotest.(check (option Alcotest.reject)) "no CAD failure attached" None
+        d.Core.Asip_sp.drop_failure)
+    rep.Core.Asip_sp.dropped
+
+let test_stage_crash_fails_run_after_retries () =
+  (* Every stage execution crashes on every attempt: the first
+     sequential stage exhausts its supervised attempts and the run
+     fails loudly with Stage_failed — bounded, not hung. *)
+  let chaos =
+    { U.Chaos.none with
+      U.Chaos.enabled = true;
+      seed = 1;
+      stage_crash_rate = 1.0 }
+  in
+  match evaluate ~chaos "sor" with
+  | (_ : Core.Experiment.app_result) ->
+      Alcotest.fail "expected Supervisor.Stage_failed"
+  | exception U.Supervisor.Stage_failed f ->
+      Alcotest.(check int) "all supervised attempts ran" 3
+        f.U.Supervisor.f_attempts;
+      (match f.U.Supervisor.f_error with
+      | U.Supervisor.Crash _ -> ()
+      | e ->
+          Alcotest.failf "expected Crash, got %s" (U.Supervisor.error_name e));
+      Alcotest.(check bool) "backoff waste accounted" true
+        (f.U.Supervisor.f_wasted_seconds > 0.0)
+
+let test_stage_stall_hits_deadline () =
+  (* Every attempt stalls far past the per-stage deadline: each one is
+     killed at the deadline and billed exactly the deadline. *)
+  let chaos =
+    { U.Chaos.none with
+      U.Chaos.enabled = true;
+      seed = 1;
+      stage_stall_rate = 1.0;
+      stage_stall_seconds = 1000.0 }
+  in
+  let policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.stage_deadline_seconds = Some 30.0 }
+  in
+  match evaluate ~chaos ~policy "sor" with
+  | (_ : Core.Experiment.app_result) ->
+      Alcotest.fail "expected Supervisor.Stage_failed"
+  | exception U.Supervisor.Stage_failed f ->
+      (match f.U.Supervisor.f_error with
+      | U.Supervisor.Stage_deadline d ->
+          Alcotest.(check (float 1e-9)) "killed at the deadline" 30.0 d
+      | e ->
+          Alcotest.failf "expected Stage_deadline, got %s"
+            (U.Supervisor.error_name e));
+      Alcotest.(check bool) "each kill billed the full deadline" true
+        (f.U.Supervisor.f_wasted_seconds >= 90.0)
+
+let test_chaotic_store_run_is_exact () =
+  (* All store planes at once over a real disk root: reads error, writes
+     drop, envelopes tear — the run must still produce exactly the
+     store-less report (the store is an optimization, never an input),
+     and a warm replay over the damaged root must agree too. *)
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jitise-chaos-test-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then rm_rf p else Sys.remove p)
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  rm_rf root;
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let chaos =
+    { U.Chaos.none with
+      U.Chaos.enabled = true;
+      seed = chaos_seed;
+      store_read_error_rate = 0.4;
+      store_write_drop_rate = 0.4;
+      store_torn_rate = 0.4 }
+  in
+  let eval_store () =
+    let spec =
+      Core.Spec.default |> Core.Spec.with_chaos chaos
+      |> Core.Spec.with_store_dir root
+    in
+    Core.Experiment.evaluate ~spec db (find_workload "fft")
+  in
+  let baseline = Core.Experiment.evaluate ~spec:Core.Spec.default db
+      (find_workload "fft")
+  in
+  let cold = eval_store () in
+  let warm = eval_store () in
+  Alcotest.(check bool) "chaotic store changes nothing" true
+    (project baseline = project cold);
+  Alcotest.(check bool) "warm replay over the damaged root agrees" true
+    (project cold = project warm)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "chaos off is golden" `Quick
+            test_chaos_off_is_golden;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_chaos_deterministic_across_jobs;
+          Alcotest.test_case "pool crash degrades per candidate" `Quick
+            test_pool_crash_degrades_per_candidate;
+          Alcotest.test_case "stage crash fails the run" `Quick
+            test_stage_crash_fails_run_after_retries;
+          Alcotest.test_case "stage stall hits the deadline" `Quick
+            test_stage_stall_hits_deadline;
+          Alcotest.test_case "chaotic store is exact" `Quick
+            test_chaotic_store_run_is_exact;
+        ] );
+    ]

@@ -275,7 +275,7 @@ let test_disk_put_get () =
         "absent entry" None
         (U.Store_disk.get ~root ~stage:"compile" ~digest);
       U.Store_disk.put ~root ~stage:"compile" ~digest ~builder:"sor"
-        ~payload:"PAYLOAD\x00\xff bytes";
+        ~payload:"PAYLOAD\x00\xff bytes" ();
       Alcotest.(check (option (pair string string)))
         "round trip"
         (Some ("sor", "PAYLOAD\x00\xff bytes"))
@@ -284,9 +284,9 @@ let test_disk_put_get () =
 let test_disk_first_put_wins () =
   with_root (fun root ->
       let digest = digest_hex "b" in
-      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"first" ~payload:"one";
+      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"first" ~payload:"one" ();
       U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"second"
-        ~payload:"two";
+        ~payload:"two" ();
       Alcotest.(check (option (pair string string)))
         "first write wins"
         (Some ("first", "one"))
@@ -297,7 +297,7 @@ let test_disk_defects_read_as_misses () =
       let stage = "s" in
       let write_entry name payload =
         let digest = digest_hex name in
-        U.Store_disk.put ~root ~stage ~digest ~builder:"app" ~payload;
+        U.Store_disk.put ~root ~stage ~digest ~builder:"app" ~payload ();
         (digest, U.Store_disk.entry_path ~root ~stage ~digest)
       in
       let mutate path f =
@@ -349,15 +349,96 @@ let test_disk_defects_read_as_misses () =
         (Some ("app", "good"))
         (U.Store_disk.get ~root ~stage ~digest:d))
 
+let test_disk_orphan_sweep () =
+  with_root (fun root ->
+      let digest = digest_hex "kept" in
+      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"app" ~payload:"v" ();
+      let dir = Filename.concat root "s" in
+      let orphan name = Out_channel.with_open_bin
+          (Filename.concat dir name)
+          (fun oc -> Out_channel.output_string oc "partial")
+      in
+      orphan (digest ^ ".tmp.12345.0");
+      orphan (digest ^ ".tmp.12345.1");
+      (* Opening the backend sweeps the orphans and keeps real entries. *)
+      let b = U.Store_disk.backend ~root () in
+      Alcotest.(check int) "no tmp files survive" 0
+        (Array.length
+           (Array.of_list
+              (List.filter
+                 (fun n ->
+                   String.length n > String.length digest)
+                 (Array.to_list (Sys.readdir dir)))));
+      Alcotest.(check (option (pair string string)))
+        "the committed entry survives the sweep"
+        (Some ("app", "v"))
+        (b.U.Artifact.backend_get ~stage:"s" ~digest);
+      Alcotest.(check int) "nothing left for a second sweep" 0
+        (U.Store_disk.sweep_orphans ~root))
+
+let test_disk_concurrent_first_put_wins () =
+  with_root (fun root ->
+      let digest = digest_hex "race" in
+      (* Two writers race the same (stage, digest) with different
+         payloads, many rounds: exactly one valid envelope must land and
+         no temp residue may survive. *)
+      let barrier = Atomic.make 0 in
+      let writer payload () =
+        Atomic.incr barrier;
+        while Atomic.get barrier < 2 do Domain.cpu_relax () done;
+        for _ = 1 to 50 do
+          U.Store_disk.put ~root ~stage:"s" ~digest ~builder:payload
+            ~payload ()
+        done
+      in
+      let a = Domain.spawn (writer "one") in
+      let b = Domain.spawn (writer "two") in
+      Domain.join a;
+      Domain.join b;
+      (match U.Store_disk.get ~root ~stage:"s" ~digest with
+      | Some (b, p) ->
+          Alcotest.(check bool) "a complete write won" true
+            ((b, p) = ("one", "one") || (b, p) = ("two", "two"))
+      | None -> Alcotest.fail "no valid envelope after the race");
+      let residue =
+        Array.to_list (Sys.readdir (Filename.concat root "s"))
+        |> List.filter (fun n -> n <> digest)
+      in
+      Alcotest.(check (list string)) "no temp residue" [] residue)
+
+let test_disk_torn_write_reads_as_miss () =
+  with_root (fun root ->
+      let digest = digest_hex "torn" in
+      let always_torn =
+        { U.Chaos.none with
+          U.Chaos.enabled = true;
+          seed = 1;
+          store_torn_rate = 1.0 }
+      in
+      U.Store_disk.put ~chaos:always_torn ~root ~stage:"s" ~digest
+        ~builder:"app" ~payload:"value" ();
+      Alcotest.(check bool) "the torn entry exists on disk" true
+        (Sys.file_exists (U.Store_disk.entry_path ~root ~stage:"s" ~digest));
+      Alcotest.(check (option (pair string string)))
+        "a torn envelope reads as a miss" None
+        (U.Store_disk.get ~root ~stage:"s" ~digest);
+      (* First-put-wins means the torn entry occupies the slot: the
+         site stays a permanent miss and the pipeline recomputes. *)
+      U.Store_disk.put ~root ~stage:"s" ~digest ~builder:"app"
+        ~payload:"value" ();
+      Alcotest.(check (option (pair string string)))
+        "the tear is permanent under first-put-wins" None
+        (U.Store_disk.get ~root ~stage:"s" ~digest))
+
 let test_disk_entries () =
   with_root (fun root ->
       U.Store_disk.put ~root ~stage:"a" ~digest:(digest_hex "1")
-        ~builder:"x" ~payload:"12345";
+        ~builder:"x" ~payload:"12345" ();
       U.Store_disk.put ~root ~stage:"a" ~digest:(digest_hex "2")
-        ~builder:"x" ~payload:"12345";
+        ~builder:"x" ~payload:"12345" ();
       U.Store_disk.put ~root ~stage:"b" ~digest:(digest_hex "3")
-        ~builder:"x" ~payload:"1";
-      let entries = (U.Store_disk.backend ~root).U.Artifact.backend_entries () in
+        ~builder:"x" ~payload:"1" ();
+      let entries = (U.Store_disk.backend ~root ()).U.Artifact.backend_entries () in
       Alcotest.(check int) "two stages" 2 (List.length entries);
       let a_stage, a_count, a_bytes = List.hd entries in
       Alcotest.(check string) "sorted by stage" "a" a_stage;
@@ -373,12 +454,12 @@ let test_artifact_warm_restart () =
   with_root (fun root ->
       let key = U.Artifact.key ~codec:B.string "warm-stage" in
       let digest = U.Digest.of_string "input" in
-      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root ()) () in
       U.Artifact.put store key ~app:"sor" ~digest "the artifact";
       (* A NEW front-end over the same root: a simulated restart, so the
          hit must cross serialization and still attribute correctly. *)
       let fresh () =
-        U.Artifact.create ~backend:(U.Store_disk.backend ~root) ()
+        U.Artifact.create ~backend:(U.Store_disk.backend ~root ()) ()
       in
       (match U.Artifact.find (fresh ()) key ~app:"sor" ~digest with
       | Some (v, U.Artifact.Local) ->
@@ -404,11 +485,11 @@ let test_artifact_codecless_key_stays_local () =
       Alcotest.(check bool) "no codec, not persistent" false
         (U.Artifact.key_persistent key);
       let digest = U.Digest.of_string "input" in
-      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root ()) () in
       U.Artifact.put store key ~app:"a" ~digest 42;
       Alcotest.(check bool) "nothing persisted" true
         (U.Artifact.backend_entries store = []);
-      let fresh = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+      let fresh = U.Artifact.create ~backend:(U.Store_disk.backend ~root ()) () in
       Alcotest.(check bool) "miss after restart" true
         (U.Artifact.find fresh key ~app:"a" ~digest = None))
 
@@ -419,8 +500,8 @@ let test_artifact_undecodable_payload_is_a_miss () =
       (* A valid envelope whose payload the codec rejects: must degrade
          to a miss at the front-end, not raise. *)
       U.Store_disk.put ~root ~stage:"typed-stage"
-        ~digest:(U.Digest.to_hex digest) ~builder:"a" ~payload:"not binio";
-      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root) () in
+        ~digest:(U.Digest.to_hex digest) ~builder:"a" ~payload:"not binio" ();
+      let store = U.Artifact.create ~backend:(U.Store_disk.backend ~root ()) () in
       Alcotest.(check bool) "undecodable payload misses" true
         (U.Artifact.find store key ~app:"a" ~digest = None);
       (* The recompute then overwrites nothing (first put wins at the
@@ -467,6 +548,11 @@ let () =
           Alcotest.test_case "defects read as misses" `Quick
             test_disk_defects_read_as_misses;
           Alcotest.test_case "entries walk" `Quick test_disk_entries;
+          Alcotest.test_case "orphan sweep" `Quick test_disk_orphan_sweep;
+          Alcotest.test_case "concurrent first put wins" `Quick
+            test_disk_concurrent_first_put_wins;
+          Alcotest.test_case "torn write reads as miss" `Quick
+            test_disk_torn_write_reads_as_miss;
         ] );
       ( "front-end",
         [

@@ -568,6 +568,301 @@ let test_artifact_parallel_consistency () =
   Alcotest.(check bool) "all observe the stored value" true
     (List.for_all (fun v -> v = 7) results)
 
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom
+
+let test_sup_success_passthrough () =
+  let sup = U.Supervisor.create () in
+  let v = U.Supervisor.supervise sup ~site:"s" (fun ~attempt ~stall:_ -> attempt * 10) in
+  Alcotest.(check int) "first attempt's value" 10 v;
+  let st = U.Supervisor.stats sup in
+  Alcotest.(check int) "one execution" 1 st.U.Supervisor.sup_executions;
+  Alcotest.(check int) "no retries" 0 st.U.Supervisor.sup_retries;
+  Alcotest.(check int) "no failures" 0 st.U.Supervisor.sup_failures
+
+let test_sup_transient_retry () =
+  let sup = U.Supervisor.create () in
+  let m = U.Supervisor.meter () in
+  let v =
+    U.Supervisor.supervise sup ~site:"s" ~transient:(( = ) Boom) ~meter:m
+      (fun ~attempt ~stall:_ -> if attempt < 3 then raise Boom else attempt)
+  in
+  Alcotest.(check int) "succeeded on the third attempt" 3 v;
+  let st = U.Supervisor.stats sup in
+  Alcotest.(check int) "two retries" 2 st.U.Supervisor.sup_retries;
+  Alcotest.(check bool) "backoffs were billed on the meter" true
+    (U.Supervisor.spent m > 0.0)
+
+let test_sup_exhaustion () =
+  let sup = U.Supervisor.create () in
+  match
+    U.Supervisor.supervise sup ~site:"s" ~transient:(( = ) Boom)
+      (fun ~attempt:_ ~stall:_ -> raise Boom)
+  with
+  | (_ : unit) -> Alcotest.fail "expected Stage_failed"
+  | exception U.Supervisor.Stage_failed f ->
+      Alcotest.(check int) "all attempts run" 3 f.U.Supervisor.f_attempts;
+      (match f.U.Supervisor.f_error with
+      | U.Supervisor.Crash _ -> ()
+      | e -> Alcotest.failf "expected Crash, got %s" (U.Supervisor.error_name e));
+      Alcotest.(check bool) "backoff waste accounted" true
+        (f.U.Supervisor.f_wasted_seconds > 0.0);
+      Alcotest.(check int) "one terminal failure" 1
+        (U.Supervisor.stats sup).U.Supervisor.sup_failures
+
+let test_sup_nontransient_propagates () =
+  let sup = U.Supervisor.create () in
+  (match
+     U.Supervisor.supervise sup ~site:"s" (fun ~attempt:_ ~stall:_ -> raise Boom)
+   with
+  | (_ : unit) -> Alcotest.fail "expected the exception to escape"
+  | exception Boom -> ()
+  | exception e -> Alcotest.failf "expected Boom, got %s" (Printexc.to_string e));
+  Alcotest.(check int) "bugs are not supervised failures" 0
+    (U.Supervisor.stats sup).U.Supervisor.sup_failures
+
+let test_sup_stage_deadline () =
+  let policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.stage_deadline_seconds = Some 10.0 }
+  in
+  let sup = U.Supervisor.create ~policy () in
+  match
+    U.Supervisor.supervise sup ~site:"s" (fun ~attempt:_ ~stall -> stall 25.0)
+  with
+  | () -> Alcotest.fail "expected Stage_failed"
+  | exception U.Supervisor.Stage_failed f ->
+      (match f.U.Supervisor.f_error with
+      | U.Supervisor.Stage_deadline d -> check_floatish "deadline" 10.0 d
+      | e -> Alcotest.failf "expected Stage_deadline, got %s" (U.Supervisor.error_name e));
+      Alcotest.(check int) "every attempt was killed" 3
+        (U.Supervisor.stats sup).U.Supervisor.sup_deadline_kills;
+      Alcotest.(check bool) "each kill cost the full deadline" true
+        (f.U.Supervisor.f_wasted_seconds >= 30.0)
+
+let test_sup_run_deadline () =
+  let policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.run_deadline_seconds = Some 5.0 }
+  in
+  let sup = U.Supervisor.create ~policy () in
+  (* A sequential (meter-less) site bills its stalls against the run
+     budget... *)
+  U.Supervisor.supervise sup ~site:"a" (fun ~attempt:_ ~stall -> stall 7.0);
+  (* ...after which further sequential sites are refused outright. *)
+  match U.Supervisor.supervise sup ~site:"b" (fun ~attempt:_ ~stall:_ -> ()) with
+  | () -> Alcotest.fail "expected Run_deadline"
+  | exception U.Supervisor.Stage_failed f ->
+      Alcotest.(check int) "refused before any attempt" 0
+        f.U.Supervisor.f_attempts;
+      (match f.U.Supervisor.f_error with
+      | U.Supervisor.Run_deadline -> ()
+      | e -> Alcotest.failf "expected Run_deadline, got %s" (U.Supervisor.error_name e))
+
+let test_sup_meter_spares_run_budget () =
+  let policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.run_deadline_seconds = Some 5.0 }
+  in
+  let sup = U.Supervisor.create ~policy () in
+  let m = U.Supervisor.meter () in
+  U.Supervisor.supervise sup ~site:"a" ~meter:m (fun ~attempt:_ ~stall ->
+      stall 100.0);
+  check_floatish "stall collected on the meter" 100.0 (U.Supervisor.spent m);
+  Alcotest.(check (option (float 1e-6))) "run budget untouched" (Some 5.0)
+    (U.Supervisor.run_remaining sup)
+
+let test_sup_cancellation () =
+  let sup = U.Supervisor.create () in
+  U.Supervisor.cancel_run ~reason:"shutdown" sup;
+  match U.Supervisor.supervise sup ~site:"s" (fun ~attempt:_ ~stall:_ -> ()) with
+  | () -> Alcotest.fail "expected Cancel"
+  | exception U.Supervisor.Stage_failed f -> (
+      match f.U.Supervisor.f_error with
+      | U.Supervisor.Cancel "shutdown" -> ()
+      | e -> Alcotest.failf "expected Cancel, got %s" (U.Supervisor.error_name e))
+
+let test_sup_token_tree () =
+  let parent = U.Supervisor.token () in
+  let child = U.Supervisor.token ~parent () in
+  Alcotest.(check bool) "fresh child not cancelled" false
+    (U.Supervisor.cancelled child);
+  U.Supervisor.cancel ~reason:"first" parent;
+  U.Supervisor.cancel ~reason:"second" parent;
+  Alcotest.(check bool) "child observes parent" true
+    (U.Supervisor.cancelled child);
+  Alcotest.(check (option string)) "first cancellation wins" (Some "first")
+    (U.Supervisor.cancel_reason child)
+
+let test_sup_backoff_deterministic () =
+  let waste () =
+    let sup = U.Supervisor.create () in
+    let m = U.Supervisor.meter () in
+    (try
+       U.Supervisor.supervise sup ~site:"site-x" ~transient:(( = ) Boom)
+         ~meter:m (fun ~attempt:_ ~stall:_ -> raise Boom)
+     with U.Supervisor.Stage_failed _ -> ());
+    U.Supervisor.spent m
+  in
+  check_float "same site, same backoff schedule" (waste ()) (waste ())
+
+let test_sup_validate () =
+  Alcotest.check_raises "attempts >= 1"
+    (Invalid_argument "Supervisor: max_attempts must be >= 1 (got 0)")
+    (fun () ->
+      U.Supervisor.validate_policy
+        { U.Supervisor.default_policy with U.Supervisor.max_attempts = 0 });
+  Alcotest.check_raises "positive stage deadline"
+    (Invalid_argument "Supervisor: stage deadline must be positive") (fun () ->
+      U.Supervisor.validate_policy
+        { U.Supervisor.default_policy with
+          U.Supervisor.stage_deadline_seconds = Some 0.0 })
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_key_prng_deterministic () =
+  let a = U.Chaos.key_prng ~seed:9 "chaos:test:site"
+  and b = U.Chaos.key_prng ~seed:9 "chaos:test:site" in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same stream" (U.Prng.int64 a) (U.Prng.int64 b)
+  done;
+  let c = U.Chaos.key_prng ~seed:9 "chaos:test:other" in
+  Alcotest.(check bool) "keys decorrelate" false
+    (U.Prng.int64 (U.Chaos.key_prng ~seed:9 "chaos:test:site") = U.Prng.int64 c)
+
+let test_chaos_bernoulli_edges () =
+  let p = U.Chaos.key_prng ~seed:1 "edge" in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p = 0 never fires" false (U.Chaos.bernoulli p 0.0);
+    Alcotest.(check bool) "p = 1 always fires" true (U.Chaos.bernoulli p 1.0)
+  done
+
+let test_chaos_storm_valid_and_deterministic () =
+  for seed = 0 to 30 do
+    let c = U.Chaos.storm ~seed in
+    U.Chaos.validate c;
+    Alcotest.(check bool) "storm is enabled" true c.U.Chaos.enabled
+  done;
+  let a = U.Chaos.storm ~seed:5 and b = U.Chaos.storm ~seed:5 in
+  Alcotest.(check bool) "same seed, same mix" true (a = b);
+  Alcotest.(check bool) "different seeds differ" true
+    (U.Chaos.storm ~seed:5 <> U.Chaos.storm ~seed:6)
+
+let test_chaos_rolls_site_stable () =
+  let c = { (U.Chaos.storm ~seed:3) with U.Chaos.store_read_error_rate = 0.5 } in
+  let roll () = U.Chaos.store_read_error c ~site:"xst/abcd" in
+  let first = roll () in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "per-site roll is call-count independent" first
+      (roll ())
+  done
+
+let test_chaos_torn_length_bounds () =
+  let c = U.Chaos.storm ~seed:11 in
+  List.iter
+    (fun len ->
+      let t = U.Chaos.torn_length c ~site:"s/d" ~len in
+      Alcotest.(check bool)
+        (Printf.sprintf "1 <= torn < %d" len)
+        true
+        (t >= 1 && t < len))
+    [ 2; 3; 10; 4096 ]
+
+let test_chaos_disabled_is_identity () =
+  let b = U.Artifact.memory_backend () in
+  Alcotest.(check bool) "chaos off returns the backend physically unchanged"
+    true
+    (U.Chaos.wrap_backend U.Chaos.none b == b)
+
+let test_chaos_wrap_backend_planes () =
+  let tbl : (string, string * string) Hashtbl.t = Hashtbl.create 8 in
+  let base =
+    {
+      U.Artifact.backend_kind = "test";
+      backend_get = (fun ~stage ~digest -> Hashtbl.find_opt tbl (stage ^ digest));
+      backend_put =
+        (fun ~stage ~digest ~builder ~payload ->
+          Hashtbl.replace tbl (stage ^ digest) (builder, payload));
+      backend_entries = (fun () -> []);
+    }
+  in
+  let all_errors =
+    { U.Chaos.none with
+      U.Chaos.enabled = true;
+      seed = 1;
+      store_read_error_rate = 1.0;
+      store_write_drop_rate = 1.0 }
+  in
+  let wrapped = U.Chaos.wrap_backend all_errors base in
+  wrapped.U.Artifact.backend_put ~stage:"s" ~digest:"d" ~builder:"b"
+    ~payload:"p";
+  Alcotest.(check bool) "writes are dropped" true (Hashtbl.length tbl = 0);
+  base.U.Artifact.backend_put ~stage:"s" ~digest:"d" ~builder:"b" ~payload:"p";
+  Alcotest.(check (option (pair string string)))
+    "reads error into misses" None
+    (wrapped.U.Artifact.backend_get ~stage:"s" ~digest:"d");
+  Alcotest.(check (option (pair string string)))
+    "the underlying entry is intact"
+    (Some ("b", "p"))
+    (base.U.Artifact.backend_get ~stage:"s" ~digest:"d")
+
+let test_chaos_validate () =
+  Alcotest.(check bool) "storm rates validate" true
+    (try
+       U.Chaos.validate (U.Chaos.defaults ~seed:1);
+       true
+     with Invalid_argument _ -> false);
+  match
+    U.Chaos.validate
+      { (U.Chaos.defaults ~seed:1) with U.Chaos.stage_crash_rate = 1.5 }
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map_result                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_result_ok () =
+  let xs = List.init 20 Fun.id in
+  let rs = U.Pool.map_result ~jobs:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs)
+    (List.map (function Ok v -> v | Error _ -> -1) rs)
+
+let test_pool_map_result_isolates_failures () =
+  let xs = List.init 10 Fun.id in
+  let rs =
+    U.Pool.map_result ~jobs:4 (fun x -> if x mod 3 = 0 then raise Boom else x) xs
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "survivor keeps its value" i v
+      | Error (Boom, _) ->
+          Alcotest.(check bool) "only multiples of 3 fail" true (i mod 3 = 0)
+      | Error (e, _) -> Alcotest.failf "unexpected %s" (Printexc.to_string e))
+    rs
+
+let test_pool_map_result_cancelled () =
+  let tok = U.Supervisor.token () in
+  U.Supervisor.cancel ~reason:"stop" tok;
+  let rs = U.Pool.map_result ~token:tok ~jobs:4 (fun x -> x) [ 1; 2; 3 ] in
+  Alcotest.(check int) "no item ran" 3
+    (List.length
+       (List.filter
+          (function Error (U.Supervisor.Cancelled "stop", _) -> true | _ -> false)
+          rs))
+
+let test_pool_map_result_inline () =
+  let rs = U.Pool.map_result (fun x -> x + 1) [ 1; 2 ] in
+  Alcotest.(check (list int)) "inline path" [ 2; 3 ]
+    (List.map (function Ok v -> v | Error _ -> -1) rs)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -624,6 +919,13 @@ let () =
           Alcotest.test_case "iter visits all" `Quick
             test_pool_all_elements_visited;
           Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "map_result ok" `Quick test_pool_map_result_ok;
+          Alcotest.test_case "map_result isolation" `Quick
+            test_pool_map_result_isolates_failures;
+          Alcotest.test_case "map_result cancelled" `Quick
+            test_pool_map_result_cancelled;
+          Alcotest.test_case "map_result inline" `Quick
+            test_pool_map_result_inline;
         ] );
       ( "retry",
         [
@@ -633,6 +935,39 @@ let () =
             test_retry_backoff_deterministic_jitter;
           Alcotest.test_case "validation" `Quick test_retry_validate;
           Alcotest.test_case "budget" `Quick test_retry_budget;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "success" `Quick test_sup_success_passthrough;
+          Alcotest.test_case "transient retry" `Quick test_sup_transient_retry;
+          Alcotest.test_case "exhaustion" `Quick test_sup_exhaustion;
+          Alcotest.test_case "non-transient propagates" `Quick
+            test_sup_nontransient_propagates;
+          Alcotest.test_case "stage deadline" `Quick test_sup_stage_deadline;
+          Alcotest.test_case "run deadline" `Quick test_sup_run_deadline;
+          Alcotest.test_case "meter spares run budget" `Quick
+            test_sup_meter_spares_run_budget;
+          Alcotest.test_case "cancellation" `Quick test_sup_cancellation;
+          Alcotest.test_case "token tree" `Quick test_sup_token_tree;
+          Alcotest.test_case "deterministic backoff" `Quick
+            test_sup_backoff_deterministic;
+          Alcotest.test_case "policy validation" `Quick test_sup_validate;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "key prng" `Quick test_chaos_key_prng_deterministic;
+          Alcotest.test_case "bernoulli edges" `Quick test_chaos_bernoulli_edges;
+          Alcotest.test_case "storm" `Quick
+            test_chaos_storm_valid_and_deterministic;
+          Alcotest.test_case "site-stable rolls" `Quick
+            test_chaos_rolls_site_stable;
+          Alcotest.test_case "torn length bounds" `Quick
+            test_chaos_torn_length_bounds;
+          Alcotest.test_case "disabled is identity" `Quick
+            test_chaos_disabled_is_identity;
+          Alcotest.test_case "store planes" `Quick
+            test_chaos_wrap_backend_planes;
+          Alcotest.test_case "validation" `Quick test_chaos_validate;
         ] );
       ( "trace",
         [
