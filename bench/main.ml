@@ -636,6 +636,131 @@ let store_report ?store_dir path =
   if made_tmp then rm_rf root
 
 (* ------------------------------------------------------------------ *)
+(* Online adaptive specialization (BENCH_online.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the closed-loop controller over the phase-shifting workloads and
+   report adaptive vs oracle-offline vs no-specialization cycle totals
+   (reconfiguration stalls included) plus the fabric and CAD counters,
+   as machine-readable JSON for CI.  Two contracts are asserted rather
+   than just reported: the loop replays byte-identically under jobs:4
+   (it is a sequential simulated-time computation; jobs only
+   parallelizes the staged preparation), and the adaptive controller
+   beats static whole-run specialization on at least one workload —
+   the reason the online refactor exists. *)
+let online_report_json path =
+  let module JM = Core.Jit_manager in
+  let apps = W.Registry.phased_names in
+  prerr_endline
+    "[bench] online: adaptive vs oracle vs nospec over phased workloads...";
+  let spec_for jobs =
+    (* No pruning for the online loop: the controller decides what is
+       worth implementing from live evidence, so every phase kernel
+       must reach the candidate stage. *)
+    Core.Spec.default
+    |> Core.Spec.with_prune Ise.Prune.none
+    |> Core.Spec.with_jobs jobs
+  in
+  let same_ret (a : JM.online_run) (b : JM.online_run) =
+    match (a.JM.run_ret, b.JM.run_ret) with
+    | None, None -> true
+    | Some x, Some y -> Ir.Eval.equal_value x y
+    | _ -> false
+  in
+  let results =
+    List.map
+      (fun name ->
+        let w = find_workload name in
+        let o = JM.online ~spec:(spec_for 1) db w in
+        let o4 = JM.online ~spec:(spec_for 4) db w in
+        let proj r = Format.asprintf "%a" JM.pp_online r in
+        if proj o <> proj o4 then begin
+          Printf.eprintf
+            "bench: online: %s: jobs:4 replay diverged from the serial run\n"
+            name;
+          exit 1
+        end;
+        if
+          not
+            (same_ret o.JM.o_adaptive o.JM.o_oracle
+            && same_ret o.JM.o_adaptive o.JM.o_nospec)
+        then begin
+          Printf.eprintf
+            "bench: online: %s: runs disagree on the program result\n" name;
+          exit 1
+        end;
+        Printf.eprintf
+          "[bench] online: %-14s adaptive %12.0f  oracle %12.0f  nospec \
+           %12.0f  (cad %d/%d/%d)\n\
+           %!"
+          name o.JM.o_adaptive.JM.run_cycles o.JM.o_oracle.JM.run_cycles
+          o.JM.o_nospec.JM.run_cycles o.JM.o_cad_launched o.JM.o_cad_completed
+          o.JM.o_cad_cancelled;
+        o)
+      apps
+  in
+  (match
+     List.find_opt
+       (fun (o : JM.online_report) ->
+         o.JM.o_adaptive.JM.run_cycles < o.JM.o_oracle.JM.run_cycles)
+       results
+   with
+  | Some _ -> ()
+  | None ->
+      prerr_endline
+        "bench: online: adaptive never beat the oracle-offline baseline";
+      exit 1);
+  let cfg = Core.Spec.default.Core.Spec.online in
+  let emit_run buf key (r : JM.online_run) =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "      \"%s\": {\"cycles\": %.0f, \"vm_cycles\": %.0f, \
+          \"stall_cycles\": %.0f, \"reconfigurations\": %d, \"evictions\": \
+          %d, \"swaps\": %d},\n"
+         key r.JM.run_cycles r.JM.run_vm_cycles r.JM.run_stall_cycles
+         r.JM.run_reconfigurations r.JM.run_evictions r.JM.run_swaps)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"slots\": %d, \"policy\": %S, \"window\": %d, \
+        \"decay\": %g, \"latency_scale\": %g, \"prune\": \"@nofilter\"},\n"
+       cfg.Core.Spec.slots
+       (Jitise_woolcano.Asip.policy_name cfg.Core.Spec.evict)
+       cfg.Core.Spec.window cfg.Core.Spec.decay cfg.Core.Spec.latency_scale);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (o : JM.online_report) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"dataset\": %S, \"cis\": %d,\n"
+           o.JM.o_app o.JM.o_dataset o.JM.o_cis);
+      emit_run buf "adaptive" o.JM.o_adaptive;
+      emit_run buf "oracle" o.JM.o_oracle;
+      emit_run buf "nospec" o.JM.o_nospec;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"windows\": %d, \"phase_exits\": %d, \"cad_launched\": \
+            %d, \"cad_completed\": %d, \"cad_cancelled\": %d,\n"
+           o.JM.o_windows o.JM.o_phase_exits o.JM.o_cad_launched
+           o.JM.o_cad_completed o.JM.o_cad_cancelled);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"adaptive_vs_oracle\": %.4f, \"adaptive_vs_nospec\": \
+            %.4f}%s\n"
+           (o.JM.o_adaptive.JM.run_cycles /. o.JM.o_oracle.JM.run_cycles)
+           (o.JM.o_adaptive.JM.run_cycles /. o.JM.o_nospec.JM.run_cycles)
+           (if i = n - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    "  \"adaptive_beats_oracle\": true,\n  \"replay_identical\": true\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.eprintf "[bench] online: wrote %s (%d workloads)\n%!" path n
+
+(* ------------------------------------------------------------------ *)
 (* Chaos campaign (BENCH_chaos.json)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -892,6 +1017,7 @@ let chaos_report ~seeds ~base_seed path =
    --pipeline-json FILE (with --pipeline-only to skip the rest),
    --vm-json FILE (with --vm-only to skip the rest), --store-json FILE
    with --store-dir DIR (and --store-only to skip the rest),
+   --online-json FILE (with --online-only to skip the rest),
    --chaos [--chaos-seeds N] [--chaos-base-seed SEED] [--chaos-json FILE]
    to run the chaos campaign alone, plus the original
    --tables-only/--bench-only halves. *)
@@ -932,13 +1058,19 @@ let () =
     | None -> if store_only then Some "BENCH_store.json" else None
   in
   let store_dir = arg_value "--store-dir" argv in
+  let online_only = List.mem "--online-only" argv in
+  let online_json =
+    match arg_value "--online-json" argv with
+    | Some path -> Some path
+    | None -> if online_only then Some "BENCH_online.json" else None
+  in
   let chaos = List.mem "--chaos" argv in
   let chaos_json =
     match arg_value "--chaos-json" argv with
     | Some path -> path
     | None -> "BENCH_chaos.json"
   in
-  let skip_main = pipeline_only || vm_only || store_only || chaos in
+  let skip_main = pipeline_only || vm_only || store_only || online_only || chaos in
   let tables = (not skip_main) && not (List.mem "--bench-only" argv) in
   let benches = (not skip_main) && not (List.mem "--tables-only" argv) in
   let trace = arg_value "--trace" argv in
@@ -987,9 +1119,12 @@ let () =
       chaos_json;
   if tables then regenerate_tables ~spec ();
   if benches then run_benchmarks ();
-  (if not (vm_only || store_only) then
+  (if not (vm_only || store_only || online_only) then
      Option.iter pipeline_report pipeline_json);
-  (if not (pipeline_only || store_only) then Option.iter vm_report vm_json);
+  (if not (pipeline_only || store_only || online_only) then
+     Option.iter vm_report vm_json);
+  (if not (pipeline_only || vm_only || store_only) then
+     Option.iter online_report_json online_json);
   Option.iter (store_report ?store_dir) store_json;
   (match (spec.Core.Spec.tracer, trace) with
   | Some t, Some path ->

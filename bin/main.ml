@@ -14,6 +14,7 @@ module Pp = Jitise_pivpav
 module Cad = Jitise_cad
 module Core = Jitise_core
 module U = Jitise_util
+module Wool = Jitise_woolcano
 
 open Cmdliner
 
@@ -142,12 +143,14 @@ let render_all ~faults results =
   run_figure2 ()
 
 let run_list () =
-  List.iter
-    (fun (w : W.Workload.t) ->
-      Printf.printf "%-12s %-10s %s\n" w.W.Workload.name
-        (W.Workload.domain_to_string w.W.Workload.domain)
-        w.W.Workload.description)
-    W.Registry.all
+  let line (w : W.Workload.t) =
+    Printf.printf "%-12s %-10s %s\n" w.W.Workload.name
+      (W.Workload.domain_to_string w.W.Workload.domain)
+      w.W.Workload.description
+  in
+  List.iter line W.Registry.all;
+  print_endline "\nphase-shifting (for the `online' command):";
+  List.iter line W.Registry.phased
 
 let load_workload name =
   match W.Registry.find name with
@@ -256,6 +259,23 @@ let run_timeline name jobs fault_options =
     t.Core.Jit_manager.speedup
     (U.Duration.to_min_sec t.Core.Jit_manager.specialization_seconds)
     (1000.0 *. t.Core.Jit_manager.reconfiguration_seconds)
+
+(* The online loop wants one candidate per phase kernel, so it disables
+   the batch sweep's pruning filter: the controller itself decides what
+   is worth implementing, using live evidence instead of a whole-run
+   profile. *)
+let run_online name slots evict window decay latency_scale jobs =
+  let w = load_workload name in
+  let db = Lazy.force db in
+  let online = { Core.Spec.slots; evict; window; decay; latency_scale } in
+  let spec =
+    Core.Spec.default
+    |> Core.Spec.with_prune Ise.Prune.none
+    |> Core.Spec.with_jobs jobs
+    |> Core.Spec.with_online online
+  in
+  let o = Core.Jit_manager.online ~spec db w in
+  Format.printf "%a" Core.Jit_manager.pp_online o
 
 let run_ablation name =
   let w = load_workload name in
@@ -446,6 +466,79 @@ let vm_engine_arg =
            AST-walking baseline).  Profiles, reports and stage digests are \
            identical either way.")
 
+let evict_conv =
+  let parse s =
+    match Wool.Asip.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "expected lru or beneficial, got %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Wool.Asip.policy_name p))
+
+let slots_arg =
+  Arg.(
+    value
+    & opt positive_int Core.Spec.default_online.Core.Spec.slots
+    & info [ "slots" ] ~docv:"N"
+        ~doc:
+          "Partial-reconfiguration slots on the modeled fabric.  Fewer \
+           slots than program phases is the regime the adaptive \
+           controller is built for.")
+
+let evict_arg =
+  Arg.(
+    value
+    & opt evict_conv Core.Spec.default_online.Core.Spec.evict
+    & info [ "evict" ] ~docv:"POLICY"
+        ~doc:
+          "Slot eviction policy when the fabric is full: $(b,lru) \
+           (least-recently-dispatched occupant) or $(b,beneficial) \
+           (lowest recorded benefit, ties on signature).")
+
+let window_arg =
+  Arg.(
+    value
+    & opt positive_int Core.Spec.default_online.Core.Spec.window
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "Block executions per phase-profile window.  Smaller windows \
+           react faster but see noisier rates.")
+
+let nonneg_float_below_one =
+  let parse s =
+    match float_of_string_opt s with
+    | Some d when d >= 0.0 && d < 1.0 -> Ok d
+    | Some d -> Error (`Msg (Printf.sprintf "expected 0 <= decay < 1, got %g" d))
+    | None -> Error (`Msg (Printf.sprintf "expected a float, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let decay_arg =
+  Arg.(
+    value
+    & opt nonneg_float_below_one Core.Spec.default_online.Core.Spec.decay
+    & info [ "decay" ] ~docv:"D"
+        ~doc:"History weight when a profile window closes, in [0, 1).")
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "expected a value > 0, got %g" f))
+    | None -> Error (`Msg (Printf.sprintf "expected a float, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let latency_scale_arg =
+  Arg.(
+    value
+    & opt positive_float Core.Spec.default_online.Core.Spec.latency_scale
+    & info [ "latency-scale" ] ~docv:"F"
+        ~doc:
+          "Divide simulated CAD seconds by $(docv); values > 1 model a \
+           pre-generated bitstream library or a CAD farm (DESIGN.md \
+           §12).")
+
 let faults_arg =
   Arg.(
     value & flag
@@ -601,6 +694,16 @@ let cmds =
            "Simulate the concurrent JIT-customization timeline of a \
             workload (--jobs models concurrent CAD flows on the host)")
       Term.(const run_timeline $ workload_arg $ jobs_arg $ fault_options_term);
+    Cmd.v
+      (Cmd.info "online"
+         ~doc:
+           "Run a workload under the closed-loop adaptive-specialization \
+            controller and compare it against oracle-offline and \
+            no-specialization baselines (try the phase-shifting \
+            phased.* workloads)")
+      Term.(
+        const run_online $ workload_arg $ slots_arg $ evict_arg $ window_arg
+        $ decay_arg $ latency_scale_arg $ jobs_arg);
     Cmd.v
       (Cmd.info "ablation"
          ~doc:"Sweep pruning filters over a workload (search time vs speedup)")

@@ -70,20 +70,52 @@ type result =
   | Never         (** savings can never reach the overhead *)
   | After of float  (** seconds of adapted execution until amortization *)
 
+(* ------------------------------------------------------------------ *)
+(* Epsilon ordering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Relative tolerance for the threshold comparisons below.  Cycle
+    totals are float sums over many blocks, so exact comparisons at the
+    break-even boundary are noise-sensitive: two mathematically equal
+    accumulations can differ in the last bits depending on summation
+    grouping. *)
+let epsilon = 1e-9
+
+(** [approx_le a b]: a <= b up to [eps], relative to the larger
+    magnitude (absolute near zero). *)
+let approx_le ?(eps = epsilon) a b =
+  a -. b <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(** [approx_ge a b]: a >= b up to [eps]. *)
+let approx_ge ?eps a b = approx_le ?eps b a
+
+(** [definitely_pos a]: a > 0 beyond the tolerance — a value within
+    [eps] of zero does not count as positive savings. *)
+let definitely_pos ?(eps = epsilon) a = a > eps
+
+(** Incremental launch rule for the online controller (the classic
+    ski-rental argument): commit to the specialization investment once
+    the savings already foregone by staying in software match the
+    one-time overhead.  Waiting longer can at most double the loss;
+    committing earlier bets on a phase that may end first. *)
+let worthwhile ~overhead_seconds ~foregone_seconds =
+  definitely_pos foregone_seconds
+  && approx_ge foregone_seconds overhead_seconds
+
 (** Break-even time for a given overhead (seconds of ASIP-SP work). *)
 let of_split ?(cycle_time = Ir.Cost.cycle_time) (s : split)
     ~overhead_seconds : result =
   let overhead_cycles = overhead_seconds /. cycle_time in
   let total_cycles = s.live_cycles +. s.const_cycles in
   let total_saved = s.live_saved +. s.const_saved in
-  if total_saved <= 0.0 then Never
-  else if overhead_cycles <= total_saved then begin
+  if not (definitely_pos total_saved) then Never
+  else if approx_le overhead_cycles total_saved then begin
     (* Amortized within the first (baseline-sized) run: savings accrue
        proportionally along the run. *)
     let fraction = overhead_cycles /. total_saved in
     After (fraction *. (total_cycles -. total_saved) *. cycle_time)
   end
-  else if s.live_saved <= 0.0 then Never
+  else if not (definitely_pos s.live_saved) then Never
   else begin
     (* The input must scale beyond the baseline. *)
     let x = (overhead_cycles -. s.const_saved) /. s.live_saved in

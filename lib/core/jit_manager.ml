@@ -217,3 +217,545 @@ let pp_timeline ppf t =
         (Jitise_util.Duration.to_hms e.at_seconds)
         e.what)
     t.events
+
+(* ================================================================== *)
+(* Closed-loop (online) adaptive specialization                        *)
+(* ================================================================== *)
+
+module F = Jitise_frontend
+module W = Jitise_workloads
+module An = Jitise_analysis
+module U = Jitise_util
+
+(** The event-driven controller proper.  Where {!timeline} replays a
+    precomputed plan against a whole-run profile, {!online} closes the
+    loop: the application runs on the VM with a per-block monitor; the
+    controller watches a sliding-window phase profile
+    ({!Vm.Profile.Window}), detects phase changes, launches CAD for a
+    custom instruction only once the ski-rental rule
+    ({!An.Breakeven.worthwhile}) says the savings it has already
+    foregone cover the predicted overhead, cancels in-flight CAD on
+    phase exit (PR 6's supervision tokens), loads finished bitstreams
+    into the modeled partial-reconfiguration fabric ({!Wool.Asip}) —
+    charging the reconfiguration stall on the same clock the VM runs
+    on — and hot-swaps the CI binding between software and hardware
+    cost through the VM's swap cells.
+
+    Three runs of the same adapted module differ only in controller
+    policy, so their outcomes (return value, control flow) are
+    identical and their native-cycle totals are directly comparable:
+
+    - {e adaptive}: the closed loop described above;
+    - {e oracle}: whole-run offline specialization — the top-[slots]
+      candidates by offline saved cycles, bitstreams ready at t=0
+      (their CAD is not billed), paying only the reconfiguration
+      stalls; the strongest static baseline a fabric of that size
+      admits;
+    - {e nospec}: every CI permanently at its software cost — the
+      plain-CPU system. *)
+
+(** Per-data-path controller state.  Loop unrolling clones a phase
+    kernel's expression inside its block, so several CIs of the adapted
+    module share one structural signature — and therefore one
+    bitstream, one slot and one build/launch decision.  The controller
+    tracks the {e group}: [oc_ids] are all CI numbers dispatching this
+    data path, and a bind applies to every one of them. *)
+type ci_entry = {
+  mutable oc_ids : int list;  (** CI numbers in the adapted module *)
+  oc_sig : string;  (** structural signature (fabric key) *)
+  oc_home : string * int;  (** home (function, block) of the candidate *)
+  oc_sw : float;  (** software cycles per dispatch *)
+  oc_hw : float;  (** hardware cycles per dispatch *)
+  oc_cad_seconds : float;  (** predicted CAD latency, scaled *)
+  mutable oc_saved_offline : float;
+      (** offline saved-cycles rank, summed over the group (oracle) *)
+  oc_bits : Cad.Bitstream.t;
+  mutable oc_built : bool;  (** a bitstream exists (CAD completed) *)
+  mutable oc_inflight : (float * U.Supervisor.token) option;
+      (** CAD launched: completion time and its cancellation token *)
+  mutable oc_bound : bool;  (** currently dispatching at hardware cost *)
+  mutable oc_foregone : float;
+      (** seconds of savings foregone by staying in software during the
+          current phase; decays while cold, resets on investment *)
+  mutable oc_hot : bool;
+  mutable oc_cold_windows : int;
+}
+
+let copies e = List.length e.oc_ids
+
+(** Cycle totals and fabric counters of one monitored run. *)
+type online_run = {
+  run_label : string;
+  run_cycles : float;  (** native cycles, stalls included *)
+  run_vm_cycles : float;
+  run_ret : Ir.Eval.value option;
+  run_stall_cycles : float;  (** reconfiguration stalls charged *)
+  run_reconfigurations : int;
+  run_evictions : int;
+  run_swaps : int;  (** software->hardware rebinds *)
+}
+
+type online_report = {
+  o_app : string;
+  o_dataset : string;  (** dataset label the loop ran on *)
+  o_slots : int;
+  o_policy : Wool.Asip.policy;
+  o_window : int;
+  o_cis : int;  (** implemented custom instructions available *)
+  o_adaptive : online_run;
+  o_oracle : online_run;
+  o_nospec : online_run;
+  o_events : event list;  (** adaptive controller events, chronological *)
+  o_windows : int;  (** phase-profile windows closed (adaptive) *)
+  o_phase_exits : int;
+  o_cad_launched : int;
+  o_cad_completed : int;
+  o_cad_cancelled : int;
+}
+
+(* A CI counts as hot when its home block filled at least 1/16 of the
+   last closed window; an in-flight CAD is cancelled after the home
+   block stays cold for [cold_exit] consecutive windows; an eviction is
+   only worth it when the newcomer's benefit beats the victim's by
+   [hysteresis] (prevents slot thrash between equal-benefit phases). *)
+let hot_fraction = 16
+let cold_exit = 2
+let hysteresis = 1.25
+
+(* Reconstruct the implemented slots in selection order, interleaving
+   [dropped] positions — the same walk {!timeline} does.  Dropped slots
+   stay in software and never reach the fabric. *)
+let effective_slots (report : Asip_sp.report) : Asip_sp.candidate_result list =
+  let drops_at = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Asip_sp.dropped) ->
+      Hashtbl.replace drops_at d.Asip_sp.drop_at_index d)
+    report.Asip_sp.dropped;
+  let remaining = ref report.Asip_sp.candidates in
+  let out = ref [] in
+  for idx = 0 to List.length report.Asip_sp.selection - 1 do
+    if not (Hashtbl.mem drops_at idx) then
+      match !remaining with
+      | [] -> ()
+      | c :: rest ->
+          remaining := rest;
+          out := c :: !out
+  done;
+  List.rev !out
+
+let entries_of_slots ~latency_scale (slots : Asip_sp.candidate_result list) :
+    ci_entry list =
+  let by_sig : (string, ci_entry) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iteri
+    (fun i (c : Asip_sp.candidate_result) ->
+      let s = c.Asip_sp.scored in
+      let cand = s.Ise.Select.candidate in
+      let est = s.Ise.Select.estimate in
+      match Hashtbl.find_opt by_sig cand.Ise.Candidate.signature with
+      | Some e ->
+          (* A clone of an already-seen data path: same bitstream, same
+             slot, one more dispatch site per block execution. *)
+          e.oc_ids <- e.oc_ids @ [ i ];
+          e.oc_saved_offline <-
+            e.oc_saved_offline +. s.Ise.Select.saved_cycles
+      | None ->
+          let e =
+            {
+              oc_ids = [ i ];
+              oc_sig = cand.Ise.Candidate.signature;
+              oc_home = (cand.Ise.Candidate.func, cand.Ise.Candidate.block);
+              oc_sw = float_of_int est.Pp.Estimator.sw_cycles;
+              oc_hw = float_of_int est.Pp.Estimator.hw_cycles;
+              oc_cad_seconds =
+                (c.Asip_sp.total_seconds +. c.Asip_sp.wasted_seconds)
+                /. latency_scale;
+              oc_saved_offline = s.Ise.Select.saved_cycles;
+              oc_bits = c.Asip_sp.run.Cad.Flow.bitstream;
+              (* The online world starts cold: nothing is built until
+                 this run's own CAD completes.  The exception is a
+                 {e shared}-cache hit on the group's first data path —
+                 the pre-generated bitstream-library case. *)
+              oc_built = c.Asip_sp.cache_hit <> None;
+              oc_inflight = None;
+              oc_bound = false;
+              oc_foregone = 0.0;
+              oc_hot = false;
+              oc_cold_windows = 0;
+            }
+          in
+          Hashtbl.add by_sig e.oc_sig e;
+          order := e :: !order)
+    slots;
+  List.rev !order
+
+(* One monitored run of the adapted module.  [controller] receives the
+   control handle, the fabric and the stall/swap counters and returns
+   the per-window step function (or None for a pure software run). *)
+let monitored_run ~(spec : Spec.t) ~label ~(adapt : Adapt.t)
+    ~(entries : ci_entry list) ~(dataset : W.Workload.dataset)
+    ~(step :
+       (Vm.Machine.control ->
+       Wool.Asip.t ->
+       Vm.Profile.Window.w ->
+       now:float ->
+       unit)
+       option)
+    ~(init :
+       (Vm.Machine.control -> Wool.Asip.t -> stall:(float -> unit) -> unit)
+       option) ~(stalls : float ref) ~(swaps : int ref) :
+    online_run * Wool.Asip.t * int =
+  let cfg = spec.Spec.online in
+  let asip =
+    Wool.Asip.create ~slots:cfg.Spec.slots ~policy:cfg.Spec.evict ()
+  in
+  let window =
+    Vm.Profile.Window.create ~size:cfg.Spec.window ~decay:cfg.Spec.decay ()
+  in
+  stalls := 0.0;
+  swaps := 0;
+  let monitor ctl =
+    (* Every CI starts in software mode: the adapted module's registry
+       binds hardware cost statically, which is only earned once the
+       fabric holds the bitstream. *)
+    List.iter
+      (fun e ->
+        List.iter (fun id -> ctl.Vm.Machine.ctl_bind id e.oc_sw) e.oc_ids)
+      entries;
+    (match init with
+    | None -> ()
+    | Some f ->
+        f ctl asip
+          ~stall:(fun cyc ->
+            ctl.Vm.Machine.ctl_stall cyc;
+            stalls := !stalls +. cyc));
+    fun ~func ~label:blabel ~ninstrs:_ ->
+      if Vm.Profile.Window.observe window ~func ~label:blabel then begin
+        Vm.Profile.Window.advance window;
+        match step with
+        | None -> ()
+        | Some f ->
+            let now =
+              Vm.Machine.seconds_of_cycles (ctl.Vm.Machine.ctl_native ())
+            in
+            f ctl asip window ~now
+      end
+  in
+  let outcome =
+    Vm.Machine.run ~cis:adapt.Adapt.registry ~engine:spec.Spec.vm_engine
+      ~monitor adapt.Adapt.modul ~entry:"main"
+      ~args:[ Ir.Eval.VInt (Int64.of_int dataset.W.Workload.n) ]
+  in
+  ( {
+      run_label = label;
+      run_cycles = outcome.Vm.Machine.native_cycles;
+      run_vm_cycles = outcome.Vm.Machine.vm_cycles;
+      run_ret = outcome.Vm.Machine.ret;
+      run_stall_cycles = !stalls;
+      run_reconfigurations = asip.Wool.Asip.reconfigurations;
+      run_evictions = asip.Wool.Asip.evictions;
+      run_swaps = !swaps;
+    },
+    asip,
+    Vm.Profile.Window.windows window )
+
+(* Rebind entries against the fabric state: evicted CIs fall back to
+   software; resident-and-ready CIs claim hardware cost.  [emit] takes
+   a preformatted string so callers can pass a silent sink. *)
+let sync_bindings ~(emit : float -> string -> unit) ~(swaps : int ref)
+    (ctl : Vm.Machine.control) asip ~now entries =
+  List.iter
+    (fun e ->
+      if e.oc_bound then begin
+        if not (Wool.Asip.dispatch_ready asip ~now_seconds:now e.oc_sig)
+        then begin
+          e.oc_bound <- false;
+          List.iter (fun id -> ctl.Vm.Machine.ctl_bind id e.oc_sw) e.oc_ids;
+          emit now
+            (Printf.sprintf "%s x%d: lost its slot; back to software"
+               e.oc_sig (copies e))
+        end
+      end
+      else if Wool.Asip.dispatch_ready asip ~now_seconds:now e.oc_sig
+      then begin
+        e.oc_bound <- true;
+        incr swaps;
+        List.iter (fun id -> ctl.Vm.Machine.ctl_bind id e.oc_hw) e.oc_ids;
+        emit now
+          (Printf.sprintf
+             "%s x%d: hot-swapped to hardware (%.0f -> %.0f cycles/call)"
+             e.oc_sig (copies e) e.oc_sw e.oc_hw)
+      end)
+    entries
+
+(** Close the loop over one workload.  Prepares the staged
+    specialization with {!Experiment.evaluate} (profiles, search, CAD —
+    reusing the staged pipeline, supervisor, caches and fault model
+    exactly as the batch path does), adapts the binary once, then runs
+    adaptive / oracle / nospec under the monitor.  The loop itself is a
+    sequential simulated-time computation, so its result is independent
+    of [spec.jobs] — asserted by the bench. *)
+let online ?(spec = Spec.default) (db : Pp.Database.t) (w : W.Workload.t) :
+    online_report =
+  let cfg = spec.Spec.online in
+  let r = Experiment.evaluate ~spec db w in
+  let slots = effective_slots r.Experiment.report in
+  let adapt =
+    Adapt.apply r.Experiment.compiled.F.Compiler.modul
+      (List.map (fun (c : Asip_sp.candidate_result) -> c.Asip_sp.scored) slots)
+  in
+  let dataset =
+    match List.rev w.W.Workload.datasets with
+    | d :: _ -> d
+    | [] -> invalid_arg "Jit_manager.online: workload has no datasets"
+  in
+  let events = ref [] in
+  let emit at_seconds what = events := { at_seconds; what } :: !events in
+  let quiet _ _ = () in
+  let phase_exits = ref 0 in
+  let launched = ref 0 in
+  let completed = ref 0 in
+  let cancelled = ref 0 in
+  let windows = ref 0 in
+  let stalls = ref 0.0 in
+  let swaps = ref 0 in
+
+  (* ---- no-specialization baseline: software cost forever ---- *)
+  let nospec_entries = entries_of_slots ~latency_scale:1.0 slots in
+  let nospec, _, _ =
+    monitored_run ~spec ~label:"nospec" ~adapt ~entries:nospec_entries
+      ~dataset ~step:None ~init:None ~stalls ~swaps
+  in
+
+  (* ---- oracle: static whole-run specialization, top slots ---- *)
+  let oracle_entries = entries_of_slots ~latency_scale:1.0 slots in
+  let oracle_top =
+    (* Offline ranking: highest whole-run saved cycles first (summed
+       over a data path's clones), truncated to the fabric size; ties
+       break on the signature for determinism. *)
+    List.filteri
+      (fun i _ -> i < cfg.Spec.slots)
+      (List.sort
+         (fun a b ->
+           match compare b.oc_saved_offline a.oc_saved_offline with
+           | 0 -> compare a.oc_sig b.oc_sig
+           | c -> c)
+         oracle_entries)
+  in
+  let oracle_init ctl asip ~stall =
+    List.iter
+      (fun e ->
+        let _, reconfigured, _ =
+          Wool.Asip.begin_load asip ~now_seconds:0.0 e.oc_bits
+        in
+        if reconfigured then
+          stall
+            (Wool.Arch.reconfiguration_seconds asip.Wool.Asip.arch e.oc_bits
+            /. Ir.Cost.cycle_time))
+      oracle_top;
+    (* The stalls advanced the clock past every deadline: bind now so
+       the oracle pays hardware cost from the very first dispatch. *)
+    let now = Vm.Machine.seconds_of_cycles (ctl.Vm.Machine.ctl_native ()) in
+    sync_bindings ~emit:quiet ~swaps ctl asip ~now oracle_entries
+  in
+  let oracle_step ctl asip _win ~now =
+    sync_bindings ~emit:quiet ~swaps ctl asip ~now oracle_entries
+  in
+  let oracle, _, _ =
+    monitored_run ~spec ~label:"oracle" ~adapt ~entries:oracle_entries
+      ~dataset ~step:(Some oracle_step) ~init:(Some oracle_init) ~stalls
+      ~swaps
+  in
+
+  (* ---- adaptive: the closed loop ---- *)
+  let entries =
+    entries_of_slots ~latency_scale:cfg.Spec.latency_scale slots
+  in
+  let run_token = U.Supervisor.token () in
+  let hot_threshold = max 1 (cfg.Spec.window / hot_fraction) in
+  let adaptive_step ctl asip win ~now =
+    (* 1. Hot/cold classification and foregone-savings accounting.  A
+       CI still in software during a hot window forgoes (sw - hw)
+       cycles per execution: that is the "rent" the ski-rental rule
+       weighs against the investment.  Cold windows decay the claim —
+       stale evidence should not trigger a launch after the phase
+       moved on. *)
+    List.iter
+      (fun e ->
+        let func, blabel = e.oc_home in
+        let n_last = Vm.Profile.Window.last win ~func ~label:blabel in
+        if e.oc_bound && n_last > 0 then Wool.Asip.touch asip e.oc_sig;
+        (* Refresh the recorded benefit every window, resident or not:
+           the decayed rate of a phase that went cold sinks, so its
+           occupant becomes evictable once a new phase heats up. *)
+        let rate = Vm.Profile.Window.rate win ~func ~label:blabel in
+        Wool.Asip.set_benefit asip e.oc_sig
+          (rate *. (e.oc_sw -. e.oc_hw) *. float_of_int (copies e));
+        if n_last >= hot_threshold then begin
+          e.oc_hot <- true;
+          e.oc_cold_windows <- 0;
+          if not e.oc_bound then
+            e.oc_foregone <-
+              e.oc_foregone
+              +. float_of_int (n_last * copies e)
+                 *. (e.oc_sw -. e.oc_hw)
+                 *. Ir.Cost.cycle_time
+        end
+        else begin
+          e.oc_foregone <- e.oc_foregone *. cfg.Spec.decay;
+          if e.oc_hot then begin
+            e.oc_cold_windows <- e.oc_cold_windows + 1;
+            if e.oc_cold_windows >= cold_exit then begin
+              e.oc_hot <- false;
+              e.oc_cold_windows <- 0;
+              e.oc_foregone <- 0.0;
+              incr phase_exits;
+              emit now
+                (Printf.sprintf "%s: phase exit (cold for %d windows)"
+                   e.oc_sig cold_exit);
+              match e.oc_inflight with
+              | None -> ()
+              | Some (_, tok) ->
+                  U.Supervisor.cancel ~reason:"phase exit" tok;
+                  e.oc_inflight <- None;
+                  incr cancelled;
+                  emit now
+                    (Printf.sprintf "%s: cancelled in-flight CAD" e.oc_sig)
+            end
+          end
+        end)
+      entries;
+    (* 2. CAD completions. *)
+    List.iter
+      (fun e ->
+        match e.oc_inflight with
+        | Some (done_at, tok)
+          when (not (U.Supervisor.cancelled tok)) && now >= done_at ->
+            e.oc_inflight <- None;
+            e.oc_built <- true;
+            incr completed;
+            emit now
+              (Printf.sprintf "%s: CAD complete, bitstream ready" e.oc_sig)
+        | _ -> ())
+      entries;
+    (* 3. Reconcile bindings with the fabric (evictions first). *)
+    sync_bindings ~emit ~swaps ctl asip ~now entries;
+    (* 4. Investment decisions for hot CIs still in software. *)
+    List.iter
+      (fun e ->
+        if e.oc_hot && not e.oc_bound then begin
+          let benefit = Wool.Asip.benefit_of asip e.oc_sig in
+          let reconfig_s =
+            Wool.Arch.reconfiguration_seconds asip.Wool.Asip.arch e.oc_bits
+          in
+          if e.oc_built then begin
+            if Wool.Asip.find asip e.oc_sig = None then begin
+              let evict_ok =
+                match Wool.Asip.peek_victim asip with
+                | None -> true
+                | Some victim ->
+                    benefit > hysteresis *. Wool.Asip.benefit_of asip victim
+              in
+              if
+                evict_ok
+                && An.Breakeven.worthwhile ~overhead_seconds:reconfig_s
+                     ~foregone_seconds:e.oc_foregone
+              then begin
+                let _, reconfigured, _ =
+                  Wool.Asip.begin_load asip ~now_seconds:now e.oc_bits
+                in
+                if reconfigured then begin
+                  let cyc = reconfig_s /. Ir.Cost.cycle_time in
+                  ctl.Vm.Machine.ctl_stall cyc;
+                  stalls := !stalls +. cyc
+                end;
+                e.oc_foregone <- 0.0;
+                emit now
+                  (Printf.sprintf "%s: reconfiguring a slot (%.0f cycle stall)"
+                     e.oc_sig
+                     (reconfig_s /. Ir.Cost.cycle_time))
+              end
+            end
+          end
+          else begin
+            match e.oc_inflight with
+            | Some _ -> ()
+            | None ->
+                let overhead = e.oc_cad_seconds +. reconfig_s in
+                if
+                  An.Breakeven.worthwhile ~overhead_seconds:overhead
+                    ~foregone_seconds:e.oc_foregone
+                then begin
+                  let tok = U.Supervisor.token ~parent:run_token () in
+                  e.oc_inflight <- Some (now +. e.oc_cad_seconds, tok);
+                  incr launched;
+                  emit now
+                    (Printf.sprintf "%s: CAD launched, %.4fs predicted"
+                       e.oc_sig e.oc_cad_seconds)
+                end
+          end
+        end)
+      entries;
+    (* 5. Fresh loads whose stall already elapsed can bind right away
+       (re-read the clock: the stall in step 4 advanced it). *)
+    let now = Vm.Machine.seconds_of_cycles (ctl.Vm.Machine.ctl_native ()) in
+    sync_bindings ~emit ~swaps ctl asip ~now entries
+  in
+  let adaptive, _, adaptive_windows =
+    monitored_run ~spec ~label:"adaptive" ~adapt ~entries ~dataset
+      ~step:(Some adaptive_step) ~init:None ~stalls ~swaps
+  in
+  windows := adaptive_windows;
+  {
+    o_app = w.W.Workload.name;
+    o_dataset = dataset.W.Workload.label;
+    o_slots = cfg.Spec.slots;
+    o_policy = cfg.Spec.evict;
+    o_window = cfg.Spec.window;
+    o_cis = List.length slots;
+    o_adaptive = adaptive;
+    o_oracle = oracle;
+    o_nospec = nospec;
+    o_events = List.rev !events;
+    o_windows = !windows;
+    o_phase_exits = !phase_exits;
+    o_cad_launched = !launched;
+    o_cad_completed = !completed;
+    o_cad_cancelled = !cancelled;
+  }
+
+let pp_online_run ppf (r : online_run) =
+  Format.fprintf ppf
+    "%-9s %14.0f cycles  (vm %14.0f, stalls %9.0f, reconf %d, evict %d, \
+     swaps %d)"
+    r.run_label r.run_cycles r.run_vm_cycles r.run_stall_cycles
+    r.run_reconfigurations r.run_evictions r.run_swaps
+
+let pp_online ppf (o : online_report) =
+  Format.fprintf ppf "== %s [%s]  slots=%d policy=%s window=%d cis=%d ==@\n"
+    o.o_app o.o_dataset o.o_slots
+    (Wool.Asip.policy_name o.o_policy)
+    o.o_window o.o_cis;
+  (* controller events live on a milliseconds scale — an hh:mm:ss stamp
+     would render every line as 00:00:00 *)
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%9.2f ms  %s@\n"
+        (e.at_seconds *. 1000.0)
+        e.what)
+    o.o_events;
+  Format.fprintf ppf "%a@\n%a@\n%a@\n" pp_online_run o.o_adaptive
+    pp_online_run o.o_oracle pp_online_run o.o_nospec;
+  let vs label (base : online_run) =
+    let a = o.o_adaptive.run_cycles in
+    if base.run_cycles > 0.0 then
+      Format.fprintf ppf "adaptive vs %-8s %+.2f%%@\n" label
+        ((a -. base.run_cycles) /. base.run_cycles *. 100.0)
+  in
+  vs "oracle:" o.o_oracle;
+  vs "nospec:" o.o_nospec;
+  Format.fprintf ppf
+    "windows %d  phase-exits %d  cad launched %d / completed %d / \
+     cancelled %d@\n"
+    o.o_windows o.o_phase_exits o.o_cad_launched o.o_cad_completed
+    o.o_cad_cancelled

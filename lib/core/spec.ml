@@ -22,6 +22,33 @@ module Ise = Jitise_ise
 module Cad = Jitise_cad
 module U = Jitise_util
 module Vm = Jitise_vm
+module Wool = Jitise_woolcano
+
+(** Closed-loop (online) specialization knobs — consulted only by
+    [Jit_manager.online]; the batch sweep and its stage digests never
+    read them, so loop-off output is unaffected. *)
+type online = {
+  slots : int;  (** partial-reconfiguration slots on the fabric *)
+  evict : Wool.Asip.policy;  (** eviction policy when all slots are full *)
+  window : int;  (** block executions per phase-profile window *)
+  decay : float;  (** history weight when a window closes, in [0, 1) *)
+  latency_scale : float;
+      (** divide simulated CAD seconds by this factor.  1.0 charges the
+          full offline CAD wall time (hundreds of seconds — no feasible
+          VM run amortizes it); larger values model a pre-generated
+          bitstream library / CAD farm where most of the flow is
+          already done and only residual work plus the reconfiguration
+          remains (cf. the FPGA-extended GPC system in PAPERS.md). *)
+}
+
+let default_online =
+  {
+    slots = 2;
+    evict = Wool.Asip.Lru;
+    window = 2048;
+    decay = 0.5;
+    latency_scale = 100_000.0;
+  }
 
 (** Which byte backend the artifact store sits on. *)
 type store_backend =
@@ -80,6 +107,9 @@ type t = {
           retry, per-stage stall deadline, whole-run waste deadline.
           With the default policy and [chaos] off, supervision is
           behaviour-neutral. *)
+  online : online;
+      (** closed-loop runtime configuration ({!default_online});
+          consulted only by the online controller *)
 }
 
 let default =
@@ -97,7 +127,24 @@ let default =
     vm_engine = Vm.Machine.default_engine;
     chaos = U.Chaos.none;
     supervisor = U.Supervisor.default_policy;
+    online = default_online;
   }
+
+let validate_online (o : online) =
+  if o.slots < 1 then
+    invalid_arg
+      (Printf.sprintf "Spec.with_online: slots must be >= 1 (got %d)" o.slots);
+  if o.window < 1 then
+    invalid_arg
+      (Printf.sprintf "Spec.with_online: window must be >= 1 (got %d)" o.window);
+  if o.decay < 0.0 || o.decay >= 1.0 then
+    invalid_arg
+      (Printf.sprintf "Spec.with_online: decay must be in [0, 1) (got %g)"
+         o.decay);
+  if o.latency_scale <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Spec.with_online: latency_scale must be > 0 (got %g)"
+         o.latency_scale)
 
 let with_prune prune t = { t with prune }
 let with_select select t = { t with select }
@@ -150,3 +197,7 @@ let with_chaos chaos t =
 let with_supervisor supervisor t =
   U.Supervisor.validate_policy supervisor;
   { t with supervisor }
+
+let with_online online t =
+  validate_online online;
+  { t with online }

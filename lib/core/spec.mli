@@ -21,6 +21,23 @@ module Ise = Jitise_ise
 module Cad = Jitise_cad
 module U = Jitise_util
 module Vm = Jitise_vm
+module Wool = Jitise_woolcano
+
+(** Closed-loop (online) specialization knobs — consulted only by
+    [Jit_manager.online]; the batch sweep and its stage digests never
+    read them, so loop-off output is unaffected. *)
+type online = {
+  slots : int;  (** partial-reconfiguration slots on the fabric *)
+  evict : Wool.Asip.policy;  (** eviction policy when all slots are full *)
+  window : int;  (** block executions per phase-profile window *)
+  decay : float;  (** history weight when a window closes, in [0, 1) *)
+  latency_scale : float;
+      (** divide simulated CAD seconds by this factor; > 1 models a
+          pre-generated bitstream library / CAD farm (see DESIGN.md
+          §12) *)
+}
+
+val default_online : online
 
 (** Which byte backend the artifact store sits on. *)
 type store_backend =
@@ -79,6 +96,9 @@ type t = {
           retry, per-stage stall deadline, whole-run waste deadline.
           With the default policy and [chaos] off, supervision is
           behaviour-neutral. *)
+  online : online;
+      (** closed-loop runtime configuration ({!default_online});
+          consulted only by the online controller *)
 }
 
 val default : t
@@ -119,3 +139,7 @@ val with_chaos : U.Chaos.config -> t -> t
 
 val with_supervisor : U.Supervisor.policy -> t -> t
 (** @raise Invalid_argument on an invalid supervision policy. *)
+
+val with_online : online -> t -> t
+(** @raise Invalid_argument when [slots < 1], [window < 1], [decay]
+    outside [0, 1) or [latency_scale <= 0]. *)

@@ -223,6 +223,11 @@ and state = {
   memory : Memory.t;
   jit : Jit_model.t;
   cis : ci_registry;
+  swap : (int, float ref) Hashtbl.t option;
+      (* online hot-swap: per-CI cycle-charge cells read at dispatch
+         instead of the statically bound charge; [None] (no monitor)
+         keeps the compiled fast path untouched *)
+  mutable mon : (func:string -> label:int -> ninstrs:int -> unit) option;
   mutable native : float;
   mutable vm : float;
   mutable fuel : int64;  (* remaining dynamic instructions; negative = out *)
@@ -329,6 +334,29 @@ type outcome = {
 (** Simulated seconds for a cycle count, at the PowerPC 405 clock. *)
 let seconds_of_cycles c = c *. Ir.Cost.cycle_time
 
+(** Handle an online controller uses to observe and steer a run from
+    inside the monitor callback.  Only valid during the callback: the
+    threaded engine flushes its local accumulators to the shared state
+    before invoking the monitor and reloads them after, so the clocks
+    read consistently and stalls/rebinds land between blocks without
+    disturbing the fused closures. *)
+type control = {
+  ctl_native : unit -> float;  (** native clock, cycles *)
+  ctl_vm : unit -> float;  (** VM clock, cycles *)
+  ctl_stall : float -> unit;
+      (** charge a stall (e.g. a reconfiguration wait) to both clocks *)
+  ctl_bind : int -> float -> unit;
+      (** set the per-dispatch cycle charge of a CI — the hot-swap
+          point: software-mode and hardware-mode cost per call *)
+  ctl_charge : int -> float option;  (** current per-dispatch charge *)
+}
+
+(** A monitor receives the {!control} handle at run start (before any
+    block executes) and returns a callback invoked once per dynamic
+    basic block, after that block's clock charge.  When absent, the run
+    takes exactly the unmonitored code path — byte-identical clocks. *)
+type monitor = control -> func:string -> label:int -> ninstrs:int -> unit
+
 let value_of_operand regs = function
   | Ir.Instr.Const c -> Ir.Eval.of_const c
   | Ir.Instr.Reg r -> regs.(r)
@@ -365,6 +393,9 @@ let rec exec_func (st : state) (fi : func_info) (args : Ir.Eval.value array) :
       st.vm
       +. Jit_model.block_execution_cycles st.jit ~prior:(Int64.of_int prior)
            ~ninstrs:bi.ninstrs ~native_cycles:bi.static_cycles;
+    (match st.mon with
+    | None -> ()
+    | Some mon -> mon ~func:f.Ir.Func.name ~label:!cur ~ninstrs:bi.ninstrs);
     (* Phis first, read atomically: the incoming operand per
        predecessor was pre-resolved into an array in [prepare_func]. *)
     let n = bi.ninstrs in
@@ -432,8 +463,16 @@ let rec exec_func (st : state) (fi : func_info) (args : Ir.Eval.value array) :
             | Some impl ->
                 let argv = Array.of_list (List.map v argops) in
                 set (impl.ci_eval argv);
-                st.native <- st.native +. float_of_int impl.ci_cycles;
-                st.vm <- st.vm +. float_of_int impl.ci_cycles
+                let cyc =
+                  match st.swap with
+                  | None -> float_of_int impl.ci_cycles
+                  | Some cells -> (
+                      match Hashtbl.find_opt cells ci with
+                      | Some c -> !c
+                      | None -> float_of_int impl.ci_cycles)
+                in
+                st.native <- st.native +. cyc;
+                st.vm <- st.vm +. cyc
             | None -> fault "custom instruction #%d is not configured" ci)
       with
       | Ir.Eval.Division_by_zero ->
@@ -857,6 +896,22 @@ let rec exec_threaded (st : state) (fi : func_info) (args : Ir.Eval.value array)
     Array.unsafe_set clocks 1
       (Array.unsafe_get clocks 1
       +. (if prior >= warmup then tb.t_hot else tb.t_cold));
+    (* Monitor hook: flush the local accumulators so the callback sees
+       consistent clocks/fuel, then reload — the same flush/reload
+       protocol as [t_sync] blocks, so clock additions keep their order
+       and loop-off runs stay byte-identical (the branch is never taken
+       without a monitor). *)
+    (match st.mon with
+    | None -> ()
+    | Some mon ->
+        st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+        spent := 0;
+        st.native <- Array.unsafe_get clocks 0;
+        st.vm <- Array.unsafe_get clocks 1;
+        mon ~func:f.Ir.Func.name ~label:!cur ~ninstrs:bi.ninstrs;
+        limit := int_of_int64_clamped st.fuel;
+        Array.unsafe_set clocks 0 st.native;
+        Array.unsafe_set clocks 1 st.vm);
     (* Phi prologue over pre-decoded sources.  A single phi needs no
        staging (parallel-assignment semantics are trivial); multiple
        phis stage into the scratch buffer first. *)
@@ -1078,12 +1133,32 @@ and compile_block (st : state) (fi : func_info) (bnum : int) (bi : block_info) :
         let srcs = Array.of_list (List.map decode_operand argops) in
         let eval_args = args_fn srcs in
         match Hashtbl.find_opt st.cis ci with
-        | Some impl ->
-            let cyc = float_of_int impl.ci_cycles in
-            fun regs ->
-              regs.(d) <- impl.ci_eval (eval_args regs);
-              st.native <- st.native +. cyc;
-              st.vm <- st.vm +. cyc
+        | Some impl -> (
+            match st.swap with
+            | None ->
+                let cyc = float_of_int impl.ci_cycles in
+                fun regs ->
+                  regs.(d) <- impl.ci_eval (eval_args regs);
+                  st.native <- st.native +. cyc;
+                  st.vm <- st.vm +. cyc
+            | Some cells ->
+                (* Hot-swappable binding: the charge is read from the
+                   CI's swap cell at dispatch so the controller can
+                   rebind software/hardware cost between blocks without
+                   recompiling the fused closures. *)
+                let cell =
+                  match Hashtbl.find_opt cells ci with
+                  | Some c -> c
+                  | None ->
+                      let c = ref (float_of_int impl.ci_cycles) in
+                      Hashtbl.replace cells ci c;
+                      c
+                in
+                fun regs ->
+                  regs.(d) <- impl.ci_eval (eval_args regs);
+                  let cyc = !cell in
+                  st.native <- st.native +. cyc;
+                  st.vm <- st.vm +. cyc)
         | None -> fun _ -> fault "custom instruction #%d is not configured" ci)
   in
   let t_ops =
@@ -1147,10 +1222,14 @@ and compile_block (st : state) (fi : func_info) (bnum : int) (bi : block_info) :
     @param cis configured custom instructions (default none)
     @param engine execution engine (default {!Threaded}); outcomes are
       identical across engines
+    @param monitor online controller hook: receives the {!control}
+      handle before any block executes, returns a per-dynamic-block
+      callback.  Absent means the exact unmonitored code path —
+      byte-identical clocks.
     @raise Fault on any runtime error. *)
 let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
-    ?(cis = empty_cis ()) ?(engine = default_engine) (m : Ir.Irmod.t) ~entry
-    ~(args : Ir.Eval.value list) : outcome =
+    ?(cis = empty_cis ()) ?(engine = default_engine) ?monitor (m : Ir.Irmod.t)
+    ~entry ~(args : Ir.Eval.value list) : outcome =
   let memory = Memory.create () in
   Memory.load_globals memory m;
   let funcs = Hashtbl.create 16 in
@@ -1158,7 +1237,39 @@ let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
     (fun (f : Ir.Func.t) ->
       Hashtbl.replace funcs f.Ir.Func.name (prepare_func m f))
     m.Ir.Irmod.funcs;
-  let st = { funcs; memory; jit; cis; native = 0.0; vm = 0.0; fuel } in
+  let swap =
+    match monitor with None -> None | Some _ -> Some (Hashtbl.create 16)
+  in
+  let st =
+    { funcs; memory; jit; cis; swap; mon = None; native = 0.0; vm = 0.0; fuel }
+  in
+  (match (monitor, swap) with
+  | None, _ | _, None -> ()
+  | Some mk, Some cells ->
+      (* Every configured CI gets a swap cell up front so the monitor
+         can rebind charges before the CI first executes. *)
+      Hashtbl.iter
+        (fun ci impl ->
+          Hashtbl.replace cells ci (ref (float_of_int impl.ci_cycles)))
+        cis;
+      let control =
+        {
+          ctl_native = (fun () -> st.native);
+          ctl_vm = (fun () -> st.vm);
+          ctl_stall =
+            (fun c ->
+              st.native <- st.native +. c;
+              st.vm <- st.vm +. c);
+          ctl_bind =
+            (fun ci c ->
+              match Hashtbl.find_opt cells ci with
+              | Some cell -> cell := c
+              | None -> Hashtbl.replace cells ci (ref c));
+          ctl_charge =
+            (fun ci -> Option.map ( ! ) (Hashtbl.find_opt cells ci));
+        }
+      in
+      st.mon <- Some (mk control));
   (* Whole-module dynamic translation at load time. *)
   st.vm <-
     st.vm

@@ -77,6 +77,33 @@ type outcome = {
 (** Simulated seconds for a cycle count, at the PowerPC 405 clock. *)
 val seconds_of_cycles : float -> float
 
+(* ------------------------------------------------------------------ *)
+(* Online monitoring and hot-swap                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Handle an online controller uses to observe and steer a run from
+    inside the monitor callback.  Only valid during the callback: the
+    threaded engine flushes its local accumulators before invoking the
+    monitor and reloads them after, so the clocks read consistently and
+    stalls/rebinds land between blocks without disturbing the fused
+    closures. *)
+type control = {
+  ctl_native : unit -> float;  (** native clock, cycles *)
+  ctl_vm : unit -> float;  (** VM clock, cycles *)
+  ctl_stall : float -> unit;
+      (** charge a stall (e.g. a reconfiguration wait) to both clocks *)
+  ctl_bind : int -> float -> unit;
+      (** set the per-dispatch cycle charge of a CI — the hot-swap
+          point between software-mode and hardware-mode cost *)
+  ctl_charge : int -> float option;  (** current per-dispatch charge *)
+}
+
+(** A monitor receives the {!control} handle at run start (before any
+    block executes) and returns a callback invoked once per dynamic
+    basic block, after that block's clock charge.  When absent, the run
+    takes exactly the unmonitored code path — byte-identical clocks. *)
+type monitor = control -> func:string -> label:int -> ninstrs:int -> unit
+
 (** Run [entry] with scalar [args].
 
     @param fuel maximum dynamic instructions (default 4e9)
@@ -84,12 +111,14 @@ val seconds_of_cycles : float -> float
     @param cis configured custom instructions (default none)
     @param engine execution engine (default {!default_engine});
       outcomes are identical across engines
+    @param monitor online controller hook (see {!monitor})
     @raise Fault on any runtime error. *)
 val run :
   ?fuel:int64 ->
   ?jit:Jit_model.t ->
   ?cis:ci_registry ->
   ?engine:engine ->
+  ?monitor:monitor ->
   Ir.Irmod.t ->
   entry:string ->
   args:Ir.Eval.value list ->

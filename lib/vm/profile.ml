@@ -52,6 +52,107 @@ let merge ~into:dst src =
     src.counts;
   dst.executed_instrs <- Int64.add dst.executed_instrs src.executed_instrs
 
+(** Sliding-window phase profiles.
+
+    The online controller needs to know what is hot NOW, not what was
+    hot over the whole run, so it observes block executions into
+    fixed-size windows.  When a window fills it is folded into a
+    decayed history ([rate]): old phases fade at a configurable rate
+    while the just-closed window keeps full weight.  The raw counts of
+    the last closed window ([last]) expose phase changes — a block that
+    dominated the previous window and vanishes from the next one marks
+    a phase exit.
+
+    All state is per-window-close deterministic: the same observation
+    sequence produces the same rates regardless of hash-table iteration
+    order (per-key updates commute). *)
+module Window = struct
+  type w = {
+    size : int;  (** block executions per window *)
+    decay : float;  (** weight kept by history when a window closes *)
+    mutable seen : int;  (** observations in the open window *)
+    mutable closed : int;  (** windows closed so far *)
+    cur : (key, int) Hashtbl.t;  (** open window counts *)
+    prev : (key, int) Hashtbl.t;  (** last closed window counts *)
+    hot : (key, float) Hashtbl.t;  (** decayed per-window rates *)
+  }
+
+  let create ?(size = 4096) ?(decay = 0.5) () =
+    if size < 1 then invalid_arg "Profile.Window.create: size must be >= 1";
+    if decay < 0.0 || decay >= 1.0 then
+      invalid_arg "Profile.Window.create: decay must be in [0, 1)";
+    {
+      size;
+      decay;
+      seen = 0;
+      closed = 0;
+      cur = Hashtbl.create 64;
+      prev = Hashtbl.create 64;
+      hot = Hashtbl.create 64;
+    }
+
+  (** Record one block execution.  Returns [true] when the open window
+      just filled — the caller should {!advance} and take a control
+      decision. *)
+  let observe w ~func ~label =
+    let key = (func, label) in
+    let c = Option.value ~default:0 (Hashtbl.find_opt w.cur key) in
+    Hashtbl.replace w.cur key (c + 1);
+    w.seen <- w.seen + 1;
+    w.seen >= w.size
+
+  (** Close the open window: decay the history, fold the window in,
+      remember its raw counts, and start a fresh window. *)
+  let advance w =
+    (* Decay history; drop negligibly small entries so long runs with
+       many dead phases do not accumulate unbounded keys. *)
+    let stale =
+      Hashtbl.fold
+        (fun key r acc ->
+          let r' = r *. w.decay in
+          if r' < 1e-9 then key :: acc
+          else begin
+            Hashtbl.replace w.hot key r';
+            acc
+          end)
+        w.hot []
+    in
+    List.iter (Hashtbl.remove w.hot) stale;
+    Hashtbl.reset w.prev;
+    Hashtbl.iter
+      (fun key c ->
+        Hashtbl.replace w.prev key c;
+        let r = Option.value ~default:0.0 (Hashtbl.find_opt w.hot key) in
+        Hashtbl.replace w.hot key (r +. float_of_int c))
+      w.cur;
+    Hashtbl.reset w.cur;
+    w.seen <- 0;
+    w.closed <- w.closed + 1
+
+  (** Decayed rate of a block (executions per window, history-weighted). *)
+  let rate w ~func ~label =
+    Option.value ~default:0.0 (Hashtbl.find_opt w.hot (func, label))
+
+  (** Raw count of a block in the last closed window. *)
+  let last w ~func ~label =
+    Option.value ~default:0 (Hashtbl.find_opt w.prev (func, label))
+
+  let windows w = w.closed
+
+  (** The [n] hottest blocks by decayed rate, ties broken by key for
+      determinism. *)
+  let hottest w n =
+    let all = Hashtbl.fold (fun key r acc -> (key, r) :: acc) w.hot [] in
+    let sorted =
+      List.sort
+        (fun (ka, ra) (kb, rb) ->
+          let c = compare rb ra in
+          if c <> 0 then c else compare ka kb)
+        all
+    in
+    List.filteri (fun i _ -> i < n) sorted
+end
+
 (** Total software cycles attributed to each block of [m] under this
     profile: [freq * block_cycles].  Returns a sorted association list
     from (func, label) to cycles, heaviest first. *)

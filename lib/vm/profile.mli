@@ -42,3 +42,36 @@ val merge : into:t -> t -> unit
     profile: [freq * block_cycles].  Returns a sorted association list
     from (func, label) to cycles, heaviest first. *)
 val block_costs : t -> Ir.Irmod.t -> ((string * Ir.Instr.label) * int64) list
+
+(** Sliding-window phase profiles for the online controller: block
+    executions are counted into fixed-size windows; closed windows fold
+    into a decayed history so what-is-hot-now dominates what-was-hot.
+    Deterministic: rates depend only on the observation sequence. *)
+module Window : sig
+  type w
+
+  (** [create ?size ?decay ()] — [size] block executions per window
+      (>= 1, default 4096); [decay] history weight in [0, 1) (default
+      0.5). *)
+  val create : ?size:int -> ?decay:float -> unit -> w
+
+  (** Record one block execution; [true] when the window just filled
+      (caller should {!advance}). *)
+  val observe : w -> func:string -> label:Ir.Instr.label -> bool
+
+  (** Close the open window: decay history, fold the window in, start
+      fresh. *)
+  val advance : w -> unit
+
+  (** Decayed executions-per-window rate of a block. *)
+  val rate : w -> func:string -> label:Ir.Instr.label -> float
+
+  (** Raw count of a block in the last closed window. *)
+  val last : w -> func:string -> label:Ir.Instr.label -> int
+
+  (** Windows closed so far. *)
+  val windows : w -> int
+
+  (** The [n] hottest blocks by decayed rate (ties broken by key). *)
+  val hottest : w -> int -> ((string * Ir.Instr.label) * float) list
+end

@@ -1,0 +1,23 @@
+(** The Woolcano reconfigurable ASIP architecture.
+
+    Architectural constants of the platform the paper evaluates: a
+    Xilinx Virtex-4 FX with the PowerPC 405 hard core, user-defined
+    instruction (UDI) slots in the fabric attached through the APU, and
+    partial reconfiguration over the ICAP port. *)
+
+type t = {
+  core_clock_hz : float;  (** PowerPC 405 clock *)
+  udi_slots : int;  (** concurrently loadable instructions *)
+  max_ci_inputs : int;
+      (** register operands per UDI (via multi-word APU transfer) *)
+  slot_lut_capacity : int;  (** area ceiling of one slot *)
+  icap_bytes_per_second : float;  (** partial-reconfiguration bandwidth *)
+  reconfig_setup_seconds : float;  (** driver + ICAP setup per load *)
+}
+
+val default : t
+(** Virtex-4 FX100, 300 MHz 405 core, APU-attached UDIs. *)
+
+val reconfiguration_seconds : t -> Jitise_cad.Bitstream.t -> float
+(** Seconds to load one partial bitstream into a slot: setup plus
+    size over ICAP bandwidth. *)

@@ -198,6 +198,65 @@ let phase_family ~prefix ~phases ~width ~float_ops =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(** A phase family for the {e phase-shifting} workloads: like
+    {!phase_family} the kernel spans [phases] distinct loops over
+    shared arrays, but instead of a [<prefix>_run()] that executes all
+    phases each outer iteration, it emits a [<prefix>_select(ph)]
+    dispatcher that runs exactly {e one} phase.  The caller's main loop
+    decides which phase is hot {e when} — the property the online
+    controller adapts to and an offline whole-run profile averages
+    away.
+
+    Every phase body is one fat float expression (many multiplies and
+    adds over two array loads), so each phase contributes a distinct,
+    clearly profitable MAXMISO candidate rooted in its own basic
+    block. *)
+let shifting_phase_family ~prefix ~phases ~width =
+  let buf = Buffer.create 16384 in
+  Printf.bprintf buf "double %s_a[%d];\ndouble %s_b[%d];\n" prefix width prefix
+    width;
+  Printf.bprintf buf
+    "void %s_seed(int s) {\n\
+    \  int i;\n\
+    \  for (i = 0; i < %d; i = i + 1) {\n\
+    \    %s_a[i] = 0.5 + 0.001 * ((i * 13 + s) & 255);\n\
+    \    %s_b[i] = 0.25 + 0.002 * ((i * 7 + s) & 127);\n\
+    \  }\n\
+     }\n"
+    prefix width prefix prefix;
+  for k = 0 to phases - 1 do
+    let c1 = 0.5 +. (0.0625 *. float_of_int (k mod 8)) in
+    let c2 = 0.25 +. (0.03125 *. float_of_int (k mod 6)) in
+    let c3 = 1.0 +. (0.125 *. float_of_int (k mod 4)) in
+    Printf.bprintf buf "void %s_phase%d() {\n  int i;\n" prefix k;
+    Printf.bprintf buf "  for (i = 0; i < %d; i = i + 1) {\n" width;
+    (match k mod 3 with
+    | 0 ->
+        Printf.bprintf buf
+          "    %s_a[i] = (%s_a[i] * %.4f + %s_b[i] * %.4f) * (%s_a[i] - \
+           %s_b[i]) + (%s_b[i] * %.4f - %s_a[i] * %.4f);\n"
+          prefix prefix c1 prefix c2 prefix prefix prefix c3 prefix (c1 *. c2)
+    | 1 ->
+        Printf.bprintf buf
+          "    %s_b[i] = %s_b[i] * (%.4f + %s_a[i] * (%.4f + %s_a[i] * \
+           %.4f)) - %s_a[i] * (%s_b[i] + %.4f) * %.4f;\n"
+          prefix prefix c1 prefix c2 prefix c3 prefix prefix (c2 +. c3)
+          (c1 -. c2)
+    | _ ->
+        Printf.bprintf buf
+          "    %s_a[i] = (%s_a[i] + %s_b[i]) * (%s_a[i] - %.4f) * %.4f + \
+           (%s_b[i] * %s_b[i] - %s_a[i] * %.4f) * %.4f;\n"
+          prefix prefix prefix prefix c1 c2 prefix prefix prefix c3
+          (c1 +. c2));
+    Buffer.add_string buf "  }\n}\n"
+  done;
+  Printf.bprintf buf "void %s_select(int ph) {\n" prefix;
+  for k = 0 to phases - 1 do
+    Printf.bprintf buf "  if (ph == %d) { %s_phase%d(); return; }\n" k prefix k
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 (** Fixed-size initialization code: a table-setup function whose loop
     bounds never depend on the input — classified as {e constant}
     coverage when called once per run. *)

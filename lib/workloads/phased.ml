@@ -1,0 +1,130 @@
+(** Phase-shifting workloads for the online adaptive controller.
+
+    The table workloads execute every kernel phase each outer iteration,
+    so a whole-run profile is also the profile of every moment — offline
+    specialization is optimal by construction.  These programs break
+    that: the hot basic block {e moves} over the run (recurring bursts,
+    one phase at a time), which rewards a controller that tracks the
+    current phase and punishes eager whole-run specialization on a
+    fabric with fewer slots than phases.
+
+    All three share the {!Gen.shifting_phase_family} kernel shape and an
+    [int main(int n)] whose [n] scales the burst length:
+
+    - {b phased.blend}: 4 phases, long recurring bursts — the friendly
+      case: each phase is hot long enough to amortize CAD on first
+      visit and a reconfiguration on revisits.
+    - {b phased.sweep}: 6 phases over a 2-slot-friendly burst length
+      that sits near the launch threshold, so in-flight CAD is
+      routinely overtaken by the phase exit — exercising cancellation.
+    - {b phased.flash}: the same phases interleaved per iteration; no
+      phase is ever locally dominant, so eager per-phase loading would
+      thrash the slots while a break-even controller settles on a
+      stable working set.
+
+    Return values fold a per-iteration guard counter, not the float
+    arrays, so outcomes are identical whichever CI binding is active —
+    the cross-check the online report relies on. *)
+
+open Workload
+
+let blend_kernel = Gen.shifting_phase_family ~prefix:"pb" ~phases:4 ~width:96
+
+let blend_main =
+  {|
+int main(int n) {
+  int rep;
+  int ph;
+  int r;
+  int guard = 0;
+  pb_seed(3);
+  for (rep = 0; rep < 3; rep = rep + 1) {
+    for (ph = 0; ph < 4; ph = ph + 1) {
+      for (r = 0; r < n; r = r + 1) {
+        pb_select(ph);
+        guard = guard + ph + 1;
+      }
+    }
+  }
+  return guard & 1023;
+}
+|}
+
+let blend =
+  {
+    name = "phased.blend";
+    domain = Embedded;
+    sources =
+      [ ("pb_kernel.c", blend_kernel); ("pb_main.c", blend_main) ];
+    datasets = [ { label = "train"; n = 80 }; { label = "ref"; n = 400 } ];
+    description =
+      "four-phase float pipeline in long recurring bursts; each phase's \
+       kernel block is hot for a sustained stretch, then yields";
+  }
+
+let sweep_kernel = Gen.shifting_phase_family ~prefix:"ps" ~phases:6 ~width:96
+
+let sweep_main =
+  {|
+int main(int n) {
+  int rep;
+  int ph;
+  int r;
+  int guard = 0;
+  ps_seed(5);
+  for (rep = 0; rep < 3; rep = rep + 1) {
+    for (ph = 0; ph < 6; ph = ph + 1) {
+      for (r = 0; r < n; r = r + 1) {
+        ps_select(ph);
+        guard = guard + ph;
+      }
+    }
+  }
+  return guard & 1023;
+}
+|}
+
+let sweep =
+  {
+    name = "phased.sweep";
+    domain = Embedded;
+    sources =
+      [ ("ps_kernel.c", sweep_kernel); ("ps_main.c", sweep_main) ];
+    datasets = [ { label = "train"; n = 40 }; { label = "ref"; n = 150 } ];
+    description =
+      "six phases rotating over bursts sized near the controller's \
+       launch threshold: phases often end while CAD is still in flight";
+  }
+
+let flash_kernel = Gen.shifting_phase_family ~prefix:"pf" ~phases:4 ~width:96
+
+let flash_main =
+  {|
+int main(int n) {
+  int rep;
+  int r;
+  int guard = 0;
+  pf_seed(7);
+  for (rep = 0; rep < 3; rep = rep + 1) {
+    for (r = 0; r < n; r = r + 1) {
+      pf_select(r & 3);
+      guard = guard + (r & 3);
+    }
+  }
+  return guard & 1023;
+}
+|}
+
+let flash =
+  {
+    name = "phased.flash";
+    domain = Embedded;
+    sources =
+      [ ("pf_kernel.c", flash_kernel); ("pf_main.c", flash_main) ];
+    datasets = [ { label = "train"; n = 320 }; { label = "ref"; n = 1600 } ];
+    description =
+      "four phases interleaved every iteration: no phase dominates any \
+       window, so eager loading thrashes a small fabric";
+  }
+
+let all = [ blend; sweep; flash ]

@@ -169,6 +169,60 @@ let test_breakeven_split_costs () =
     (s.An.Breakeven.live_saved +. s.An.Breakeven.const_saved
     <= List.fold_left (fun a x -> a +. x.Ise.Select.saved_cycles) 0.0 sel +. 1e-9)
 
+(* Epsilon-aware comparisons: the boundary cases that used to fall to
+   raw float equality. *)
+
+let test_breakeven_epsilon_helpers () =
+  Alcotest.(check bool) "equal is approx_le" true
+    (An.Breakeven.approx_le 1.0 1.0);
+  Alcotest.(check bool) "within one ulp-ish is approx_le" true
+    (An.Breakeven.approx_le (0.1 +. 0.2) 0.3);
+  Alcotest.(check bool) "clearly greater is not" false
+    (An.Breakeven.approx_le 1.0001 1.0);
+  Alcotest.(check bool) "approx_ge mirrors" true
+    (An.Breakeven.approx_ge 0.3 (0.1 +. 0.2));
+  (* relative scaling: a billion-cycle total tolerates a billion-scaled
+     epsilon, not an absolute 1e-9 *)
+  Alcotest.(check bool) "relative epsilon at large magnitudes" true
+    (An.Breakeven.approx_le (1e12 +. 1e-3) 1e12);
+  Alcotest.(check bool) "zero is not definitely positive" false
+    (An.Breakeven.definitely_pos 0.0);
+  Alcotest.(check bool) "sub-epsilon is not definitely positive" false
+    (An.Breakeven.definitely_pos 1e-12);
+  Alcotest.(check bool) "real value is definitely positive" true
+    (An.Breakeven.definitely_pos 1e-3)
+
+let test_breakeven_worthwhile_boundary () =
+  Alcotest.(check bool) "foregone beyond overhead" true
+    (An.Breakeven.worthwhile ~overhead_seconds:1.0 ~foregone_seconds:2.0);
+  Alcotest.(check bool) "exact equality counts (ski rental)" true
+    (An.Breakeven.worthwhile ~overhead_seconds:1.0 ~foregone_seconds:1.0);
+  Alcotest.(check bool) "float-noise equality counts" true
+    (An.Breakeven.worthwhile ~overhead_seconds:0.3
+       ~foregone_seconds:(0.1 +. 0.2));
+  Alcotest.(check bool) "below overhead is not worthwhile" false
+    (An.Breakeven.worthwhile ~overhead_seconds:1.0 ~foregone_seconds:0.5);
+  Alcotest.(check bool) "zero foregone never invests" false
+    (An.Breakeven.worthwhile ~overhead_seconds:0.0 ~foregone_seconds:0.0)
+
+let test_breakeven_of_split_boundary () =
+  let ct = Ir.Cost.cycle_time in
+  (* overhead exactly equal to one run's savings: the boundary must land
+     in the within-first-run branch, not fall through to scale-out. *)
+  let s =
+    split ~live_cycles:2e6 ~const_cycles:0.0 ~live_saved:1e6 ~const_saved:0.0
+  in
+  let t = after (An.Breakeven.of_split s ~overhead_seconds:(1e6 *. ct)) in
+  Alcotest.(check (float 1e-9)) "boundary amortizes within the run"
+    (1e6 *. ct) t;
+  (* infinitesimal savings are Never, not a near-infinite After *)
+  let s =
+    split ~live_cycles:2e6 ~const_cycles:0.0 ~live_saved:1e-12
+      ~const_saved:0.0
+  in
+  Alcotest.(check bool) "sub-epsilon savings are Never" true
+    (An.Breakeven.of_split s ~overhead_seconds:1.0 = An.Breakeven.Never)
+
 (* ------------------------------------------------------------------ *)
 (* Cache model                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -269,6 +323,12 @@ let () =
           Alcotest.test_case "monotone" `Quick test_breakeven_monotone_in_overhead;
           Alcotest.test_case "const savings" `Quick test_breakeven_const_savings_help;
           Alcotest.test_case "split costs" `Quick test_breakeven_split_costs;
+          Alcotest.test_case "epsilon helpers" `Quick
+            test_breakeven_epsilon_helpers;
+          Alcotest.test_case "worthwhile boundary" `Quick
+            test_breakeven_worthwhile_boundary;
+          Alcotest.test_case "of_split boundary" `Quick
+            test_breakeven_of_split_boundary;
         ] );
       ( "cache",
         [

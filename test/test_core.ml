@@ -626,6 +626,125 @@ let test_timeline_faulted_events () =
     (t.Core.Jit_manager.specialization_seconds
     > r.Core.Asip_sp.search_wall_seconds)
 
+(* ------------------------------------------------------------------ *)
+(* Online closed-loop controller                                       *)
+(* ------------------------------------------------------------------ *)
+
+module JM = Core.Jit_manager
+
+(* No pruning for the online runs: the phase kernels must all reach the
+   candidate stage or a phase shift has nothing to swap to. *)
+let online_spec = Core.Spec.default |> Core.Spec.with_prune Ise.Prune.none
+
+let online_sweep =
+  lazy
+    (let w = Option.get (W.Registry.find "phased.sweep") in
+     (w, JM.online ~spec:online_spec db w))
+
+let test_online_report_structure () =
+  let _, r = Lazy.force online_sweep in
+  Alcotest.(check string) "app" "phased.sweep" r.JM.o_app;
+  Alcotest.(check bool) "windows observed" true (r.JM.o_windows > 0);
+  Alcotest.(check bool) "ci groups found" true (r.JM.o_cis > 0);
+  Alcotest.(check bool) "cad accounting" true
+    (r.JM.o_cad_completed + r.JM.o_cad_cancelled <= r.JM.o_cad_launched);
+  (* all three runs execute the same adapted module on the same input *)
+  let same a b =
+    match (a, b) with
+    | Some a, Some b -> Ir.Eval.equal_value a b
+    | None, None -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "same result in all three runs" true
+    (same r.JM.o_adaptive.JM.run_ret r.JM.o_oracle.JM.run_ret
+    && same r.JM.o_adaptive.JM.run_ret r.JM.o_nospec.JM.run_ret);
+  (* the no-specialization baseline never touches the fabric *)
+  Alcotest.(check int) "nospec reconfigures nothing" 0
+    r.JM.o_nospec.JM.run_reconfigurations;
+  Alcotest.(check (float 0.0)) "nospec never stalls" 0.0
+    r.JM.o_nospec.JM.run_stall_cycles;
+  Alcotest.(check bool) "events chronological" true
+    (let rec mono = function
+       | a :: b :: rest -> a.JM.at_seconds <= b.JM.at_seconds && mono (b :: rest)
+       | _ -> true
+     in
+     mono r.JM.o_events)
+
+let test_online_adaptive_pays_off () =
+  let _, r = Lazy.force online_sweep in
+  Alcotest.(check bool) "adaptive beats the static oracle" true
+    (r.JM.o_adaptive.JM.run_cycles < r.JM.o_oracle.JM.run_cycles);
+  Alcotest.(check bool) "adaptive beats no specialization" true
+    (r.JM.o_adaptive.JM.run_cycles < r.JM.o_nospec.JM.run_cycles);
+  Alcotest.(check bool) "the controller actually adapted" true
+    (r.JM.o_adaptive.JM.run_swaps > 0
+    && r.JM.o_adaptive.JM.run_reconfigurations > 0)
+
+let test_online_replay_is_jobs_invariant () =
+  (* the controller runs on simulated time, so the domain count used for
+     the CAD evaluation must not leak into the replay *)
+  let w, serial = Lazy.force online_sweep in
+  let par = JM.online ~spec:(Core.Spec.with_jobs 4 online_spec) db w in
+  let render r = Format.asprintf "%a" JM.pp_online r in
+  Alcotest.(check string) "jobs:4 replays byte-identically" (render serial)
+    (render par)
+
+let test_online_knobs_do_not_touch_the_sweep () =
+  (* loop-off guarantee: the [online] record is consulted only by the
+     online controller, so no setting of it may perturb the batch
+     pipeline's reports or the timeline rendering *)
+  let m, out = Lazy.force float_kernel in
+  let base =
+    Core.Asip_sp.run_spec db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  let tweaked_spec =
+    Core.Spec.with_online
+      {
+        Core.Spec.default_online with
+        Core.Spec.slots = 7;
+        Core.Spec.window = 64;
+        Core.Spec.evict = Jitise_woolcano.Asip.Beneficial;
+      }
+      Core.Spec.default
+  in
+  let tweaked =
+    Core.Asip_sp.run_spec ~spec:tweaked_spec db m out.Vm.Machine.profile
+      ~total_cycles:out.Vm.Machine.native_cycles
+  in
+  (* compare the simulated-time quantities: host-measured search wall
+     time is the only run-to-run variation allowed *)
+  Alcotest.(check (float 0.0)) "same overhead" base.Core.Asip_sp.sum_seconds
+    tweaked.Core.Asip_sp.sum_seconds;
+  Alcotest.(check (list string)) "same selection"
+    (List.map signature_of base.Core.Asip_sp.selection)
+    (List.map signature_of tweaked.Core.Asip_sp.selection);
+  Alcotest.(check (float 0.0)) "same speedup"
+    base.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio
+    tweaked.Core.Asip_sp.asip_ratio.Ise.Speedup.ratio;
+  let sim_timeline r =
+    let t = JM.timeline r in
+    (t.JM.reconfiguration_seconds, List.length t.JM.events)
+  in
+  Alcotest.(check bool) "same simulated timeline shape" true
+    (sim_timeline base = sim_timeline tweaked)
+
+let test_online_spec_validation () =
+  Alcotest.check_raises "slots must be >= 1"
+    (Invalid_argument "Spec.with_online: slots must be >= 1 (got 0)")
+    (fun () ->
+      ignore
+        (Core.Spec.with_online
+           { Core.Spec.default_online with Core.Spec.slots = 0 }
+           Core.Spec.default));
+  Alcotest.check_raises "decay must stay below 1"
+    (Invalid_argument "Spec.with_online: decay must be in [0, 1) (got 1)")
+    (fun () ->
+      ignore
+        (Core.Spec.with_online
+           { Core.Spec.default_online with Core.Spec.decay = 1.0 }
+           Core.Spec.default))
+
 let () =
   Alcotest.run "core"
     [
@@ -677,5 +796,18 @@ let () =
             test_jit_manager_timeline;
           Alcotest.test_case "jit manager overtake" `Quick
             test_jit_manager_overtake_math;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "report structure" `Slow
+            test_online_report_structure;
+          Alcotest.test_case "adaptive pays off" `Slow
+            test_online_adaptive_pays_off;
+          Alcotest.test_case "jobs-invariant replay" `Slow
+            test_online_replay_is_jobs_invariant;
+          Alcotest.test_case "loop off leaves the sweep alone" `Quick
+            test_online_knobs_do_not_touch_the_sweep;
+          Alcotest.test_case "spec validation" `Quick
+            test_online_spec_validation;
         ] );
     ]
