@@ -40,7 +40,7 @@ type fault_options = {
 }
 
 let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~store_dir ~vm_engine
-    ~fault_options:fo =
+    ~vm_tuning ~fault_options:fo =
   (* Fail before the sweep, not after: a full run takes minutes and an
      unwritable trace path would otherwise only surface at the end. *)
   Option.iter
@@ -61,6 +61,7 @@ let mk_spec ~trace ~jobs ~shared_cache ~stage_cache ~store_dir ~vm_engine
   let spec =
     Core.Spec.default |> Core.Spec.with_jobs jobs
     |> Core.Spec.with_vm_engine vm_engine
+    |> Core.Spec.with_vm_tuning vm_tuning
     |> Core.Spec.with_supervisor supervisor
   in
   (* Chaos before the store: {!Core.Spec.with_store_dir} wires the
@@ -107,11 +108,18 @@ let finish_spec ?(stage_stats = false) (spec : Core.Spec.t) trace =
   | Some c ->
       Format.eprintf "[cache] %a@." Cad.Cache.pp_stats (Cad.Cache.stats c)
   | None -> ());
-  match spec.Core.Spec.stage_cache with
+  (match spec.Core.Spec.stage_cache with
   | Some store when stage_stats ->
       Format.eprintf "[stage-cache] %a@." U.Artifact.pp_stats
         (U.Artifact.stats store)
-  | Some _ | None -> ()
+  | Some _ | None -> ());
+  if stage_stats then
+    match Vm.Machine.fusion_stats () with
+    | [] -> ()
+    | stats ->
+        Printf.eprintf "[vm-fusion] %s\n%!"
+          (String.concat ", "
+             (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) stats))
 
 let render_table1 ~faults:_ results =
   print_string (Core.Tables.render_table1 (Core.Tables.table1 results))
@@ -165,13 +173,13 @@ let run_inspect name =
   print_string (Ir.Printer.module_to_string r.F.Compiler.modul)
 
 let run_specialize name trace jobs shared_cache stage_cache stage_stats
-    store_dir vm_engine fault_options =
+    store_dir vm_engine vm_tuning fault_options =
   let w = load_workload name in
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace ~jobs ~shared_cache
       ~stage_cache:(stage_cache || stage_stats)
-      ~store_dir ~vm_engine ~fault_options
+      ~store_dir ~vm_engine ~vm_tuning ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let rep = r.Core.Experiment.report in
@@ -249,7 +257,8 @@ let run_timeline name jobs fault_options =
   let db = Lazy.force db in
   let spec =
     mk_spec ~trace:None ~jobs:1 ~shared_cache:false ~stage_cache:false
-      ~store_dir:None ~vm_engine:Vm.Machine.default_engine ~fault_options
+      ~store_dir:None ~vm_engine:Vm.Machine.default_engine
+      ~vm_tuning:Vm.Machine.default_tuning ~fault_options
   in
   let r = Core.Experiment.evaluate ~spec db w in
   let t = Core.Jit_manager.timeline ~jobs r.Core.Experiment.report in
@@ -338,7 +347,7 @@ let run_compile path no_opt =
       Printf.eprintf "%s\n" m;
       exit 1
 
-let run_run path n engine =
+let run_run path n engine tuning =
   let src = read_file path in
   match F.Compiler.compile ~module_name:path [ (path, src) ] with
   | exception F.Compiler.Error m ->
@@ -346,7 +355,7 @@ let run_run path n engine =
       exit 1
   | r -> (
       match
-        Vm.Machine.run ~engine r.F.Compiler.modul ~entry:"main"
+        Vm.Machine.run ~engine ~tuning r.F.Compiler.modul ~entry:"main"
           ~args:[ Ir.Eval.VInt (Int64.of_int n) ]
       with
       | exception Vm.Machine.Fault m ->
@@ -465,6 +474,52 @@ let vm_engine_arg =
            compilation with pre-decoded operands) or $(b,reference) (the \
            AST-walking baseline).  Profiles, reports and stage digests are \
            identical either way.")
+
+let vm_link_arg =
+  Arg.(
+    value
+    & opt bool Vm.Machine.default_tuning.Vm.Machine.link
+    & info [ "vm-link" ] ~docv:"BOOL"
+        ~doc:
+          "Threaded-engine block linking: terminators transfer to the \
+           successor's compiled block directly instead of returning to the \
+           indexed dispatch loop.  Semantics-preserving; on by default.")
+
+let vm_fuse_arg =
+  Arg.(
+    value
+    & opt bool Vm.Machine.default_tuning.Vm.Machine.fuse
+    & info [ "vm-fuse" ] ~docv:"BOOL"
+        ~doc:
+          "Threaded-engine superinstructions: peephole-fuse hot multi-op \
+           sequences (address computation, binop chains, compare-and-branch) \
+           into single closures.  Semantics-preserving; on by default.  \
+           Per-pattern hit counts print under $(b,--stage-stats).")
+
+let vm_ci_native_arg =
+  Arg.(
+    value
+    & opt bool Vm.Machine.default_tuning.Vm.Machine.ci_native
+    & info [ "vm-ci-native" ] ~docv:"BOOL"
+        ~doc:
+          "Execute loaded custom instructions as one fused native closure \
+           compiled from the MISO subgraph instead of interpreting the \
+           constituent ops.  Semantics-preserving; on by default.")
+
+let vm_link_budget_arg =
+  Arg.(
+    value
+    & opt positive_int Vm.Machine.default_tuning.Vm.Machine.max_linked_blocks
+    & info [ "vm-link-budget" ] ~docv:"N"
+        ~doc:
+          "Consecutive direct block-to-block transfers before the linked \
+           engine takes one trip through the indexed dispatch path.")
+
+let vm_tuning_term =
+  Term.(
+    const (fun link fuse ci_native max_linked_blocks ->
+        { Vm.Machine.link; fuse; ci_native; max_linked_blocks })
+    $ vm_link_arg $ vm_fuse_arg $ vm_ci_native_arg $ vm_link_budget_arg)
 
 let evict_conv =
   let parse s =
@@ -649,11 +704,11 @@ let sweep_cmd name doc render =
     Term.(
       const
         (fun trace jobs shared_cache stage_cache stage_stats store_dir
-             vm_engine fault_options ->
+             vm_engine vm_tuning fault_options ->
           let spec =
             mk_spec ~trace ~jobs ~shared_cache
               ~stage_cache:(stage_cache || stage_stats)
-              ~store_dir ~vm_engine ~fault_options
+              ~store_dir ~vm_engine ~vm_tuning ~fault_options
           in
           let results =
             Core.Experiment.sweep ~verbose:true ~spec (Lazy.force db)
@@ -661,7 +716,8 @@ let sweep_cmd name doc render =
           render ~faults:fault_options.faults results;
           finish_spec ~stage_stats spec trace)
       $ trace_arg $ jobs_arg $ shared_cache_arg $ stage_cache_arg
-      $ stage_stats_arg $ store_dir_arg $ vm_engine_arg $ fault_options_term)
+      $ stage_stats_arg $ store_dir_arg $ vm_engine_arg $ vm_tuning_term
+      $ fault_options_term)
 
 let cmds =
   [
@@ -687,7 +743,7 @@ let cmds =
       Term.(
         const run_specialize $ workload_arg $ trace_arg $ jobs_arg
         $ shared_cache_arg $ stage_cache_arg $ stage_stats_arg $ store_dir_arg
-        $ vm_engine_arg $ fault_options_term);
+        $ vm_engine_arg $ vm_tuning_term $ fault_options_term);
     Cmd.v
       (Cmd.info "timeline"
          ~doc:
@@ -720,7 +776,7 @@ let cmds =
         $ Arg.(
             value & opt int 10
             & info [ "n" ] ~docv:"N" ~doc:"Argument passed to main")
-        $ vm_engine_arg);
+        $ vm_engine_arg $ vm_tuning_term);
   ]
 
 let () =

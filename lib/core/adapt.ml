@@ -105,6 +105,125 @@ let eval_closure (f : Ir.Func.t) (dfg : Ir.Dfg.t) (c : Ise.Candidate.t) =
     | Some v -> v
     | None -> Ir.Eval.VInt 0L
 
+(* Compile the candidate's MISO subgraph to one fused native closure —
+   the hardware execution path of the VM's threaded engine (the CI
+   behaves as a single functional unit: one dispatch evaluates the
+   whole subgraph).  Same observable semantics as {!eval_closure} by
+   construction:
+
+   - the hashtable environment becomes a flat slot array, one slot per
+     input position then per node result, pre-initialized to [VInt 0L]
+     — exactly the interpreter's default for a missing env entry;
+   - operand resolution, type lookup and node order are decided at
+     compile time from the same static data the interpreter consults
+     per call ([input_tys], the node list), through the same
+     [Ir.Eval.*_fn] closures ([eval_*] is [*_fn] applied, so
+     pre-resolving the function is identity);
+   - an infeasible node kind compiles to a closure that raises the same
+     [Invalid_argument] at call time the interpreter raises;
+   - a fresh env array per call keeps the closure re-entrant and
+     domain-safe (parallel sweeps share registries). *)
+let native_closure (f : Ir.Func.t) (dfg : Ir.Dfg.t) (c : Ise.Candidate.t) =
+  let inputs = Ise.Candidate.external_input_regs dfg c.Ise.Candidate.nodes in
+  let input_pos = List.mapi (fun i r -> (r, i)) inputs in
+  let ninputs = List.length inputs in
+  let nodes =
+    List.map (fun n -> dfg.Ir.Dfg.nodes.(n).Ir.Dfg.instr) c.Ise.Candidate.nodes
+  in
+  let input_tys =
+    List.map
+      (fun r ->
+        match Ir.Func.reg_ty f r with
+        | ty -> (r, ty)
+        | exception Not_found -> (r, Ir.Ty.I32))
+      inputs
+  in
+  let root_id =
+    dfg.Ir.Dfg.nodes.(c.Ise.Candidate.root).Ir.Dfg.instr.Ir.Instr.id
+  in
+  (* Slot assignment: input positions first (for a register passed at
+     several positions the LAST wins, like the interpreter's
+     [Hashtbl.replace] loop), then node results in node order. *)
+  let slots : (Ir.Instr.reg, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (r, pos) -> Hashtbl.replace slots r pos) input_pos;
+  let next = ref ninputs in
+  let slot_of_def r =
+    match Hashtbl.find_opt slots r with
+    | Some s -> s
+    | None ->
+        let s = !next in
+        incr next;
+        Hashtbl.replace slots r s;
+        s
+  in
+  let node_slots =
+    List.map (fun (i : Ir.Instr.t) -> slot_of_def i.Ir.Instr.id) nodes
+  in
+  let nslots = max 1 !next in
+  let fetch_of (op : Ir.Instr.operand) : Ir.Eval.value array -> Ir.Eval.value =
+    match op with
+    | Ir.Instr.Const cst ->
+        let v = Ir.Eval.of_const cst in
+        fun _ -> v
+    | Ir.Instr.Reg r -> (
+        match Hashtbl.find_opt slots r with
+        | Some s -> fun env -> Array.unsafe_get env s
+        | None ->
+            (* neither an input nor a node result: the interpreter's
+               env miss default *)
+            fun _ -> Ir.Eval.VInt 0L)
+  in
+  let ty_of = function
+    | Ir.Instr.Const cst -> Ir.Instr.const_ty cst
+    | Ir.Instr.Reg r -> (
+        match List.assoc_opt r input_tys with
+        | Some ty -> ty
+        | None -> (
+            match
+              List.find_opt (fun (i : Ir.Instr.t) -> i.Ir.Instr.id = r) nodes
+            with
+            | Some i -> i.Ir.Instr.ty
+            | None -> Ir.Ty.I32))
+  in
+  let compile_node (i : Ir.Instr.t) (dst : int) :
+      Ir.Eval.value array -> unit =
+    match i.Ir.Instr.kind with
+    | Ir.Instr.Binop (op, a, b) ->
+        let fn = Ir.Eval.binop_fn i.Ir.Instr.ty op in
+        let fa = fetch_of a and fb = fetch_of b in
+        fun env -> Array.unsafe_set env dst (fn (fa env) (fb env))
+    | Ir.Instr.Icmp (p, a, b) ->
+        let fn = Ir.Eval.icmp_fn p in
+        let fa = fetch_of a and fb = fetch_of b in
+        fun env -> Array.unsafe_set env dst (fn (fa env) (fb env))
+    | Ir.Instr.Fcmp (p, a, b) ->
+        let fn = Ir.Eval.fcmp_fn p in
+        let fa = fetch_of a and fb = fetch_of b in
+        fun env -> Array.unsafe_set env dst (fn (fa env) (fb env))
+    | Ir.Instr.Cast (cast, a) ->
+        let fn = Ir.Eval.cast_fn cast ~from_:(ty_of a) ~to_:i.Ir.Instr.ty in
+        let fa = fetch_of a in
+        fun env -> Array.unsafe_set env dst (fn (fa env))
+    | Ir.Instr.Select (cc, a, b) ->
+        let fc = fetch_of cc and fa = fetch_of a and fb = fetch_of b in
+        fun env ->
+          Array.unsafe_set env dst
+            (if Ir.Eval.is_true (fc env) then fa env else fb env)
+    | _ ->
+        fun _ ->
+          invalid_arg "Adapt: infeasible instruction inside a custom instruction"
+  in
+  let ops = Array.of_list (List.map2 compile_node nodes node_slots) in
+  let root_slot = Hashtbl.find_opt slots root_id in
+  fun (args : Ir.Eval.value array) ->
+    let env = Array.make nslots (Ir.Eval.VInt 0L) in
+    let k = min (Array.length args) ninputs in
+    Array.blit args 0 env 0 k;
+    for i = 0 to Array.length ops - 1 do
+      (Array.unsafe_get ops i) env
+    done;
+    (match root_slot with Some s -> env.(s) | None -> Ir.Eval.VInt 0L)
+
 type t = {
   modul : Ir.Irmod.t;              (** the adapted binary *)
   registry : Vm.Machine.ci_registry;  (** CI semantics + latencies *)
@@ -172,6 +291,7 @@ let apply (m : Ir.Irmod.t) (selection : Ise.Select.scored list) : t =
         {
           Vm.Machine.ci_eval = eval_closure orig_f dfg c;
           ci_cycles = s.Ise.Select.estimate.Pp.Estimator.hw_cycles;
+          ci_native = Some (native_closure orig_f dfg c);
         })
     selection;
   { modul = adapted; registry; replaced_instrs = !replaced }

@@ -82,13 +82,15 @@ let profile_stage :
       (W.Workload.dataset * Vm.Machine.outcome) list )
     Pipeline.stage =
   Pipeline.stage ~cat:"vm" "profile"
-    (* The digest deliberately excludes [spec.vm_engine]: both engines
-       produce byte-identical outcomes (pinned by the differential
-       suite in test_vm), so artifacts stay valid across engines. *)
+    (* The digest deliberately excludes [spec.vm_engine] and
+       [spec.vm_tuning]: every engine and tuning combination produces
+       byte-identical outcomes (pinned by the differential suite in
+       test_vm), so artifacts stay valid across all of them. *)
     ~digest:(fun _spec (w, _compiled) -> workload_digest w)
     ~codec:Codecs.profile_outcomes
     (fun ctx (w, compiled) ->
-      W.Workload.run_all ~engine:ctx.Pipeline.spec.Spec.vm_engine compiled w)
+      W.Workload.run_all ~engine:ctx.Pipeline.spec.Spec.vm_engine
+        ~tuning:ctx.Pipeline.spec.Spec.vm_tuning compiled w)
 
 let coverage_stage :
     ( W.Workload.t * Ir.Irmod.t * Vm.Profile.t list,

@@ -443,7 +443,7 @@ let monitored_run ~(spec : Spec.t) ~label ~(adapt : Adapt.t)
   in
   let outcome =
     Vm.Machine.run ~cis:adapt.Adapt.registry ~engine:spec.Spec.vm_engine
-      ~monitor adapt.Adapt.modul ~entry:"main"
+      ~tuning:spec.Spec.vm_tuning ~monitor adapt.Adapt.modul ~entry:"main"
       ~args:[ Ir.Eval.VInt (Int64.of_int dataset.W.Workload.n) ]
   in
   ( {

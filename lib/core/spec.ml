@@ -97,6 +97,12 @@ type t = {
           {!Vm.Machine.Threaded}).  Outcomes — and therefore reports
           and stage digests — are engine-invariant; the knob exists for
           semantics cross-checks and benchmarking. *)
+  vm_tuning : Vm.Machine.tuning;
+      (** threaded-engine optimization knobs (block linking,
+          superinstruction fusion, CI-native dispatch; default
+          {!Vm.Machine.default_tuning}).  Like [vm_engine], outcomes
+          are tuning-invariant, so the field is excluded from stage
+          digests. *)
   chaos : U.Chaos.config;
       (** multi-plane chaos model (stage crashes/stalls, pool worker
           poisoning, store I/O faults); {!U.Chaos.none} (the default)
@@ -125,6 +131,7 @@ let default =
     faults = Cad.Faults.none;
     retry = U.Retry.default;
     vm_engine = Vm.Machine.default_engine;
+    vm_tuning = Vm.Machine.default_tuning;
     chaos = U.Chaos.none;
     supervisor = U.Supervisor.default_policy;
     online = default_online;
@@ -189,6 +196,14 @@ let with_retry retry t =
   { t with retry }
 
 let with_vm_engine vm_engine t = { t with vm_engine }
+
+let with_vm_tuning (vm_tuning : Vm.Machine.tuning) t =
+  if vm_tuning.Vm.Machine.max_linked_blocks < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Spec.with_vm_tuning: max_linked_blocks must be >= 1 (got %d)"
+         vm_tuning.Vm.Machine.max_linked_blocks);
+  { t with vm_tuning }
 
 let with_chaos chaos t =
   U.Chaos.validate chaos;

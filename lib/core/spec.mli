@@ -86,6 +86,12 @@ type t = {
           {!Vm.Machine.Threaded}).  Outcomes — and therefore reports
           and stage digests — are engine-invariant; the knob exists for
           semantics cross-checks and benchmarking. *)
+  vm_tuning : Vm.Machine.tuning;
+      (** threaded-engine optimization knobs (block linking,
+          superinstruction fusion, CI-native dispatch; default
+          {!Vm.Machine.default_tuning}).  Like [vm_engine], outcomes
+          are tuning-invariant, so the field is excluded from stage
+          digests. *)
   chaos : U.Chaos.config;
       (** multi-plane chaos model (stage crashes/stalls, pool worker
           poisoning, store I/O faults); {!U.Chaos.none} (the default)
@@ -133,6 +139,9 @@ val with_retry : U.Retry.policy -> t -> t
 (** @raise Invalid_argument on an invalid retry policy. *)
 
 val with_vm_engine : Vm.Machine.engine -> t -> t
+
+val with_vm_tuning : Vm.Machine.tuning -> t -> t
+(** @raise Invalid_argument when [max_linked_blocks < 1]. *)
 
 val with_chaos : U.Chaos.config -> t -> t
 (** @raise Invalid_argument on an out-of-range chaos configuration. *)

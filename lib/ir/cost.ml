@@ -72,6 +72,17 @@ let terminator_cycles = function
     warm-up model to land in that range. *)
 let vm_dispatch_cycles = 2
 
+(** Dispatch cycles charged for one interpreted (pre-warm-up) execution
+    of a block of [ninstrs] IR instructions.  The charge is per IR
+    instruction, applied exactly once per block execution — one modeled
+    dispatch per instruction.  Host-side execution strategies (block
+    linking, superinstruction fusion, CI-native closures) change how
+    many host closures run, never this charge: the simulated machine
+    dispatches IR instructions one at a time whatever the host batches.
+    Both the VM's block accounting and {!Jit_model} must go through
+    this single definition so the two cannot drift. *)
+let block_dispatch_cycles ~ninstrs = vm_dispatch_cycles * ninstrs
+
 (** Call/return linkage overhead charged by the VM in addition to the
     callee body. *)
 let call_linkage_cycles = 12

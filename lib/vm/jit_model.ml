@@ -59,4 +59,4 @@ let block_execution_cycles t ~prior ~ninstrs ~native_cycles =
   if prior >= t.warmup_threshold then t.hot_factor *. float_of_int native_cycles
   else
     float_of_int
-      (native_cycles + (Jitise_ir.Cost.vm_dispatch_cycles * ninstrs))
+      (native_cycles + Jitise_ir.Cost.block_dispatch_cycles ~ninstrs)

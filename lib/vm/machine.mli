@@ -30,6 +30,11 @@ type ci_impl = {
   ci_cycles : int;
       (** CPU cycles one invocation takes on the custom functional
           unit, including the instruction-interface overhead *)
+  ci_native : (Ir.Eval.value array -> Ir.Eval.value) option;
+      (** fused closure compiled ahead of time from the CI's MISO
+          subgraph: one dispatch, no per-node interpretation.  Must be
+          functionally identical to [ci_eval]; the threaded engine
+          dispatches it when {!tuning.ci_native} is on. *)
 }
 
 type ci_registry = (int, ci_impl) Hashtbl.t
@@ -61,6 +66,49 @@ val default_engine : engine
 val engines : engine list
 val engine_name : engine -> string
 val engine_of_string : string -> engine option
+
+(* ------------------------------------------------------------------ *)
+(* Engine tuning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Optimization knobs of the {!Threaded} engine.  Every knob is
+    semantics-preserving: outcomes — clocks, fuel, profiles, fault
+    messages — are byte-identical across all combinations (pinned by
+    the differential suite), so the knobs exist for isolation
+    benchmarking and differential testing, not for trading accuracy
+    against speed.  See DESIGN.md §13. *)
+type tuning = {
+  link : bool;
+      (** block linking: terminators transfer to the successor's
+          compiled block directly instead of returning to the indexed
+          dispatch loop *)
+  fuse : bool;
+      (** superinstructions: peephole-fuse hot multi-op sequences into
+          single non-allocating closures *)
+  ci_native : bool;
+      (** dispatch a loaded CI's pre-compiled fused closure
+          ({!ci_impl.ci_native}) instead of interpreting its MISO
+          subgraph op by op *)
+  max_linked_blocks : int;
+      (** linked-transfer budget: after this many consecutive direct
+          block-to-block transfers the engine takes one trip through
+          the indexed dispatch path (the escape hatch).  Fuel, clocks
+          and the monitor hook run at every block boundary regardless.
+          Must be >= 1. *)
+}
+
+(** Everything on, [max_linked_blocks = 64]. *)
+val default_tuning : tuning
+
+(** The PR 4 threaded engine: every optimization layer off. *)
+val untuned : tuning
+
+(** Per-pattern superinstruction hit counts since start (or the last
+    {!reset_fusion_stats}), sorted by pattern name.  Counted at block
+    compile time, one bump per fused window. *)
+val fusion_stats : unit -> (string * int) list
+
+val reset_fusion_stats : unit -> unit
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -111,13 +159,17 @@ type monitor = control -> func:string -> label:int -> ninstrs:int -> unit
     @param cis configured custom instructions (default none)
     @param engine execution engine (default {!default_engine});
       outcomes are identical across engines
+    @param tuning threaded-engine optimization knobs (default
+      {!default_tuning}); outcomes are identical across combinations
     @param monitor online controller hook (see {!monitor})
-    @raise Fault on any runtime error. *)
+    @raise Fault on any runtime error.
+    @raise Invalid_argument if [tuning.max_linked_blocks < 1]. *)
 val run :
   ?fuel:int64 ->
   ?jit:Jit_model.t ->
   ?cis:ci_registry ->
   ?engine:engine ->
+  ?tuning:tuning ->
   ?monitor:monitor ->
   Ir.Irmod.t ->
   entry:string ->

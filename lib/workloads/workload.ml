@@ -43,12 +43,13 @@ let compile ?optimize (w : t) : F.Compiler.result =
   F.Compiler.compile ?optimize ~module_name:w.name w.sources
 
 (** Run one dataset on the VM and return the outcome. *)
-let run ?fuel ?jit ?cis ?engine (compiled : F.Compiler.result) (d : dataset) =
-  Vm.Machine.run ?fuel ?jit ?cis ?engine compiled.F.Compiler.modul
+let run ?fuel ?jit ?cis ?engine ?tuning (compiled : F.Compiler.result)
+    (d : dataset) =
+  Vm.Machine.run ?fuel ?jit ?cis ?engine ?tuning compiled.F.Compiler.modul
     ~entry:"main"
     ~args:[ Ir.Eval.VInt (Int64.of_int d.n) ]
 
 (** Profiles for every dataset of a workload (used by the coverage
     classifier); returns [(dataset, outcome)] pairs. *)
-let run_all ?fuel ?jit ?engine (compiled : F.Compiler.result) (w : t) =
-  List.map (fun d -> (d, run ?fuel ?jit ?engine compiled d)) w.datasets
+let run_all ?fuel ?jit ?engine ?tuning (compiled : F.Compiler.result) (w : t) =
+  List.map (fun d -> (d, run ?fuel ?jit ?engine ?tuning compiled d)) w.datasets

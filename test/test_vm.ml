@@ -227,6 +227,13 @@ let mul_ci_registry () =
           Ir.Eval.VInt
             (Int64.mul (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1))));
       ci_cycles = 2;
+      (* a distinguishable native impl would break the differential
+         suite: the knob must be unobservable in outcomes *)
+      ci_native =
+        Some
+          (fun args ->
+            Ir.Eval.VInt
+              (Int64.mul (Ir.Eval.as_int args.(0)) (Ir.Eval.as_int args.(1))));
     };
   cis
 
@@ -263,6 +270,26 @@ let test_jit_model_block_cycles () =
   in
   Alcotest.(check bool) "cold interp is slower" true (cold > 20.0);
   Alcotest.(check bool) "hot is native-or-better" true (hot <= 20.0)
+
+let test_dispatch_accounting () =
+  (* The dispatch charge is per executed IR instruction, independent of
+     how the host engine batches the work (DESIGN.md §13): a block of
+     [ninstrs] instructions always charges exactly
+     [vm_dispatch_cycles * ninstrs] while interpreted. *)
+  Alcotest.(check int)
+    "block charge is per-instruction" 20
+    (Ir.Cost.block_dispatch_cycles ~ninstrs:10);
+  Alcotest.(check int)
+    "empty block charges nothing" 0
+    (Ir.Cost.block_dispatch_cycles ~ninstrs:0);
+  let cold =
+    Vm.Jit_model.block_execution_cycles Vm.Jit_model.default ~prior:0L
+      ~ninstrs:10 ~native_cycles:25
+  in
+  Alcotest.(check (float 0.0))
+    "cold = native + dispatch"
+    (float_of_int (25 + Ir.Cost.block_dispatch_cycles ~ninstrs:10))
+    cold
 
 let test_seconds_of_cycles () =
   Alcotest.(check (float 1e-12)) "300 MHz" 1.0
@@ -491,6 +518,208 @@ let test_diff_fault_parity () =
   check_fault_parity "unknown callee" ~n:1 (unknown_callee_module ());
   check_fault_parity "unconfigured ci" ~n:6 (ci_module ())
 
+(* ------------------------------------------------------------------ *)
+(* Tuning-knob differential: all (link, fuse, ci_native) combinations  *)
+(* ------------------------------------------------------------------ *)
+
+(* The eight knob combinations under a deliberately tiny linking budget
+   (so the escape hatch fires inside short loops), plus the two budget
+   extremes under full tuning. *)
+let all_tunings =
+  List.concat_map
+    (fun link ->
+      List.concat_map
+        (fun fuse ->
+          List.map
+            (fun ci_native ->
+              { Vm.Machine.link; fuse; ci_native; max_linked_blocks = 3 })
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+  @ [
+      {
+        Vm.Machine.link = true;
+        fuse = true;
+        ci_native = true;
+        max_linked_blocks = 1;
+      };
+      {
+        Vm.Machine.link = true;
+        fuse = true;
+        ci_native = true;
+        max_linked_blocks = 1024;
+      };
+    ]
+
+let tuning_tag (t : Vm.Machine.tuning) =
+  Printf.sprintf "link=%b fuse=%b ci=%b budget=%d" t.Vm.Machine.link
+    t.Vm.Machine.fuse t.Vm.Machine.ci_native t.Vm.Machine.max_linked_blocks
+
+(* One Reference run, then every tuned Threaded variant against it. *)
+let diff_all_tunings ?fuel ?cis ?(entry = "main") ~args what m =
+  let ref_out =
+    Vm.Machine.run ?fuel ?cis ~engine:Vm.Machine.Reference m ~entry ~args
+  in
+  List.iter
+    (fun tuning ->
+      let t =
+        Vm.Machine.run ?fuel ?cis ~engine:Vm.Machine.Threaded ~tuning m ~entry
+          ~args
+      in
+      check_outcomes_equal (what ^ " [" ^ tuning_tag tuning ^ "]") ref_out t)
+    all_tunings;
+  ref_out
+
+let diff_all_n ?fuel ?cis ~n what m =
+  diff_all_tunings ?fuel ?cis ~args:[ Ir.Eval.VInt (Int64.of_int n) ] what m
+
+let check_fault_parity_tunings ?fuel ?cis what ~n m =
+  let r = fault_msg ?fuel ?cis ~engine:Vm.Machine.Reference ~n m in
+  Alcotest.(check bool) (what ^ ": faulted") true (r <> None);
+  List.iter
+    (fun tuning ->
+      let t =
+        try
+          ignore
+            (Vm.Machine.run ?fuel ?cis ~engine:Vm.Machine.Threaded ~tuning m
+               ~entry:"main"
+               ~args:[ Ir.Eval.VInt (Int64.of_int n) ]);
+          None
+        with Vm.Machine.Fault msg -> Some msg
+      in
+      Alcotest.(check (option string))
+        (what ^ " [" ^ tuning_tag tuning ^ "]")
+        r t)
+    all_tunings
+
+let test_tuning_self_loop () =
+  (* A single self-looping block: a linked chain repeatedly re-enters
+     the same compiled block and trips the budget escape hatch. *)
+  let m =
+    compile
+      "int main(int n) {\n\
+      \  int i = 0; int acc = 0;\n\
+      \  while (i < n) { acc = acc + i * 3 - 1; i = i + 1; }\n\
+      \  return acc;\n\
+       }\n"
+  in
+  List.iter
+    (fun n -> ignore (diff_all_n ~n (Printf.sprintf "self loop n=%d" n) m))
+    [ 0; 1; 2; 3; 4; 100 ]
+
+let test_tuning_block_cycle () =
+  (* Two alternating loop-body blocks (a mutual cycle through the loop
+     header): linking follows the cycle across distinct blocks. *)
+  let m =
+    compile
+      "int main(int n) {\n\
+      \  int a = 0; int b = 1; int i = 0;\n\
+      \  while (i < n) {\n\
+      \    if (i - (i / 2) * 2 == 0) { a = a + b; } else { b = a + b; }\n\
+      \    i = i + 1;\n\
+      \  }\n\
+      \  return a * 1000 + b;\n\
+       }\n"
+  in
+  List.iter
+    (fun n -> ignore (diff_all_n ~n (Printf.sprintf "block cycle n=%d" n) m))
+    [ 0; 1; 2; 3; 7; 64 ]
+
+let test_tuning_switch_heavy () =
+  (* First-match-wins duplicate-case switch under every combination. *)
+  let m = switch_module () in
+  List.iter
+    (fun n -> ignore (diff_all_n ~n (Printf.sprintf "tuned switch n=%d" n) m))
+    [ 0; 1; 2; 7 ];
+  (* and a dispatch-table-shaped loop: a mode dispatcher driven round
+     the table, so every arm's block chain gets linked and fused *)
+  let src =
+    W.Gen.mode_family ~app:"tx" ~live:5 ~cfg:3 ~dead:2
+    ^ "int main(int n) {\n\
+      \  int acc = tx_startup();\n\
+      \  int t;\n\
+      \  for (t = 0; t < n; t = t + 1) { acc = acc + tx_step(t); }\n\
+      \  return acc;\n\
+       }\n"
+  in
+  let dm = compile src in
+  List.iter
+    (fun n -> ignore (diff_all_n ~n (Printf.sprintf "dispatch n=%d" n) dm))
+    [ 0; 5; 83 ]
+
+let test_tuning_fuel_mid_chain () =
+  (* Fuel runs out in the middle of a linked chain: the fault must name
+     the same function and remaining budget under every combination,
+     i.e. linking must not batch fuel across block boundaries. *)
+  let m =
+    compile "int main(int n) { while (1 == 1) { n = n + 3; } return n; }"
+  in
+  List.iter
+    (fun fuel ->
+      check_fault_parity_tunings
+        (Printf.sprintf "fuel=%Ld mid-chain" fuel)
+        ~fuel ~n:0 m)
+    [ 7L; 100L; 10_001L ]
+
+let test_tuning_ci_call () =
+  (* Exercises the ci_native knob on both the hit and the miss path. *)
+  let m = ci_module () in
+  let cis = mul_ci_registry () in
+  ignore (diff_all_n ~cis ~n:6 "tuned ci" m);
+  ignore (diff_all_n ~cis ~n:(-3) "tuned ci negative" m)
+
+let test_tuning_load_sink_faults () =
+  (* A fusable single-use load with a wild computed index: the sunk
+     load's fault must carry the same block-level message. *)
+  check_fault_parity_tunings "sunk load wild index" ~n:5000
+    (compile "int a[4]; int main(int n) { return a[n * 3 + 1] + 1; }");
+  check_fault_parity_tunings "sunk load null" ~n:(-1000)
+    (compile "int a[4]; int main(int n) { return a[n] * 2; }");
+  (* two single-use loads feeding one add: each is a barrier inside the
+     other's sink window, so at most one sinks; the reported address
+     must stay the textually first load's under every combination *)
+  check_fault_parity_tunings "two-load barrier" ~n:5000
+    (compile "int a[4]; int b[4]; int main(int n) { return a[n] + b[0]; }");
+  (* a store between a load and its consumer is a barrier too *)
+  check_fault_parity_tunings "store barrier" ~n:5000
+    (compile
+       "int a[4]; int b[4];\n\
+        int main(int n) { int x = a[n]; b[0] = 7; return x + 1; }\n")
+
+let test_fusion_stats () =
+  let m =
+    compile
+      "int a[8];\n\
+       int main(int n) {\n\
+      \  int i = 0;\n\
+      \  while (i < n) { a[i - (i / 8) * 8] = i * 2 + 1; i = i + 1; }\n\
+      \  return a[0];\n\
+       }\n"
+  in
+  let go tuning =
+    ignore
+      (Vm.Machine.run ~engine:Vm.Machine.Threaded ~tuning m ~entry:"main"
+         ~args:[ Ir.Eval.VInt 7L ])
+  in
+  Vm.Machine.reset_fusion_stats ();
+  go Vm.Machine.untuned;
+  Alcotest.(check (list (pair string int)))
+    "untuned compiles no fused window" []
+    (Vm.Machine.fusion_stats ());
+  go Vm.Machine.default_tuning;
+  let stats = Vm.Machine.fusion_stats () in
+  Alcotest.(check bool)
+    "fused patterns counted" true
+    (stats <> [] && List.for_all (fun (_, c) -> c > 0) stats);
+  Alcotest.(check (list string))
+    "sorted by pattern name"
+    (List.sort compare (List.map fst stats))
+    (List.map fst stats);
+  Vm.Machine.reset_fusion_stats ();
+  Alcotest.(check (list (pair string int)))
+    "reset clears" []
+    (Vm.Machine.fusion_stats ())
+
 let test_diff_registry_workloads () =
   (* Full differential over real workloads from the registry, every
      dataset each. *)
@@ -709,6 +938,8 @@ let () =
         [
           Alcotest.test_case "translation" `Quick test_jit_model_translation;
           Alcotest.test_case "block cycles" `Quick test_jit_model_block_cycles;
+          Alcotest.test_case "dispatch accounting" `Quick
+            test_dispatch_accounting;
           Alcotest.test_case "clock" `Quick test_seconds_of_cycles;
         ] );
       ( "engine differential",
@@ -723,6 +954,18 @@ let () =
           Alcotest.test_case "registry workloads" `Slow
             test_diff_registry_workloads;
           QCheck_alcotest.to_alcotest qcheck_diff_generated;
+        ] );
+      ( "tuning differential",
+        [
+          Alcotest.test_case "self loop" `Quick test_tuning_self_loop;
+          Alcotest.test_case "block cycle" `Quick test_tuning_block_cycle;
+          Alcotest.test_case "switch heavy" `Quick test_tuning_switch_heavy;
+          Alcotest.test_case "fuel mid-chain" `Quick
+            test_tuning_fuel_mid_chain;
+          Alcotest.test_case "ci call" `Quick test_tuning_ci_call;
+          Alcotest.test_case "load-sink faults" `Quick
+            test_tuning_load_sink_faults;
+          Alcotest.test_case "fusion stats" `Quick test_fusion_stats;
         ] );
       ( "engine golden",
         [
