@@ -373,27 +373,29 @@ let pipeline_report path =
 (* VM engine microbenchmark (BENCH_vm.json)                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Dynamic-instructions/second of three VM configurations over the
+(* Dynamic-instructions/second of four VM configurations over the
    workload registry, reported as machine-readable JSON for CI:
 
-   - reference — the AST-walking semantics baseline;
-   - threaded  — the threaded engine with every tuning knob off (the
+   - reference   — the AST-walking semantics baseline;
+   - threaded    — the threaded engine with every tuning knob off (the
      PR 4 engine: indexed dispatch, one closure per IR instruction,
      interpreted CIs);
-   - tuned     — the threaded engine with block linking,
-     superinstruction fusion and CI-native dispatch on
-     ({!Vm.Machine.default_tuning}).
+   - tuned-boxed — block linking, superinstruction fusion and
+     CI-native dispatch over the boxed register file (the PR 8 tuned
+     engine: {!Vm.Machine.default_tuning} with [regalloc] off);
+   - tuned       — everything on, including the typed unboxed register
+     files ({!Vm.Machine.default_tuning}).
 
    Each workload's train dataset runs [reps] times per configuration —
    the configurations alternate within one rep loop, so slow drift
-   (frequency scaling, a noisy neighbour) hits all three equally — and
+   (frequency scaling, a noisy neighbour) hits all four equally — and
    the best wall time counts (the usual minimum-of-repetitions noise
    filter), with a major GC slice collected before each timing so one
-   run's garbage is not billed to the next.  All three outcomes are
+   run's garbage is not billed to the next.  All four outcomes are
    cross-checked pairwise — a semantics divergence here fails the
    benchmark rather than producing a meaningless speedup number.
 
-   [workloads] restricts the sweep (the CI smoke step runs two pinned
+   [workloads] restricts the sweep (the CI smoke step runs three pinned
    workloads); [gate] is a floor on the tuned/threaded geomean below
    which the run exits 1 (the CI regression tripwire: tuned must never
    be slower than plain threaded). *)
@@ -407,7 +409,8 @@ let vm_report ?workloads ?gate path =
         only
   in
   prerr_endline
-    "[bench] vm: reference vs threaded vs threaded+tuned over the registry...";
+    "[bench] vm: reference vs threaded vs tuned-boxed vs tuned over the \
+     registry...";
   let check_identical name what (a : Vm.Machine.outcome)
       (b : Vm.Machine.outcome) =
     let same_ret =
@@ -438,6 +441,9 @@ let vm_report ?workloads ?gate path =
     [
       ("reference", Vm.Machine.Reference, Vm.Machine.untuned);
       ("threaded", Vm.Machine.Threaded, Vm.Machine.untuned);
+      ( "tuned-boxed",
+        Vm.Machine.Threaded,
+        { Vm.Machine.default_tuning with Vm.Machine.regalloc = false } );
       ("tuned", Vm.Machine.Threaded, Vm.Machine.default_tuning);
     ]
   in
@@ -459,17 +465,18 @@ let vm_report ?workloads ?gate path =
         done;
         let out i = Option.get outs.(i) in
         check_identical name "reference vs threaded" (out 0) (out 1);
-        check_identical name "threaded vs tuned" (out 1) (out 2);
+        check_identical name "threaded vs tuned-boxed" (out 1) (out 2);
+        check_identical name "tuned-boxed vs tuned" (out 2) (out 3);
         let instrs =
           Int64.to_float (out 0).Vm.Machine.profile.Vm.Profile.executed_instrs
         in
         let ips i = instrs /. best.(i) in
         Printf.eprintf
-          "[bench] vm: %-14s %10.0f instrs  ref %7.2f  thr %7.2f  tuned \
-           %7.2f Mi/s  (tuned/thr %.2fx)\n\
+          "[bench] vm: %-14s %10.0f instrs  ref %7.2f  thr %7.2f  boxed \
+           %7.2f  tuned %7.2f Mi/s  (tuned/boxed %.2fx)\n\
            %!"
           name instrs (ips 0 /. 1e6) (ips 1 /. 1e6) (ips 2 /. 1e6)
-          (ips 2 /. ips 1);
+          (ips 3 /. 1e6) (ips 3 /. ips 2);
         (name, instrs, best))
       names
   in
@@ -482,8 +489,10 @@ let vm_report ?workloads ?gate path =
   (* times are seconds, so speedup of config i over config j is
      b.(j) /. b.(i) *)
   let g_thr_ref = geomean (fun b -> b.(0) /. b.(1)) in
-  let g_tuned_thr = geomean (fun b -> b.(1) /. b.(2)) in
-  let g_tuned_ref = geomean (fun b -> b.(0) /. b.(2)) in
+  let g_boxed_thr = geomean (fun b -> b.(1) /. b.(2)) in
+  let g_tuned_thr = geomean (fun b -> b.(1) /. b.(3)) in
+  let g_tuned_ref = geomean (fun b -> b.(0) /. b.(3)) in
+  let g_tuned_boxed = geomean (fun b -> b.(2) /. b.(3)) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -494,7 +503,7 @@ let vm_report ?workloads ?gate path =
        reps);
   Buffer.add_string buf
     "  \"tuning\": {\"link\": true, \"fuse\": true, \"ci_native\": true, \
-     \"max_linked_blocks\": 64},\n";
+     \"regalloc\": true, \"max_linked_blocks\": 64},\n";
   Buffer.add_string buf "  \"workloads\": [\n";
   let n = List.length rows in
   List.iteri
@@ -503,28 +512,39 @@ let vm_report ?workloads ?gate path =
         (Printf.sprintf
            "    {\"name\": %S, \"dynamic_instrs\": %.0f, \
             \"reference_seconds\": %.6f, \"threaded_seconds\": %.6f, \
-            \"tuned_seconds\": %.6f, \"reference_ips\": %.0f, \
-            \"threaded_ips\": %.0f, \"tuned_ips\": %.0f, \
-            \"tuned_over_threaded\": %.4f}%s\n"
-           name instrs b.(0) b.(1) b.(2) (instrs /. b.(0)) (instrs /. b.(1))
+            \"tuned_boxed_seconds\": %.6f, \"tuned_seconds\": %.6f, \
+            \"reference_ips\": %.0f, \"threaded_ips\": %.0f, \
+            \"tuned_boxed_ips\": %.0f, \"tuned_ips\": %.0f, \
+            \"tuned_over_threaded\": %.4f, \
+            \"tuned_over_tuned_boxed\": %.4f}%s\n"
+           name instrs b.(0) b.(1) b.(2) b.(3) (instrs /. b.(0))
+           (instrs /. b.(1))
            (instrs /. b.(2))
-           (b.(1) /. b.(2))
+           (instrs /. b.(3))
+           (b.(1) /. b.(3))
+           (b.(2) /. b.(3))
            (if i = n - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"geomean\": {\"threaded_over_reference\": %.4f, \
-        \"tuned_over_threaded\": %.4f, \"tuned_over_reference\": %.4f},\n"
-       g_thr_ref g_tuned_thr g_tuned_ref);
+        \"tuned_boxed_over_threaded\": %.4f, \"tuned_over_threaded\": %.4f, \
+        \"tuned_over_reference\": %.4f, \"tuned_over_tuned_boxed\": %.4f},\n"
+       g_thr_ref g_boxed_thr g_tuned_thr g_tuned_ref g_tuned_boxed);
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"baseline\": {\"label\": \"PR 4 threaded engine, untuned\", \
-        \"threaded_over_reference_geomean\": 2.08, \
-        \"tuned_target_over_threaded\": 1.5, \
-        \"note\": \"workloads dominated by multi-use loads (fft's \
-        butterflies) bound sink-tree fusion; the tuned win concentrates \
-        in address-arithmetic- and branch-heavy code\"}%s\n"
+       "  \"baseline\": {\"label\": \"PR 8 tuned engine, boxed register \
+        file\", \"pr4_threaded_over_reference_geomean\": 2.08, \
+        \"pr8_tuned_over_threaded_geomean\": 1.29, \
+        \"pr8_tuned_over_reference_geomean\": 3.04, \
+        \"pr8_fft_tuned_over_threaded\": 1.08, \
+        \"regalloc_fft_target_over_tuned_boxed\": 1.10, \
+        \"note\": \"the tuned-boxed config IS the PR 8 tuned engine \
+        (regalloc off); the typed register files attack the multi-use-load \
+        workloads (fft's butterflies) that bounded sink-tree fusion by \
+        removing per-write box allocation and per-read constructor \
+        matching\"}%s\n"
        (match gate with None -> "" | Some _ -> ","));
   (match gate with
   | None -> ()
@@ -538,9 +558,9 @@ let vm_report ?workloads ?gate path =
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.eprintf
     "[bench] vm: wrote %s (geomean: thr/ref %.2fx, tuned/thr %.2fx, \
-     tuned/ref %.2fx)\n\
+     tuned/ref %.2fx, tuned/boxed %.2fx)\n\
      %!"
-    path g_thr_ref g_tuned_thr g_tuned_ref;
+    path g_thr_ref g_tuned_thr g_tuned_ref g_tuned_boxed;
   match gate with
   | Some g when g_tuned_thr < g ->
       Printf.eprintf

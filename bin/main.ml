@@ -506,6 +506,18 @@ let vm_ci_native_arg =
            compiled from the MISO subgraph instead of interpreting the \
            constituent ops.  Semantics-preserving; on by default.")
 
+let vm_regalloc_arg =
+  Arg.(
+    value
+    & opt bool Vm.Machine.default_tuning.Vm.Machine.regalloc
+    & info [ "vm-regalloc" ] ~docv:"BOOL"
+        ~doc:
+          "Threaded-engine typed register files: partition each function's \
+           virtual registers by declared type into unboxed \
+           int64/float/address slot arrays, boxing only at call/return, \
+           intrinsic, custom-instruction and memory seams — hot int/float \
+           paths allocate nothing.  Semantics-preserving; on by default.")
+
 let vm_link_budget_arg =
   Arg.(
     value
@@ -517,9 +529,10 @@ let vm_link_budget_arg =
 
 let vm_tuning_term =
   Term.(
-    const (fun link fuse ci_native max_linked_blocks ->
-        { Vm.Machine.link; fuse; ci_native; max_linked_blocks })
-    $ vm_link_arg $ vm_fuse_arg $ vm_ci_native_arg $ vm_link_budget_arg)
+    const (fun link fuse ci_native regalloc max_linked_blocks ->
+        { Vm.Machine.link; fuse; ci_native; regalloc; max_linked_blocks })
+    $ vm_link_arg $ vm_fuse_arg $ vm_ci_native_arg $ vm_regalloc_arg
+    $ vm_link_budget_arg)
 
 let evict_conv =
   let parse s =

@@ -108,6 +108,7 @@ let pp_failure ppf f =
     f.wasted_seconds
 
 exception Syntax_error of string list
+exception Internal_error of string
 
 (* Deterministic per-candidate jitter source. *)
 let prng_for (p : Hw.Project.t) stage =
@@ -339,16 +340,28 @@ let implement_result ?cache ?(app = "") ?tracer ?(config = default_config)
           relaxed;
         }
 
+(** Extract the run from a flow result that must not have failed.
+    @raise Internal_error on [Error], naming the stage — a faultless
+    flow reporting a failure is a simulator bug, not a modelled CAD
+    failure. *)
+let run_of_result = function
+  | Ok run -> run
+  | Error f ->
+      raise
+        (Internal_error
+           (Printf.sprintf
+              "Flow.implement: faultless flow reported a %s failure in \
+               stage %s"
+              (Faults.kind_name f.fault)
+              (stage_name f.failed_stage)))
+
 (** {!implement_result} with fault injection disabled: always succeeds
     (or raises {!Syntax_error} / [Invalid_argument], as documented
     there). *)
 let implement ?cache ?app ?tracer ?config (db : Pp.Database.t)
     (p : Hw.Project.t) : run =
-  match
-    implement_result ?cache ?app ?tracer ?config ~faults:Faults.none db p
-  with
-  | Ok run -> run
-  | Error _ -> assert false (* unreachable: faults disabled *)
+  run_of_result
+    (implement_result ?cache ?app ?tracer ?config ~faults:Faults.none db p)
 
 (** Seconds spent in a given stage of a run. *)
 let stage_seconds run stage =

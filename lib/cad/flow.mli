@@ -84,6 +84,11 @@ val pp_failure : Format.formatter -> failure -> unit
 
 exception Syntax_error of string list
 
+exception Internal_error of string
+(** A flow invariant was broken — e.g. a faultless run reported a
+    failure.  Indicates a bug in the flow simulator itself, never a
+    modelled CAD failure; the message names the stage involved. *)
+
 val c2v_seconds : Hw.Project.t -> float
 (** Simulated seconds of the Netlist Generation phase for one candidate
     (Generate VHDL + Extract Netlists + Create Project — the paper's
@@ -127,6 +132,10 @@ val implement_result :
     @raise Syntax_error when the generated VHDL fails the syntax check
     (indicates a data-path generator bug — tests assert this never
     fires on MAXMISO output). *)
+
+val run_of_result : (run, failure) result -> run
+(** Extract the run from a flow result that must not have failed.
+    @raise Internal_error on [Error], naming the failed stage. *)
 
 val implement :
   ?cache:Cache.t ->

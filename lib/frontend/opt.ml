@@ -380,18 +380,19 @@ let algebraic_simplify (f : Ir.Func.t) =
              | Binop (Fadd, x, z) when is_float_const 0.0 z -> forward i.id x; i
              | Binop (Fadd, z, x) when is_float_const 0.0 z -> forward i.id x; i
              | Binop (Mul, x, Const (Cint (v, _)))
-               when Ir.Ty.is_int i.ty && log2_opt v <> None && v > 1L ->
-                 (* strength reduction, kept as an instruction rewrite *)
-                 incr changed;
-                 {
-                   i with
-                   kind =
-                     Binop
-                       ( Shl,
-                         x,
-                         Const (Cint (Int64.of_int (Option.get (log2_opt v)), i.ty))
-                       );
-                 }
+               when Ir.Ty.is_int i.ty && v > 1L -> (
+                 (* strength reduction, kept as an instruction rewrite;
+                    a single [match] so the power-of-two test and the
+                    exponent come from the same [log2_opt] call *)
+                 match log2_opt v with
+                 | Some k ->
+                     incr changed;
+                     {
+                       i with
+                       kind =
+                         Binop (Shl, x, Const (Cint (Int64.of_int k, i.ty)));
+                     }
+                 | None -> i)
              | _ -> i)
            b.Ir.Block.instrs))
     f;

@@ -196,13 +196,22 @@ let supervise (type a) t ~site ?(transient = fun _ -> false) ?meter
            (simulated) time: bill them. *)
         bill !cost;
         v
-    | exception Stage_timeout ->
+    | exception Stage_timeout -> (
         Mutex.protect t.lock (fun () ->
             t.deadline_kills <- t.deadline_kills + 1);
-        let d = Option.get t.policy.stage_deadline_seconds in
-        (* The attempt waited out the whole deadline before being
-           killed, so the deadline is the attempt's cost. *)
-        retry_or_fail ~attempt_cost:d (Stage_deadline d)
+        (* Only the [stall] hook above raises [Stage_timeout], and only
+           under a [Some] deadline — but a stage body may capture the
+           hook of a deadline-bearing supervisor and leak the exception
+           into a site with no deadline of its own.  Treat that as a
+           crash of the attempt rather than dying on [Option.get]. *)
+        match t.policy.stage_deadline_seconds with
+        | Some d ->
+            (* The attempt waited out the whole deadline before being
+               killed, so the deadline is the attempt's cost. *)
+            retry_or_fail ~attempt_cost:d (Stage_deadline d)
+        | None ->
+            retry_or_fail ~attempt_cost:!cost
+              (Crash "Supervisor.Stage_timeout leaked from a foreign stage"))
     | exception e when transient e ->
         retry_or_fail ~attempt_cost:!cost (Crash (Printexc.to_string e))
   in

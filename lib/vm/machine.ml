@@ -153,6 +153,16 @@ type tuning = {
       (** dispatch a loaded CI's pre-compiled fused closure
           ({!ci_impl.ci_native}) instead of interpreting its MISO
           subgraph op by op *)
+  regalloc : bool;
+      (** typed register files: partition each function's virtual
+          registers by their declared types into unboxed slot arrays
+          ([int64]/[float]/[int] address slots), so hot int/float
+          arithmetic, compares, casts, address computation and
+          load/store addressing read and write machine scalars instead
+          of boxed {!Jitise_ir.Eval.value}s.  Boxing happens only at
+          the seams: call arguments and returns, intrinsics, custom
+          instructions and memory cells (which stay untyped).  Off =
+          the boxed compiled blocks, exactly (DESIGN.md §14). *)
   max_linked_blocks : int;
       (** linked-transfer budget: after this many consecutive direct
           block-to-block transfers the engine takes one trip through
@@ -162,11 +172,23 @@ type tuning = {
 }
 
 let default_tuning =
-  { link = true; fuse = true; ci_native = true; max_linked_blocks = 64 }
+  {
+    link = true;
+    fuse = true;
+    ci_native = true;
+    regalloc = true;
+    max_linked_blocks = 64;
+  }
 
 (** The PR 4 threaded engine: every optimization layer off. *)
 let untuned =
-  { link = false; fuse = false; ci_native = false; max_linked_blocks = 64 }
+  {
+    link = false;
+    fuse = false;
+    ci_native = false;
+    regalloc = false;
+    max_linked_blocks = 64;
+  }
 
 (* Per-pattern superinstruction hit counters (compile-time events, one
    bump per fused window per block compilation).  Guarded by a mutex:
@@ -254,6 +276,26 @@ type tterm =
           the branch decision, skipping the boolean's materialization *)
   | T_switch of src * int * (int64, Ir.Instr.label) Hashtbl.t
 
+(* Register class under the typed-register-file knob ([tuning.regalloc]),
+   from the declared register type.  Every register of a function lives
+   in exactly one unboxed slot array of its {!frame}; [C_boxed] covers
+   registers with no declared type ([Void]), which keep the boxed
+   representation. *)
+type rclass = C_int | C_float | C_ptr | C_boxed
+
+(* A typed register file: one invocation's registers, partitioned by
+   {!rclass} into parallel unboxed slot arrays.  Registers are
+   renumbered per class at compile time ({!func_info.rslots}), so a
+   frame allocates one word per register — the same footprint as the
+   boxed file — and int/float traffic reads and writes machine scalars
+   with no constructor matching and no allocation. *)
+type frame = {
+  fr_i : int64 array;
+  fr_f : float array;
+  fr_p : int array;
+  fr_v : Ir.Eval.value array;
+}
+
 type func_info = {
   func : Ir.Func.t;
   blocks : block_info array;
@@ -267,6 +309,18 @@ type func_info = {
   mutable tblocks : tblock array;
       (* threaded code, [||] until {!compile_func} runs for this
          function (the reference engine never compiles) *)
+  mutable rclasses : rclass array;
+      (* per-register class, [||] until {!compile_rfunc} runs (only
+         under the [regalloc] knob) *)
+  mutable rslots : int array;
+      (* per-register index inside its class's frame array — the
+         per-class renumbering; [||] until {!compile_rfunc} runs *)
+  mutable rcounts : int array;
+      (* frame-array lengths, indexed [C_int; C_float; C_ptr; C_boxed];
+         [||] until {!compile_rfunc} runs *)
+  mutable rtblocks : rtblock array;
+      (* typed-register-file threaded code, [||] until
+         {!compile_rfunc} runs (only under the [regalloc] knob) *)
 }
 
 (* One compiled block of the threaded engine.  Blocks are compiled per
@@ -317,6 +371,53 @@ and linkterm =
   | L_cond_s of int * tblock * tblock
   | L_cmp_br of (Ir.Eval.value array -> bool) * tblock * tblock
   | L_switch of src * tblock * (int64, tblock) Hashtbl.t
+
+(* One compiled block of the typed-register-file engine
+   ([tuning.regalloc]).  Same shape as {!tblock}, but every op closure
+   works over a {!frame} — int/float/address traffic reads and writes
+   the unboxed slot arrays directly, and boxed [Ir.Eval.value]s appear
+   only at the seams (call/return, CI dispatch, intrinsics, memory
+   cells, [C_boxed] registers). *)
+and rtblock = {
+  r_info : block_info;  (* shared counters and static cycle data *)
+  r_label : int;
+  r_ops : (frame -> unit) array;
+  r_phi_rows : (frame -> unit) array;
+      (* the whole phi prologue, pre-compiled per predecessor label:
+         [r_phi_rows.(pred)] stages every phi's incoming value into
+         per-class scratch and then commits — [||] when the block has
+         no phis.  Staging buffers are safe to reuse because the phi
+         prologue cannot re-enter this function. *)
+  r_term : rterm;
+  mutable r_link : rlinkterm;
+  r_sync : bool;
+  r_fuel : int;
+  r_native : float;
+  r_hot : float;
+  r_cold : float;
+}
+
+(* A pre-decoded terminator over typed register files.  Scrutinees and
+   return operands are compiled accessors rather than [src]s: the class
+   dispatch happens at compile time, not per execution. *)
+and rterm =
+  | R_halt
+  | R_ret of (frame -> Ir.Eval.value)
+  | R_br of int
+  | R_cond of (frame -> bool) * int * int
+  | R_cmp_br of (frame -> bool) * int * int
+      (** fused compare-and-branch, like {!T_cmp_br}: faults inside the
+          condition are re-wrapped by the executor *)
+  | R_switch of (frame -> int64) * int * (int64, Ir.Instr.label) Hashtbl.t
+
+and rlinkterm =
+  | RL_none
+  | RL_halt
+  | RL_ret of (frame -> Ir.Eval.value)
+  | RL_br of rtblock
+  | RL_cond of (frame -> bool) * rtblock * rtblock
+  | RL_cmp_br of (frame -> bool) * rtblock * rtblock
+  | RL_switch of (frame -> int64) * rtblock * (int64, rtblock) Hashtbl.t
 
 and state = {
   funcs : (string, func_info) Hashtbl.t;
@@ -434,7 +535,17 @@ let prepare_func (m : Ir.Irmod.t) (f : Ir.Func.t) : func_info =
     (fun (b : Ir.Block.t) ->
       List.iter count_op (Ir.Instr.terminator_operands b.Ir.Block.term))
     f.Ir.Func.blocks;
-  { func = f; blocks; reg_tys; use_counts; tblocks = [||] }
+  {
+    func = f;
+    blocks;
+    reg_tys;
+    use_counts;
+    tblocks = [||];
+    rclasses = [||];
+    rslots = [||];
+    rcounts = [||];
+    rtblocks = [||];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine                                                    *)
@@ -989,7 +1100,7 @@ let compile_cast ~nregs (c : Ir.Instr.cast) ~from_ ~to_ d sa :
      runtime type matches its declared register type — the only
      programs that could observe a fault {e reordering} are
      runtime-type-confused ones (memory cells are untyped), and the
-     determinism contract (DESIGN.md §13) pins outcomes for type-sound
+     determinism contract (DESIGN.md §13–§14) pins outcomes for type-sound
      executions; the fault {e set} and messages are unchanged either
      way;
    - modeled cycles, fuel and profiles are computed from the original
@@ -1205,6 +1316,1003 @@ let int_of_int64_clamped v =
   if Int64.compare v (Int64.of_int max_int) > 0 then max_int
   else if Int64.compare v (Int64.of_int min_int) < 0 then min_int
   else Int64.to_int v
+
+(* ------------------------------------------------------------------ *)
+(* Typed register files ([tuning.regalloc])                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The typed-register-file compiler partitions a function's registers
+   by declared type ({!rclass}) and compiles every operation into a
+   closure over the {!frame}'s unboxed slot arrays.  The box/unbox
+   seams are exactly: call arguments and returns, intrinsics, CI
+   dispatch, [Memory] cells (which stay untyped boxed values) and
+   [C_boxed] registers.  Everything else — int/float binops, compares,
+   casts, geps, load/store address arithmetic, phi staging, branch
+   tests — moves machine scalars between unboxed arrays and allocates
+   nothing.
+
+   Conversion discipline: reading a slot in a class other than its own
+   goes through the same conversions {!Ir.Eval.as_int} & co. perform on
+   the boxed representation ([C_ptr] read as int is [Int64.of_int],
+   [C_int] read as address is [Int64.to_int], float/integer crossings
+   raise the same constant-message [Type_error]s), so type-sound
+   executions are byte-identical to the boxed engines.  The one
+   documented divergence (DESIGN.md §14): a type-{e confused} execution
+   — a declared register type contradicting the runtime value, only
+   reachable through untyped memory cells or call seams — may observe a
+   conversion fault at the defining seam instead of at a later use, and
+   pointer/integer values are canonicalized by the destination's class.
+   The differential and tuning suites only assert type-sound
+   programs. *)
+
+let rclass_of_ty : Ir.Ty.t -> rclass = function
+  | Ir.Ty.I1 | Ir.Ty.I8 | Ir.Ty.I16 | Ir.Ty.I32 | Ir.Ty.I64 -> C_int
+  | Ir.Ty.F32 | Ir.Ty.F64 -> C_float
+  | Ir.Ty.Ptr -> C_ptr
+  | Ir.Ty.Void -> C_boxed
+
+(* Slot readers, one per consuming class.  [slots.(r)] is register
+   [r]'s index inside its class's frame array (the per-class
+   renumbering).  An out-of-range register falls back to a checked
+   read of the boxed lane, so malformed IR raises the same
+   [Invalid_argument] the boxed engines' [regs.(r)] would. *)
+
+let rrd_box (classes : rclass array) (slots : int array) (r : int) :
+    frame -> E.value =
+  if r >= 0 && r < Array.length classes then
+    let s = slots.(r) in
+    match classes.(r) with
+    | C_int -> fun fr -> E.VInt (Array.unsafe_get fr.fr_i s)
+    | C_float -> fun fr -> E.VFloat (Array.unsafe_get fr.fr_f s)
+    | C_ptr -> fun fr -> E.VPtr (Array.unsafe_get fr.fr_p s)
+    | C_boxed -> fun fr -> Array.unsafe_get fr.fr_v s
+  else fun fr -> fr.fr_v.(r)
+
+let rrd_i (classes : rclass array) (slots : int array) (r : int) :
+    frame -> int64 =
+  if r >= 0 && r < Array.length classes then
+    let s = slots.(r) in
+    match classes.(r) with
+    | C_int -> fun fr -> Array.unsafe_get fr.fr_i s
+    | C_ptr -> fun fr -> Int64.of_int (Array.unsafe_get fr.fr_p s)
+    | C_float -> fun _ -> raise (E.Type_error "expected an integer value")
+    | C_boxed -> fun fr -> E.as_int (Array.unsafe_get fr.fr_v s)
+  else fun fr -> E.as_int fr.fr_v.(r)
+
+let rrd_f (classes : rclass array) (slots : int array) (r : int) :
+    frame -> float =
+  if r >= 0 && r < Array.length classes then
+    let s = slots.(r) in
+    match classes.(r) with
+    | C_float -> fun fr -> Array.unsafe_get fr.fr_f s
+    | C_int | C_ptr -> fun _ -> raise (E.Type_error "expected a float value")
+    | C_boxed -> fun fr -> E.as_float (Array.unsafe_get fr.fr_v s)
+  else fun fr -> E.as_float fr.fr_v.(r)
+
+let rrd_p (classes : rclass array) (slots : int array) (r : int) :
+    frame -> int =
+  if r >= 0 && r < Array.length classes then
+    let s = slots.(r) in
+    match classes.(r) with
+    | C_ptr -> fun fr -> Array.unsafe_get fr.fr_p s
+    | C_int -> fun fr -> Int64.to_int (Array.unsafe_get fr.fr_i s)
+    | C_float -> fun _ -> raise (E.Type_error "expected an address")
+    | C_boxed -> fun fr -> E.as_ptr (Array.unsafe_get fr.fr_v s)
+  else fun fr -> E.as_ptr fr.fr_v.(r)
+
+(* Compile-time operand shapes.  A same-class register collapses to
+   its frame-slot index ([RiS] & co.) so the consuming closure's body
+   reads the unboxed array directly: a nested closure call would box
+   its int64/float result on return (the generic calling convention
+   has no unboxed returns), which is exactly the allocation the typed
+   register file exists to remove.  Immediates whose conversion cannot
+   fault are pre-resolved to scalar constants; everything else —
+   cross-class and boxed registers, mismatched immediates — resolves
+   to a residual closure with the standard conversions, faulting per
+   execution like the boxed generic closures. *)
+type ri = RiS of int | RiK of int64 | RiG of (frame -> int64)
+type rf = RfS of int | RfK of float | RfG of (frame -> float)
+type rp = RpS of int | RpK of int | RpG of (frame -> int)
+
+let rarg_i (classes : rclass array) (slots : int array) : src -> ri = function
+  | Slot r when r >= 0 && r < Array.length classes && classes.(r) = C_int ->
+      RiS slots.(r)
+  | Slot r -> RiG (rrd_i classes slots r)
+  | Imm (E.VInt k) -> RiK k
+  | Imm (E.VPtr p) -> RiK (Int64.of_int p)
+  | Imm (E.VFloat _ as v) -> RiG (fun _ -> E.as_int v)
+
+let rarg_f (classes : rclass array) (slots : int array) : src -> rf = function
+  | Slot r when r >= 0 && r < Array.length classes && classes.(r) = C_float ->
+      RfS slots.(r)
+  | Slot r -> RfG (rrd_f classes slots r)
+  | Imm (E.VFloat k) -> RfK k
+  | Imm ((E.VInt _ | E.VPtr _) as v) -> RfG (fun _ -> E.as_float v)
+
+let rarg_p (classes : rclass array) (slots : int array) : src -> rp = function
+  | Slot r when r >= 0 && r < Array.length classes && classes.(r) = C_ptr ->
+      RpS slots.(r)
+  | Slot r -> RpG (rrd_p classes slots r)
+  | Imm (E.VPtr p) -> RpK p
+  | Imm (E.VInt k) -> RpK (Int64.to_int k)
+  | Imm (E.VFloat _ as v) -> RpG (fun _ -> E.as_ptr v)
+
+(* Closure form of a shape, for residual arms and class-generic
+   consumers (phi staging of rare shapes, switch scrutinees, seams). *)
+let ri_fn : ri -> frame -> int64 = function
+  | RiS s -> fun fr -> Array.unsafe_get fr.fr_i s
+  | RiK k -> fun _ -> k
+  | RiG g -> g
+
+let rf_fn : rf -> frame -> float = function
+  | RfS s -> fun fr -> Array.unsafe_get fr.fr_f s
+  | RfK k -> fun _ -> k
+  | RfG g -> g
+
+let rp_fn : rp -> frame -> int = function
+  | RpS s -> fun fr -> Array.unsafe_get fr.fr_p s
+  | RpK p -> fun _ -> p
+  | RpG g -> g
+
+let rget_i classes slots (s : src) : frame -> int64 =
+  ri_fn (rarg_i classes slots s)
+
+let rget_p classes slots (s : src) : frame -> int =
+  rp_fn (rarg_p classes slots s)
+
+let rget_box (classes : rclass array) (slots : int array) :
+    src -> frame -> E.value = function
+  | Slot r -> rrd_box classes slots r
+  | Imm v -> fun _ -> v
+
+(* Boxed write to a typed destination: the value is converted into the
+   destination's class with the standard conversions.  This is the
+   seam where call/intrinsic/CI results and loaded cells enter the
+   typed register file. *)
+let rwr_box (classes : rclass array) (slots : int array) (d : int) :
+    frame -> E.value -> unit =
+  if d >= 0 && d < Array.length classes then
+    let s = slots.(d) in
+    match classes.(d) with
+    | C_int -> fun fr v -> Array.unsafe_set fr.fr_i s (E.as_int v)
+    | C_float -> fun fr v -> Array.unsafe_set fr.fr_f s (E.as_float v)
+    | C_ptr -> fun fr v -> Array.unsafe_set fr.fr_p s (E.as_ptr v)
+    | C_boxed -> fun fr v -> Array.unsafe_set fr.fr_v s v
+  else fun fr v -> fr.fr_v.(d) <- v
+
+(* Truth test of an operand, per class — the same zero tests
+   {!Ir.Eval.is_true} performs on the boxed representation ([is_true]
+   never faults, so immediates are pre-evaluated). *)
+let rtest (classes : rclass array) (slots : int array) :
+    src -> frame -> bool = function
+  | Slot r ->
+      if r >= 0 && r < Array.length classes then (
+        let s = slots.(r) in
+        match classes.(r) with
+        | C_int -> fun fr -> Array.unsafe_get fr.fr_i s <> 0L
+        | C_float -> fun fr -> Array.unsafe_get fr.fr_f s <> 0.0
+        | C_ptr -> fun fr -> Array.unsafe_get fr.fr_p s <> 0
+        | C_boxed -> fun fr -> E.is_true (Array.unsafe_get fr.fr_v s))
+      else fun fr -> E.is_true fr.fr_v.(r)
+  | Imm v ->
+      let b = E.is_true v in
+      fun _ -> b
+
+(* Boxed argument vectors for calls/CIs, arity-specialized like
+   {!args_fn} — the boxing here IS the call seam. *)
+let rargs_fn (classes : rclass array) (slots : int array) (srcs : src array) :
+    frame -> E.value array =
+  let g = rget_box classes slots in
+  match srcs with
+  | [||] -> fun _ -> [||]
+  | [| s0 |] ->
+      let g0 = g s0 in
+      fun fr -> [| g0 fr |]
+  | [| s0; s1 |] ->
+      let g0 = g s0 and g1 = g s1 in
+      fun fr -> [| g0 fr; g1 fr |]
+  | [| s0; s1; s2 |] ->
+      let g0 = g s0 and g1 = g s1 and g2 = g s2 in
+      fun fr -> [| g0 fr; g1 fr; g2 fr |]
+  | [| s0; s1; s2; s3 |] ->
+      let g0 = g s0 and g1 = g s1 and g2 = g s2 and g3 = g s3 in
+      fun fr -> [| g0 fr; g1 fr; g2 fr; g3 fr |]
+  | srcs ->
+      let gs = Array.map g srcs in
+      fun fr -> Array.map (fun gk -> gk fr) gs
+
+(* Typed binop compiler.  The scalar expressions are the
+   [Ir.Eval.binop_fn] arm bodies over unboxed operands (same
+   renormalization, shift masking and F32 rounding), with the hottest
+   operator x shape combinations reading their slots directly inside
+   the closure body — no allocation, no nested call.  Shapes with a
+   residual operand keep the closure form; divisions and non-scalar
+   destinations fall back to the boxed closure, which keeps
+   [Division_by_zero] and its operand-conversion order exactly. *)
+let compile_rbinop (classes : rclass array) (slots : int array)
+    (ty : Ir.Ty.t) (op : Ir.Instr.binop) (d : int) (sa : src) (sb : src) :
+    frame -> unit =
+  let generic () =
+    let f = E.binop_fn ty op in
+    let ga = rget_box classes slots sa and gb = rget_box classes slots sb in
+    let w = rwr_box classes slots d in
+    fun fr -> w fr (f (ga fr) (gb fr))
+  in
+  let ok r = r >= 0 && r < Array.length classes in
+  if not (ok d) then generic ()
+  else
+    match (op, classes.(d)) with
+    | ( ( Ir.Instr.Add | Ir.Instr.Sub | Ir.Instr.Mul | Ir.Instr.And
+        | Ir.Instr.Or | Ir.Instr.Xor | Ir.Instr.Shl | Ir.Instr.Lshr
+        | Ir.Instr.Ashr ),
+        C_int ) -> (
+        let sh = E.norm_shift ty in
+        let sm = E.shift_amount ty (-1L) in
+        let um = E.umask ty (-1L) in
+        let sd = slots.(d) in
+        let aa = rarg_i classes slots sa and bb = rarg_i classes slots sb in
+        match (op, aa, bb) with
+        | Ir.Instr.Add, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.add
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Add, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.add (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.Add, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.add ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Sub, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.sub
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Sub, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.sub (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.Sub, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.sub ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Mul, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.mul
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Mul, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.mul (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.Mul, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.mul ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.And, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.logand
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.And, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logand (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.And, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logand ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Or, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.logor
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Or, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logor (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.Or, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logor ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Xor, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.logxor
+                      (Array.unsafe_get fr.fr_i a)
+                      (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Xor, RiS a, RiK kb ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logxor (Array.unsafe_get fr.fr_i a) kb))
+        | Ir.Instr.Xor, RiK ka, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logxor ka (Array.unsafe_get fr.fr_i b)))
+        | Ir.Instr.Shl, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.shift_left
+                      (Array.unsafe_get fr.fr_i a)
+                      (Int64.to_int (Array.unsafe_get fr.fr_i b) land sm)))
+        | Ir.Instr.Shl, RiS a, RiK kb ->
+            let n = E.shift_amount ty kb in
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.shift_left (Array.unsafe_get fr.fr_i a) n))
+        | Ir.Instr.Lshr, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.shift_right_logical
+                      (Int64.logand (Array.unsafe_get fr.fr_i a) um)
+                      (Int64.to_int (Array.unsafe_get fr.fr_i b) land sm)))
+        | Ir.Instr.Lshr, RiS a, RiK kb ->
+            let n = E.shift_amount ty kb in
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.shift_right_logical
+                      (Int64.logand (Array.unsafe_get fr.fr_i a) um)
+                      n))
+        | Ir.Instr.Ashr, RiS a, RiS b ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.shift_right
+                      (Array.unsafe_get fr.fr_i a)
+                      (Int64.to_int (Array.unsafe_get fr.fr_i b) land sm)))
+        | Ir.Instr.Ashr, RiS a, RiK kb ->
+            let n = E.shift_amount ty kb in
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh
+                   (Int64.shift_right (Array.unsafe_get fr.fr_i a) n))
+        | _ -> (
+            let ga = ri_fn aa and gb = ri_fn bb in
+            match op with
+            | Ir.Instr.Add ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.add (ga fr) (gb fr)))
+            | Ir.Instr.Sub ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.sub (ga fr) (gb fr)))
+            | Ir.Instr.Mul ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.mul (ga fr) (gb fr)))
+            | Ir.Instr.And ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.logand (ga fr) (gb fr)))
+            | Ir.Instr.Or ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.logor (ga fr) (gb fr)))
+            | Ir.Instr.Xor ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh (Int64.logxor (ga fr) (gb fr)))
+            | Ir.Instr.Shl ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh
+                       (Int64.shift_left (ga fr)
+                          (Int64.to_int (gb fr) land sm)))
+            | Ir.Instr.Lshr ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh
+                       (Int64.shift_right_logical
+                          (Int64.logand (ga fr) um)
+                          (Int64.to_int (gb fr) land sm)))
+            | Ir.Instr.Ashr ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.renorm sh
+                       (Int64.shift_right (ga fr)
+                          (Int64.to_int (gb fr) land sm)))
+            | _ -> generic ()))
+    | ( (Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul | Ir.Instr.Fdiv),
+        C_float ) -> (
+        let sd = slots.(d) in
+        let aa = rarg_f classes slots sa and bb = rarg_f classes slots sb in
+        if ty = Ir.Ty.F32 then
+          match (op, aa, bb) with
+          | Ir.Instr.Fadd, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (E.round_f32
+                     (Array.unsafe_get fr.fr_f a +. Array.unsafe_get fr.fr_f b))
+          | Ir.Instr.Fsub, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (E.round_f32
+                     (Array.unsafe_get fr.fr_f a -. Array.unsafe_get fr.fr_f b))
+          | Ir.Instr.Fmul, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (E.round_f32
+                     (Array.unsafe_get fr.fr_f a *. Array.unsafe_get fr.fr_f b))
+          | Ir.Instr.Fdiv, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (E.round_f32
+                     (Array.unsafe_get fr.fr_f a /. Array.unsafe_get fr.fr_f b))
+          | _ -> (
+              let ga = rf_fn aa and gb = rf_fn bb in
+              match op with
+              | Ir.Instr.Fadd ->
+                  fun fr ->
+                    Array.unsafe_set fr.fr_f sd (E.round_f32 (ga fr +. gb fr))
+              | Ir.Instr.Fsub ->
+                  fun fr ->
+                    Array.unsafe_set fr.fr_f sd (E.round_f32 (ga fr -. gb fr))
+              | Ir.Instr.Fmul ->
+                  fun fr ->
+                    Array.unsafe_set fr.fr_f sd (E.round_f32 (ga fr *. gb fr))
+              | Ir.Instr.Fdiv ->
+                  fun fr ->
+                    Array.unsafe_set fr.fr_f sd (E.round_f32 (ga fr /. gb fr))
+              | _ -> generic ())
+        else
+          match (op, aa, bb) with
+          | Ir.Instr.Fadd, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (Array.unsafe_get fr.fr_f a +. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fadd, RfS a, RfK kb ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a +. kb)
+          | Ir.Instr.Fadd, RfK ka, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (ka +. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fsub, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (Array.unsafe_get fr.fr_f a -. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fsub, RfS a, RfK kb ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a -. kb)
+          | Ir.Instr.Fsub, RfK ka, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (ka -. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fmul, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (Array.unsafe_get fr.fr_f a *. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fmul, RfS a, RfK kb ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a *. kb)
+          | Ir.Instr.Fmul, RfK ka, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (ka *. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fdiv, RfS a, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd
+                  (Array.unsafe_get fr.fr_f a /. Array.unsafe_get fr.fr_f b)
+          | Ir.Instr.Fdiv, RfS a, RfK kb ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a /. kb)
+          | Ir.Instr.Fdiv, RfK ka, RfS b ->
+              fun fr ->
+                Array.unsafe_set fr.fr_f sd (ka /. Array.unsafe_get fr.fr_f b)
+          | _ -> (
+              let ga = rf_fn aa and gb = rf_fn bb in
+              match op with
+              | Ir.Instr.Fadd ->
+                  fun fr -> Array.unsafe_set fr.fr_f sd (ga fr +. gb fr)
+              | Ir.Instr.Fsub ->
+                  fun fr -> Array.unsafe_set fr.fr_f sd (ga fr -. gb fr)
+              | Ir.Instr.Fmul ->
+                  fun fr -> Array.unsafe_set fr.fr_f sd (ga fr *. gb fr)
+              | Ir.Instr.Fdiv ->
+                  fun fr -> Array.unsafe_set fr.fr_f sd (ga fr /. gb fr)
+              | _ -> generic ()))
+    | _ -> generic ()
+
+(* Typed compare compilers.  The boolean is materialized as 1L/0L in
+   the destination's int slot; an odd destination class falls back to
+   the boxed closure.  The direct arms inline both slot reads — the
+   shared [icmp_bool]/[fcmp_bool] predicates stay the residual path
+   (an indirect predicate call would box both scalars). *)
+let compile_ricmp (classes : rclass array) (slots : int array)
+    (p : Ir.Instr.icmp_pred) (d : int) (sa : src) (sb : src) : frame -> unit =
+  let ok r = r >= 0 && r < Array.length classes in
+  if ok d && classes.(d) = C_int then (
+    let sd = slots.(d) in
+    let aa = rarg_i classes slots sa and bb = rarg_i classes slots sb in
+    match (p, aa, bb) with
+    | Ir.Instr.Ieq, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.equal
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+             then 1L
+             else 0L)
+    | Ir.Instr.Ieq, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.equal (Array.unsafe_get fr.fr_i a) kb then 1L else 0L)
+    | Ir.Instr.Ine, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.equal
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+             then 0L
+             else 1L)
+    | Ir.Instr.Ine, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.equal (Array.unsafe_get fr.fr_i a) kb then 0L else 1L)
+    | Ir.Instr.Islt, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               < 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Islt, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.compare (Array.unsafe_get fr.fr_i a) kb < 0 then 1L
+             else 0L)
+    | Ir.Instr.Isle, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               <= 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Isle, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.compare (Array.unsafe_get fr.fr_i a) kb <= 0 then 1L
+             else 0L)
+    | Ir.Instr.Isgt, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               > 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Isgt, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.compare (Array.unsafe_get fr.fr_i a) kb > 0 then 1L
+             else 0L)
+    | Ir.Instr.Isge, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               >= 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Isge, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.compare (Array.unsafe_get fr.fr_i a) kb >= 0 then 1L
+             else 0L)
+    | Ir.Instr.Iult, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.unsigned_compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               < 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iult, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb < 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iule, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.unsigned_compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               <= 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iule, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb <= 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iugt, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.unsigned_compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               > 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iugt, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb > 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iuge, RiS a, RiS b ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if
+               Int64.unsigned_compare
+                 (Array.unsafe_get fr.fr_i a)
+                 (Array.unsafe_get fr.fr_i b)
+               >= 0
+             then 1L
+             else 0L)
+    | Ir.Instr.Iuge, RiS a, RiK kb ->
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd
+            (if Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb >= 0
+             then 1L
+             else 0L)
+    | _ ->
+        let t = icmp_bool p in
+        let ga = ri_fn aa and gb = ri_fn bb in
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd (if t (ga fr) (gb fr) then 1L else 0L))
+  else
+    let f = E.icmp_fn p in
+    let ga = rget_box classes slots sa and gb = rget_box classes slots sb in
+    let w = rwr_box classes slots d in
+    fun fr -> w fr (f (ga fr) (gb fr))
+
+let compile_rfcmp (classes : rclass array) (slots : int array)
+    (p : Ir.Instr.fcmp_pred) (d : int) (sa : src) (sb : src) : frame -> unit =
+  let ok r = r >= 0 && r < Array.length classes in
+  let[@inline] ord x y = not (Float.is_nan x || Float.is_nan y) in
+  if ok d && classes.(d) = C_int then (
+    let sd = slots.(d) in
+    let aa = rarg_f classes slots sa and bb = rarg_f classes slots sb in
+    match (p, aa, bb) with
+    | Ir.Instr.Foeq, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x = y then 1L else 0L)
+    | Ir.Instr.Foeq, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x = kb then 1L else 0L)
+    | Ir.Instr.Fone, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x <> y then 1L else 0L)
+    | Ir.Instr.Fone, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x <> kb then 1L else 0L)
+    | Ir.Instr.Folt, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x < y then 1L else 0L)
+    | Ir.Instr.Folt, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x < kb then 1L else 0L)
+    | Ir.Instr.Fole, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x <= y then 1L else 0L)
+    | Ir.Instr.Fole, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x <= kb then 1L else 0L)
+    | Ir.Instr.Fogt, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x > y then 1L else 0L)
+    | Ir.Instr.Fogt, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x > kb then 1L else 0L)
+    | Ir.Instr.Foge, RfS a, RfS b ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a
+          and y = Array.unsafe_get fr.fr_f b in
+          Array.unsafe_set fr.fr_i sd (if ord x y && x >= y then 1L else 0L)
+    | Ir.Instr.Foge, RfS a, RfK kb ->
+        fun fr ->
+          let x = Array.unsafe_get fr.fr_f a in
+          Array.unsafe_set fr.fr_i sd (if ord x kb && x >= kb then 1L else 0L)
+    | _ ->
+        let t = fcmp_bool p in
+        let ga = rf_fn aa and gb = rf_fn bb in
+        fun fr ->
+          Array.unsafe_set fr.fr_i sd (if t (ga fr) (gb fr) then 1L else 0L))
+  else
+    let f = E.fcmp_fn p in
+    let ga = rget_box classes slots sa and gb = rget_box classes slots sb in
+    let w = rwr_box classes slots d in
+    fun fr -> w fr (f (ga fr) (gb fr))
+
+(* Boolean compile of a trailing single-use compare, for the typed
+   compare-and-branch terminator fusion — no flag is materialized at
+   all on the direct shapes. *)
+let rbool_icmp (classes : rclass array) (slots : int array)
+    (p : Ir.Instr.icmp_pred) (sa : src) (sb : src) : frame -> bool =
+  let aa = rarg_i classes slots sa and bb = rarg_i classes slots sb in
+  match (p, aa, bb) with
+  | Ir.Instr.Ieq, RiS a, RiS b ->
+      fun fr ->
+        Int64.equal (Array.unsafe_get fr.fr_i a) (Array.unsafe_get fr.fr_i b)
+  | Ir.Instr.Ieq, RiS a, RiK kb ->
+      fun fr -> Int64.equal (Array.unsafe_get fr.fr_i a) kb
+  | Ir.Instr.Ine, RiS a, RiS b ->
+      fun fr ->
+        not
+          (Int64.equal
+             (Array.unsafe_get fr.fr_i a)
+             (Array.unsafe_get fr.fr_i b))
+  | Ir.Instr.Ine, RiS a, RiK kb ->
+      fun fr -> not (Int64.equal (Array.unsafe_get fr.fr_i a) kb)
+  | Ir.Instr.Islt, RiS a, RiS b ->
+      fun fr ->
+        Int64.compare (Array.unsafe_get fr.fr_i a) (Array.unsafe_get fr.fr_i b)
+        < 0
+  | Ir.Instr.Islt, RiS a, RiK kb ->
+      fun fr -> Int64.compare (Array.unsafe_get fr.fr_i a) kb < 0
+  | Ir.Instr.Isle, RiS a, RiS b ->
+      fun fr ->
+        Int64.compare (Array.unsafe_get fr.fr_i a) (Array.unsafe_get fr.fr_i b)
+        <= 0
+  | Ir.Instr.Isle, RiS a, RiK kb ->
+      fun fr -> Int64.compare (Array.unsafe_get fr.fr_i a) kb <= 0
+  | Ir.Instr.Isgt, RiS a, RiS b ->
+      fun fr ->
+        Int64.compare (Array.unsafe_get fr.fr_i a) (Array.unsafe_get fr.fr_i b)
+        > 0
+  | Ir.Instr.Isgt, RiS a, RiK kb ->
+      fun fr -> Int64.compare (Array.unsafe_get fr.fr_i a) kb > 0
+  | Ir.Instr.Isge, RiS a, RiS b ->
+      fun fr ->
+        Int64.compare (Array.unsafe_get fr.fr_i a) (Array.unsafe_get fr.fr_i b)
+        >= 0
+  | Ir.Instr.Isge, RiS a, RiK kb ->
+      fun fr -> Int64.compare (Array.unsafe_get fr.fr_i a) kb >= 0
+  | Ir.Instr.Iult, RiS a, RiS b ->
+      fun fr ->
+        Int64.unsigned_compare
+          (Array.unsafe_get fr.fr_i a)
+          (Array.unsafe_get fr.fr_i b)
+        < 0
+  | Ir.Instr.Iult, RiS a, RiK kb ->
+      fun fr -> Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb < 0
+  | Ir.Instr.Iule, RiS a, RiS b ->
+      fun fr ->
+        Int64.unsigned_compare
+          (Array.unsafe_get fr.fr_i a)
+          (Array.unsafe_get fr.fr_i b)
+        <= 0
+  | Ir.Instr.Iule, RiS a, RiK kb ->
+      fun fr -> Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb <= 0
+  | Ir.Instr.Iugt, RiS a, RiS b ->
+      fun fr ->
+        Int64.unsigned_compare
+          (Array.unsafe_get fr.fr_i a)
+          (Array.unsafe_get fr.fr_i b)
+        > 0
+  | Ir.Instr.Iugt, RiS a, RiK kb ->
+      fun fr -> Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb > 0
+  | Ir.Instr.Iuge, RiS a, RiS b ->
+      fun fr ->
+        Int64.unsigned_compare
+          (Array.unsafe_get fr.fr_i a)
+          (Array.unsafe_get fr.fr_i b)
+        >= 0
+  | Ir.Instr.Iuge, RiS a, RiK kb ->
+      fun fr -> Int64.unsigned_compare (Array.unsafe_get fr.fr_i a) kb >= 0
+  | _ ->
+      let t = icmp_bool p in
+      let ga = ri_fn aa and gb = ri_fn bb in
+      fun fr -> t (ga fr) (gb fr)
+
+let rbool_fcmp (classes : rclass array) (slots : int array)
+    (p : Ir.Instr.fcmp_pred) (sa : src) (sb : src) : frame -> bool =
+  let[@inline] ord x y = not (Float.is_nan x || Float.is_nan y) in
+  let aa = rarg_f classes slots sa and bb = rarg_f classes slots sb in
+  match (p, aa, bb) with
+  | Ir.Instr.Foeq, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x = y
+  | Ir.Instr.Foeq, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x = kb
+  | Ir.Instr.Fone, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x <> y
+  | Ir.Instr.Fone, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x <> kb
+  | Ir.Instr.Folt, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x < y
+  | Ir.Instr.Folt, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x < kb
+  | Ir.Instr.Fole, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x <= y
+  | Ir.Instr.Fole, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x <= kb
+  | Ir.Instr.Fogt, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x > y
+  | Ir.Instr.Fogt, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x > kb
+  | Ir.Instr.Foge, RfS a, RfS b ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a
+        and y = Array.unsafe_get fr.fr_f b in
+        ord x y && x >= y
+  | Ir.Instr.Foge, RfS a, RfK kb ->
+      fun fr ->
+        let x = Array.unsafe_get fr.fr_f a in
+        ord x kb && x >= kb
+  | _ ->
+      let t = fcmp_bool p in
+      let ga = rf_fn aa and gb = rf_fn bb in
+      fun fr -> t (ga fr) (gb fr)
+
+let compile_rcast (classes : rclass array) (slots : int array)
+    (c : Ir.Instr.cast) ~from_ ~to_ (d : int) (sa : src) : frame -> unit =
+  let generic () =
+    let f = E.cast_fn c ~from_ ~to_ in
+    let ga = rget_box classes slots sa in
+    let w = rwr_box classes slots d in
+    fun fr -> w fr (f (ga fr))
+  in
+  let ok r = r >= 0 && r < Array.length classes in
+  if not (ok d) then generic ()
+  else
+    match (c, classes.(d)) with
+    | (Ir.Instr.Trunc | Ir.Instr.Sext), C_int -> (
+        let sh = E.norm_shift to_ in
+        match rarg_i classes slots sa with
+        | RiS a ->
+            fun fr ->
+              Array.unsafe_set fr.fr_i slots.(d)
+                (E.renorm sh (Array.unsafe_get fr.fr_i a))
+        | aa ->
+            let ga = ri_fn aa in
+            let sd = slots.(d) in
+            fun fr -> Array.unsafe_set fr.fr_i sd (E.renorm sh (ga fr)))
+    | Ir.Instr.Zext, C_int -> (
+        let sh = E.norm_shift to_ in
+        let um = E.umask from_ (-1L) in
+        match rarg_i classes slots sa with
+        | RiS a ->
+            let sd = slots.(d) in
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logand (Array.unsafe_get fr.fr_i a) um))
+        | aa ->
+            let ga = ri_fn aa in
+            let sd = slots.(d) in
+            fun fr ->
+              Array.unsafe_set fr.fr_i sd
+                (E.renorm sh (Int64.logand (ga fr) um)))
+    | Ir.Instr.Fptosi, C_int -> (
+        let sh = E.norm_shift to_ in
+        match rarg_f classes slots sa with
+        | RfS a ->
+            let sd = slots.(d) in
+            fun fr ->
+              let f = Array.unsafe_get fr.fr_f a in
+              Array.unsafe_set fr.fr_i sd
+                (if Float.is_nan f then 0L else E.renorm sh (Int64.of_float f))
+        | aa ->
+            let ga = rf_fn aa in
+            let sd = slots.(d) in
+            fun fr ->
+              let f = ga fr in
+              Array.unsafe_set fr.fr_i sd
+                (if Float.is_nan f then 0L else E.renorm sh (Int64.of_float f))
+        )
+    | Ir.Instr.Sitofp, C_float -> (
+        let sd = slots.(d) in
+        match rarg_i classes slots sa with
+        | RiS a ->
+            if to_ = Ir.Ty.F32 then fun fr ->
+              Array.unsafe_set fr.fr_f sd
+                (E.round_f32 (Int64.to_float (Array.unsafe_get fr.fr_i a)))
+            else fun fr ->
+              Array.unsafe_set fr.fr_f sd
+                (Int64.to_float (Array.unsafe_get fr.fr_i a))
+        | aa ->
+            let ga = ri_fn aa in
+            if to_ = Ir.Ty.F32 then fun fr ->
+              Array.unsafe_set fr.fr_f sd
+                (E.round_f32 (Int64.to_float (ga fr)))
+            else fun fr ->
+              Array.unsafe_set fr.fr_f sd (Int64.to_float (ga fr)))
+    | Ir.Instr.Fpext, C_float -> (
+        let sd = slots.(d) in
+        match rarg_f classes slots sa with
+        | RfS a ->
+            fun fr -> Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a)
+        | aa ->
+            let ga = rf_fn aa in
+            fun fr -> Array.unsafe_set fr.fr_f sd (ga fr))
+    | Ir.Instr.Fptrunc, C_float -> (
+        let sd = slots.(d) in
+        match rarg_f classes slots sa with
+        | RfS a ->
+            if to_ = Ir.Ty.F32 then fun fr ->
+              Array.unsafe_set fr.fr_f sd
+                (E.round_f32 (Array.unsafe_get fr.fr_f a))
+            else fun fr ->
+              Array.unsafe_set fr.fr_f sd (Array.unsafe_get fr.fr_f a)
+        | aa ->
+            let ga = rf_fn aa in
+            if to_ = Ir.Ty.F32 then fun fr ->
+              Array.unsafe_set fr.fr_f sd (E.round_f32 (ga fr))
+            else fun fr -> Array.unsafe_set fr.fr_f sd (ga fr))
+    | _ -> generic ()
 
 (* [exec_threaded] runs a function's compiled blocks; [compile_func] /
    [compile_block] build them.  They are mutually recursive because a
@@ -1551,12 +2659,305 @@ and exec_linked (st : state) (fi : func_info) (args : Ir.Eval.value array) :
   Memory.release st.memory frame_mark;
   result
 
+(* The typed-register-file executors: the exact per-block protocol of
+   [exec_threaded] / [exec_linked] — arity check, fuel, profile,
+   clocks, monitor flush/reload, phi prologue, body with [r_sync]
+   flush/reload, terminators — over a {!frame} instead of a boxed
+   register array.  The bookkeeping arithmetic and its order are
+   copied verbatim, so clocks, fuel, profiles and fault messages stay
+   byte-identical to every other engine. *)
+and exec_rthreaded (st : state) (fi : func_info)
+    (args : Ir.Eval.value array) : Ir.Eval.value option =
+  let f = fi.func in
+  if Array.length args <> List.length f.Ir.Func.params then
+    fault "@%s: expected %d arguments, got %d" f.Ir.Func.name
+      (List.length f.Ir.Func.params)
+      (Array.length args);
+  let classes = fi.rclasses in
+  let slots = fi.rslots in
+  let counts = fi.rcounts in
+  let fr =
+    {
+      fr_i = Array.make counts.(0) 0L;
+      fr_f = Array.make counts.(1) 0.0;
+      fr_p = Array.make counts.(2) 0;
+      fr_v = Array.make (max 1 counts.(3)) (Ir.Eval.VInt 0L);
+    }
+  in
+  (* Unbox the arguments into their parameter registers' classes — the
+     callee-side half of the call seam.  Parameter registers are
+     0..n-1, like the boxed engines' [Array.iteri] install. *)
+  Array.iteri
+    (fun i v ->
+      if i >= 0 && i < Array.length classes then (
+        let s = slots.(i) in
+        match classes.(i) with
+        | C_int -> fr.fr_i.(s) <- E.as_int v
+        | C_float -> fr.fr_f.(s) <- E.as_float v
+        | C_ptr -> fr.fr_p.(s) <- E.as_ptr v
+        | C_boxed -> fr.fr_v.(s) <- v)
+      else fr.fr_v.(i) <- v)
+    args;
+  let frame_mark = Memory.mark st.memory in
+  let rtblocks = fi.rtblocks in
+  let warmup = int_of_int64_clamped st.jit.Jit_model.warmup_threshold in
+  let spent = ref 0 in
+  let limit = ref (int_of_int64_clamped st.fuel) in
+  let clocks = [| st.native; st.vm |] in
+  let cur = ref Ir.Func.entry_label in
+  let prev = ref (-1) in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    let tb = rtblocks.(!cur) in
+    let bi = tb.r_info in
+    spent := !spent + tb.r_fuel;
+    if !spent > !limit then
+      fault "execution budget exhausted in @%s" f.Ir.Func.name;
+    let prior = bi.exec_count in
+    bi.exec_count <- prior + 1;
+    Array.unsafe_set clocks 0 (Array.unsafe_get clocks 0 +. tb.r_native);
+    Array.unsafe_set clocks 1
+      (Array.unsafe_get clocks 1
+      +. (if prior >= warmup then tb.r_hot else tb.r_cold));
+    (match st.mon with
+    | None -> ()
+    | Some mon ->
+        st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+        spent := 0;
+        st.native <- Array.unsafe_get clocks 0;
+        st.vm <- Array.unsafe_get clocks 1;
+        mon ~func:f.Ir.Func.name ~label:!cur ~ninstrs:bi.ninstrs;
+        limit := int_of_int64_clamped st.fuel;
+        Array.unsafe_set clocks 0 st.native;
+        Array.unsafe_set clocks 1 st.vm);
+    (* Phi prologue: the whole stage-then-commit pass was compiled per
+       predecessor label. *)
+    let rows = tb.r_phi_rows in
+    if Array.length rows > 0 then begin
+      let p = !prev in
+      if p >= 0 && p < Array.length rows then (Array.unsafe_get rows p) fr
+      else
+        fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+          f.Ir.Func.name !cur p
+    end;
+    (try
+       let ops = tb.r_ops in
+       if tb.r_sync then begin
+         st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+         spent := 0;
+         st.native <- Array.unsafe_get clocks 0;
+         st.vm <- Array.unsafe_get clocks 1;
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) fr
+         done;
+         limit := int_of_int64_clamped st.fuel;
+         Array.unsafe_set clocks 0 st.native;
+         Array.unsafe_set clocks 1 st.vm
+       end
+       else
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) fr
+         done
+     with
+    | Ir.Eval.Division_by_zero ->
+        fault "@%s/bb%d: division by zero" f.Ir.Func.name !cur
+    | Ir.Eval.Type_error m -> fault "@%s/bb%d: %s" f.Ir.Func.name !cur m
+    | Memory.Bad_address a ->
+        fault "@%s/bb%d: bad address %d" f.Ir.Func.name !cur a
+    | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name);
+    match tb.r_term with
+    | R_halt -> running := false
+    | R_ret g ->
+        result := Some (g fr);
+        running := false
+    | R_br l ->
+        prev := !cur;
+        cur := l
+    | R_cond (t, a, b) ->
+        prev := !cur;
+        cur := (if t fr then a else b)
+    | R_cmp_br (test, a, b) ->
+        let c =
+          try test fr with
+          | Ir.Eval.Type_error m ->
+              fault "@%s/bb%d: %s" f.Ir.Func.name !cur m
+          | Memory.Bad_address a ->
+              fault "@%s/bb%d: bad address %d" f.Ir.Func.name !cur a
+          | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name
+        in
+        prev := !cur;
+        cur := (if c then a else b)
+    | R_switch (g, default, tbl) ->
+        let sv = g fr in
+        prev := !cur;
+        cur :=
+          (match Hashtbl.find_opt tbl sv with Some l -> l | None -> default)
+  done;
+  st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+  st.native <- Array.unsafe_get clocks 0;
+  st.vm <- Array.unsafe_get clocks 1;
+  Memory.release st.memory frame_mark;
+  !result
+
+and exec_rlinked (st : state) (fi : func_info) (args : Ir.Eval.value array) :
+    Ir.Eval.value option =
+  let f = fi.func in
+  if Array.length args <> List.length f.Ir.Func.params then
+    fault "@%s: expected %d arguments, got %d" f.Ir.Func.name
+      (List.length f.Ir.Func.params)
+      (Array.length args);
+  let classes = fi.rclasses in
+  let slots = fi.rslots in
+  let counts = fi.rcounts in
+  let fr =
+    {
+      fr_i = Array.make counts.(0) 0L;
+      fr_f = Array.make counts.(1) 0.0;
+      fr_p = Array.make counts.(2) 0;
+      fr_v = Array.make (max 1 counts.(3)) (Ir.Eval.VInt 0L);
+    }
+  in
+  Array.iteri
+    (fun i v ->
+      if i >= 0 && i < Array.length classes then (
+        let s = slots.(i) in
+        match classes.(i) with
+        | C_int -> fr.fr_i.(s) <- E.as_int v
+        | C_float -> fr.fr_f.(s) <- E.as_float v
+        | C_ptr -> fr.fr_p.(s) <- E.as_ptr v
+        | C_boxed -> fr.fr_v.(s) <- v)
+      else fr.fr_v.(i) <- v)
+    args;
+  let frame_mark = Memory.mark st.memory in
+  let rtblocks = fi.rtblocks in
+  let warmup = int_of_int64_clamped st.jit.Jit_model.warmup_threshold in
+  let spent = ref 0 in
+  let limit = ref (int_of_int64_clamped st.fuel) in
+  let clocks = [| st.native; st.vm |] in
+  let budget0 = st.tuning.max_linked_blocks in
+  let rec goto (next : rtblock) (prevl : int) (budget : int) =
+    if budget > 0 then go next prevl (budget - 1)
+    else go rtblocks.(next.r_label) prevl budget0
+  and go (tb : rtblock) (prevl : int) (budget : int) : Ir.Eval.value option =
+    let bi = tb.r_info in
+    let curl = tb.r_label in
+    spent := !spent + tb.r_fuel;
+    if !spent > !limit then
+      fault "execution budget exhausted in @%s" f.Ir.Func.name;
+    let prior = bi.exec_count in
+    bi.exec_count <- prior + 1;
+    Array.unsafe_set clocks 0 (Array.unsafe_get clocks 0 +. tb.r_native);
+    Array.unsafe_set clocks 1
+      (Array.unsafe_get clocks 1
+      +. (if prior >= warmup then tb.r_hot else tb.r_cold));
+    (match st.mon with
+    | None -> ()
+    | Some mon ->
+        st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+        spent := 0;
+        st.native <- Array.unsafe_get clocks 0;
+        st.vm <- Array.unsafe_get clocks 1;
+        mon ~func:f.Ir.Func.name ~label:curl ~ninstrs:bi.ninstrs;
+        limit := int_of_int64_clamped st.fuel;
+        Array.unsafe_set clocks 0 st.native;
+        Array.unsafe_set clocks 1 st.vm);
+    let rows = tb.r_phi_rows in
+    if Array.length rows > 0 then begin
+      if prevl >= 0 && prevl < Array.length rows then
+        (Array.unsafe_get rows prevl) fr
+      else
+        fault "@%s/bb%d: phi has no entry for predecessor bb%d"
+          f.Ir.Func.name curl prevl
+    end;
+    (try
+       let ops = tb.r_ops in
+       if tb.r_sync then begin
+         st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+         spent := 0;
+         st.native <- Array.unsafe_get clocks 0;
+         st.vm <- Array.unsafe_get clocks 1;
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) fr
+         done;
+         limit := int_of_int64_clamped st.fuel;
+         Array.unsafe_set clocks 0 st.native;
+         Array.unsafe_set clocks 1 st.vm
+       end
+       else
+         for k = 0 to Array.length ops - 1 do
+           (Array.unsafe_get ops k) fr
+         done
+     with
+    | Ir.Eval.Division_by_zero ->
+        fault "@%s/bb%d: division by zero" f.Ir.Func.name curl
+    | Ir.Eval.Type_error m -> fault "@%s/bb%d: %s" f.Ir.Func.name curl m
+    | Memory.Bad_address a ->
+        fault "@%s/bb%d: bad address %d" f.Ir.Func.name curl a
+    | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name);
+    match tb.r_link with
+    | RL_halt -> None
+    | RL_ret g -> Some (g fr)
+    | RL_br nb -> goto nb curl budget
+    | RL_cond (t, x, y) -> goto (if t fr then x else y) curl budget
+    | RL_cmp_br (test, x, y) ->
+        let c =
+          try test fr with
+          | Ir.Eval.Type_error m ->
+              fault "@%s/bb%d: %s" f.Ir.Func.name curl m
+          | Memory.Bad_address a ->
+              fault "@%s/bb%d: bad address %d" f.Ir.Func.name curl a
+          | Memory.Out_of_memory -> fault "@%s: out of memory" f.Ir.Func.name
+        in
+        goto (if c then x else y) curl budget
+    | RL_switch (g, dflt, tbl) ->
+        let sv = g fr in
+        goto
+          (match Hashtbl.find_opt tbl sv with Some t -> t | None -> dflt)
+          curl budget
+    | RL_none -> (
+        (* unlinked terminator: transfer through the indexed path,
+           faulting exactly where the unlinked engine would *)
+        match tb.r_term with
+        | R_halt -> None
+        | R_ret g -> Some (g fr)
+        | R_br l -> go rtblocks.(l) curl budget0
+        | R_cond (t, x, y) -> go rtblocks.(if t fr then x else y) curl budget0
+        | R_cmp_br (test, x, y) ->
+            let c =
+              try test fr with
+              | Ir.Eval.Type_error m ->
+                  fault "@%s/bb%d: %s" f.Ir.Func.name curl m
+              | Memory.Bad_address a ->
+                  fault "@%s/bb%d: bad address %d" f.Ir.Func.name curl a
+              | Memory.Out_of_memory ->
+                  fault "@%s: out of memory" f.Ir.Func.name
+            in
+            go rtblocks.(if c then x else y) curl budget0
+        | R_switch (g, dflt, tbl) ->
+            let sv = g fr in
+            go
+              rtblocks.(match Hashtbl.find_opt tbl sv with
+                        | Some l -> l
+                        | None -> dflt)
+              curl budget0)
+  in
+  let result = go rtblocks.(Ir.Func.entry_label) (-1) budget0 in
+  st.fuel <- Int64.sub st.fuel (Int64.of_int !spent);
+  st.native <- Array.unsafe_get clocks 0;
+  st.vm <- Array.unsafe_get clocks 1;
+  Memory.release st.memory frame_mark;
+  result
+
 (* Engine selection for resolved calls: compiled [Call] closures and
-   the run entry point go through [enter], so the linking knob applies
-   to callees too. *)
+   the run entry point go through [enter], so the linking and typed
+   register-file knobs apply to callees too. *)
 and enter (st : state) (fi : func_info) (args : Ir.Eval.value array) :
     Ir.Eval.value option =
-  if st.tuning.link then exec_linked st fi args else exec_threaded st fi args
+  if st.tuning.regalloc then
+    if st.tuning.link then exec_rlinked st fi args else exec_rthreaded st fi args
+  else if st.tuning.link then exec_linked st fi args
+  else exec_threaded st fi args
 
 (** Compile one function's blocks to threaded code.  All of the
     module's functions must already be prepared in [st.funcs] so callee
@@ -3622,6 +5023,486 @@ and compile_block (st : state) (fi : func_info) (bnum : int) (bi : block_info) :
         (bi.static_cycles + Ir.Cost.block_dispatch_cycles ~ninstrs:bi.ninstrs);
   }
 
+(** Compile one function's blocks to typed-register-file threaded
+    code, recording the register classes and the per-class slot
+    renumbering.  A register's slot is its index within its class's
+    frame array, so a frame allocates one word per register total
+    instead of one per register per class.  Like {!compile_func}, the
+    whole module must already be prepared in [st.funcs]. *)
+and compile_rfunc (st : state) (fi : func_info) : unit =
+  let classes = Array.map rclass_of_ty fi.reg_tys in
+  let n = Array.length classes in
+  let slots = Array.make n 0 in
+  let counts = Array.make 4 0 in
+  let idx = function C_int -> 0 | C_float -> 1 | C_ptr -> 2 | C_boxed -> 3 in
+  for r = 0 to n - 1 do
+    let k = idx classes.(r) in
+    slots.(r) <- counts.(k);
+    counts.(k) <- counts.(k) + 1
+  done;
+  fi.rclasses <- classes;
+  fi.rslots <- slots;
+  fi.rcounts <- counts;
+  fi.rtblocks <-
+    Array.mapi
+      (fun bnum bi -> compile_rblock st fi classes slots bnum bi)
+      fi.blocks
+
+and compile_rblock (st : state) (fi : func_info) (classes : rclass array)
+    (slots : int array) (bnum : int) (bi : block_info) : rtblock =
+  let fname = fi.func.Ir.Func.name in
+  let nphi = bi.phi_count in
+  let mem = st.memory in
+  let nregs = Array.length classes in
+  let ok r = r >= 0 && r < nregs in
+  let compile_rinstr (i : Ir.Instr.t) : frame -> unit =
+    let d = i.Ir.Instr.id in
+    let ty = i.Ir.Instr.ty in
+    match i.Ir.Instr.kind with
+    | Ir.Instr.Phi _ -> fun _ -> fault "@%s/bb%d: phi after non-phi" fname bnum
+    | Ir.Instr.Binop (op, a, b) ->
+        compile_rbinop classes slots ty op d (decode_operand a)
+          (decode_operand b)
+    | Ir.Instr.Icmp (p, a, b) ->
+        compile_ricmp classes slots p d (decode_operand a) (decode_operand b)
+    | Ir.Instr.Fcmp (p, a, b) ->
+        compile_rfcmp classes slots p d (decode_operand a) (decode_operand b)
+    | Ir.Instr.Cast (c, a) ->
+        let from_ =
+          match a with
+          | Ir.Instr.Const cst -> Ir.Instr.const_ty cst
+          | Ir.Instr.Reg r -> fi.reg_tys.(r)
+        in
+        compile_rcast classes slots c ~from_ ~to_:ty d (decode_operand a)
+    | Ir.Instr.Select (c, a, b) -> (
+        let sc = decode_operand c
+        and sa = decode_operand a
+        and sb = decode_operand b in
+        let tc = rtest classes slots sc in
+        (* Both branch values are read strictly, like the reference
+           engine's [eval_select] call; on direct (pure-read) shapes the
+           strictness is unobservable, so only the taken side is read.
+           A boxed destination falls back to moving boxed values. *)
+        match (if ok d then classes.(d) else C_boxed) with
+        | C_int when ok d -> (
+            let sd = slots.(d) in
+            match (rarg_i classes slots sa, rarg_i classes slots sb) with
+            | RiS a, RiS b ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (if tc fr then Array.unsafe_get fr.fr_i a
+                     else Array.unsafe_get fr.fr_i b)
+            | RiS a, RiK kb ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (if tc fr then Array.unsafe_get fr.fr_i a else kb)
+            | RiK ka, RiS b ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (if tc fr then ka else Array.unsafe_get fr.fr_i b)
+            | RiK ka, RiK kb ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd (if tc fr then ka else kb)
+            | aa, bb ->
+                let ga = ri_fn aa and gb = ri_fn bb in
+                fun fr ->
+                  let vc = tc fr and va = ga fr and vb = gb fr in
+                  Array.unsafe_set fr.fr_i sd (if vc then va else vb))
+        | C_float when ok d -> (
+            let sd = slots.(d) in
+            match (rarg_f classes slots sa, rarg_f classes slots sb) with
+            | RfS a, RfS b ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd
+                    (if tc fr then Array.unsafe_get fr.fr_f a
+                     else Array.unsafe_get fr.fr_f b)
+            | RfS a, RfK kb ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd
+                    (if tc fr then Array.unsafe_get fr.fr_f a else kb)
+            | RfK ka, RfS b ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd
+                    (if tc fr then ka else Array.unsafe_get fr.fr_f b)
+            | RfK ka, RfK kb ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd (if tc fr then ka else kb)
+            | aa, bb ->
+                let ga = rf_fn aa and gb = rf_fn bb in
+                fun fr ->
+                  let vc = tc fr and va = ga fr and vb = gb fr in
+                  Array.unsafe_set fr.fr_f sd (if vc then va else vb))
+        | C_ptr when ok d ->
+            let sd = slots.(d) in
+            let ga = rget_p classes slots sa and gb = rget_p classes slots sb in
+            fun fr ->
+              let vc = tc fr and va = ga fr and vb = gb fr in
+              Array.unsafe_set fr.fr_p sd (if vc then va else vb)
+        | _ ->
+            let ga = rget_box classes slots sa
+            and gb = rget_box classes slots sb in
+            let w = rwr_box classes slots d in
+            fun fr ->
+              let vc = tc fr and va = ga fr and vb = gb fr in
+              w fr (if vc then va else vb))
+    | Ir.Instr.Alloca (_, count) ->
+        if ok d && classes.(d) = C_ptr then (
+          let sd = slots.(d) in
+          fun fr -> Array.unsafe_set fr.fr_p sd (Memory.alloc mem count))
+        else
+          let w = rwr_box classes slots d in
+          fun fr -> w fr (Ir.Eval.VPtr (Memory.alloc mem count))
+    | Ir.Instr.Load a -> (
+        let aa = rarg_p classes slots (decode_operand a) in
+        (* The load's unbox IS the memory seam: the cell keeps its
+           boxed value, the destination takes the scalar.  No
+           allocation on any class. *)
+        match (if ok d then classes.(d) else C_boxed) with
+        | C_int when ok d -> (
+            let sd = slots.(d) in
+            match aa with
+            | RpS p ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.as_int (Memory.load mem (Array.unsafe_get fr.fr_p p)))
+            | _ ->
+                let ga = rp_fn aa in
+                fun fr ->
+                  Array.unsafe_set fr.fr_i sd
+                    (E.as_int (Memory.load mem (ga fr))))
+        | C_float when ok d -> (
+            let sd = slots.(d) in
+            match aa with
+            | RpS p ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd
+                    (E.as_float (Memory.load mem (Array.unsafe_get fr.fr_p p)))
+            | _ ->
+                let ga = rp_fn aa in
+                fun fr ->
+                  Array.unsafe_set fr.fr_f sd
+                    (E.as_float (Memory.load mem (ga fr))))
+        | C_ptr when ok d -> (
+            let sd = slots.(d) in
+            match aa with
+            | RpS p ->
+                fun fr ->
+                  Array.unsafe_set fr.fr_p sd
+                    (E.as_ptr (Memory.load mem (Array.unsafe_get fr.fr_p p)))
+            | _ ->
+                let ga = rp_fn aa in
+                fun fr ->
+                  Array.unsafe_set fr.fr_p sd
+                    (E.as_ptr (Memory.load mem (ga fr))))
+        | _ ->
+            let ga = rp_fn aa in
+            let w = rwr_box classes slots d in
+            fun fr -> w fr (Memory.load mem (ga fr)))
+    | Ir.Instr.Store (x, a) -> (
+        let gx = rget_box classes slots (decode_operand x) in
+        (* value before address, like the boxed engines (right-to-left
+           application order made explicit) *)
+        match rarg_p classes slots (decode_operand a) with
+        | RpS p ->
+            fun fr ->
+              let v = gx fr in
+              Memory.store mem (Array.unsafe_get fr.fr_p p) v
+        | aa ->
+            let ga = rp_fn aa in
+            fun fr ->
+              let v = gx fr in
+              Memory.store mem (ga fr) v)
+    | Ir.Instr.Gep (base, idx) ->
+        let ab = rarg_p classes slots (decode_operand base) in
+        let ai = rarg_i classes slots (decode_operand idx) in
+        if ok d && classes.(d) = C_ptr then (
+          let sd = slots.(d) in
+          match (ab, ai) with
+          | RpS pb, RiS ri ->
+              fun fr ->
+                Array.unsafe_set fr.fr_p sd
+                  (Array.unsafe_get fr.fr_p pb
+                  + Int64.to_int (Array.unsafe_get fr.fr_i ri))
+          | RpS pb, RiK k ->
+              let n = Int64.to_int k in
+              fun fr ->
+                Array.unsafe_set fr.fr_p sd (Array.unsafe_get fr.fr_p pb + n)
+          | _ ->
+              let gb = rp_fn ab and gi = ri_fn ai in
+              fun fr ->
+                Array.unsafe_set fr.fr_p sd (gb fr + Int64.to_int (gi fr)))
+        else
+          let gb = rp_fn ab and gi = ri_fn ai in
+          let w = rwr_box classes slots d in
+          fun fr -> w fr (Ir.Eval.VPtr (gb fr + Int64.to_int (gi fr)))
+    | Ir.Instr.Gaddr g ->
+        (* Lazily resolved and memoized, like the boxed compiler. *)
+        let cell = ref (-1) in
+        if ok d && classes.(d) = C_ptr then (
+          let sd = slots.(d) in
+          fun fr ->
+            let b = !cell in
+            let b =
+              if b >= 0 then b
+              else begin
+                let b = Memory.global_base mem g in
+                cell := b;
+                b
+              end
+            in
+            Array.unsafe_set fr.fr_p sd b)
+        else
+          let w = rwr_box classes slots d in
+          fun fr ->
+            let b = !cell in
+            let b =
+              if b >= 0 then b
+              else begin
+                let b = Memory.global_base mem g in
+                cell := b;
+                b
+              end
+            in
+            w fr (Ir.Eval.VPtr b)
+    | Ir.Instr.Call (name, argops) -> (
+        let srcs = Array.of_list (List.map decode_operand argops) in
+        let eval_args = rargs_fn classes slots srcs in
+        let w = rwr_box classes slots d in
+        match Hashtbl.find_opt st.funcs name with
+        | Some callee -> (
+            fun fr ->
+              match enter st callee (eval_args fr) with
+              | Some r -> w fr r
+              | None -> ())
+        | None -> (
+            match find_intrinsic name with
+            | Some impl -> fun fr -> w fr (impl (eval_args fr))
+            | None -> fun _ -> fault "call to unknown function @%s" name))
+    | Ir.Instr.Ci_call (ci, argops) -> (
+        let srcs = Array.of_list (List.map decode_operand argops) in
+        let eval_args = rargs_fn classes slots srcs in
+        let w = rwr_box classes slots d in
+        match Hashtbl.find_opt st.cis ci with
+        | Some impl -> (
+            let eval =
+              if st.tuning.ci_native then
+                match impl.ci_native with Some f -> f | None -> impl.ci_eval
+              else impl.ci_eval
+            in
+            match st.swap with
+            | None ->
+                let cyc = float_of_int impl.ci_cycles in
+                fun fr ->
+                  w fr (eval (eval_args fr));
+                  st.native <- st.native +. cyc;
+                  st.vm <- st.vm +. cyc
+            | Some cells ->
+                let cell =
+                  match Hashtbl.find_opt cells ci with
+                  | Some c -> c
+                  | None ->
+                      let c = ref (float_of_int impl.ci_cycles) in
+                      Hashtbl.replace cells ci c;
+                      c
+                in
+                fun fr ->
+                  w fr (eval (eval_args fr));
+                  let cyc = !cell in
+                  st.native <- st.native +. cyc;
+                  st.vm <- st.vm +. cyc)
+        | None -> fun _ -> fault "custom instruction #%d is not configured" ci)
+  in
+  let n = bi.ninstrs in
+  (* Compare-and-branch fusion, the one superinstruction the typed
+     compiler keeps: plain typed code is already allocation-free, so
+     sink trees buy nothing here, but fusing the trailing single-use
+     compare into the branch still skips a flag write and a dispatch.
+     Same conditions as the boxed [fused_scrutinee], restricted to
+     compare scrutinees (anything else compiles normally and the
+     terminator tests its register — observably identical). *)
+  let fused_scrutinee =
+    if st.tuning.fuse && n > nphi then
+      match bi.term with
+      | Ir.Instr.Cond_br (Ir.Instr.Reg r, a, b)
+        when bi.instrs.(n - 1).Ir.Instr.id = r
+             && r >= 0
+             && r < Array.length fi.use_counts
+             && fi.use_counts.(r) = 1
+             && (match bi.instrs.(n - 1).Ir.Instr.kind with
+                | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _ -> true
+                | _ -> false) ->
+          Some (bi.instrs.(n - 1), a, b)
+      | _ -> None
+    else None
+  in
+  let body_end = match fused_scrutinee with Some _ -> n - 1 | None -> n in
+  let fused_term =
+    match fused_scrutinee with
+    | None -> None
+    | Some (ci, a, b) ->
+        let test =
+          match ci.Ir.Instr.kind with
+          | Ir.Instr.Icmp (p, x, y) ->
+              bump_fusion "icmp+br";
+              rbool_icmp classes slots p (decode_operand x) (decode_operand y)
+          | Ir.Instr.Fcmp (p, x, y) ->
+              bump_fusion "fcmp+br";
+              rbool_fcmp classes slots p (decode_operand x) (decode_operand y)
+          | _ -> assert false
+        in
+        Some (R_cmp_br (test, a, b))
+  in
+  let r_ops =
+    Array.init (body_end - nphi) (fun j -> compile_rinstr bi.instrs.(nphi + j))
+  in
+  (* Phi prologue, compiled per predecessor label.  Staging goes into
+     per-class scratch (parallel-assignment semantics); a single phi
+     commits directly.  Scratch reuse is safe because the prologue
+     cannot re-enter this function. *)
+  let r_phi_rows =
+    if nphi = 0 then [||]
+    else begin
+      let npred = Array.length bi.phi_incoming.(0) in
+      let si = Array.make nphi 0L in
+      let sf = Array.make nphi 0.0 in
+      let sp = Array.make nphi 0 in
+      let sv = Array.make nphi (Ir.Eval.VInt 0L) in
+      let lane k =
+        let dk = bi.phi_dests.(k) in
+        if ok dk then classes.(dk) else C_boxed
+      in
+      (* stage phi [k]'s incoming value from predecessor [p] into its
+         lane's scratch; [direct] writes the destination register
+         instead (single-phi case, no staging needed) *)
+      let stage ~direct p k : frame -> unit =
+        let dk = bi.phi_dests.(k) in
+        match bi.phi_incoming.(k).(p) with
+        | None ->
+            fun _ ->
+              fault "@%s/bb%d: phi has no entry for predecessor bb%d" fname
+                bnum p
+        | Some op -> (
+            let s = decode_operand op in
+            match lane k with
+            | C_int -> (
+                let sdk = slots.(dk) in
+                match rarg_i classes slots s with
+                | RiS a ->
+                    if direct then fun fr ->
+                      Array.unsafe_set fr.fr_i sdk (Array.unsafe_get fr.fr_i a)
+                    else fun fr ->
+                      Array.unsafe_set si k (Array.unsafe_get fr.fr_i a)
+                | RiK kv ->
+                    if direct then fun fr -> Array.unsafe_set fr.fr_i sdk kv
+                    else fun _ -> Array.unsafe_set si k kv
+                | aa ->
+                    let g = ri_fn aa in
+                    if direct then fun fr ->
+                      Array.unsafe_set fr.fr_i sdk (g fr)
+                    else fun fr -> Array.unsafe_set si k (g fr))
+            | C_float -> (
+                let sdk = slots.(dk) in
+                match rarg_f classes slots s with
+                | RfS a ->
+                    if direct then fun fr ->
+                      Array.unsafe_set fr.fr_f sdk (Array.unsafe_get fr.fr_f a)
+                    else fun fr ->
+                      Array.unsafe_set sf k (Array.unsafe_get fr.fr_f a)
+                | RfK kv ->
+                    if direct then fun fr -> Array.unsafe_set fr.fr_f sdk kv
+                    else fun _ -> Array.unsafe_set sf k kv
+                | aa ->
+                    let g = rf_fn aa in
+                    if direct then fun fr ->
+                      Array.unsafe_set fr.fr_f sdk (g fr)
+                    else fun fr -> Array.unsafe_set sf k (g fr))
+            | C_ptr ->
+                let sdk = slots.(dk) in
+                let g = rget_p classes slots s in
+                if direct then fun fr -> Array.unsafe_set fr.fr_p sdk (g fr)
+                else fun fr -> Array.unsafe_set sp k (g fr)
+            | C_boxed ->
+                let sdk = if ok dk then slots.(dk) else dk in
+                let g = rget_box classes slots s in
+                if direct then fun fr -> fr.fr_v.(sdk) <- g fr
+                else fun fr -> Array.unsafe_set sv k (g fr))
+      in
+      let commits =
+        Array.init nphi (fun k ->
+            let dk = bi.phi_dests.(k) in
+            match lane k with
+            | C_int ->
+                let sdk = slots.(dk) in
+                fun fr -> Array.unsafe_set fr.fr_i sdk (Array.unsafe_get si k)
+            | C_float ->
+                let sdk = slots.(dk) in
+                fun fr -> Array.unsafe_set fr.fr_f sdk (Array.unsafe_get sf k)
+            | C_ptr ->
+                let sdk = slots.(dk) in
+                fun fr -> Array.unsafe_set fr.fr_p sdk (Array.unsafe_get sp k)
+            | C_boxed ->
+                let sdk = if ok dk then slots.(dk) else dk in
+                fun fr -> fr.fr_v.(sdk) <- Array.unsafe_get sv k)
+      in
+      Array.init npred (fun p ->
+          if nphi = 1 then stage ~direct:true p 0
+          else
+            let stages = Array.init nphi (fun k -> stage ~direct:false p k) in
+            fun fr ->
+              for k = 0 to nphi - 1 do
+                (Array.unsafe_get stages k) fr
+              done;
+              for k = 0 to nphi - 1 do
+                (Array.unsafe_get commits k) fr
+              done)
+    end
+  in
+  let r_term =
+    match fused_term with
+    | Some t -> t
+    | None -> (
+        match bi.term with
+        | Ir.Instr.Ret None -> R_halt
+        | Ir.Instr.Ret (Some op) ->
+            (* the return seam: the result leaves as a boxed value *)
+            R_ret (rget_box classes slots (decode_operand op))
+        | Ir.Instr.Br l -> R_br l
+        | Ir.Instr.Cond_br (c, a, b) ->
+            R_cond (rtest classes slots (decode_operand c), a, b)
+        | Ir.Instr.Switch (s, default, _) ->
+            let tbl =
+              match bi.switch_cases with Some tbl -> tbl | None -> assert false
+            in
+            (* the executors evaluate the scrutinee outside the body
+               handlers, so [rget_i]'s raw [Type_error] propagates
+               uncaught exactly like the boxed engines' [as_int] *)
+            R_switch (rget_i classes slots (decode_operand s), default, tbl))
+  in
+  let r_sync =
+    Array.exists
+      (fun (i : Ir.Instr.t) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Call (name, _) -> Hashtbl.mem st.funcs name
+        | Ir.Instr.Ci_call (ci, _) -> Hashtbl.mem st.cis ci
+        | _ -> false)
+      bi.instrs
+  in
+  {
+    r_info = bi;
+    r_label = bnum;
+    r_ops;
+    r_phi_rows;
+    r_term;
+    r_link = RL_none;
+    r_sync;
+    r_fuel = bi.ninstrs + 1;
+    r_native = float_of_int bi.static_cycles;
+    r_hot = st.jit.Jit_model.hot_factor *. float_of_int bi.static_cycles;
+    r_cold =
+      float_of_int
+        (bi.static_cycles + Ir.Cost.block_dispatch_cycles ~ninstrs:bi.ninstrs);
+  }
+
 (* Patch every compiled terminator with direct references to the
    successor [tblock]s.  A terminator naming a label outside the
    function keeps [L_none]: the linked executor then transfers through
@@ -3648,6 +5529,29 @@ let link_func (fi : func_info) : unit =
             Hashtbl.iter (fun v l -> Hashtbl.replace ltbl v tbs.(l)) tbl;
             L_switch (s, tbs.(d), ltbl)
         | _ -> L_none))
+    tbs
+
+(* {!link_func} for the typed-register-file engine. *)
+let link_rfunc (fi : func_info) : unit =
+  let tbs = fi.rtblocks in
+  let nb = Array.length tbs in
+  let okl l = l >= 0 && l < nb in
+  Array.iter
+    (fun tb ->
+      tb.r_link <-
+        (match tb.r_term with
+        | R_halt -> RL_halt
+        | R_ret g -> RL_ret g
+        | R_br l when okl l -> RL_br tbs.(l)
+        | R_cond (t, a, b) when okl a && okl b -> RL_cond (t, tbs.(a), tbs.(b))
+        | R_cmp_br (t, a, b) when okl a && okl b ->
+            RL_cmp_br (t, tbs.(a), tbs.(b))
+        | R_switch (g, d, tbl)
+          when okl d && Hashtbl.fold (fun _ l acc -> acc && okl l) tbl true ->
+            let ltbl = Hashtbl.create (max 4 (Hashtbl.length tbl)) in
+            Hashtbl.iter (fun v l -> Hashtbl.replace ltbl v tbs.(l)) tbl;
+            RL_switch (g, tbs.(d), ltbl)
+        | _ -> RL_none))
     tbs
 
 (* ------------------------------------------------------------------ *)
@@ -3742,8 +5646,14 @@ let run ?(fuel = 4_000_000_000L) ?(jit = Jit_model.default)
     match engine with
     | Reference -> exec_func st fi (Array.of_list args)
     | Threaded ->
-        Hashtbl.iter (fun _ fi -> fi.tblocks <- compile_func st fi) funcs;
-        if tuning.link then Hashtbl.iter (fun _ fi -> link_func fi) funcs;
+        if tuning.regalloc then begin
+          Hashtbl.iter (fun _ fi -> compile_rfunc st fi) funcs;
+          if tuning.link then Hashtbl.iter (fun _ fi -> link_rfunc fi) funcs
+        end
+        else begin
+          Hashtbl.iter (fun _ fi -> fi.tblocks <- compile_func st fi) funcs;
+          if tuning.link then Hashtbl.iter (fun _ fi -> link_func fi) funcs
+        end;
         enter st fi (Array.of_list args)
   in
   (* Fold the run-local counters into a profile. *)

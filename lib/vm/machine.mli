@@ -76,7 +76,7 @@ val engine_of_string : string -> engine option
     messages — are byte-identical across all combinations (pinned by
     the differential suite), so the knobs exist for isolation
     benchmarking and differential testing, not for trading accuracy
-    against speed.  See DESIGN.md §13. *)
+    against speed.  See DESIGN.md §13–§14. *)
 type tuning = {
   link : bool;
       (** block linking: terminators transfer to the successor's
@@ -89,6 +89,12 @@ type tuning = {
       (** dispatch a loaded CI's pre-compiled fused closure
           ({!ci_impl.ci_native}) instead of interpreting its MISO
           subgraph op by op *)
+  regalloc : bool;
+      (** typed register files: partition each function's registers by
+          declared type into unboxed int64/float/address slot arrays,
+          boxing only at the call/return, intrinsic, CI and memory
+          seams — hot int/float paths allocate nothing.  Off = the
+          boxed compiled blocks, exactly (DESIGN.md §14). *)
   max_linked_blocks : int;
       (** linked-transfer budget: after this many consecutive direct
           block-to-block transfers the engine takes one trip through

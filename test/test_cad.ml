@@ -405,6 +405,34 @@ let test_implement_result_failure () =
         (f.Cad.Flow.wasted_seconds > 0.0
         && f.Cad.Flow.wasted_seconds < clean.Cad.Flow.total_seconds)
 
+(* Regression: the never-failing [implement] used to hit [assert false]
+   if the flow ever returned [Error] with faults disabled.  The branch
+   now raises a named {!Cad.Flow.Internal_error}; feed the extractor a
+   synthetic failure and check the error names the stage. *)
+let test_run_of_result_internal_error () =
+  let p = List.hd (Lazy.force projects) in
+  (match Cad.Flow.implement_result ~faults:Cad.Faults.none db p with
+  | Ok run ->
+      let again = Cad.Flow.run_of_result (Ok run) in
+      Alcotest.(check (float 1e-9)) "Ok passes through" run.Cad.Flow.total_seconds
+        again.Cad.Flow.total_seconds
+  | Error _ -> Alcotest.fail "faultless flow must not fail");
+  let synthetic =
+    match Cad.Flow.implement_result ~faults:always_crash db p with
+    | Error f -> f
+    | Ok _ -> Alcotest.fail "crash_rate 1.0 must fail"
+  in
+  match Cad.Flow.run_of_result (Error synthetic) with
+  | (_ : Cad.Flow.run) -> Alcotest.fail "expected Internal_error"
+  | exception Cad.Flow.Internal_error m ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "message names the stage" true
+        (contains m (Cad.Flow.stage_name synthetic.Cad.Flow.failed_stage))
+
 let test_relaxed_run_costs_more () =
   let p = List.hd (Lazy.force projects) in
   let plain = implement p in
@@ -517,6 +545,8 @@ let () =
             test_faults_relaxed_skips_timing;
           Alcotest.test_case "validation before syntax check" `Quick
             test_validation_before_syntax_check;
+          Alcotest.test_case "internal error names stage" `Quick
+            test_run_of_result_internal_error;
           Alcotest.test_case "implement_result failure" `Quick
             test_implement_result_failure;
           Alcotest.test_case "relaxed run costs more" `Quick

@@ -335,6 +335,26 @@ let test_algebraic_simplify () =
   Alcotest.(check int) "x-x and x^x fold" 5
     (run_main ~n:5 "int main(int n) { return (n - n) + (n ^ n) + (n & n); }")
 
+(* Regression: a multiply by a non-power-of-two constant must survive
+   strength reduction as a multiply — the rewrite used to test
+   [log2_opt] in the guard and [Option.get] a second call in the body,
+   a split that a refactor could desynchronize into a crash. *)
+let test_strength_reduction_non_power_of_two () =
+  let src = "int main(int n) { return n * 6; }" in
+  let r = F.Compiler.compile_string ~name:"t" src in
+  let main = Option.get (Ir.Irmod.find_func r.F.Compiler.modul "main") in
+  let muls = ref 0 and shls = ref 0 in
+  Ir.Func.iter_instrs
+    (fun _ (i : Ir.Instr.t) ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Binop (Ir.Instr.Mul, _, _) -> incr muls
+      | Ir.Instr.Binop (Ir.Instr.Shl, _, _) -> incr shls
+      | _ -> ())
+    main;
+  Alcotest.(check int) "multiply by 6 stays a multiply" 1 !muls;
+  Alcotest.(check int) "no bogus shift" 0 !shls;
+  Alcotest.(check int) "result" 42 (run_main ~n:7 src)
+
 let test_load_forwarding () =
   (* three reads of a[i] in one statement keep a single load *)
   let src =
@@ -490,6 +510,8 @@ let () =
           Alcotest.test_case "dead branches" `Quick test_dead_branch_elimination;
           Alcotest.test_case "cse" `Quick test_cse;
           Alcotest.test_case "algebraic simplify" `Quick test_algebraic_simplify;
+          Alcotest.test_case "non-power-of-two multiplier" `Quick
+            test_strength_reduction_non_power_of_two;
           Alcotest.test_case "load forwarding" `Quick test_load_forwarding;
           Alcotest.test_case "load invalidation" `Quick
             test_load_forwarding_invalidation;

@@ -643,6 +643,33 @@ let test_sup_stage_deadline () =
       Alcotest.(check bool) "each kill cost the full deadline" true
         (f.U.Supervisor.f_wasted_seconds >= 30.0)
 
+(* Regression: a stage body that captures the [stall] hook of a
+   deadline-bearing supervisor can leak its internal timeout exception
+   into a site whose own policy has no stage deadline.  That used to
+   die on [Option.get]; it must be handled as a crash of the attempt. *)
+let test_sup_timeout_leak_without_deadline () =
+  let donor_policy =
+    { U.Supervisor.default_policy with
+      U.Supervisor.stage_deadline_seconds = Some 1.0 }
+  in
+  let donor = U.Supervisor.create ~policy:donor_policy () in
+  let leaked = ref (fun (_ : float) -> ()) in
+  U.Supervisor.supervise donor ~site:"donor" (fun ~attempt:_ ~stall ->
+      leaked := stall);
+  let sup = U.Supervisor.create () in
+  match
+    U.Supervisor.supervise sup ~site:"s" (fun ~attempt:_ ~stall:_ ->
+        !leaked 5.0)
+  with
+  | () -> Alcotest.fail "expected Stage_failed"
+  | exception U.Supervisor.Stage_failed f -> (
+      match f.U.Supervisor.f_error with
+      | U.Supervisor.Crash m ->
+          Alcotest.(check bool) "crash names the leak" true
+            (String.length m > 0)
+      | e ->
+          Alcotest.failf "expected Crash, got %s" (U.Supervisor.error_name e))
+
 let test_sup_run_deadline () =
   let policy =
     { U.Supervisor.default_policy with
@@ -944,6 +971,8 @@ let () =
           Alcotest.test_case "non-transient propagates" `Quick
             test_sup_nontransient_propagates;
           Alcotest.test_case "stage deadline" `Quick test_sup_stage_deadline;
+          Alcotest.test_case "timeout leak without deadline" `Quick
+            test_sup_timeout_leak_without_deadline;
           Alcotest.test_case "run deadline" `Quick test_sup_run_deadline;
           Alcotest.test_case "meter spares run budget" `Quick
             test_sup_meter_spares_run_budget;

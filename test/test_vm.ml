@@ -522,17 +522,27 @@ let test_diff_fault_parity () =
 (* Tuning-knob differential: all (link, fuse, ci_native) combinations  *)
 (* ------------------------------------------------------------------ *)
 
-(* The eight knob combinations under a deliberately tiny linking budget
-   (so the escape hatch fires inside short loops), plus the two budget
-   extremes under full tuning. *)
+(* The sixteen (link, fuse, ci_native, regalloc) knob combinations
+   under a deliberately tiny linking budget (so the escape hatch fires
+   inside short loops), plus the two budget extremes under full
+   tuning. *)
 let all_tunings =
   List.concat_map
     (fun link ->
       List.concat_map
         (fun fuse ->
-          List.map
+          List.concat_map
             (fun ci_native ->
-              { Vm.Machine.link; fuse; ci_native; max_linked_blocks = 3 })
+              List.map
+                (fun regalloc ->
+                  {
+                    Vm.Machine.link;
+                    fuse;
+                    ci_native;
+                    regalloc;
+                    max_linked_blocks = 3;
+                  })
+                [ false; true ])
             [ false; true ])
         [ false; true ])
     [ false; true ]
@@ -541,19 +551,22 @@ let all_tunings =
         Vm.Machine.link = true;
         fuse = true;
         ci_native = true;
+        regalloc = true;
         max_linked_blocks = 1;
       };
       {
         Vm.Machine.link = true;
         fuse = true;
         ci_native = true;
+        regalloc = true;
         max_linked_blocks = 1024;
       };
     ]
 
 let tuning_tag (t : Vm.Machine.tuning) =
-  Printf.sprintf "link=%b fuse=%b ci=%b budget=%d" t.Vm.Machine.link
-    t.Vm.Machine.fuse t.Vm.Machine.ci_native t.Vm.Machine.max_linked_blocks
+  Printf.sprintf "link=%b fuse=%b ci=%b regalloc=%b budget=%d" t.Vm.Machine.link
+    t.Vm.Machine.fuse t.Vm.Machine.ci_native t.Vm.Machine.regalloc
+    t.Vm.Machine.max_linked_blocks
 
 (* One Reference run, then every tuned Threaded variant against it. *)
 let diff_all_tunings ?fuel ?cis ?(entry = "main") ~args what m =
@@ -769,6 +782,238 @@ let qcheck_diff_generated =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial scalars: NaN, signed zero, Int64.min_int, renorm edges  *)
+(* ------------------------------------------------------------------ *)
+
+(* The typed register files specialize comparisons, arithmetic and
+   casts per operand shape, so the edge cases where IEEE or two's
+   complement semantics get interesting — NaN through every fcmp
+   predicate, -0.0 vs 0.0, Int64.min_int wrap-around, float->int casts
+   of NaN/infinity — must agree bit-for-bit across Reference, untuned
+   Threaded and every tuned variant (all 16 knob combinations include
+   regalloc on and off). *)
+
+let adversarial_floats =
+  [
+    Float.nan;
+    Float.infinity;
+    Float.neg_infinity;
+    -0.0;
+    0.0;
+    1.0;
+    -1.0;
+    0.5;
+    -2.5;
+    Float.epsilon;
+    Float.max_float;
+    -.Float.max_float;
+    Float.min_float;
+    9.3e18 (* above Int64.max_int: fptosi saturates/wraps, must agree *);
+    -9.3e18;
+    4503599627370497.0 (* 2^52 + 1: float->int->float not identity *);
+  ]
+
+let adversarial_ints =
+  [
+    Int64.min_int;
+    Int64.max_int;
+    Int64.add Int64.min_int 1L;
+    Int64.sub Int64.max_int 1L;
+    -1L;
+    0L;
+    1L;
+    0x7FFF_FFFFL (* I32 sign boundary *);
+    0x8000_0000L;
+    0xFFFF_FFFFL;
+    0x1_0000_0000L;
+    -2147483648L;
+    -2147483649L;
+  ]
+
+(* Every fcmp predicate on (x, y), float arithmetic (including IEEE
+   division: inf/NaN, never a fault), and fptosi of values that may be
+   NaN or out of int range.  The result packs all comparison bits so a
+   single-predicate divergence flips the return value. *)
+let adversarial_fcmp_src =
+  "int main(double x, double y) {\n\
+  \  int r = 0;\n\
+  \  if (x < y)  { r = r + 1; }\n\
+  \  if (x <= y) { r = r + 2; }\n\
+  \  if (x > y)  { r = r + 4; }\n\
+  \  if (x >= y) { r = r + 8; }\n\
+  \  if (x == y) { r = r + 16; }\n\
+  \  if (x != y) { r = r + 32; }\n\
+  \  double s = x + y;\n\
+  \  double d = x - y;\n\
+  \  double p = x * y;\n\
+  \  double q = x / y;\n\
+  \  if (p == p) { r = r + 64; }\n\
+  \  if (q != q) { r = r + 128; }\n\
+  \  int ci = s;\n\
+  \  int cd = d;\n\
+  \  return r + ci - (ci / 1000) * 1000 + cd - (cd / 1000) * 1000;\n\
+   }\n"
+
+(* Renorm boundaries: arithmetic around Int64.min_int/max_int and the
+   I32 boundaries, int->float->int round trips, signed comparisons on
+   un-normalized inputs. *)
+let adversarial_int_src =
+  "int main(int n) {\n\
+  \  int a = n + 1;\n\
+  \  int b = n - 1;\n\
+  \  int c = n * 3;\n\
+  \  int d = n / 5;\n\
+  \  int e = n - (n / 7) * 7;\n\
+  \  double f = n;\n\
+  \  int g = f;\n\
+  \  int s = 0;\n\
+  \  if (n < a)  { s = s + 1; }\n\
+  \  if (n <= b) { s = s + 2; }\n\
+  \  if (n > c)  { s = s + 4; }\n\
+  \  if (n >= d) { s = s + 8; }\n\
+  \  if (n == e) { s = s + 16; }\n\
+  \  if (n != g) { s = s + 32; }\n\
+  \  if (f < 0.0) { s = s + 64; }\n\
+  \  return a + b + c + d + e + g + s;\n\
+   }\n"
+
+let adversarial_fcmp_mod = lazy (compile adversarial_fcmp_src)
+let adversarial_int_mod = lazy (compile adversarial_int_src)
+
+let test_adversarial_scalars () =
+  let fm = Lazy.force adversarial_fcmp_mod in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          ignore
+            (diff_all_tunings
+               ~args:[ Ir.Eval.VFloat x; Ir.Eval.VFloat y ]
+               (Printf.sprintf "fcmp x=%h y=%h" x y)
+               fm))
+        adversarial_floats)
+    adversarial_floats;
+  let im = Lazy.force adversarial_int_mod in
+  List.iter
+    (fun n ->
+      ignore
+        (diff_all_tunings ~args:[ Ir.Eval.VInt n ]
+           (Printf.sprintf "intedge n=%Ld" n)
+           im))
+    adversarial_ints
+
+(* [check_fault_parity_tunings] over arbitrary entry args, so the
+   faulting input can be an adversarial float. *)
+let fault_msg_args ?fuel ~engine ?tuning ~args m =
+  try
+    ignore (Vm.Machine.run ?fuel ~engine ?tuning m ~entry:"main" ~args);
+    None
+  with Vm.Machine.Fault msg -> Some msg
+
+let check_fault_parity_tunings_args ?fuel what ~args m =
+  let r = fault_msg_args ?fuel ~engine:Vm.Machine.Reference ~args m in
+  Alcotest.(check bool) (what ^ ": faulted") true (r <> None);
+  List.iter
+    (fun tuning ->
+      let t =
+        fault_msg_args ?fuel ~engine:Vm.Machine.Threaded ~tuning ~args m
+      in
+      Alcotest.(check (option string))
+        (what ^ " [" ^ tuning_tag tuning ^ "]")
+        r t)
+    all_tunings
+
+let test_adversarial_fault_parity () =
+  (* A NaN/huge float cast to an array index: NaN casts to 0 (in
+     bounds, engines must agree on the value), while an out-of-range
+     double must produce the same wild-index fault message under every
+     tuning, regalloc included. *)
+  let m =
+    compile
+      "int a[8];\n\
+       int main(double x) { int i = x; a[2] = 9; return a[i] + 1; }\n"
+  in
+  ignore
+    (diff_all_tunings ~args:[ Ir.Eval.VFloat Float.nan ] "nan index" m);
+  check_fault_parity_tunings_args "huge index"
+    ~args:[ Ir.Eval.VFloat 1e18 ]
+    m;
+  check_fault_parity_tunings_args "negative index"
+    ~args:[ Ir.Eval.VFloat (-3.0) ]
+    m;
+  (* -inf casts to Int64.min_int, whose low 63 bits make the address
+     wrap back in bounds: no fault, but every engine must wrap the same
+     way. *)
+  ignore
+    (diff_all_tunings
+       ~args:[ Ir.Eval.VFloat Float.neg_infinity ]
+       "neg-inf index" m)
+
+let qcheck_adversarial_floats =
+  let open QCheck in
+  let special = Gen.oneofl adversarial_floats in
+  let gen = Gen.(pair (oneof [ special; float ]) (oneof [ special; float ])) in
+  Test.make ~name:"adversarial float pairs: all tunings agree" ~count:40
+    (make gen) (fun (x, y) ->
+      ignore
+        (diff_all_tunings
+           ~args:[ Ir.Eval.VFloat x; Ir.Eval.VFloat y ]
+           (Printf.sprintf "qfcmp x=%h y=%h" x y)
+           (Lazy.force adversarial_fcmp_mod));
+      true)
+
+let qcheck_adversarial_ints =
+  let open QCheck in
+  let special = Gen.oneofl adversarial_ints in
+  let gen = Gen.(oneof [ special; map Int64.of_int int ]) in
+  Test.make ~name:"adversarial ints: all tunings agree" ~count:40 (make gen)
+    (fun n ->
+      ignore
+        (diff_all_tunings ~args:[ Ir.Eval.VInt n ]
+           (Printf.sprintf "qint n=%Ld" n)
+           (Lazy.force adversarial_int_mod));
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation probe: typed register files must not allocate more       *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole point of the typed slot arrays is that hot paths stop
+   boxing scalars.  Measure minor-heap words per executed dynamic
+   instruction on a real registry workload, tuned with regalloc on vs
+   off; the unboxed engine must not allocate more.  Gc.minor_words is
+   an exact allocation counter, not a timing, so this is deterministic
+   enough for CI. *)
+let test_regalloc_allocation_probe () =
+  let w = Option.get (W.Registry.find "sor") in
+  let compiled = W.Workload.compile w in
+  let per_instr tuning =
+    (* Warm-up run: module-level lazies and shared caches settle. *)
+    ignore (W.Workload.run_all ~engine:Vm.Machine.Threaded ~tuning compiled w);
+    let before = Gc.minor_words () in
+    let outs =
+      W.Workload.run_all ~engine:Vm.Machine.Threaded ~tuning compiled w
+    in
+    let after = Gc.minor_words () in
+    let instrs =
+      List.fold_left
+        (fun acc (_, (o : Vm.Machine.outcome)) ->
+          Int64.add acc o.profile.Vm.Profile.executed_instrs)
+        0L outs
+    in
+    (after -. before) /. Int64.to_float instrs
+  in
+  let off = per_instr { Vm.Machine.default_tuning with regalloc = false } in
+  let on = per_instr Vm.Machine.default_tuning in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "regalloc allocates no more per dynamic instr (on=%.3f off=%.3f \
+        words/instr)"
+       on off)
+    true
+    (on <= off +. 0.01)
+
+(* ------------------------------------------------------------------ *)
 (* Engine golden: full Experiment reports are engine-invariant         *)
 (* ------------------------------------------------------------------ *)
 
@@ -966,6 +1211,17 @@ let () =
           Alcotest.test_case "load-sink faults" `Quick
             test_tuning_load_sink_faults;
           Alcotest.test_case "fusion stats" `Quick test_fusion_stats;
+        ] );
+      ( "adversarial scalars",
+        [
+          Alcotest.test_case "fcmp/cast/renorm sweep" `Quick
+            test_adversarial_scalars;
+          Alcotest.test_case "fault parity" `Quick
+            test_adversarial_fault_parity;
+          QCheck_alcotest.to_alcotest qcheck_adversarial_floats;
+          QCheck_alcotest.to_alcotest qcheck_adversarial_ints;
+          Alcotest.test_case "allocation probe" `Slow
+            test_regalloc_allocation_probe;
         ] );
       ( "engine golden",
         [
